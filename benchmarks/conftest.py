@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+The expensive artifact — the full eight-experiment paper suite on the
+calibrated battery — is computed once per session and shared by every
+benchmark that reports on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.experiments import run_paper_suite
+from repro.hw.battery import KiBaM, LinearBattery, PeukertBattery
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+
+#: Capacity scale for ablation sweeps: quarter-size cells keep the
+#: KiBaM dynamics (same c, k') while discharging 4x faster, so wide
+#: parameter sweeps stay cheap. Reported quantities are ratios, which
+#: are insensitive to the scale.
+SWEEP_SCALE = 0.25
+
+
+def sweep_kibam() -> KiBaM:
+    """Quarter-capacity KiBaM with the paper's dynamics."""
+    return KiBaM(
+        dataclasses.replace(
+            PAPER_KIBAM_PARAMETERS,
+            capacity_mah=PAPER_KIBAM_PARAMETERS.capacity_mah * SWEEP_SCALE,
+        )
+    )
+
+
+def sweep_linear() -> LinearBattery:
+    """Ideal battery at the same (scaled) capacity."""
+    return LinearBattery(PAPER_KIBAM_PARAMETERS.capacity_mah * SWEEP_SCALE)
+
+
+def sweep_peukert() -> PeukertBattery:
+    """Peukert battery (rate-capacity, no recovery) at the same capacity."""
+    return PeukertBattery(
+        PAPER_KIBAM_PARAMETERS.capacity_mah * SWEEP_SCALE,
+        reference_ma=60.0,
+        exponent=1.2,
+    )
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a clearly delimited report block into the benchmark log."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def paper_runs():
+    """All eight paper experiments, run to battery exhaustion."""
+    return run_paper_suite()

@@ -1,0 +1,120 @@
+"""Ablation — how much do the SA-1100's 11 discrete levels matter?
+
+A required frequency always rounds *up* to a real operating point, so
+a coarser DVS table looks like pure waste. This sweep re-plans the
+scheme-1 pipeline against subsampled tables (11, 6, 3, 2 levels) plus
+a continuous ideal, and predicts the lifetimes. Two findings:
+
+- coarse tables hurt: 3 levels cost ~10%, a binary knob ~34%;
+- but the continuous "slowest-feasible" speed is *not* optimal — it
+  predicts slightly LESS lifetime than the 11-level table, because
+  rounding up to 103.2 MHz finishes PROC sooner and the extra rest
+  lets the battery recover (race-to-rest beats stretch-to-deadline
+  under recovery dynamics). The energy-optimal speed and the
+  battery-lifetime-optimal speed are different quantities — the
+  paper's central theme, visible even inside a single node's schedule.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.tables import format_table
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.policies import DVSDuringIOPolicy, SlowestFeasiblePolicy
+from repro.core.prediction import predict_first_death
+from repro.errors import InfeasiblePartitionError
+from repro.hw.dvs import SA1100_TABLE, DVSTable, FrequencyLevel
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.schedule import plan_node, required_frequency_mhz
+from repro.pipeline.tasks import Partition
+
+D = 2.3
+
+
+def _continuous_table() -> DVSTable:
+    """An (idealized) near-continuous knob: the exact required
+    frequencies of scheme 1's stages, embedded in a dense ladder."""
+    partition = Partition(PAPER_PROFILE, (1,))
+    levels = {lv.mhz: lv.volts for lv in SA1100_TABLE}
+    for assignment in partition.assignments:
+        req = required_frequency_mhz(
+            assignment, PAPER_LINK_TIMING, D, SA1100_TABLE
+        )
+        req = max(req, SA1100_TABLE.min.mhz)
+        # Interpolate a plausible voltage for the exact frequency.
+        lower = SA1100_TABLE.floor(req)
+        upper = SA1100_TABLE.ceil(req)
+        if upper.mhz == lower.mhz:
+            volts = lower.volts
+        else:
+            frac = (req - lower.mhz) / (upper.mhz - lower.mhz)
+            volts = lower.volts + frac * (upper.volts - lower.volts)
+        levels[round(req, 3)] = volts
+    return DVSTable(
+        [FrequencyLevel(mhz, levels[mhz]) for mhz in sorted(levels)]
+    )
+
+
+def run_sweep():
+    partition = Partition(PAPER_PROFILE, (1,))
+    tables = {
+        "continuous (ideal)": _continuous_table(),
+        "11 levels (SA-1100)": SA1100_TABLE,
+        "6 levels": SA1100_TABLE.subsampled(2),
+        "3 levels": SA1100_TABLE.subsampled(5),
+        "2 levels": SA1100_TABLE.subsampled(10),
+    }
+    rows = []
+    for name, table in tables.items():
+        try:
+            plans = [
+                plan_node(a, PAPER_LINK_TIMING, D, table)
+                for a in partition.assignments
+            ]
+        except InfeasiblePartitionError:
+            rows.append({"table": name, "feasible": False})
+            continue
+        roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+            plans, table
+        )
+        _, first_death, _ = predict_first_death(
+            roles, PAPER_LINK_TIMING, D, table=table
+        )
+        rows.append(
+            {
+                "table": name,
+                "feasible": True,
+                "node1_mhz": plans[0].level.mhz,
+                "node2_mhz": plans[1].level.mhz,
+                "first_death_h": round(first_death, 2),
+            }
+        )
+    return rows
+
+
+def test_dvs_granularity(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_block(
+        "Ablation — DVS table granularity vs predicted pipeline lifetime",
+        format_table(rows),
+    )
+    by_name = {r["table"]: r for r in rows}
+    ideal = by_name["continuous (ideal)"]
+    sa1100 = by_name["11 levels (SA-1100)"]
+    # Among the real tables, lifetime degrades monotonically with
+    # coarseness.
+    discrete = [
+        by_name[k]["first_death_h"]
+        for k in ("11 levels (SA-1100)", "6 levels", "3 levels", "2 levels")
+    ]
+    assert discrete == sorted(discrete, reverse=True)
+    # The 11-level table is within 2% of the continuous knob — and in
+    # fact slightly AHEAD of it: the rounded-up clock finishes sooner
+    # and the battery recovers during the longer rest (race-to-rest).
+    assert sa1100["first_death_h"] == pytest.approx(
+        ideal["first_death_h"], rel=0.02
+    )
+    assert sa1100["first_death_h"] >= ideal["first_death_h"]
+    # Coarse knobs carry real cost: ~10% at 3 levels, ~1/3 at 2.
+    assert by_name["3 levels"]["first_death_h"] < 0.95 * sa1100["first_death_h"]
+    assert by_name["2 levels"]["first_death_h"] < 0.75 * sa1100["first_death_h"]

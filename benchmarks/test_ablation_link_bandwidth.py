@@ -1,0 +1,77 @@
+"""Ablation — serial-link bandwidth.
+
+The paper's whole setting is the I/O-bound regime created by the
+~80 Kbps serial port. This sweep rescales the link and re-derives the
+partitioning analysis at each bandwidth, locating the crossovers:
+
+- below ~40 Kbps even the single node cannot meet D (RECV alone eats
+  the frame);
+- around the paper's operating point, partitioning scheme 1 unlocks
+  low-frequency operation;
+- as bandwidth grows, every scheme becomes feasible and the required
+  frequencies converge to the pure-computation bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.tables import format_table
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.partitioning import analyze_partitions
+from repro.errors import InfeasiblePartitionError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import TransactionTiming
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+
+D = 2.3
+BANDWIDTHS_KBPS = [20, 40, 60, 80, 115.2, 250, 500, 1000]
+
+
+def run_sweep():
+    rows = []
+    for kbps in BANDWIDTHS_KBPS:
+        timing = TransactionTiming(bandwidth_bps=kbps * 1000, startup_s=0.09)
+        row = {"kbps": kbps}
+        # Single node.
+        try:
+            plan = plan_node(
+                Partition(PAPER_PROFILE).stage(0), timing, D, SA1100_TABLE
+            )
+            row["single_mhz"] = plan.level.mhz
+        except InfeasiblePartitionError:
+            row["single_mhz"] = None
+        # Best 2-way scheme.
+        analyses = analyze_partitions(PAPER_PROFILE, 2, timing, D, SA1100_TABLE)
+        feasible = [a for a in analyses if a.feasible]
+        row["feasible_schemes"] = len(feasible)
+        if feasible:
+            best = min(feasible, key=lambda a: a.total_switching_activity)
+            row["scheme1_node1_mhz"] = best.stages[0].level.mhz
+            row["scheme1_node2_mhz"] = best.stages[1].level.mhz
+        rows.append(row)
+    return rows
+
+
+def test_link_bandwidth_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_block(
+        "Ablation — link bandwidth vs required operating points (D = 2.3 s)",
+        format_table(rows),
+    )
+
+    by_kbps = {r["kbps"]: r for r in rows}
+    # At 20 Kbps the 10.1 KB frame alone takes >4 s: nothing works.
+    assert by_kbps[20]["single_mhz"] is None
+    assert by_kbps[20]["feasible_schemes"] == 0
+    # The paper's regime: single node pinned at the top of the table,
+    # partitioning unlocks the bottom half.
+    assert by_kbps[80]["single_mhz"] == 206.4
+    assert by_kbps[80]["scheme1_node1_mhz"] == 59.0
+    # Ample bandwidth: more schemes feasible, and the single node can
+    # slow down (I/O stops being the bottleneck).
+    assert by_kbps[1000]["feasible_schemes"] == 3
+    assert by_kbps[1000]["single_mhz"] < 206.4
+    # Monotonicity: feasible scheme count never decreases with bandwidth.
+    counts = [r["feasible_schemes"] for r in rows]
+    assert counts == sorted(counts)

@@ -1,0 +1,108 @@
+"""Ablation — serial-line errors under the reliable transport.
+
+The paper runs "generic TCP/IP sockets to implement reliable
+communication" over PPP: on a noisy serial line, reliability means
+retransmissions, which eat the frame budget the schedules were planned
+against. This sweep raises the per-transaction corruption probability
+and reports (a) the statically required DVS levels when planning
+against the *expected* (retry-inflated) transaction time and (b) the
+simulated miss rate when the schedule ignores errors.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import print_block, sweep_kibam
+from repro.analysis.tables import format_table
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.errors import InfeasiblePartitionError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import TransactionTiming
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+
+D = 2.3
+ERROR_PROBS = [0.0, 0.02, 0.05, 0.10]
+
+
+def static_levels():
+    """Required levels when planning against expected transaction time."""
+    rows = []
+    for prob in ERROR_PROBS:
+        timing = TransactionTiming(startup_s=0.09, corruption_prob=prob)
+        row = {"corruption_prob": prob}
+        partition = Partition(PAPER_PROFILE, (1,))
+        for i, stage in enumerate(partition.assignments, start=1):
+            try:
+                plan = plan_node(stage, timing, D, SA1100_TABLE)
+                row[f"node{i}_mhz"] = plan.level.mhz
+            except InfeasiblePartitionError:
+                row[f"node{i}_mhz"] = None
+        try:
+            single = plan_node(
+                Partition(PAPER_PROFILE).stage(0), timing, D, SA1100_TABLE
+            )
+            row["single_mhz"] = single.level.mhz
+        except InfeasiblePartitionError:
+            row["single_mhz"] = None
+        rows.append(row)
+    return rows
+
+
+def dynamic_misses():
+    """Miss rate when the error-free schedule meets a noisy line."""
+    rows = []
+    for prob in ERROR_PROBS:
+        timing = TransactionTiming(startup_s=0.09, corruption_prob=prob)
+        run = run_experiment(
+            dataclasses.replace(PAPER_EXPERIMENTS["2A"], label=f"2A-e{prob:g}"),
+            battery_factory=sweep_kibam,
+            timing=timing,
+            seed=5,
+        )
+        result = run.pipeline
+        rows.append(
+            {
+                "corruption_prob": prob,
+                "frames": result.frames_completed,
+                "late_per_1k": round(
+                    1000.0 * result.late_results / max(result.frames_completed, 1), 1
+                ),
+                "max_lateness_ms": round(result.max_lateness_s * 1000.0, 1),
+            }
+        )
+    return rows
+
+
+def test_link_error_sweep(benchmark):
+    levels = static_levels()
+    misses = benchmark.pedantic(dynamic_misses, rounds=1, iterations=1)
+    print_block(
+        "Ablation — corruption probability vs required levels "
+        "(planning against expected retries)",
+        format_table(levels, float_fmt=".2f"),
+    )
+    print_block(
+        "Ablation — corruption probability vs per-frame misses "
+        "(error-free schedule on a noisy line, experiment 2A)",
+        format_table(misses),
+    )
+
+    by_prob = {r["corruption_prob"]: r for r in levels}
+    # Error-free: the paper's operating points.
+    assert by_prob[0.0]["node1_mhz"] == 59.0
+    assert by_prob[0.0]["single_mhz"] == 206.4
+    # The single node has zero slack: ANY error rate breaks it.
+    assert all(by_prob[p]["single_mhz"] is None for p in ERROR_PROBS if p > 0)
+    # The partitioned pipeline tolerates moderate error rates (Node2
+    # clocks up as retries eat budget).
+    node2 = [r["node2_mhz"] for r in levels]
+    assert all(v is not None for v in node2)
+    assert node2 == sorted(node2)
+
+    miss_by_prob = {r["corruption_prob"]: r for r in misses}
+    assert miss_by_prob[0.0]["late_per_1k"] == 0.0
+    # A noisy line produces real misses against the unplanned schedule.
+    assert miss_by_prob[0.10]["late_per_1k"] > 0

@@ -1,0 +1,67 @@
+"""Extension — deeper pipelines (the paper: "results do generalize").
+
+The paper evaluates two nodes; this sweep runs 1-4 stage pipelines of
+the same ATR chain (slowest-feasible levels + DVS during I/O) and
+reports absolute and normalized battery life. Expected shape: absolute
+life grows with N, but the *normalized* return diminishes — each extra
+node adds inter-stage I/O and worsens imbalance, the paper's central
+caution about distributed DVS.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block, sweep_kibam
+from repro.analysis.tables import format_table
+from repro.core.experiments import ExperimentSpec, run_experiment
+from repro.core.policies import DVSDuringIOPolicy, SlowestFeasiblePolicy
+
+CUTS = {1: (), 2: (1,), 3: (1, 3), 4: (1, 2, 3)}
+
+
+def run_sweep():
+    rows = []
+    runs = {}
+    policy = DVSDuringIOPolicy(SlowestFeasiblePolicy())
+    for n, cuts in CUTS.items():
+        spec = ExperimentSpec(
+            label=f"N{n}",
+            description=f"{n}-stage pipeline",
+            policy=policy,
+            cuts=cuts,
+        )
+        run = run_experiment(spec, battery_factory=sweep_kibam)
+        runs[n] = run
+        rows.append(
+            {
+                "stages": n,
+                "frames": run.frames,
+                "T_hours": run.t_hours,
+                "Tnorm_hours": run.t_hours / n,
+                "first_death_h": min(run.death_times_s.values()) / 3600.0
+                if run.death_times_s
+                else None,
+            }
+        )
+    return rows, runs
+
+
+def test_n_node_scaling(benchmark):
+    rows, runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_block(
+        "Extension — pipeline depth vs battery life (quarter-scale cells)",
+        format_table(rows, float_fmt=".3f"),
+    )
+
+    t = {r["stages"]: r["T_hours"] for r in rows}
+    tnorm = {r["stages"]: r["Tnorm_hours"] for r in rows}
+    # Absolute lifetime grows with parallelism.
+    assert t[2] > t[1]
+    assert t[4] > t[2]
+    # But each battery buys less than proportionally: normalized life
+    # gains shrink (and may reverse) as stages are added.
+    gain_2 = tnorm[2] / tnorm[1]
+    gain_4 = tnorm[4] / tnorm[2]
+    assert gain_2 > gain_4
+    # Without load balancing, some battery always strands capacity:
+    # the first death ends every run well before N x T(1).
+    assert t[4] < 4 * t[1]

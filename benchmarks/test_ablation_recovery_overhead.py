@@ -1,0 +1,78 @@
+"""Ablation — recovery-protocol overhead.
+
+§5.4's caution: the ack transactions that enable failure detection eat
+frame budget, forcing faster clocks, so recovery "consumes energy
+before it can save energy". This sweep varies the per-transaction ack
+cost and reports (a) the statically required DVS levels and (b) the
+simulated lifetime with and without the protocol.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import print_block, sweep_kibam
+from repro.analysis.tables import format_table
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+
+D = 2.3
+ACK_COSTS_S = [0.0, 0.09, 0.18, 0.30]
+
+
+def static_levels():
+    """Required stage levels as ack overhead grows (2 acked tx/node)."""
+    partition = Partition(PAPER_PROFILE, (1,))
+    rows = []
+    for ack in ACK_COSTS_S:
+        row = {"ack_cost_s": ack}
+        for i, stage in enumerate(partition.assignments, start=1):
+            plan = plan_node(
+                stage, PAPER_LINK_TIMING, D, SA1100_TABLE, overhead_s=2 * ack
+            )
+            row[f"node{i}_mhz"] = plan.level.mhz
+        rows.append(row)
+    return rows
+
+
+def lifetimes():
+    """Simulated frames: plain partition vs recovery at pinned levels."""
+    plain = run_experiment(PAPER_EXPERIMENTS["2A"], battery_factory=sweep_kibam)
+    recovery = run_experiment(PAPER_EXPERIMENTS["2B"], battery_factory=sweep_kibam)
+    return plain, recovery
+
+
+def test_recovery_overhead(benchmark):
+    rows = static_levels()
+    plain, recovery = benchmark.pedantic(lifetimes, rounds=1, iterations=1)
+    print_block(
+        "Ablation — ack cost vs required DVS levels (2 acked transactions/node)",
+        format_table(rows, float_fmt=".1f"),
+    )
+    print_block(
+        "Ablation — lifetime with vs without recovery (quarter-scale cells)",
+        format_table(
+            [
+                {"config": "partition + DVS-I/O (2A)", "frames": plain.frames,
+                 "survives_first_death": False},
+                {"config": "recovery (2B)", "frames": recovery.frames,
+                 "survives_first_death": bool(recovery.pipeline.migrations)},
+            ]
+        ),
+    )
+
+    # Static: overhead never lowers a required level, and the heavy
+    # node eventually steps up (103.2 -> 118 at the paper's ack cost).
+    node2 = [r["node2_mhz"] for r in rows]
+    assert node2 == sorted(node2)
+    assert rows[0]["node2_mhz"] == 103.2
+    assert rows[1]["node2_mhz"] == 118.0  # one 90 ms ack each way
+
+    # Dynamic: recovery still wins overall — the post-failure frames
+    # outweigh the ack tax (the paper's (2B) > (2A) finding).
+    assert recovery.frames > plain.frames
+    assert recovery.pipeline.migrations

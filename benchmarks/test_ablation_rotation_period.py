@@ -1,0 +1,67 @@
+"""Ablation — rotation period (the paper fixes 100 frames, no sweep).
+
+Sweeps the §5.5 rotation period across three orders of magnitude, with
+and without a reconfiguration energy cost, and reports completed frames
+per configuration. Expected shape: any reasonable period beats no
+rotation; very long periods under-balance (approaching the plain
+partitioned pipeline); a per-rotation cost penalizes very short
+periods.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import print_block, sweep_kibam
+from repro.analysis.tables import format_table
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+
+PERIODS = [2, 10, 100, 1000, 5000]
+
+
+def run_sweep():
+    rows = []
+    baseline = run_experiment(PAPER_EXPERIMENTS["2A"], battery_factory=sweep_kibam)
+    rows.append(
+        {"period": "none (2A)", "reconfig_s": 0.0, "frames": baseline.frames}
+    )
+    for period in PERIODS:
+        spec = dataclasses.replace(PAPER_EXPERIMENTS["2C"], rotation_period=period)
+        run = run_experiment(spec, battery_factory=sweep_kibam)
+        rows.append({"period": period, "reconfig_s": 0.0, "frames": run.frames})
+    # With a reconfiguration cost, rotating every other frame gets
+    # penalized while moderate periods keep almost all the benefit.
+    for period in (2, 100):
+        spec = dataclasses.replace(PAPER_EXPERIMENTS["2C"], rotation_period=period)
+        run = run_experiment(
+            spec, battery_factory=sweep_kibam, rotation_reconfig_s=0.2
+        )
+        rows.append({"period": period, "reconfig_s": 0.2, "frames": run.frames})
+    return rows
+
+
+def test_rotation_period_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_block(
+        "Ablation — rotation period vs completed frames (quarter-scale cells)",
+        format_table(rows),
+    )
+
+    by_key = {(r["period"], r["reconfig_s"]): r["frames"] for r in rows}
+    no_rotation = by_key[("none (2A)", 0.0)]
+    # Every period short enough to fire before the first death beats no
+    # rotation; a period longer than the whole lifetime degenerates to
+    # the plain pipeline exactly.
+    lifetime_frames = no_rotation
+    for period in PERIODS:
+        if period < lifetime_frames:
+            assert by_key[(period, 0.0)] > no_rotation, f"period {period}"
+        else:
+            assert by_key[(period, 0.0)] == no_rotation, f"period {period}"
+    # The paper's choice (100) is within 10% of the best period swept.
+    best = max(by_key[(p, 0.0)] for p in PERIODS)
+    assert by_key[(100, 0.0)] >= 0.9 * best
+    # Reconfiguration cost hurts short periods more than moderate ones.
+    cost_at_2 = by_key[(2, 0.0)] - by_key[(2, 0.2)]
+    cost_at_100 = by_key[(100, 0.0)] - by_key[(100, 0.2)]
+    assert cost_at_2 > cost_at_100

@@ -1,0 +1,90 @@
+"""Ablation — pack-voltage sag under constant-power regulation.
+
+The Fig. 7 currents are quoted at the nominal ~4 V pack voltage, but a
+real Li-ion pack sags as it drains and the DC-DC regulator compensates
+by drawing more cell current. The calibrated KiBaM constants absorbed
+whatever sag the paper's hardware had (they were fitted to measured
+lifetimes); this bench bounds the effect's size by re-running key duty
+cycles with sag modelled explicitly — quantifying how much of the
+"effective capacity differs from nameplate" story the regulator alone
+can carry.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.tables import format_table
+from repro.hw.battery import Battery, KiBaM
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+from repro.hw.battery.voltage import LIION_OCV, OcvCurve, VoltageAwareBattery
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.power import PAPER_POWER_MODEL, PowerMode
+
+
+def duty_lifetime_hours(cell: Battery, segments) -> float:
+    """Discharge under a repeating (current, seconds) cycle."""
+    elapsed = 0.0
+    while True:
+        for current, duration in segments:
+            if cell.time_to_death_lower_bound(current) <= duration:
+                ttd = cell.time_to_death(current)
+                if ttd <= duration:
+                    return (elapsed + ttd) / 3600.0
+            cell.draw(current, duration)
+            elapsed += duration
+
+
+def paper_duties():
+    level = SA1100_TABLE.max
+    low = SA1100_TABLE.min
+    comp = PAPER_POWER_MODEL.current_ma(PowerMode.COMPUTATION, level)
+    io_low = PAPER_POWER_MODEL.current_ma(PowerMode.COMMUNICATION, low)
+    return {
+        "0A (continuous compute)": [(comp, 1.1)],
+        "1A (compute + low-power I/O)": [(comp, 1.1), (io_low, 1.2)],
+    }
+
+
+def run_matrix():
+    cells = {
+        "nominal (no sag)": lambda: KiBaM(PAPER_KIBAM_PARAMETERS),
+        "sag, eta=0.95": lambda: VoltageAwareBattery(
+            KiBaM(PAPER_KIBAM_PARAMETERS), efficiency=0.95
+        ),
+        "sag, eta=0.85": lambda: VoltageAwareBattery(
+            KiBaM(PAPER_KIBAM_PARAMETERS), efficiency=0.85
+        ),
+        "flat 4V, eta=1 (sanity)": lambda: VoltageAwareBattery(
+            KiBaM(PAPER_KIBAM_PARAMETERS),
+            ocv=OcvCurve([(0.0, 4.0), (1.0, 4.0)]),
+            efficiency=1.0,
+        ),
+    }
+    rows = []
+    for cell_name, factory in cells.items():
+        row = {"battery": cell_name}
+        for duty_name, segments in paper_duties().items():
+            row[duty_name] = round(duty_lifetime_hours(factory(), segments), 2)
+        rows.append(row)
+    return rows
+
+
+def test_voltage_sag(benchmark):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print_block(
+        "Ablation — explicit voltage sag vs the nominal-current model (hours)",
+        format_table(rows),
+    )
+    by_name = {r["battery"]: r for r in rows}
+    duty = "0A (continuous compute)"
+    nominal = by_name["nominal (no sag)"][duty]
+    # The transparent wrapper reproduces the nominal model exactly.
+    assert by_name["flat 4V, eta=1 (sanity)"][duty] == pytest.approx(
+        nominal, rel=1e-3
+    )
+    # Explicit sag shortens lifetimes by a bounded, efficiency-ordered
+    # amount — the size of correction the calibrated constants absorb.
+    sag95 = by_name["sag, eta=0.95"][duty]
+    sag85 = by_name["sag, eta=0.85"][duty]
+    assert sag85 < sag95 < nominal
+    assert 0.6 * nominal < sag85 < 0.95 * nominal

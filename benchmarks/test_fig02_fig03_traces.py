@@ -1,0 +1,63 @@
+"""Figs. 2 and 3 — timing-vs-power diagrams.
+
+Fig. 2: a single node serializing RECV -> PROC -> SEND inside each
+frame delay. Fig. 3: two pipelined nodes, where Node1's SEND overlaps
+Node2's RECV and one result leaves the pipeline every D seconds.
+
+The benchmark replays short traced runs and renders the schedules as
+Gantt rows; assertions check the structural properties the figures
+illustrate.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.gantt import render_gantt
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.sim import TraceRecorder
+
+D = 2.3
+
+
+def traced_run(label: str, frames: int) -> TraceRecorder:
+    trace = TraceRecorder()
+    run_experiment(PAPER_EXPERIMENTS[label], trace=trace, max_frames=frames)
+    return trace
+
+
+def test_fig02_single_node_schedule(benchmark):
+    trace = benchmark.pedantic(traced_run, args=("1", 4), rounds=1, iterations=1)
+    print_block(
+        "Fig. 2 — single node, timing vs activity",
+        render_gantt(trace, end_s=4 * D, width=92, deadline_s=D),
+    )
+    segments = trace.segments("node1")
+    # RECV -> PROC -> SEND strictly serialized within each frame.
+    frame0 = [s for s in segments if s.end <= D + 1e-6 and s.activity in ("recv", "proc", "send")]
+    raw_order = [s.activity for s in sorted(frame0, key=lambda s: s.start)]
+    # PROC is traced per functional block; collapse the run of blocks.
+    order = [a for i, a in enumerate(raw_order) if i == 0 or raw_order[i - 1] != a]
+    assert order == ["recv", "proc", "send"]
+    # The baseline frame is exactly full: no idle inside the frame.
+    busy = sum(s.duration for s in frame0)
+    assert busy == pytest.approx(D, abs=1e-6)
+
+
+def test_fig03_two_node_pipeline_schedule(benchmark):
+    trace = benchmark.pedantic(traced_run, args=("2", 6), rounds=1, iterations=1)
+    print_block(
+        "Fig. 3 — two pipelined nodes, timing vs activity",
+        render_gantt(trace, end_s=6 * D, width=92, deadline_s=D),
+    )
+    sends = [s for s in trace.segments("node1") if s.activity == "send"]
+    recvs = [s for s in trace.segments("node2") if s.activity == "recv"]
+    # Fig. 3's key feature: the inter-node SEND/RECV pair overlaps exactly.
+    assert sends and recvs
+    for s, r in zip(sends, recvs):
+        assert s.start == pytest.approx(r.start)
+        assert s.end == pytest.approx(r.end)
+    # Steady state: one frame enters Node1 every D seconds.
+    n1_recvs = [s for s in trace.segments("node1") if s.activity == "recv"]
+    starts = [s.start for s in n1_recvs]
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    assert all(g == pytest.approx(D, abs=1e-6) for g in gaps)

@@ -1,0 +1,28 @@
+"""Fig. 6 — the ATR performance profile on Itsy.
+
+Regenerates the per-block compute times (at 206.4 MHz), inter-block
+payload sizes, and serial-transfer delays, and checks them against the
+numbers printed in the paper's Fig. 6.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.figures import figure6_performance_profile
+
+
+def test_fig06_rows(benchmark):
+    fig = benchmark(figure6_performance_profile)
+    print_block("Fig. 6 — ATR performance profile", fig.text)
+
+    by_stage = {r["stage"]: r for r in fig.rows}
+    # Paper's transfer delays (rounded to 10 ms in the figure).
+    assert by_stage["input (host -> node)"]["transfer_s"] == pytest.approx(1.1, abs=0.02)
+    assert by_stage["target_detection"]["transfer_s"] == pytest.approx(0.16, abs=0.02)
+    assert by_stage["fft"]["transfer_s"] == pytest.approx(0.85, abs=0.02)
+    assert by_stage["compute_distance"]["transfer_s"] == pytest.approx(0.1, abs=0.02)
+    # Paper's payload sizes.
+    assert by_stage["input (host -> node)"]["payload_kb"] == pytest.approx(10.1)
+    assert by_stage["fft"]["payload_kb"] == pytest.approx(7.5)
+    # Whole-iteration PROC time: 1.1 s at the peak clock rate (§4.3).
+    assert by_stage["TOTAL (PROC)"]["proc_s_at_206MHz"] == pytest.approx(1.1)

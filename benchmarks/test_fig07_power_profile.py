@@ -1,0 +1,29 @@
+"""Fig. 7 — the power profile of ATR on Itsy.
+
+Regenerates the three current-vs-frequency curves (idle /
+communication / computation over the 11 SA-1100 operating points) and
+checks every current the paper quotes in its text.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.figures import figure7_power_profile
+
+
+def test_fig07_curves(benchmark):
+    fig = benchmark(figure7_power_profile)
+    print_block("Fig. 7 — power profile (net battery current)", fig.text)
+
+    rows = {r["freq_mhz"]: r for r in fig.rows}
+    assert len(rows) == 11
+    # §6.3: comm drops 110 mA -> 40 mA between 206.4 and 59 MHz.
+    assert rows[206.4]["communication_ma"] == pytest.approx(110.0)
+    assert rows[59.0]["communication_ma"] == pytest.approx(40.0)
+    # §6.5: comm at 103.2 MHz is ~55 mA.
+    assert rows[103.2]["communication_ma"] == pytest.approx(55.0, abs=2.0)
+    # §4.4: curves span 30-130 mA, computation on top everywhere.
+    assert rows[59.0]["idle_ma"] == pytest.approx(30.0, abs=0.5)
+    assert rows[206.4]["computation_ma"] == pytest.approx(130.0, abs=0.5)
+    for row in fig.rows:
+        assert row["computation_ma"] > row["communication_ma"] > row["idle_ma"]

@@ -1,0 +1,49 @@
+"""Fig. 8 — the three two-node partitioning schemes.
+
+Regenerates the required clock rates and communication payloads for
+every contiguous 2-way partition of the ATR chain under D = 2.3 s, and
+checks the paper's conclusions: scheme 1 runs at 59 / 103.2 MHz,
+scheme 3 is infeasible (~380 MHz required), and scheme 1 is selected.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.figures import figure8_partitioning
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.partitioning import analyze_partitions, select_best
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+
+
+def test_fig08_schemes(benchmark):
+    fig = benchmark(figure8_partitioning)
+    print_block("Fig. 8 — partitioning schemes (D = 2.3 s)", fig.text)
+
+    s1, s2, s3 = fig.rows
+    # Scheme 1: both nodes in the lower half of the DVS table (paper:
+    # 59 and 103.2 MHz exactly).
+    assert s1["node1_mhz"] == 59.0
+    assert s1["node2_mhz"] == 103.2
+    assert s1["node1_payload_kb"] == pytest.approx(10.7)
+    assert s1["node2_payload_kb"] == pytest.approx(0.7)
+    # Scheme 2: feasible only near the top of the table.
+    assert s2["feasible"]
+    assert s2["node1_mhz"] >= 176.9
+    assert s2["node1_payload_kb"] == pytest.approx(17.6)
+    # Scheme 3: infeasible; the paper quotes a ~380 MHz requirement.
+    assert not s3["feasible"]
+    assert "infeasible" in str(s3["node1_mhz"])
+
+
+def test_fig08_selection(benchmark):
+    analyses = analyze_partitions(
+        PAPER_PROFILE, 2, PAPER_LINK_TIMING, 2.3, SA1100_TABLE
+    )
+    best = benchmark(select_best, analyses)
+    assert best is analyses[0], "the paper's scheme 1 must be selected"
+    print_block(
+        "Fig. 8 — selection",
+        f"selected: {best.partition.describe()}\n"
+        f"levels: {[str(s.level) for s in best.stages]}",
+    )

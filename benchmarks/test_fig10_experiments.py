@@ -1,0 +1,52 @@
+"""Fig. 10 — the paper's headline results.
+
+Runs all eight experiments (0A, 0B, 1, 1A, 2, 2A, 2B, 2C) to battery
+exhaustion on the calibrated simulator, prints the absolute and
+normalized battery-life comparison with the paper's measurements, and
+asserts the reproduction criteria: every lifetime within 12% and the
+complete Rnorm ordering 1 < 2 < 2A < 1A < 2B < 2C preserved.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.figures import figure10_results
+from repro.analysis.tables import format_table
+from repro.core.experiments import run_experiment, PAPER_EXPERIMENTS, summarize_runs
+
+
+def test_fig10_full_suite(benchmark, paper_runs):
+    # Timing: one representative discharge run (the partitioned pipeline).
+    benchmark.pedantic(
+        run_experiment, args=(PAPER_EXPERIMENTS["1"],), rounds=1, iterations=1
+    )
+
+    fig = figure10_results(paper_runs)
+    print_block("Fig. 10 — experiment results (simulated vs paper)", fig.text)
+
+    no_io_rows = [
+        {
+            "experiment": label,
+            "T_hours": paper_runs[label].t_hours,
+            "paper_T_hours": paper_runs[label].spec.paper.t_hours,
+            "frames": paper_runs[label].frames,
+            "paper_frames": paper_runs[label].spec.paper.frames,
+        }
+        for label in ("0A", "0B")
+    ]
+    print_block(
+        "§6.1 — no-I/O experiments (excluded from Fig. 10, as in the paper)",
+        format_table(no_io_rows),
+    )
+
+    # Reproduction criteria -------------------------------------------------
+    for label, run in paper_runs.items():
+        assert run.t_hours == pytest.approx(run.spec.paper.t_hours, rel=0.12), label
+
+    metrics = {m.label: m for m in summarize_runs(paper_runs)}
+    order = ["1", "2", "2A", "1A", "2B", "2C"]
+    values = [metrics[lb].rnorm for lb in order]
+    assert values == sorted(values), f"Rnorm ordering broken: {dict(zip(order, values))}"
+    # Node rotation is the paper's winner, by a clear margin.
+    assert metrics["2C"].rnorm == max(values)
+    assert metrics["2C"].rnorm > 1.35

@@ -1,0 +1,79 @@
+"""Performance benchmarks of the simulation substrate itself.
+
+Not a paper artifact — these keep the simulator fast enough that the
+paper suite and the ablation sweeps stay cheap: event throughput of the
+kernel, KiBaM stepping rate, link transaction rate, and the real ATR
+frame rate.
+"""
+
+import numpy as np
+
+from repro.apps.atr import ATRPipeline, SceneSpec, generate_scene
+from repro.hw.battery import KiBaM
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+from repro.hw.link import SerialLink
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events(n=20_000):
+        sim = Simulator()
+
+        def ping(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        sim.process(ping(sim, n))
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_events)
+    assert events >= 20_000
+
+
+def test_kibam_step_rate(benchmark):
+    def steps(n=10_000):
+        cell = KiBaM(PAPER_KIBAM_PARAMETERS)
+        for _ in range(n):
+            cell.draw(50.0, 0.5)
+            cell.draw(0.0, 0.5)
+        return cell.delivered_mah
+
+    delivered = benchmark(steps)
+    assert delivered > 0
+
+
+def test_link_transaction_rate(benchmark):
+    def transactions(n=2_000):
+        sim = Simulator()
+        link = SerialLink(sim, "a", "b")
+
+        def sender(sim, link, n):
+            for i in range(n):
+                tr = yield link.offer_send(i, 600, frm="a")
+                yield tr.done
+
+        def receiver(sim, link, n):
+            for _ in range(n):
+                tr = yield link.offer_recv(to="b")
+                yield tr.done
+
+        sim.process(sender(sim, link, n))
+        sim.process(receiver(sim, link, n))
+        sim.run()
+        return link.transfer_count["a"]
+
+    count = benchmark(transactions)
+    assert count == 2_000
+
+
+def test_atr_frame_rate(benchmark):
+    rng = np.random.default_rng(0)
+    pipe = ATRPipeline()
+    scenes = [generate_scene(SceneSpec(size=64), rng) for _ in range(5)]
+
+    def recognize():
+        return [pipe.run(s, i) for i, s in enumerate(scenes)]
+
+    results = benchmark(recognize)
+    assert len(results) == 5

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The real ATR workload: recognize targets in synthetic imagery.
+
+Demonstrates the application layer the paper's case study runs:
+generate sensor frames with embedded vehicle silhouettes, push them
+through the four-block recognizer (Target Detection -> FFT -> IFFT ->
+Compute Distance), score against ground truth, and finally re-derive a
+Fig. 6-style task profile by timing the blocks on this machine.
+
+Usage::
+
+    python examples/atr_image_demo.py [n_frames]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ATRPipeline, SceneSpec, generate_scene, measure_profile
+from repro.analysis.tables import format_table
+from repro.units import bytes_to_kb
+
+
+def main() -> None:
+    n_frames = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    rng = np.random.default_rng(2004)  # the paper's vintage
+    spec = SceneSpec(size=96, n_targets=1, clutter_sigma=0.3)
+    pipeline = ATRPipeline()
+
+    rows = []
+    correct = 0.0
+    for frame_id in range(n_frames):
+        scene = generate_scene(spec, rng)
+        result = pipeline.run(scene, frame_id=frame_id)
+        score = pipeline.score_against_truth(scene, result)
+        correct += score
+        truth = scene.truths[0] if scene.truths else None
+        detection = result.detections[0] if result.detections else None
+        rows.append(
+            {
+                "frame": frame_id,
+                "truth": truth.template.name if truth else "-",
+                "truth_range_m": round(truth.distance_m) if truth else None,
+                "detected": detection.template if detection else "-",
+                "est_range_m": round(detection.distance_m) if detection else None,
+                "score": detection.score if detection else None,
+                "hit": score == 1.0,
+            }
+        )
+
+    print(format_table(rows, title=f"ATR over {n_frames} synthetic frames"))
+    print(f"\nrecognition rate: {correct / n_frames:.0%}\n")
+
+    print("Deriving a task profile by timing the real blocks "
+          "(normalized to the Itsy's 1.1 s iteration)...")
+    profile = measure_profile(repeats=3)
+    profile_rows = [
+        {
+            "block": b.name,
+            "seconds_at_fmax": b.seconds_at_max,
+            "output_kb": bytes_to_kb(b.output_bytes),
+        }
+        for b in profile.blocks
+    ]
+    print(format_table(profile_rows, float_fmt=".3f",
+                       title="measured profile (this machine, rescaled)"))
+    print(
+        "\nNote how the relative block weights differ from the paper's "
+        "Fig. 6 —\nnumpy's FFT is far better optimized than the Itsy's "
+        "was relative to the\nscalar detection pass. The paper-faithful "
+        "experiments therefore use\nrepro.PAPER_PROFILE."
+    )
+
+
+if __name__ == "__main__":
+    main()

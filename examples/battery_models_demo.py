@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Why the battery model matters: recovery and rate-capacity effects.
+
+The paper's most counter-intuitive results — F(1A) > F(0A), and
+aggregate energy savings failing to extend lifetime — are battery
+phenomena. This demo discharges three models (KiBaM, Peukert, linear)
+of equal capacity and shows:
+
+1. the rate-capacity effect: delivered charge vs discharge current;
+2. the recovery effect: a pulsed load delivering more than the same
+   current applied continuously;
+3. the consequence: how much charge a dying cell strands in its bound
+   well (the capacity node rotation exists to reclaim).
+
+Usage::
+
+    python examples/battery_models_demo.py
+"""
+
+import typing as t
+
+from repro import KiBaM, KiBaMParameters, LinearBattery, PeukertBattery
+from repro.analysis.charts import line_plot
+from repro.analysis.tables import format_table
+from repro.hw.battery import Battery
+
+CAPACITY_MAH = 300.0
+
+
+def fresh(model: str) -> Battery:
+    """A fully charged cell of the requested model."""
+    if model == "kibam":
+        # Illustrative dynamics (c, k' chosen to make the effects easy
+        # to see at this small capacity; the paper-calibrated values
+        # live in repro.hw.battery.kibam.PAPER_KIBAM_PARAMETERS).
+        return KiBaM(KiBaMParameters(CAPACITY_MAH, c=0.4, k_prime_per_hour=2.0))
+    if model == "peukert":
+        return PeukertBattery(CAPACITY_MAH, reference_ma=60.0, exponent=1.2)
+    if model == "linear":
+        return LinearBattery(CAPACITY_MAH)
+    raise ValueError(model)
+
+
+MODELS = ("kibam", "peukert", "linear")
+
+
+def rate_capacity() -> None:
+    print("1. Rate-capacity effect: delivered charge vs constant current\n")
+    rows = []
+    for current in (20.0, 60.0, 130.0, 250.0):
+        row: dict[str, t.Any] = {"current_ma": current}
+        for model in MODELS:
+            lifetime = fresh(model).time_to_death(current)
+            row[f"{model}_mAh"] = current * lifetime / 3600.0
+        rows.append(row)
+    print(format_table(rows, float_fmt=".0f"))
+    print(
+        "\nThe linear cell always delivers its nominal capacity; KiBaM and "
+        "Peukert\ndeliver markedly less at high rates — the paper's 0A vs 0B "
+        "contrast.\n(Peukert's 20 mA row exceeds nominal: below the reference "
+        "current the law\ncredits capacity back.)\n"
+    )
+
+
+def discharge_pulsed(cell: Battery, on_ma: float, on_s: float, off_s: float) -> float:
+    """Run an on/off duty cycle to death; return delivered mAh."""
+    delivered = 0.0
+    while True:
+        ttd = cell.time_to_death(on_ma)
+        if ttd <= on_s:
+            return (delivered + on_ma * ttd) / 3600.0
+        cell.draw(on_ma, on_s)
+        delivered += on_ma * on_s
+        cell.draw(0.0, off_s)
+
+
+def recovery() -> None:
+    print("2. Recovery effect: 130 mA pulsed (50% duty) vs 130 mA continuous\n")
+    rows = []
+    for model in MODELS:
+        continuous = fresh(model)
+        continuous_mah = 130.0 * continuous.time_to_death(130.0) / 3600.0
+        pulsed_mah = discharge_pulsed(fresh(model), 130.0, on_s=30.0, off_s=30.0)
+        rows.append(
+            {
+                "model": model,
+                "continuous_mAh": continuous_mah,
+                "pulsed_mAh": pulsed_mah,
+                "recovered": f"{pulsed_mah / continuous_mah - 1:+.0%}",
+            }
+        )
+    print(format_table(rows, float_fmt=".0f"))
+    print(
+        "\nOnly KiBaM regains charge during the rests — the mechanism the "
+        "paper\ninvokes (§6.3) to explain why DVS during I/O completed more "
+        "frames than\nthe no-I/O run ever did.\n"
+    )
+
+
+def discharge_curve() -> None:
+    print("3. KiBaM discharge under a duty-cycled load (charge fraction vs hours)\n")
+    cell = fresh("kibam")
+    points = [(0.0, 1.0)]
+    elapsed = 0.0
+    while True:
+        ttd = cell.time_to_death(130.0)
+        if ttd <= 60.0:
+            cell.draw(130.0, max(0.0, ttd - 1e-9))
+            elapsed += ttd
+            points.append((elapsed / 3600.0, cell.charge_fraction()))
+            break
+        cell.draw(130.0, 60.0)
+        cell.draw(30.0, 60.0)
+        elapsed += 120.0
+        points.append((elapsed / 3600.0, cell.charge_fraction()))
+    print(line_plot(points, width=64, height=12, x_label="hours", y_label="charge"))
+    print(
+        f"\ndeath at {points[-1][0]:.2f} h with "
+        f"{cell.charge_fraction():.0%} of nominal charge stranded in the "
+        "bound well —\nthe capacity a failed node wastes, and what node "
+        "rotation reclaims."
+    )
+
+
+def main() -> None:
+    rate_capacity()
+    recovery()
+    discharge_curve()
+
+
+if __name__ == "__main__":
+    main()

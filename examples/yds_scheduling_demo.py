@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Optimal DVS scheduling (Yao et al.) meets the paper's workload.
+
+The paper's related work (§2) builds on the Yao-Demers-Shenker optimal
+voltage schedule. This demo:
+
+1. runs YDS on a bursty job set and shows the multi-speed profile;
+2. runs it on the paper's periodic ATR frames and shows it collapse to
+   one constant speed — proving the paper's "slowest feasible level"
+   policy is YDS-optimal for its workload;
+3. discretizes the continuous speeds onto the SA-1100's 11 real
+   operating points with the standard two-level emulation.
+
+Usage::
+
+    python examples/yds_scheduling_demo.py
+"""
+
+from repro import PAPER_LINK_TIMING, PAPER_PROFILE, SA1100_TABLE, Job, yds_schedule
+from repro.analysis.tables import format_table
+from repro.core.yds import discretize_to_table, peak_speed, schedule_energy
+from repro.pipeline.schedule import required_frequency_mhz
+from repro.pipeline.tasks import Partition
+
+D = 2.3
+
+
+def show(segments, title):
+    rows = [
+        {
+            "start_s": s.start,
+            "end_s": s.end,
+            "speed": s.speed,
+            "mhz_equiv": s.speed * 206.4,
+            "jobs": ", ".join(s.jobs),
+        }
+        for s in segments
+    ]
+    print(format_table(rows, float_fmt=".3f", title=title))
+    print(f"energy (cubic model): {schedule_energy(segments):.3f}\n")
+
+
+def bursty_example() -> None:
+    jobs = [
+        Job("boot", 0.0, 1.0, 0.6),
+        Job("burst-a", 2.0, 3.0, 0.8),
+        Job("burst-b", 2.0, 3.5, 0.5),
+        Job("background", 0.0, 8.0, 1.0),
+    ]
+    segments = yds_schedule(jobs)
+    show(segments, "1. bursty job set — YDS speed profile")
+
+
+def paper_workload() -> None:
+    stage = Partition(PAPER_PROFILE, (1,)).stage(1)  # Node2 of scheme 1
+    recv = PAPER_LINK_TIMING.nominal_duration(stage.recv_bytes)
+    send = PAPER_LINK_TIMING.nominal_duration(stage.send_bytes)
+    jobs = [
+        Job(
+            f"frame{k}",
+            arrival=k * D + recv,
+            deadline=(k + 1) * D - send,
+            work=stage.proc_seconds_at_max,
+        )
+        for k in range(4)
+    ]
+    segments = yds_schedule(jobs)
+    show(segments, "2. Node2's periodic ATR frames — YDS speed profile")
+    required = required_frequency_mhz(stage, PAPER_LINK_TIMING, D, SA1100_TABLE)
+    print(
+        f"YDS peak speed {peak_speed(segments):.4f} x 206.4 MHz = "
+        f"{peak_speed(segments) * 206.4:.1f} MHz\n"
+        f"paper's required frequency for Node2       = {required:.1f} MHz\n"
+        "-> the constant slowest-feasible clock IS the optimal schedule\n"
+    )
+
+    rows = []
+    for seg, low, high, fraction in discretize_to_table(segments, SA1100_TABLE):
+        rows.append(
+            {
+                "segment": f"[{seg.start:.2f}, {seg.end:.2f}]",
+                "low_level": str(low),
+                "high_level": str(high),
+                "high_fraction": fraction,
+            }
+        )
+    print(format_table(rows, float_fmt=".3f",
+                       title="3. two-level emulation on the real DVS table"))
+    print(
+        "\nThe SA-1100 cannot run at the fractional optimum, so each segment "
+        "splits\nits time between the two adjacent operating points "
+        "(energy-optimal for\nconvex power)."
+    )
+
+
+def main() -> None:
+    bursty_example()
+    paper_workload()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""ASCII bar charts and line plots for benchmark output.
+
+The paper's Fig. 10 is a bar chart of absolute and normalized battery
+lives; :func:`bar_chart` renders the same comparison in a terminal.
+:func:`line_plot` covers discharge curves and ablation sweeps.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+__all__ = ["bar_chart", "line_plot"]
+
+
+def bar_chart(
+    items: t.Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    annotations: t.Mapping[str, str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart.
+
+    Parameters
+    ----------
+    items:
+        (label, value) pairs; values must be non-negative.
+    width:
+        Width in characters of the longest bar.
+    unit:
+        Suffix printed after each value.
+    annotations:
+        Optional label -> extra text (e.g. the Fig. 10 ratio labels).
+    title:
+        Optional title line.
+
+    Examples
+    --------
+    >>> print(bar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a | #### 2.00
+    b | ##   1.00
+    """
+    if not items:
+        return (title + "\n" if title else "") + "(no data)"
+    if any(v < 0 for _, v in items):
+        raise ValueError("bar values must be non-negative")
+    annotations = dict(annotations or {})
+    peak = max(v for _, v in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        n = int(round(width * value / peak))
+        bar = "#" * n
+        extra = f"  {annotations[label]}" if label in annotations else ""
+        lines.append(
+            f"{label.ljust(label_w)} | {bar.ljust(width)} {value:.2f}{unit}{extra}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    points: t.Sequence[tuple[float, float]],
+    width: int = 70,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Scatter/line plot on a character grid.
+
+    Points are marked with ``*``; axes are annotated with min/max
+    values. Intended for monotone-ish series (discharge curves,
+    parameter sweeps), not precision graphics.
+    """
+    if len(points) < 2:
+        return (title + "\n" if title else "") + "(need >= 2 points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int(round((x - x0) / xspan * (width - 1)))
+        row = int(round((y - y0) / yspan * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines = [title] if title else []
+    lines.append(f"{y_label} [{y0:.3g} .. {y1:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x0:.3g} .. {x1:.3g}]")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Per-node energy accounting from battery telemetry.
+
+The paper's discussion keeps returning to *where the charge went*: I/O
+time is long but cheap per second, computation dominates, and an
+unbalanced partition strands capacity in the surviving node. This
+module turns a pipeline run's :class:`~repro.hw.battery.BatteryMonitor`
+records into that accounting — per-node delivered charge, per-mode
+charge and time shares, and the charge left stranded at the end.
+
+Requires the run to have been configured with monitors
+(``monitor_interval_s`` not None).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+from repro.pipeline.engine import PipelineResult
+from repro.units import mas_to_mah
+
+__all__ = ["energy_breakdown_rows", "render_energy_breakdown"]
+
+#: Power modes reported as columns, in display order.
+_MODES = ("computation", "communication", "idle")
+
+
+def energy_breakdown_rows(result: PipelineResult) -> list[dict[str, t.Any]]:
+    """One row per node: delivered charge, mode shares, stranded charge.
+
+    Raises
+    ------
+    ConfigurationError
+        If the run was executed without battery monitors.
+    """
+    if not result.monitors:
+        raise ConfigurationError(
+            "energy breakdown needs battery monitors; run the pipeline "
+            "with monitor_interval_s set"
+        )
+    rows: list[dict[str, t.Any]] = []
+    for name, monitor in result.monitors.items():
+        row: dict[str, t.Any] = {
+            "node": name,
+            "delivered_mAh": monitor.battery.delivered_mah,
+        }
+        total_time = sum(monitor.time_by_mode_s.values()) or 1.0
+        for mode in _MODES:
+            row[f"{mode}_charge_pct"] = 100.0 * monitor.mode_share(mode)
+            row[f"{mode}_time_pct"] = (
+                100.0 * monitor.time_by_mode_s.get(mode, 0.0) / total_time
+            )
+        row["stranded_mAh"] = mas_to_mah(
+            monitor.battery.charge_fraction()
+            * monitor.battery.capacity_mah
+            * 3600.0
+        )
+        row["died"] = name in result.death_times_s
+        rows.append(row)
+    return rows
+
+
+def render_energy_breakdown(result: PipelineResult) -> str:
+    """ASCII table of :func:`energy_breakdown_rows`."""
+    rows = energy_breakdown_rows(result)
+    return format_table(
+        rows,
+        columns=[
+            "node",
+            "delivered_mAh",
+            "computation_charge_pct",
+            "communication_charge_pct",
+            "idle_charge_pct",
+            "computation_time_pct",
+            "communication_time_pct",
+            "idle_time_pct",
+            "stranded_mAh",
+            "died",
+        ],
+        headers={
+            "delivered_mAh": "delivered mAh",
+            "computation_charge_pct": "comp %q",
+            "communication_charge_pct": "comm %q",
+            "idle_charge_pct": "idle %q",
+            "computation_time_pct": "comp %t",
+            "communication_time_pct": "comm %t",
+            "idle_time_pct": "idle %t",
+            "stranded_mAh": "stranded mAh",
+        },
+        float_fmt=".1f",
+        title="energy breakdown (q = charge share, t = time share)",
+    )

@@ -1,0 +1,124 @@
+"""CSV/JSON/LaTeX export of structured report rows."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+import typing as t
+
+__all__ = ["rows_to_csv", "rows_to_json", "rows_to_latex", "write_rows"]
+
+
+def rows_to_csv(rows: t.Sequence[t.Mapping[str, t.Any]], columns: t.Sequence[str] | None = None) -> str:
+    """Serialize dict rows to CSV text (header included)."""
+    if not rows:
+        return ""
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k) for k in columns})
+    return buf.getvalue()
+
+
+def rows_to_json(rows: t.Sequence[t.Mapping[str, t.Any]], indent: int = 2) -> str:
+    """Serialize dict rows to a JSON array."""
+    return json.dumps([dict(r) for r in rows], indent=indent, default=_coerce)
+
+
+_LATEX_ESCAPES = {
+    "&": r"\&",
+    "%": r"\%",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+}
+
+
+def _latex_cell(value: t.Any, float_fmt: str) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    text = str(value)
+    for char, escape in _LATEX_ESCAPES.items():
+        text = text.replace(char, escape)
+    return text
+
+
+def rows_to_latex(
+    rows: t.Sequence[t.Mapping[str, t.Any]],
+    columns: t.Sequence[str] | None = None,
+    headers: t.Mapping[str, str] | None = None,
+    float_fmt: str = ".2f",
+    caption: str | None = None,
+    label: str | None = None,
+) -> str:
+    """Serialize dict rows to a LaTeX ``tabular`` (optionally in a table env).
+
+    The figure generators' structured rows drop straight into a paper:
+
+    >>> print(rows_to_latex([{"exp": "2C", "T": 19.58}]))  # doctest: +SKIP
+    """
+    if not rows:
+        return "% (no rows)\n"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    headers = dict(headers or {})
+    lines = []
+    if caption is not None or label is not None:
+        lines.append("\\begin{table}[t]")
+        lines.append("\\centering")
+    lines.append("\\begin{tabular}{" + "l" * len(columns) + "}")
+    lines.append("\\toprule")
+    lines.append(
+        " & ".join(_latex_cell(headers.get(c, c), float_fmt) for c in columns)
+        + " \\\\"
+    )
+    lines.append("\\midrule")
+    for row in rows:
+        lines.append(
+            " & ".join(_latex_cell(row.get(c), float_fmt) for c in columns)
+            + " \\\\"
+        )
+    lines.append("\\bottomrule")
+    lines.append("\\end{tabular}")
+    if caption is not None:
+        lines.append(f"\\caption{{{caption}}}")
+    if label is not None:
+        lines.append(f"\\label{{{label}}}")
+    if caption is not None or label is not None:
+        lines.append("\\end{table}")
+    return "\n".join(lines) + "\n"
+
+
+def write_rows(
+    rows: t.Sequence[t.Mapping[str, t.Any]],
+    path: str | pathlib.Path,
+    columns: t.Sequence[str] | None = None,
+) -> pathlib.Path:
+    """Write rows to ``path``; format chosen by suffix (.csv/.json/.tex)."""
+    path = pathlib.Path(path)
+    if path.suffix == ".csv":
+        path.write_text(rows_to_csv(rows, columns))
+    elif path.suffix == ".json":
+        path.write_text(rows_to_json(rows))
+    elif path.suffix == ".tex":
+        path.write_text(rows_to_latex(rows, columns))
+    else:
+        raise ValueError(
+            f"unsupported export suffix {path.suffix!r} (use .csv, .json or .tex)"
+        )
+    return path
+
+
+def _coerce(obj: t.Any) -> t.Any:
+    """JSON fallback for numpy scalars and similar."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)

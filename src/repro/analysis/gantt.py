@@ -1,0 +1,106 @@
+"""Timing-vs-activity (Gantt) diagrams from simulation traces.
+
+Renders a :class:`~repro.sim.trace.TraceRecorder`'s segments as one
+character row per actor — the textual equivalent of the paper's
+timing-vs-power diagrams (Figs. 2, 3 and 9). Each activity gets a
+glyph; a legend is appended.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.sim.trace import Segment, TraceRecorder
+
+__all__ = ["ACTIVITY_GLYPHS", "render_gantt"]
+
+#: Default glyph per activity label.
+ACTIVITY_GLYPHS: dict[str, str] = {
+    "recv": "R",
+    "send": "S",
+    "proc": "P",
+    "ack": "a",
+    "idle": ".",
+    "wait": ".",
+    "reconfig": "#",
+    "dead": "x",
+}
+
+
+def render_gantt(
+    trace: TraceRecorder,
+    start_s: float = 0.0,
+    end_s: float | None = None,
+    width: int = 100,
+    actors: t.Sequence[str] | None = None,
+    glyphs: t.Mapping[str, str] | None = None,
+    deadline_s: float | None = None,
+) -> str:
+    """Render trace segments as per-actor activity rows.
+
+    Parameters
+    ----------
+    trace:
+        The recorded segments.
+    start_s, end_s:
+        Window to render (default: from 0 to the last segment end).
+    width:
+        Characters across the window.
+    actors:
+        Row order (default: trace order).
+    glyphs:
+        Activity -> glyph overrides, merged over
+        :data:`ACTIVITY_GLYPHS`.
+    deadline_s:
+        If given, a ruler row marks every frame-delay boundary with
+        ``|``.
+    """
+    actors = list(actors) if actors is not None else trace.actors
+    if not actors:
+        return "(empty trace)"
+    glyph_map = dict(ACTIVITY_GLYPHS)
+    glyph_map.update(glyphs or {})
+
+    if end_s is None:
+        end_s = max(
+            (s.end for a in actors for s in trace.segments(a)), default=start_s + 1.0
+        )
+    span = end_s - start_s
+    if span <= 0:
+        return "(empty window)"
+
+    def column(ts: float) -> int:
+        return int((ts - start_s) / span * width)
+
+    lines = []
+    if deadline_s:
+        ruler = [" "] * (width + 1)
+        k = 0
+        while start_s + k * deadline_s <= end_s:
+            pos = column(start_s + k * deadline_s)
+            if 0 <= pos <= width:
+                ruler[pos] = "|"
+            k += 1
+        label_w = max(len(a) for a in actors)
+        lines.append(" " * label_w + "  " + "".join(ruler).rstrip())
+
+    label_w = max(len(a) for a in actors)
+    used: set[str] = set()
+    for actor in actors:
+        row = [" "] * (width + 1)
+        for segment in trace.segments(actor):
+            if segment.end <= start_s or segment.start >= end_s:
+                continue
+            glyph = glyph_map.get(segment.activity, "?")
+            used.add(segment.activity)
+            c0 = max(0, column(max(segment.start, start_s)))
+            c1 = min(width, column(min(segment.end, end_s)))
+            for col in range(c0, max(c0 + 1, c1)):
+                row[col] = glyph
+        lines.append(f"{actor.ljust(label_w)}  " + "".join(row).rstrip())
+
+    legend = "  ".join(
+        f"{glyph_map.get(act, '?')}={act}" for act in sorted(used)
+    )
+    lines.append(f"[{start_s:.1f}s .. {end_s:.1f}s]  {legend}")
+    return "\n".join(lines)

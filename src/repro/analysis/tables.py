@@ -1,0 +1,84 @@
+"""Fixed-width ASCII table rendering.
+
+Small and dependency-free: benchmarks print paper tables with it, and
+its alignment rules are tested so report output stays stable.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+__all__ = ["format_table"]
+
+
+def _cell(value: t.Any, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: t.Sequence[t.Mapping[str, t.Any]],
+    columns: t.Sequence[str] | None = None,
+    headers: t.Mapping[str, str] | None = None,
+    float_fmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Mapping rows; missing keys render as ``-``.
+    columns:
+        Column order (default: keys of the first row, in order).
+    headers:
+        Optional column-key -> display-name overrides.
+    float_fmt:
+        ``format()`` spec applied to floats.
+    title:
+        Optional title line above the table.
+
+    Examples
+    --------
+    >>> print(format_table([{"a": 1, "b": 2.5}], float_fmt=".1f"))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    headers = dict(headers or {})
+    head = [headers.get(col, col) for col in columns]
+    body = [[_cell(row.get(col), float_fmt) for col in columns] for row in rows]
+
+    widths = [
+        max(len(head[i]), *(len(line[i]) for line in body)) for i in range(len(columns))
+    ]
+    numeric = [
+        all(_is_numberish(row.get(col)) for row in rows) for col in columns
+    ]
+
+    def fmt_line(cells: t.Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return " | ".join(parts).rstrip()
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(head))
+    lines.append(sep)
+    lines.extend(fmt_line(line) for line in body)
+    return "\n".join(lines)
+
+
+def _is_numberish(value: t.Any) -> bool:
+    return value is None or isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,1 @@
+"""Application workloads that run on the simulated testbed."""

@@ -1,0 +1,177 @@
+"""Multi-frame, multi-target tracking on top of the ATR recognizer.
+
+The paper's experiments process "one image and one target at a time,
+although a multi-frame, multi-target version of the algorithm is also
+available" (§3). This module is that version: it associates per-frame
+:class:`~repro.apps.atr.reference.Detection` results into persistent
+tracks by nearest-neighbour gating, votes on the template label, and
+smooths the noisy single-frame range estimates with an exponential
+moving average.
+
+Pure bookkeeping — no simulation dependencies — so it can run on the
+host side of the testbed or standalone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.apps.atr.reference import ATRResult, Detection
+
+__all__ = ["Track", "ATRTracker"]
+
+
+@dataclasses.dataclass
+class Track:
+    """One target followed across frames.
+
+    Attributes
+    ----------
+    track_id:
+        Stable identifier, assigned in creation order.
+    row, col:
+        Last associated position.
+    template_votes:
+        Template name -> number of frames it won the correlation.
+    distance_m:
+        Exponentially smoothed range estimate.
+    hits:
+        Number of detections associated with this track.
+    last_seen_frame:
+        Frame id of the latest association.
+    """
+
+    track_id: int
+    row: int
+    col: int
+    template_votes: dict[str, int]
+    distance_m: float
+    hits: int
+    last_seen_frame: int
+
+    @property
+    def template(self) -> str:
+        """Majority-vote template label (ties broken alphabetically)."""
+        best = max(self.template_votes.values())
+        return min(
+            name for name, votes in self.template_votes.items() if votes == best
+        )
+
+    def _associate(self, detection: Detection, frame_id: int, smoothing: float) -> None:
+        self.row, self.col = detection.row, detection.col
+        self.template_votes[detection.template] = (
+            self.template_votes.get(detection.template, 0) + 1
+        )
+        self.distance_m += smoothing * (detection.distance_m - self.distance_m)
+        self.hits += 1
+        self.last_seen_frame = frame_id
+
+
+class ATRTracker:
+    """Nearest-neighbour tracker over ATR frame results.
+
+    Parameters
+    ----------
+    gate_px:
+        Maximum position change between consecutive associations; a
+        detection farther from every live track starts a new track.
+    max_coast_frames:
+        A track unseen for more than this many frames is retired.
+    smoothing:
+        EMA coefficient for the range estimate, in (0, 1]; 1.0 keeps
+        only the latest measurement.
+    min_hits:
+        Tracks with fewer associations are treated as clutter and not
+        reported by :meth:`confirmed_tracks`.
+    """
+
+    def __init__(
+        self,
+        gate_px: int = 12,
+        max_coast_frames: int = 5,
+        smoothing: float = 0.3,
+        min_hits: int = 2,
+    ):
+        if gate_px < 1:
+            raise ValueError(f"gate must be >= 1 px, got {gate_px}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if max_coast_frames < 0 or min_hits < 1:
+            raise ValueError("max_coast_frames >= 0 and min_hits >= 1 required")
+        self.gate_px = gate_px
+        self.max_coast_frames = max_coast_frames
+        self.smoothing = smoothing
+        self.min_hits = min_hits
+        self._tracks: list[Track] = []
+        self._retired: list[Track] = []
+        self._next_id = 0
+
+    # -- updates -----------------------------------------------------------
+    def update(self, result: ATRResult) -> list[Track]:
+        """Fold one frame's detections in; returns the live track list.
+
+        Greedy nearest-neighbour association: each detection joins the
+        closest live track within the gate (one detection per track per
+        frame), otherwise starts a new track. Tracks unseen for too
+        long are retired.
+        """
+        frame_id = result.frame_id
+        unclaimed = list(result.detections)
+        # Associate closest pairs first for stability.
+        pairs: list[tuple[float, Detection, Track]] = []
+        for detection in unclaimed:
+            for track in self._tracks:
+                dist = max(
+                    abs(detection.row - track.row), abs(detection.col - track.col)
+                )
+                if dist <= self.gate_px:
+                    pairs.append((dist, detection, track))
+        pairs.sort(key=lambda p: p[0])
+        used_detections: set[int] = set()
+        used_tracks: set[int] = set()
+        for dist, detection, track in pairs:
+            if id(detection) in used_detections or track.track_id in used_tracks:
+                continue
+            track._associate(detection, frame_id, self.smoothing)
+            used_detections.add(id(detection))
+            used_tracks.add(track.track_id)
+
+        for detection in unclaimed:
+            if id(detection) in used_detections:
+                continue
+            self._tracks.append(
+                Track(
+                    track_id=self._next_id,
+                    row=detection.row,
+                    col=detection.col,
+                    template_votes={detection.template: 1},
+                    distance_m=detection.distance_m,
+                    hits=1,
+                    last_seen_frame=frame_id,
+                )
+            )
+            self._next_id += 1
+
+        still_alive: list[Track] = []
+        for track in self._tracks:
+            if frame_id - track.last_seen_frame > self.max_coast_frames:
+                self._retired.append(track)
+            else:
+                still_alive.append(track)
+        self._tracks = still_alive
+        return list(self._tracks)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def live_tracks(self) -> list[Track]:
+        """Tracks currently being maintained."""
+        return list(self._tracks)
+
+    def confirmed_tracks(self) -> list[Track]:
+        """Live tracks with at least ``min_hits`` associations."""
+        return [t for t in self._tracks if t.hits >= self.min_hits]
+
+    def all_tracks(self) -> list[Track]:
+        """Every track ever created (live + retired), by id."""
+        return sorted(self._tracks + self._retired, key=lambda t: t.track_id)

@@ -1,0 +1,23 @@
+"""A second workload: MPEG-style video decoding.
+
+The paper's related work (§2) cites Choi et al.'s frame-based DVS for
+an MPEG decoder — exploiting that I, P and B frames cost very
+different amounts of work. This package expresses that workload in the
+library's terms, demonstrating that the testbed is not ATR-specific:
+
+- :mod:`repro.apps.video.gop` — group-of-pictures structure, per-type
+  decode costs, and the periodic per-frame workload trace they induce;
+- :mod:`repro.apps.video.profile` — a decode block chain
+  (parse -> IDCT -> motion compensation -> present) sized for the Itsy
+  over the serial link.
+
+Frame-based DVS itself needs no new machinery: the engine's
+``adaptive_workload_dvs`` re-picks the clock from each frame's cost,
+which with a GOP-periodic :class:`~repro.pipeline.workload.TraceWorkload`
+*is* Choi's technique.
+"""
+
+from repro.apps.video.gop import FrameType, GopStructure
+from repro.apps.video.profile import VIDEO_PROFILE, video_workload
+
+__all__ = ["FrameType", "GopStructure", "VIDEO_PROFILE", "video_workload"]

@@ -1,0 +1,111 @@
+"""Group-of-pictures structure and per-frame decode costs.
+
+MPEG video alternates three frame types with very different decode
+costs: intra-coded I frames (full picture), predicted P frames (motion
+compensation from one reference), and bidirectional B frames (two
+references, least residual data). A GOP pattern like ``IBBPBBPBB``
+repeats for the whole stream, which makes the per-frame workload
+*periodic and known in advance* — the property Choi et al.'s
+frame-based DVS exploits.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing as t
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FrameType", "GopStructure"]
+
+
+class FrameType(enum.Enum):
+    """MPEG frame types, by prediction structure."""
+
+    I = "I"  # noqa: E741 - the domain's own name
+    P = "P"
+    B = "B"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Relative decode cost per frame type (I = 1.0). IDCT dominates I
+#: frames; motion compensation makes P cheaper and B cheapest per
+#: classic decoder profiles.
+DEFAULT_COSTS: dict[FrameType, float] = {
+    FrameType.I: 1.0,
+    FrameType.P: 0.6,
+    FrameType.B: 0.4,
+}
+
+
+class GopStructure:
+    """A repeating GOP pattern with per-type decode costs.
+
+    Parameters
+    ----------
+    pattern:
+        Frame-type letters, e.g. ``"IBBPBBPBB"``. Must start with an I
+        frame (the random-access point) and contain only I/P/B.
+    costs:
+        Relative decode cost per type; the trace emitted by
+        :meth:`workload_scales` is these values in pattern order.
+
+    Examples
+    --------
+    >>> gop = GopStructure("IBBP")
+    >>> [str(t) for t in gop.frame_types(6)]
+    ['I', 'B', 'B', 'P', 'I', 'B']
+    """
+
+    def __init__(
+        self,
+        pattern: str = "IBBPBBPBB",
+        costs: t.Mapping[FrameType, float] | None = None,
+    ):
+        if not pattern:
+            raise ConfigurationError("GOP pattern must be non-empty")
+        if pattern[0] != "I":
+            raise ConfigurationError(
+                f"a GOP starts with an I frame, got {pattern!r}"
+            )
+        try:
+            self.pattern = tuple(FrameType(ch) for ch in pattern)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid GOP pattern {pattern!r}") from exc
+        self.costs = dict(costs) if costs is not None else dict(DEFAULT_COSTS)
+        missing = {ft for ft in self.pattern} - set(self.costs)
+        if missing:
+            raise ConfigurationError(f"missing costs for {sorted(str(m) for m in missing)}")
+        if any(c <= 0 for c in self.costs.values()):
+            raise ConfigurationError("frame costs must be positive")
+
+    def __len__(self) -> int:
+        return len(self.pattern)
+
+    def frame_types(self, n: int) -> list[FrameType]:
+        """The first ``n`` frame types of the repeating stream."""
+        return [self.pattern[i % len(self.pattern)] for i in range(n)]
+
+    def workload_scales(self) -> list[float]:
+        """One GOP period of relative decode costs (feed a TraceWorkload)."""
+        return [self.costs[ft] for ft in self.pattern]
+
+    @property
+    def mean_cost(self) -> float:
+        """Average per-frame cost over one GOP period."""
+        scales = self.workload_scales()
+        return sum(scales) / len(scales)
+
+    @property
+    def peak_cost(self) -> float:
+        """Worst-case per-frame cost (the I frame, normally)."""
+        return max(self.workload_scales())
+
+    def describe(self) -> str:
+        """Label like ``IBBPBBPBB (mean 0.53x, peak 1x)``."""
+        return (
+            "".join(str(ft) for ft in self.pattern)
+            + f" (mean {self.mean_cost:.2f}x, peak {self.peak_cost:g}x)"
+        )

@@ -1,0 +1,50 @@
+"""The video-decode task profile and its workload model.
+
+A software MPEG decoder on the Itsy, fed over the serial link and
+presenting locally (no outbound frame data — the 0.05 KB "send" is a
+playback status report). Block weights follow classic decoder
+profiles: IDCT dominates, motion compensation second, parsing and
+presentation cheap. The numbers are sized so an I frame at the peak
+clock nearly fills the 0.7 s frame period — a plausible ~1.4 fps for a
+206 MHz StrongARM doing software video, and deliberately in the same
+I/O-pressured regime as the paper's ATR: of the 0.7 s budget, the
+1.5 KB mean bitstream chunk plus the status report cost ~0.34 s of
+serial time, leaving ~0.36 s for the 0.30 s worst-case decode.
+"""
+
+from __future__ import annotations
+
+from repro.apps.atr.profile import BlockProfile, TaskProfile
+from repro.apps.video.gop import GopStructure
+from repro.pipeline.workload import TraceWorkload
+
+__all__ = ["VIDEO_PROFILE", "VIDEO_FRAME_PERIOD_S", "video_workload"]
+
+#: Frame period for the video experiments (~1.4 fps).
+VIDEO_FRAME_PERIOD_S = 0.7
+
+#: Decode chain for one frame, profiled at 206.4 MHz (I-frame cost).
+#: Payloads: the mean bitstream chunk arrives from the host; blocks
+#: exchange in-memory data (zero wire payload between co-located
+#: blocks would be ideal, but the chain supports partitioning too, so
+#: small representative payloads are given); a status byte returns.
+VIDEO_PROFILE = TaskProfile(
+    blocks=(
+        BlockProfile("parse", 0.03, 1_200),
+        BlockProfile("idct", 0.17, 2_000),
+        BlockProfile("motion_comp", 0.08, 2_000),
+        BlockProfile("present", 0.02, 50),
+    ),
+    input_bytes=1_500,
+)
+
+
+def video_workload(gop: GopStructure | None = None) -> TraceWorkload:
+    """The GOP-periodic per-frame workload trace.
+
+    Feeding this to the engine with ``adaptive_workload_dvs=True``
+    *is* Choi et al.'s frame-based DVS: the clock is re-picked from
+    each frame's known decode cost.
+    """
+    gop = gop or GopStructure()
+    return TraceWorkload(gop.workload_scales(), wrap=True)

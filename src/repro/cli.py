@@ -1,0 +1,353 @@
+"""Command-line interface.
+
+Exposes the reproduction as a set of subcommands::
+
+    python -m repro run 1A 2C          # run experiments, print metrics
+    python -m repro suite              # the full eight-experiment suite
+    python -m repro figures fig8       # regenerate a paper figure
+    python -m repro partition          # partitioning analysis (Fig. 8)
+    python -m repro optimize           # rank the whole design space
+    python -m repro trace 2 --frames 6 # timing diagram (Figs. 2/3/9)
+    python -m repro report -o out.md   # everything into one document
+    python -m repro calibrate          # re-run the model calibration
+
+All output is plain text; ``--csv``/``--json`` export structured rows.
+``--fast`` swaps in quarter-capacity cells for quick demos (ratios
+compress a little at reduced scale — see the battery-model ablation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import typing as t
+
+from repro.analysis.export import write_rows
+from repro.analysis.figures import (
+    figure6_performance_profile,
+    figure7_power_profile,
+    figure8_partitioning,
+    figure10_results,
+)
+from repro.analysis.gantt import render_gantt
+from repro.analysis.tables import format_table
+from repro.core.experiments import (
+    PAPER_EXPERIMENTS,
+    run_paper_suite,
+    summarize_runs,
+)
+from repro.errors import ReproError
+from repro.hw.battery import KiBaM
+from repro.hw.battery.kibam import PAPER_BATTERY, PAPER_KIBAM_PARAMETERS
+from repro.sim import TraceRecorder
+
+__all__ = ["main", "build_parser"]
+
+
+def _fast_battery() -> KiBaM:
+    params = dataclasses.replace(
+        PAPER_KIBAM_PARAMETERS,
+        capacity_mah=PAPER_KIBAM_PARAMETERS.capacity_mah / 4,
+    )
+    return KiBaM(params)
+
+
+def _battery_factory(fast: bool) -> t.Callable[[], KiBaM]:
+    return _fast_battery if fast else PAPER_BATTERY
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    labels = args.labels or ["1", "1A", "2", "2C"]
+    unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment labels: {unknown}", file=sys.stderr)
+        print(f"available: {', '.join(PAPER_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    runs = run_paper_suite(labels, battery_factory=_battery_factory(args.fast))
+    rows = []
+    for m in summarize_runs(runs):
+        paper = runs[m.label].spec.paper
+        rows.append(
+            {
+                **m.as_row(),
+                "paper_T_hours": paper.t_hours if paper else None,
+            }
+        )
+    print(format_table(rows, title="experiment results"))
+    if args.fast:
+        print("\n(quarter-capacity cells: lifetimes scale down and "
+              "normalized ratios compress)")
+    if args.export:
+        path = write_rows(rows, args.export)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    args.labels = list(PAPER_EXPERIMENTS)
+    return _cmd_run(args)
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    generators = {
+        "fig6": lambda: figure6_performance_profile(),
+        "fig7": lambda: figure7_power_profile(),
+        "fig8": lambda: figure8_partitioning(),
+    }
+    which = args.figure
+    if which in generators:
+        fig = generators[which]()
+        print(fig.text)
+        if args.export:
+            print(f"\nwrote {write_rows(list(fig.rows), args.export)}")
+        return 0
+    if which == "fig10":
+        runs = run_paper_suite(battery_factory=_battery_factory(args.fast))
+        fig = figure10_results(runs)
+        print(fig.text)
+        if args.export:
+            print(f"\nwrote {write_rows(list(fig.rows), args.export)}")
+        return 0
+    print(f"unknown figure {which!r}; use fig6, fig7, fig8 or fig10", file=sys.stderr)
+    return 2
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from repro.apps.atr.profile import PAPER_PROFILE
+    from repro.core.partitioning import analyze_partitions, select_best
+    from repro.errors import InfeasiblePartitionError
+    from repro.hw.dvs import SA1100_TABLE
+    from repro.hw.link import TransactionTiming
+
+    timing = TransactionTiming(
+        bandwidth_bps=args.bandwidth_kbps * 1000.0, startup_s=0.09
+    )
+    analyses = analyze_partitions(
+        PAPER_PROFILE, args.stages, timing, args.deadline, SA1100_TABLE
+    )
+    rows = [a.as_row() for a in analyses]
+    print(
+        format_table(
+            rows,
+            float_fmt=".1f",
+            title=(
+                f"{args.stages}-way partitions, D = {args.deadline} s, "
+                f"{args.bandwidth_kbps:g} Kbps"
+            ),
+        )
+    )
+    try:
+        best = select_best(analyses)
+        print(f"\nselected (energy criterion): {best.partition.describe()}")
+    except InfeasiblePartitionError:
+        print("\nno feasible scheme at these parameters")
+    if args.export:
+        print(f"\nwrote {write_rows(rows, args.export)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.experiments import run_experiment
+
+    label = args.label
+    if label not in PAPER_EXPERIMENTS:
+        print(f"unknown experiment {label!r}", file=sys.stderr)
+        return 2
+    spec = PAPER_EXPERIMENTS[label]
+    if not spec.io_enabled:
+        print(f"experiment {label} has no pipeline to trace", file=sys.stderr)
+        return 2
+    if label == "2C":
+        # A paper-period rotation would need >100 frames to show; use a
+        # short period so the transition is visible in a small trace.
+        spec = dataclasses.replace(spec, rotation_period=max(2, args.frames // 3))
+    trace = TraceRecorder()
+    run_experiment(spec, trace=trace, max_frames=args.frames)
+    print(
+        render_gantt(
+            trace,
+            end_s=args.frames * spec.deadline_s,
+            width=args.width,
+            deadline_s=spec.deadline_s,
+        )
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.apps.atr.profile import PAPER_PROFILE
+    from repro.core.optimizer import optimize_configuration
+    from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+
+    battery = PAPER_KIBAM_PARAMETERS
+    if args.fast:
+        battery = dataclasses.replace(
+            battery, capacity_mah=battery.capacity_mah / 4
+        )
+    ranked = optimize_configuration(
+        PAPER_PROFILE,
+        max_stages=args.stages,
+        deadline_s=args.deadline,
+        battery=battery,
+        objective=args.objective,
+    )
+    rows = [
+        {
+            "rank": i + 1,
+            "configuration": c.description,
+            "N": c.n_stages,
+            "T_hours": c.lifetime_hours,
+            "Tnorm_hours": c.normalized_hours,
+        }
+        for i, c in enumerate(ranked[: args.top])
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"design space <= {args.stages} stages, D = {args.deadline} s, "
+                f"objective = {args.objective}"
+            ),
+        )
+    )
+    if args.export:
+        print(f"\nwrote {write_rows(rows, args.export)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import write_report
+    from repro.core.experiments import run_paper_suite
+
+    factory = _battery_factory(args.fast)
+    runs = run_paper_suite(
+        battery_factory=factory, monitor_interval_s=300.0
+    )
+    path = write_report(args.output, runs=runs, battery_factory=factory)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.calibration import calibrate_battery
+
+    x0 = None
+    if args.from_scratch:
+        x0 = (1000.0, 0.3, 1.0, 0.1, 45.0)
+    kwargs: dict[str, t.Any] = {}
+    if x0 is not None:
+        kwargs["x0"] = x0
+    result = calibrate_battery(**kwargs)
+    b = result.battery
+    print("fitted parameters:")
+    print(f"  capacity     = {b.capacity_mah:.2f} mAh")
+    print(f"  c            = {b.c:.5f}")
+    print(f"  k'           = {b.k_prime_per_hour:.5f} /h")
+    print(f"  io_activity  = {result.power_model.io_activity:.5f}")
+    print("\nanchor residuals (hours):")
+    for anchor, residual in zip(result.anchors, result.residuals_hours):
+        print(f"  {anchor.label:3s} target {anchor.target_hours:6.2f}  "
+              f"error {residual:+.3f}")
+    print(f"\nworst |error| = {result.max_abs_residual_hours:.3f} h")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Liu & Chou, 'Distributed Embedded Systems for "
+            "Low Power: A Case Study' (IPPS 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fast", action="store_true",
+                       help="quarter-capacity batteries (quick demo)")
+        p.add_argument("--export", metavar="PATH",
+                       help="write rows to a .csv or .json file")
+
+    p_run = sub.add_parser("run", help="run paper experiments by label")
+    p_run.add_argument("labels", nargs="*", metavar="LABEL",
+                       help=f"any of: {', '.join(PAPER_EXPERIMENTS)}")
+    add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run all eight experiments")
+    add_common(p_suite)
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_fig = sub.add_parser("figures", help="regenerate a paper figure")
+    p_fig.add_argument("figure", choices=["fig6", "fig7", "fig8", "fig10"])
+    add_common(p_fig)
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_part = sub.add_parser("partition", help="partitioning analysis (Fig. 8)")
+    p_part.add_argument("--deadline", type=float, default=2.3,
+                        help="frame delay D in seconds (default 2.3)")
+    p_part.add_argument("--stages", type=int, default=2,
+                        help="pipeline depth (default 2)")
+    p_part.add_argument("--bandwidth-kbps", type=float, default=80.0,
+                        help="link goodput in Kbps (default 80)")
+    add_common(p_part)
+    p_part.set_defaults(func=_cmd_partition)
+
+    p_trace = sub.add_parser("trace", help="render a timing diagram")
+    p_trace.add_argument("label", help="experiment label (e.g. 1, 2, 2C)")
+    p_trace.add_argument("--frames", type=int, default=6)
+    p_trace.add_argument("--width", type=int, default=100)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_opt = sub.add_parser(
+        "optimize", help="rank every configuration in the design space"
+    )
+    p_opt.add_argument("--stages", type=int, default=2,
+                       help="maximum pipeline depth (default 2)")
+    p_opt.add_argument("--deadline", type=float, default=2.3)
+    p_opt.add_argument("--objective", choices=["normalized", "absolute"],
+                       default="normalized")
+    p_opt.add_argument("--top", type=int, default=10,
+                       help="how many candidates to print")
+    add_common(p_opt)
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_report = sub.add_parser(
+        "report", help="write the full reproduction report (markdown)"
+    )
+    p_report.add_argument("-o", "--output", default="reproduction_report.md")
+    p_report.add_argument("--fast", action="store_true",
+                          help="quarter-capacity batteries (quick demo)")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_cal = sub.add_parser("calibrate", help="re-run the battery calibration")
+    p_cal.add_argument("--from-scratch", action="store_true",
+                       help="start far from the stored solution (slow)")
+    p_cal.set_defaults(func=_cmd_calibrate)
+
+    return parser
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

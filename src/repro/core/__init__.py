@@ -1,0 +1,61 @@
+"""The paper's contribution: distributed DVS techniques and their evaluation.
+
+- :mod:`repro.core.policies` — DVS policies: run-at-max, slowest-
+  feasible, DVS-during-I/O, pinned operating points.
+- :mod:`repro.core.partitioning` — the Fig. 8 analysis: enumerate
+  partitions, derive required frequencies, rank feasibility.
+- :mod:`repro.core.metrics` — the §4.5 metrics: T(N), F(N), normalized
+  battery life and ratios.
+- :mod:`repro.core.calibration` — fits the battery and power models to
+  the paper's measured anchor lifetimes.
+- :mod:`repro.core.experiments` — executable specifications of the
+  paper's eight experiments (0A, 0B, 1, 1A, 2, 2A, 2B, 2C).
+"""
+
+from repro.core.metrics import ExperimentMetrics, battery_life_hours, normalized_ratio
+from repro.core.yds import Job, SpeedSegment, yds_schedule
+from repro.core.partitioning import PartitionAnalysis, analyze_partitions, select_best
+from repro.core.optimizer import Candidate, optimize_configuration
+from repro.core.prediction import predict_first_death, predict_role_lifetime_hours
+from repro.core.policies import (
+    BaselinePolicy,
+    DVSDuringIOPolicy,
+    DVSPolicy,
+    PinnedLevelsPolicy,
+    SlowestFeasiblePolicy,
+)
+from repro.core.experiments import (
+    PAPER_EXPERIMENTS,
+    ExperimentRun,
+    ExperimentSpec,
+    run_experiment,
+    run_paper_suite,
+    summarize_runs,
+)
+
+__all__ = [
+    "DVSPolicy",
+    "BaselinePolicy",
+    "SlowestFeasiblePolicy",
+    "DVSDuringIOPolicy",
+    "PinnedLevelsPolicy",
+    "PartitionAnalysis",
+    "analyze_partitions",
+    "select_best",
+    "ExperimentMetrics",
+    "battery_life_hours",
+    "normalized_ratio",
+    "ExperimentSpec",
+    "ExperimentRun",
+    "PAPER_EXPERIMENTS",
+    "run_experiment",
+    "run_paper_suite",
+    "summarize_runs",
+    "Job",
+    "SpeedSegment",
+    "yds_schedule",
+    "predict_first_death",
+    "Candidate",
+    "optimize_configuration",
+    "predict_role_lifetime_hours",
+]

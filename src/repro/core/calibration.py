@@ -1,0 +1,251 @@
+"""Model calibration against the paper's measured lifetimes.
+
+The paper measured battery lifetimes on real hardware; our substitute
+is a KiBaM battery plus a per-mode current model. Five of the measured
+lifetimes serve as calibration anchors:
+
+=====  =============================================  ========
+label  duty cycle                                      target
+=====  =============================================  ========
+0A     continuous compute at 206.4 MHz                 3.4 h
+0B     continuous compute at 103.2 MHz                 12.9 h
+1      1.1 s compute @206.4 + 1.2 s I/O @206.4         6.13 h
+1A     1.1 s compute @206.4 + 1.2 s I/O @59            7.6 h
+2      Node2 of scheme 1: 0.25 s I/O + 1.88 s compute
+       @103.2 + idle                                   14.1 h
+=====  =============================================  ========
+
+Free parameters (5): KiBaM ``capacity``, ``c``, ``k'``; the power
+model's ``io_activity``; and the idle curve's 206.4 MHz endpoint. The
+quoted Fig. 7 anchors (comm 40/110 mA, comp 130 mA, idle 30 mA @59)
+stay fixed. Everything else the paper reports — experiments (2A), (2B),
+(2C), the partitioning table, frame counts — is *predicted*, not
+fitted.
+
+The stored constants (:data:`repro.hw.battery.kibam.PAPER_KIBAM_PARAMETERS`,
+:data:`repro.hw.power.PAPER_POWER_MODEL`) are the output of
+:func:`calibrate_battery`; the regression tests re-run the fit from the
+stored point and assert it is stationary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.apps.atr.profile import PAPER_PROFILE, TaskProfile
+from repro.errors import CalibrationError
+from repro.hw.battery.kibam import KiBaM, KiBaMParameters
+from repro.hw.dvs import SA1100_TABLE, DVSTable
+from repro.hw.link import PAPER_LINK_TIMING, TransactionTiming
+from repro.hw.power import CurrentCurve, PowerMode, PowerModel
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = [
+    "DutySegment",
+    "Anchor",
+    "CalibrationResult",
+    "paper_anchors",
+    "predicted_lifetime_hours",
+    "calibrate_battery",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DutySegment:
+    """One piecewise-constant leg of a repeating duty cycle."""
+
+    mode: PowerMode
+    level_mhz: float
+    duration_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Anchor:
+    """A measured lifetime the model must reproduce."""
+
+    label: str
+    segments: tuple[DutySegment, ...]
+    target_hours: float
+
+
+def paper_anchors(
+    profile: TaskProfile = PAPER_PROFILE,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    deadline_s: float = 2.3,
+) -> tuple[Anchor, ...]:
+    """Build the five calibration anchors from first principles.
+
+    Durations come from the task profile and the link timing — the same
+    inputs the execution engine uses — so the calibration and the
+    simulator cannot drift apart.
+    """
+    proc = profile.total_seconds_at_max
+    recv = timing.nominal_duration(profile.input_bytes)
+    send = timing.nominal_duration(profile.output_bytes)
+    C, I, P = PowerMode.COMPUTATION, PowerMode.COMMUNICATION, PowerMode.IDLE
+
+    # Node2 of partitioning scheme 1: blocks 1..end at 103.2 MHz.
+    n2_proc = profile.segment_seconds(1, len(profile.blocks)) * 206.4 / 103.2
+    n2_recv = timing.nominal_duration(profile.blocks[0].output_bytes)
+    n2_send = timing.nominal_duration(profile.output_bytes)
+    n2_idle = deadline_s - n2_recv - n2_proc - n2_send
+    if n2_idle < 0:
+        raise CalibrationError("scheme-1 Node2 schedule does not fit the deadline")
+
+    return (
+        Anchor("0A", (DutySegment(C, 206.4, proc),), 3.4),
+        Anchor("0B", (DutySegment(C, 103.2, proc * 2.0),), 12.9),
+        Anchor(
+            "1",
+            (
+                DutySegment(I, 206.4, recv),
+                DutySegment(C, 206.4, proc),
+                DutySegment(I, 206.4, send),
+            ),
+            6.13,
+        ),
+        Anchor(
+            "1A",
+            (
+                DutySegment(I, 59.0, recv),
+                DutySegment(C, 206.4, proc),
+                DutySegment(I, 59.0, send),
+            ),
+            7.6,
+        ),
+        Anchor(
+            "2",
+            (
+                DutySegment(I, 103.2, n2_recv),
+                DutySegment(C, 103.2, n2_proc),
+                DutySegment(I, 103.2, n2_send),
+                DutySegment(P, 103.2, n2_idle),
+            ),
+            14.1,
+        ),
+    )
+
+
+def predicted_lifetime_hours(
+    anchor: Anchor,
+    battery_params: KiBaMParameters,
+    power_model: PowerModel,
+    table: DVSTable = SA1100_TABLE,
+    max_hours: float = 400.0,
+) -> float:
+    """Battery lifetime under a repeating duty cycle (closed-form steps).
+
+    Iterates the KiBaM constant-current solution segment by segment
+    until the available well empties, then solves the final partial
+    segment exactly.
+    """
+    cell = KiBaM(battery_params)
+    currents = [
+        power_model.current_ma(seg.mode, table.level_at(seg.level_mhz))
+        for seg in anchor.segments
+    ]
+    t = 0.0
+    limit = max_hours * SECONDS_PER_HOUR
+    while t < limit:
+        for seg, current in zip(anchor.segments, currents):
+            # Cheap-bound fast path; exact root solve only near death.
+            if cell.time_to_death_lower_bound(current) <= seg.duration_s:
+                ttd = cell.time_to_death(current)
+                if ttd <= seg.duration_s:
+                    return (t + ttd) / SECONDS_PER_HOUR
+            cell.draw(current, seg.duration_s)
+            t += seg.duration_s
+    raise CalibrationError(
+        f"anchor {anchor.label}: no death within {max_hours} h "
+        "(current too low for this parameterization)"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Output of :func:`calibrate_battery`.
+
+    Attributes
+    ----------
+    battery:
+        Fitted KiBaM parameters.
+    power_model:
+        Power model with the fitted idle curve and io_activity.
+    residuals_hours:
+        Per-anchor (predicted - target), in anchor order.
+    anchors:
+        The anchors that were fitted.
+    """
+
+    battery: KiBaMParameters
+    power_model: PowerModel
+    residuals_hours: tuple[float, ...]
+    anchors: tuple[Anchor, ...]
+
+    @property
+    def max_abs_residual_hours(self) -> float:
+        """Worst absolute anchor error."""
+        return max(abs(r) for r in self.residuals_hours)
+
+
+def _build_power_model(
+    idle_hi_ma: float, io_activity: float, table: DVSTable
+) -> PowerModel:
+    """The calibration's model family: fixed comm/comp, free idle top."""
+    lo, hi = table.min, table.max
+    return PowerModel(
+        table,
+        idle=CurrentCurve.through((lo, 30.0), (hi, idle_hi_ma)),
+        communication=CurrentCurve.through((lo, 40.0), (hi, 110.0)),
+        computation=CurrentCurve(
+            static_ma=32.0,
+            slope_ma_per_unit=(130.0 - 32.0) / hi.switching_activity,
+        ),
+        io_activity=io_activity,
+    )
+
+
+def calibrate_battery(
+    anchors: t.Sequence[Anchor] | None = None,
+    table: DVSTable = SA1100_TABLE,
+    x0: t.Sequence[float] = (1251.19, 0.22628, 0.42188, 0.27185, 38.23),
+    max_nfev: int | None = None,
+) -> CalibrationResult:
+    """Fit (capacity, c, k', io_activity, idle_hi) to the anchors.
+
+    Starting from the stored solution, the fit converges in a handful
+    of evaluations; pass a different ``x0`` to re-derive it from
+    scratch (slower, same answer).
+    """
+    anchors = tuple(anchors) if anchors is not None else paper_anchors()
+
+    def residuals(p: np.ndarray) -> list[float]:
+        cap, c, kp, w, idle_hi = p
+        params = KiBaMParameters(capacity_mah=cap, c=c, k_prime_per_hour=kp)
+        pm = _build_power_model(idle_hi, w, table)
+        return [
+            predicted_lifetime_hours(a, params, pm, table) - a.target_hours
+            for a in anchors
+        ]
+
+    fit = least_squares(
+        residuals,
+        x0=np.asarray(x0, dtype=float),
+        bounds=([300.0, 0.05, 0.02, 0.0, 31.0], [4000.0, 0.95, 50.0, 1.0, 109.0]),
+        max_nfev=max_nfev,
+    )
+    if not fit.success and max_nfev is None:
+        raise CalibrationError(f"calibration failed to converge: {fit.message}")
+    cap, c, kp, w, idle_hi = fit.x
+    params = KiBaMParameters(capacity_mah=float(cap), c=float(c), k_prime_per_hour=float(kp))
+    pm = _build_power_model(float(idle_hi), float(w), table)
+    return CalibrationResult(
+        battery=params,
+        power_model=pm,
+        residuals_hours=tuple(float(r) for r in fit.fun),
+        anchors=anchors,
+    )

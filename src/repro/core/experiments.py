@@ -1,0 +1,391 @@
+"""Executable specifications of the paper's experiments (§6).
+
+Eight experiments, keyed by the paper's labels:
+
+=====  ====================================================  ===========
+label  configuration                                          paper result
+=====  ====================================================  ===========
+0A     1 node, no I/O, 206.4 MHz                              3.4 h / 11.5K
+0B     1 node, no I/O, 103.2 MHz                              12.9 h / 22.5K
+1      baseline: 1 node + I/O, 206.4 MHz                      6.13 h / 9.6K
+1A     DVS during I/O (59 MHz on the serial port)             7.6 h / 11.9K
+2      2-node pipeline, scheme 1, 59 / 103.2 MHz              14.1 h / 22.1K
+2A     (2) + DVS during I/O on Node2                          14.44 h / 22.6K
+2B     (2A) + power-failure recovery, pinned 73.7 / 118 MHz   15.72 h / 24.5K
+2C     (2A) + node rotation every 100 frames                  17.82 h / 27.9K
+=====  ====================================================  ===========
+
+Experiment (2B) pins the paper's *measured* operating points
+(73.7/118 MHz): the paper does not give an overhead accounting that
+derives Node1's 73.7 exactly (our protocol arithmetic yields 59), so
+the spec reproduces the reported configuration and EXPERIMENTS.md
+records the deviation. All other frequency choices are *derived* by the
+policies from the frame-delay arithmetic and agree with the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.apps.atr.profile import PAPER_PROFILE, TaskProfile
+from repro.core.metrics import ExperimentMetrics
+from repro.core.policies import (
+    BaselinePolicy,
+    DVSDuringIOPolicy,
+    DVSPolicy,
+    PinnedLevelsPolicy,
+    SlowestFeasiblePolicy,
+)
+from repro.errors import ConfigurationError
+from repro.hw.battery import Battery, PAPER_BATTERY
+from repro.hw.dvs import SA1100_TABLE, DVSTable
+from repro.hw.link import PAPER_LINK_TIMING, TransactionTiming
+from repro.hw.node import ItsyNode
+from repro.hw.power import PAPER_POWER_MODEL, PowerModel
+from repro.pipeline.engine import PipelineConfig, PipelineEngine, PipelineResult
+from repro.pipeline.recovery import RecoveryConfig
+from repro.pipeline.rotation import RotationController
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+from repro.sim import Simulator, TraceRecorder
+from repro.units import seconds_to_hours
+
+__all__ = [
+    "PaperNumbers",
+    "ExperimentSpec",
+    "ExperimentRun",
+    "PAPER_EXPERIMENTS",
+    "run_experiment",
+    "run_paper_suite",
+    "summarize_runs",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperNumbers:
+    """What the paper measured, for side-by-side reporting."""
+
+    t_hours: float
+    frames: int
+    rnorm_percent: float | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment's full configuration.
+
+    Attributes
+    ----------
+    label, description:
+        Paper identifiers.
+    io_enabled:
+        False for the §6.1 no-I/O runs (local data, no network, no
+        frame-delay constraint).
+    no_io_level_mhz:
+        Clock rate for a no-I/O run.
+    cuts:
+        Partition cut points (empty = single node).
+    policy:
+        DVS policy choosing the operating points.
+    rotation_period:
+        §5.5 rotation period in frames, or None.
+    recovery:
+        Enable the §5.4 recovery protocol.
+    deadline_s, profile:
+        Frame delay D and the task profile.
+    paper:
+        The paper's measured numbers for this experiment.
+    """
+
+    label: str
+    description: str
+    policy: DVSPolicy | None = None
+    io_enabled: bool = True
+    no_io_level_mhz: float | None = None
+    cuts: tuple[int, ...] = ()
+    rotation_period: int | None = None
+    recovery: bool = False
+    recovery_detect_timeout_s: float = 6.9
+    acks_between_nodes_only: bool = False
+    deadline_s: float = 2.3
+    profile: TaskProfile = PAPER_PROFILE
+    paper: PaperNumbers | None = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Pipeline depth implied by the cuts."""
+        return 1 if not self.io_enabled else len(self.cuts) + 1
+
+
+@dataclasses.dataclass
+class ExperimentRun:
+    """Outcome of executing one spec.
+
+    Attributes
+    ----------
+    spec:
+        What was run.
+    frames:
+        Completed workload F.
+    t_hours:
+        Absolute battery life T (last-progress time for pipelines,
+        death time for no-I/O runs).
+    death_times_s:
+        Per-node battery death times.
+    pipeline:
+        The raw engine result for pipeline runs (None for no-I/O runs).
+    """
+
+    spec: ExperimentSpec
+    frames: int
+    t_hours: float
+    death_times_s: dict[str, float]
+    pipeline: PipelineResult | None = None
+
+    def metrics(self, baseline_hours: float | None = None) -> ExperimentMetrics:
+        """The Fig. 10 metrics row (Rnorm needs the baseline lifetime)."""
+        n = self.spec.n_nodes
+        tnorm = self.t_hours / n
+        rnorm = None
+        if baseline_hours is not None and self.spec.io_enabled:
+            rnorm = tnorm / baseline_hours
+        return ExperimentMetrics(
+            label=self.spec.label,
+            frames=self.frames,
+            n_nodes=n,
+            t_hours=self.t_hours,
+            tnorm_hours=tnorm,
+            rnorm=rnorm,
+        )
+
+
+def _paper_specs() -> dict[str, ExperimentSpec]:
+    dvs_io_baseline = DVSDuringIOPolicy(BaselinePolicy())
+    dvs_io_slowest = DVSDuringIOPolicy(SlowestFeasiblePolicy())
+    return {
+        "0A": ExperimentSpec(
+            label="0A",
+            description="single node, no I/O, full speed 206.4 MHz",
+            io_enabled=False,
+            no_io_level_mhz=206.4,
+            paper=PaperNumbers(t_hours=3.4, frames=11500),
+        ),
+        "0B": ExperimentSpec(
+            label="0B",
+            description="single node, no I/O, half speed 103.2 MHz",
+            io_enabled=False,
+            no_io_level_mhz=103.2,
+            paper=PaperNumbers(t_hours=12.9, frames=22500),
+        ),
+        "1": ExperimentSpec(
+            label="1",
+            description="baseline: single node with I/O at 206.4 MHz",
+            policy=BaselinePolicy(),
+            paper=PaperNumbers(t_hours=6.13, frames=9600, rnorm_percent=100.0),
+        ),
+        "1A": ExperimentSpec(
+            label="1A",
+            description="DVS during I/O: 59 MHz on the serial port, 206.4 MHz compute",
+            policy=dvs_io_baseline,
+            paper=PaperNumbers(t_hours=7.6, frames=11900, rnorm_percent=124.0),
+        ),
+        "2": ExperimentSpec(
+            label="2",
+            description="distributed DVS by partitioning: scheme 1, 59 / 103.2 MHz",
+            policy=SlowestFeasiblePolicy(),
+            cuts=(1,),
+            paper=PaperNumbers(t_hours=14.1, frames=22100, rnorm_percent=115.0),
+        ),
+        "2A": ExperimentSpec(
+            label="2A",
+            description="distributed DVS during I/O on the partitioned pipeline",
+            policy=dvs_io_slowest,
+            cuts=(1,),
+            paper=PaperNumbers(t_hours=14.44, frames=22600, rnorm_percent=118.0),
+        ),
+        "2B": ExperimentSpec(
+            label="2B",
+            description=(
+                "distributed DVS with power-failure recovery: acked transactions, "
+                "timeout detection, migration; paper-pinned 73.7 / 118 MHz"
+            ),
+            policy=DVSDuringIOPolicy(PinnedLevelsPolicy([73.7, 118.0])),
+            cuts=(1,),
+            recovery=True,
+            paper=PaperNumbers(t_hours=15.72, frames=24500, rnorm_percent=128.0),
+        ),
+        "2C": ExperimentSpec(
+            label="2C",
+            description="distributed DVS with node rotation every 100 frames",
+            policy=dvs_io_slowest,
+            cuts=(1,),
+            rotation_period=100,
+            paper=PaperNumbers(t_hours=17.82, frames=27900, rnorm_percent=145.0),
+        ),
+    }
+
+
+#: The paper's eight experiments, keyed by label.
+PAPER_EXPERIMENTS: dict[str, ExperimentSpec] = _paper_specs()
+
+
+def _run_no_io(
+    spec: ExperimentSpec,
+    battery_factory: t.Callable[[], Battery],
+    power_model: PowerModel,
+    table: DVSTable,
+    trace: TraceRecorder | None,
+) -> ExperimentRun:
+    """§6.1: compute frames back to back from local storage until death."""
+    if spec.no_io_level_mhz is None:
+        raise ConfigurationError(f"experiment {spec.label}: no_io_level_mhz required")
+    sim = Simulator()
+    battery = battery_factory()
+    node = ItsyNode(sim, "node1", battery, power_model, table, trace=trace)
+    level = table.level_at(spec.no_io_level_mhz)
+    proc_s = spec.profile.total_seconds_at_max
+
+    def loop(node: ItsyNode) -> t.Generator:
+        while True:
+            yield from node.compute(proc_s, level, "proc")
+            node.frames_processed += 1
+
+    node.spawn(loop(node))
+    sim.run()
+    assert node.death_time_s is not None
+    return ExperimentRun(
+        spec=spec,
+        frames=node.frames_processed,
+        t_hours=seconds_to_hours(node.death_time_s),
+        death_times_s={"node1": node.death_time_s},
+        pipeline=None,
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    battery_factory: t.Callable[[], Battery] = PAPER_BATTERY,
+    power_model: PowerModel = PAPER_POWER_MODEL,
+    table: DVSTable = SA1100_TABLE,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    trace: TraceRecorder | None = None,
+    max_frames: int | None = None,
+    monitor_interval_s: float | None = None,
+    store_and_forward: bool = False,
+    rotation_reconfig_s: float = 0.0,
+    seed: int = 0,
+) -> ExperimentRun:
+    """Execute one experiment spec on the simulated testbed.
+
+    Parameters mirror the hardware substitutions: pass a different
+    ``battery_factory`` (linear, Peukert) or ``power_model`` for the
+    ablation studies; ``max_frames`` truncates the run (used when only
+    a schedule trace is needed); ``trace`` records timing diagrams.
+    """
+    if not spec.io_enabled:
+        return _run_no_io(spec, battery_factory, power_model, table, trace)
+    if spec.policy is None:
+        raise ConfigurationError(f"experiment {spec.label}: a policy is required")
+
+    partition = Partition(spec.profile, spec.cuts)
+    recovery = None
+    overheads = [0.0] * partition.n_stages
+    if spec.recovery:
+        recovery = RecoveryConfig(
+            detect_timeout_s=spec.recovery_detect_timeout_s,
+            migrated_comp_level=table.max,
+            migrated_io_level=table.min,
+            acks_between_nodes_only=spec.acks_between_nodes_only,
+        )
+
+    plans = []
+    for i, assignment in enumerate(partition.assignments):
+        overhead = 0.0
+        if recovery is not None:
+            n_acked = (1 if i > 0 else 0) + (1 if i < partition.n_stages - 1 else 0)
+            if not recovery.acks_between_nodes_only:
+                n_acked += (1 if i == 0 else 0) + (1 if i == partition.n_stages - 1 else 0)
+            overhead = recovery.per_frame_overhead_s(timing, n_acked)
+        overheads[i] = overhead
+        plans.append(
+            plan_node(assignment, timing, spec.deadline_s, table, overhead_s=overhead)
+        )
+    roles = spec.policy.role_configs(plans, table)
+
+    rotation = None
+    if spec.rotation_period is not None:
+        rotation = RotationController(
+            period=spec.rotation_period,
+            n_stages=partition.n_stages,
+            reconfig_seconds=rotation_reconfig_s,
+        )
+
+    node_names = tuple(f"node{i + 1}" for i in range(partition.n_stages))
+    config = PipelineConfig(
+        partition=partition,
+        roles=roles,
+        node_names=node_names,
+        battery_factory=battery_factory,
+        deadline_s=spec.deadline_s,
+        timing=timing,
+        power_model=power_model,
+        dvs_table=table,
+        rotation=rotation,
+        recovery=recovery,
+        max_frames=max_frames,
+        trace=trace,
+        monitor_interval_s=monitor_interval_s,
+        store_and_forward=store_and_forward,
+        seed=seed,
+    )
+    result = PipelineEngine(config).run()
+
+    # The paper's T: completed workload times the frame delay, plus the
+    # pipeline fill (§4.5). For truncated runs (max_frames) this is the
+    # workload-equivalent lifetime, not a battery lifetime.
+    t_hours = seconds_to_hours(
+        result.frames_completed * spec.deadline_s
+        + (partition.n_stages - 1) * spec.deadline_s
+    )
+    return ExperimentRun(
+        spec=spec,
+        frames=result.frames_completed,
+        t_hours=t_hours,
+        death_times_s=result.death_times_s,
+        pipeline=result,
+    )
+
+
+def run_paper_suite(
+    labels: t.Sequence[str] | None = None,
+    **kwargs: t.Any,
+) -> dict[str, ExperimentRun]:
+    """Run several paper experiments; kwargs pass through to run_experiment."""
+    labels = list(labels) if labels is not None else list(PAPER_EXPERIMENTS)
+    unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
+    if unknown:
+        raise ConfigurationError(f"unknown experiment labels: {unknown}")
+    return {lb: run_experiment(PAPER_EXPERIMENTS[lb], **kwargs) for lb in labels}
+
+
+def summarize_runs(runs: dict[str, ExperimentRun]) -> list[ExperimentMetrics]:
+    """Metrics rows for a suite, with Rnorm against the baseline run.
+
+    The baseline is the run labelled "1"; if absent, Rnorm is omitted.
+    """
+    baseline = runs.get("1")
+    baseline_hours = baseline.t_hours if baseline is not None else None
+    rows = []
+    for label in sorted(runs, key=_label_key):
+        rows.append(runs[label].metrics(baseline_hours))
+    return rows
+
+
+def _label_key(label: str) -> tuple[int, str]:
+    """Sort 0A, 0B, 1, 1A, 2, 2A, 2B, 2C in paper order."""
+    head = label.rstrip("ABCDEFGH")
+    try:
+        return (int(head), label)
+    except ValueError:
+        return (99, label)

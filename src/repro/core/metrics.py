@@ -1,0 +1,115 @@
+"""The paper's evaluation metrics (§4.5).
+
+With N nodes (N batteries) completing F(N) frames at fixed frame delay
+D before battery exhaustion:
+
+- absolute battery life  ``T(N) = F(N) * D + (N - 1) * D``
+  (the second term is the pipeline fill; negligible for the paper's
+  thousands of frames but carried exactly here);
+- normalized battery life  ``Tnorm(N) = T(N) / N`` — N batteries should
+  buy N times the lifetime, anything less is an efficiency loss;
+- normalized ratio  ``Rnorm(N) = Tnorm(N) / T(1)`` against the baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.units import seconds_to_hours
+
+__all__ = [
+    "battery_life_hours",
+    "normalized_battery_life_hours",
+    "normalized_ratio",
+    "ExperimentMetrics",
+]
+
+
+def battery_life_hours(frames: int, deadline_s: float, n_nodes: int) -> float:
+    """Absolute battery life T(N) in hours, from completed frames."""
+    if frames < 0:
+        raise ConfigurationError(f"frames must be >= 0, got {frames}")
+    if deadline_s <= 0:
+        raise ConfigurationError(f"deadline must be positive, got {deadline_s}")
+    if n_nodes < 1:
+        raise ConfigurationError(f"need at least one node, got {n_nodes}")
+    return seconds_to_hours(frames * deadline_s + (n_nodes - 1) * deadline_s)
+
+
+def normalized_battery_life_hours(
+    frames: int, deadline_s: float, n_nodes: int
+) -> float:
+    """Tnorm(N) = T(N) / N, in hours."""
+    return battery_life_hours(frames, deadline_s, n_nodes) / n_nodes
+
+
+def normalized_ratio(tnorm_hours: float, baseline_hours: float) -> float:
+    """Rnorm = Tnorm / T(1), as a fraction (1.0 = 100%)."""
+    if baseline_hours <= 0:
+        raise ConfigurationError("baseline lifetime must be positive")
+    return tnorm_hours / baseline_hours
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentMetrics:
+    """The Fig. 10 row for one experiment.
+
+    Attributes
+    ----------
+    label:
+        Experiment id ("1", "1A", "2", ...).
+    frames:
+        Completed workload F.
+    n_nodes:
+        Number of nodes (= batteries).
+    t_hours:
+        Absolute battery life T.
+    tnorm_hours:
+        Normalized battery life T / N.
+    rnorm:
+        Normalized ratio vs the baseline (1.0 = 100%); None when no
+        baseline applies (the no-I/O experiments 0A/0B).
+    """
+
+    label: str
+    frames: int
+    n_nodes: int
+    t_hours: float
+    tnorm_hours: float
+    rnorm: float | None
+
+    @classmethod
+    def from_frames(
+        cls,
+        label: str,
+        frames: int,
+        deadline_s: float,
+        n_nodes: int,
+        baseline_hours: float | None = None,
+    ) -> "ExperimentMetrics":
+        """Build metrics from a frame count via the §4.5 formulas."""
+        t = battery_life_hours(frames, deadline_s, n_nodes)
+        tnorm = t / n_nodes
+        rnorm = None
+        if baseline_hours is not None:
+            rnorm = normalized_ratio(tnorm, baseline_hours)
+        return cls(
+            label=label,
+            frames=frames,
+            n_nodes=n_nodes,
+            t_hours=t,
+            tnorm_hours=tnorm,
+            rnorm=rnorm,
+        )
+
+    def as_row(self) -> dict[str, float | int | str | None]:
+        """Flat dict for table rendering / CSV export."""
+        return {
+            "experiment": self.label,
+            "nodes": self.n_nodes,
+            "frames": self.frames,
+            "T_hours": round(self.t_hours, 3),
+            "Tnorm_hours": round(self.tnorm_hours, 3),
+            "Rnorm_percent": None if self.rnorm is None else round(self.rnorm * 100, 1),
+        }

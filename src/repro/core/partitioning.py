@@ -1,0 +1,219 @@
+"""Partitioning analysis: the paper's Fig. 8, from first principles.
+
+Enumerates every contiguous partition of the block chain onto N
+pipeline stages, derives each stage's required frequency from the frame
+delay and the (frequency-independent) communication times, and ranks
+the feasible schemes. For the paper's parameters this reproduces
+Fig. 8: scheme 1 — (Target Detection) on Node1, the rest on Node2 —
+is the only scheme whose nodes both run in the lower half of the DVS
+table, and scheme 3 is outright infeasible (~380 MHz required).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.apps.atr.profile import TaskProfile
+from repro.errors import InfeasiblePartitionError
+from repro.hw.dvs import DVSTable, FrequencyLevel
+from repro.hw.link import TransactionTiming
+from repro.hw.power import PowerMode, PowerModel
+from repro.pipeline.schedule import NodePlan, plan_node, required_frequency_mhz
+from repro.pipeline.tasks import Partition, enumerate_partitions
+from repro.units import bytes_to_kb
+
+__all__ = ["StageAnalysis", "PartitionAnalysis", "analyze_partitions", "select_best", "estimate_average_current_ma"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StageAnalysis:
+    """One stage of one scheme: the Fig. 8 cells.
+
+    Attributes
+    ----------
+    plan:
+        The stage's plan when feasible, else None.
+    required_mhz:
+        Continuous frequency requirement (finite even when infeasible —
+        that is the paper's "> 206.4 / 380 MHz" cell).
+    comm_payload_kb:
+        The stage's total communication payload per frame, in the
+        paper's KB convention.
+    """
+
+    plan: NodePlan | None
+    required_mhz: float
+    comm_payload_kb: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether a real operating point satisfies the deadline."""
+        return self.plan is not None
+
+    @property
+    def level(self) -> FrequencyLevel | None:
+        """The chosen operating point, if feasible."""
+        return self.plan.level if self.plan else None
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionAnalysis:
+    """A fully analyzed partitioning scheme (one Fig. 8 row)."""
+
+    partition: Partition
+    stages: tuple[StageAnalysis, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """All stages meet the frame delay on real hardware."""
+        return all(s.feasible for s in self.stages)
+
+    @property
+    def total_payload_kb(self) -> float:
+        """Sum of per-stage communication payloads."""
+        return sum(s.comm_payload_kb for s in self.stages)
+
+    @property
+    def total_switching_activity(self) -> float:
+        """Energy proxy: sum of chosen levels' f * V^2 (inf if infeasible)."""
+        if not self.feasible:
+            return float("inf")
+        return sum(s.level.switching_activity for s in self.stages)  # type: ignore[union-attr]
+
+    def as_row(self) -> dict[str, t.Any]:
+        """Flat dict matching Fig. 8's columns."""
+        row: dict[str, t.Any] = {"scheme": self.partition.describe()}
+        for i, stage in enumerate(self.stages, start=1):
+            if stage.feasible:
+                row[f"node{i}_mhz"] = stage.level.mhz  # type: ignore[union-attr]
+            else:
+                row[f"node{i}_mhz"] = f"> {stage.required_mhz:.0f} (infeasible)"
+            row[f"node{i}_payload_kb"] = round(stage.comm_payload_kb, 1)
+        row["feasible"] = self.feasible
+        return row
+
+
+def analyze_partitions(
+    profile: TaskProfile,
+    n_stages: int,
+    timing: TransactionTiming,
+    deadline_s: float,
+    table: DVSTable,
+    overhead_s: float = 0.0,
+) -> list[PartitionAnalysis]:
+    """Analyze every contiguous ``n_stages``-way partition of ``profile``.
+
+    Infeasible stages are kept (with their continuous frequency
+    requirement) rather than dropped — Fig. 8 reports them.
+    """
+    analyses = []
+    for partition in enumerate_partitions(profile, n_stages):
+        stages = []
+        for assignment in partition.assignments:
+            required = required_frequency_mhz(
+                assignment, timing, deadline_s, table, overhead_s
+            )
+            try:
+                plan = plan_node(
+                    assignment, timing, deadline_s, table, overhead_s
+                )
+            except InfeasiblePartitionError:
+                plan = None
+            stages.append(
+                StageAnalysis(
+                    plan=plan,
+                    required_mhz=required,
+                    comm_payload_kb=bytes_to_kb(assignment.comm_payload_bytes),
+                )
+            )
+        analyses.append(PartitionAnalysis(partition=partition, stages=tuple(stages)))
+    return analyses
+
+
+def estimate_average_current_ma(
+    analysis: PartitionAnalysis,
+    power_model: PowerModel,
+    deadline_s: float,
+    dvs_during_io: bool = True,
+    table: DVSTable | None = None,
+) -> list[float]:
+    """Estimated per-stage average battery current under a scheme.
+
+    A static (pre-simulation) energy estimate: each stage's frame is
+    comm at the I/O level, PROC at the chosen level, idle for the
+    slack. Used to rank schemes by expected discharge rate — the
+    quantity the paper shows actually governs uptime.
+
+    Raises
+    ------
+    InfeasiblePartitionError
+        If the scheme has an infeasible stage.
+    """
+    if not analysis.feasible:
+        raise InfeasiblePartitionError(
+            f"scheme {analysis.partition.describe()} is infeasible"
+        )
+    currents = []
+    for stage in analysis.stages:
+        plan = stage.plan
+        assert plan is not None
+        io_level = (table or power_model.table).min if dvs_during_io else plan.level
+        i_comm = power_model.current_ma(PowerMode.COMMUNICATION, io_level)
+        i_comp = power_model.current_ma(PowerMode.COMPUTATION, plan.level)
+        i_idle = power_model.current_ma(PowerMode.IDLE, plan.level)
+        sched = plan.schedule
+        charge = (
+            sched.comm_s * i_comm
+            + sched.proc_s * i_comp
+            + max(0.0, sched.slack_s) * i_idle
+        )
+        currents.append(charge / deadline_s)
+    return currents
+
+
+def select_best(
+    analyses: t.Sequence[PartitionAnalysis],
+    power_model: PowerModel | None = None,
+    deadline_s: float | None = None,
+    criterion: str = "energy",
+) -> PartitionAnalysis:
+    """Pick the best feasible scheme.
+
+    Criteria:
+
+    ``"energy"`` (default)
+        Minimize total switching activity (sum of f * V^2 over the
+        chosen levels) — the paper's §5.3 reasoning, where scheme 1
+        wins because "both nodes are allowed to run at much lower
+        clock rates".
+    ``"max-current"``
+        Minimize the *maximum* per-stage average current — the
+        discharge rate of the critical battery, which §6.5 identifies
+        as what actually "decides the uptime of the whole system".
+        Requires ``power_model`` and ``deadline_s``. Interestingly,
+        under DVS-during-I/O this criterion can prefer scheme 2 (its
+        heavy node idles more); the ablation benches quantify the gap.
+
+    Ties break toward less communication payload.
+
+    Raises
+    ------
+    InfeasiblePartitionError
+        If no scheme is feasible.
+    """
+    feasible = [a for a in analyses if a.feasible]
+    if not feasible:
+        raise InfeasiblePartitionError("no feasible partitioning scheme")
+    if criterion not in ("energy", "max-current"):
+        raise ValueError(f"unknown criterion {criterion!r}")
+    if criterion == "max-current" and (power_model is None or deadline_s is None):
+        raise ValueError("'max-current' needs power_model and deadline_s")
+
+    def key(a: PartitionAnalysis) -> tuple[float, float]:
+        if criterion == "max-current":
+            currents = estimate_average_current_ma(a, power_model, deadline_s)
+            return (max(currents), a.total_payload_kb)
+        return (a.total_switching_activity, a.total_payload_kb)
+
+    return min(feasible, key=key)

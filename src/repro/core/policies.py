@@ -1,0 +1,160 @@
+"""DVS policies: how a pipeline stage picks its operating points.
+
+A policy turns per-stage :class:`~repro.pipeline.schedule.NodePlan`
+objects into :class:`~repro.pipeline.engine.RoleConfig` operating
+points (compute level, I/O level). The paper's techniques map onto
+policies as:
+
+=============================  ==========================================
+paper configuration            policy
+=============================  ==========================================
+baseline (1)                   :class:`BaselinePolicy`
+DVS during I/O (1A)            ``DVSDuringIOPolicy(BaselinePolicy())``
+partitioning (2)               :class:`SlowestFeasiblePolicy`
+dist. DVS during I/O (2A)      ``DVSDuringIOPolicy(SlowestFeasiblePolicy())``
+recovery (2B)                  ``DVSDuringIOPolicy(PinnedLevelsPolicy(...))``
+node rotation (2C)             ``DVSDuringIOPolicy(SlowestFeasiblePolicy())``
+=============================  ==========================================
+
+(In 2A the paper only lowers Node2's I/O level because Node1 already
+runs at the minimum — ``DVSDuringIOPolicy`` reproduces that for free,
+since lowering an already-minimal level is a no-op.)
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.hw.dvs import DVSTable, FrequencyLevel
+from repro.pipeline.engine import RoleConfig
+from repro.pipeline.schedule import NodePlan
+
+__all__ = [
+    "DVSPolicy",
+    "BaselinePolicy",
+    "SlowestFeasiblePolicy",
+    "DVSDuringIOPolicy",
+    "PinnedLevelsPolicy",
+]
+
+
+class DVSPolicy(abc.ABC):
+    """Maps per-stage plans to operating points."""
+
+    @abc.abstractmethod
+    def role_configs(
+        self, plans: t.Sequence[NodePlan], table: DVSTable
+    ) -> tuple[RoleConfig, ...]:
+        """Choose (comp_level, io_level) for every stage."""
+
+    def describe(self) -> str:
+        """Short human-readable label for reports."""
+        return type(self).__name__
+
+
+def _budget(plan: NodePlan) -> float:
+    """PROC time available inside the frame: chosen-level PROC + slack."""
+    return plan.schedule.proc_s + plan.schedule.slack_s
+
+
+class BaselinePolicy(DVSPolicy):
+    """Everything at the fastest level — the paper's experiment (1)."""
+
+    def role_configs(self, plans, table):
+        return tuple(
+            RoleConfig(
+                p.assignment,
+                comp_level=table.max,
+                io_level=table.max,
+                proc_budget_s=_budget(p),
+            )
+            for p in plans
+        )
+
+
+class SlowestFeasiblePolicy(DVSPolicy):
+    """Each stage at the slowest level meeting D; I/O at the same level.
+
+    This is "distributed DVS by partitioning" (§5.3): the partition
+    creates slack, the stage's clock is lowered until the slack is gone.
+    """
+
+    def role_configs(self, plans, table):
+        return tuple(
+            RoleConfig(
+                p.assignment,
+                comp_level=p.level,
+                io_level=p.level,
+                proc_budget_s=_budget(p),
+            )
+            for p in plans
+        )
+
+
+class DVSDuringIOPolicy(DVSPolicy):
+    """Wrap another policy, dropping I/O periods to the minimum level.
+
+    "DVS during I/O" (§5.2): communication delay is frequency-
+    independent, so the CPU can sit at 59 MHz during transactions with
+    no performance cost.
+    """
+
+    def __init__(self, inner: DVSPolicy):
+        self.inner = inner
+
+    def role_configs(self, plans, table):
+        return tuple(
+            RoleConfig(
+                rc.assignment,
+                comp_level=rc.comp_level,
+                io_level=table.min,
+                proc_budget_s=rc.proc_budget_s,
+            )
+            for rc in self.inner.role_configs(plans, table)
+        )
+
+    def describe(self) -> str:
+        return f"{self.inner.describe()}+DVSDuringIO"
+
+
+class PinnedLevelsPolicy(DVSPolicy):
+    """Explicit per-stage compute levels (e.g. the paper's measured 2B points).
+
+    Parameters
+    ----------
+    comp_mhz:
+        One compute frequency per stage.
+    io_mhz:
+        Optional per-stage I/O frequencies; defaults to the compute
+        frequency (wrap in :class:`DVSDuringIOPolicy` to force minimum).
+    """
+
+    def __init__(self, comp_mhz: t.Sequence[float], io_mhz: t.Sequence[float] | None = None):
+        self.comp_mhz = tuple(comp_mhz)
+        self.io_mhz = tuple(io_mhz) if io_mhz is not None else None
+        if self.io_mhz is not None and len(self.io_mhz) != len(self.comp_mhz):
+            raise ConfigurationError("io_mhz must match comp_mhz in length")
+
+    def role_configs(self, plans, table):
+        if len(plans) != len(self.comp_mhz):
+            raise ConfigurationError(
+                f"{len(self.comp_mhz)} pinned levels for {len(plans)} stages"
+            )
+        configs = []
+        for i, plan in enumerate(plans):
+            comp = table.level_at(self.comp_mhz[i])
+            io = table.level_at(self.io_mhz[i]) if self.io_mhz is not None else comp
+            configs.append(
+                RoleConfig(
+                    plan.assignment,
+                    comp_level=comp,
+                    io_level=io,
+                    proc_budget_s=_budget(plan),
+                )
+            )
+        return tuple(configs)
+
+    def describe(self) -> str:
+        return f"Pinned({', '.join(f'{m:g}' for m in self.comp_mhz)} MHz)"

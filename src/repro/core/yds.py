@@ -1,0 +1,215 @@
+"""The Yao-Demers-Shenker (YDS) optimal voltage schedule.
+
+The paper's related work (§2) starts from "the initial scheduling model
+... introduced by Yao et al": given jobs with arrival times, deadlines
+and work, a variable-speed processor minimizes energy (convex in speed)
+by running each *critical interval* — the window of maximum work
+density — at exactly its density, recursively.
+
+This module implements the classic algorithm and two bridges to the
+paper's setting:
+
+- :func:`discretize_to_table` splits each continuous-speed segment
+  between the two adjacent SA-1100 operating points (the standard
+  two-level emulation, energy-optimal for convex power);
+- for the paper's periodic single-frame workload, YDS degenerates to a
+  constant speed equal to
+  :func:`repro.pipeline.schedule.required_frequency_mhz` — i.e. the
+  paper's slowest-feasible policy *is* YDS-optimal for its workload,
+  which the tests verify.
+
+Speeds here are abstract work-units per second; for the Itsy, work is
+"seconds at 206.4 MHz" and speed 1.0 means running at 206.4 MHz.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import ConfigurationError, ScheduleError
+from repro.hw.dvs import DVSTable, FrequencyLevel
+
+__all__ = [
+    "Job",
+    "SpeedSegment",
+    "yds_schedule",
+    "schedule_energy",
+    "peak_speed",
+    "discretize_to_table",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One piece of work with a release time and a deadline.
+
+    Attributes
+    ----------
+    name:
+        Identifier carried into the schedule.
+    arrival, deadline:
+        Feasibility window, ``deadline > arrival``.
+    work:
+        Execution requirement at unit speed.
+    """
+
+    name: str
+    arrival: float
+    deadline: float
+    work: float
+
+    def __post_init__(self) -> None:
+        if self.deadline <= self.arrival:
+            raise ConfigurationError(
+                f"job {self.name}: deadline must exceed arrival"
+            )
+        if self.work < 0:
+            raise ConfigurationError(f"job {self.name}: negative work")
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedSegment:
+    """One constant-speed piece of the optimal profile."""
+
+    start: float
+    end: float
+    speed: float
+    jobs: tuple[str, ...]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def work(self) -> float:
+        return self.speed * self.duration
+
+
+def _critical_interval(jobs: t.Sequence[Job]) -> tuple[float, float, float, list[Job]]:
+    """The window of maximum work density and the jobs inside it."""
+    arrivals = sorted({j.arrival for j in jobs})
+    deadlines = sorted({j.deadline for j in jobs})
+    best: tuple[float, float, float, list[Job]] | None = None
+    for t1 in arrivals:
+        for t2 in deadlines:
+            if t2 <= t1:
+                continue
+            inside = [j for j in jobs if j.arrival >= t1 and j.deadline <= t2]
+            if not inside:
+                continue
+            density = sum(j.work for j in inside) / (t2 - t1)
+            if best is None or density > best[2] + 1e-15:
+                best = (t1, t2, density, inside)
+    if best is None:  # pragma: no cover - guarded by caller
+        raise ScheduleError("no critical interval found")
+    return best
+
+
+def yds_schedule(jobs: t.Sequence[Job]) -> list[SpeedSegment]:
+    """The energy-optimal speed profile for ``jobs``.
+
+    Returns constant-speed segments sorted by start time; zero-speed
+    gaps are omitted. Each segment lists the jobs the critical-interval
+    extraction assigned to it (executed EDF within the segment).
+    """
+    live = [j for j in jobs if j.work > 0]
+    if not live:
+        return []
+
+    t1, t2, density, inside = _critical_interval(live)
+    length = t2 - t1
+    inside_names = {j.name for j in inside}
+
+    # Compress the timeline by cutting [t1, t2] out, recurse on the rest.
+    def compress(x: float) -> float:
+        if x <= t1:
+            return x
+        if x >= t2:
+            return x - length
+        return t1
+
+    rest = [
+        Job(j.name, compress(j.arrival), compress(j.deadline), j.work)
+        for j in live
+        if j.name not in inside_names
+    ]
+    sub = yds_schedule(rest)
+
+    # Expand the sub-schedule back, splitting any segment spanning t1.
+    expanded: list[SpeedSegment] = []
+    for seg in sub:
+        if seg.end <= t1:
+            expanded.append(seg)
+        elif seg.start >= t1:
+            expanded.append(
+                SpeedSegment(seg.start + length, seg.end + length, seg.speed, seg.jobs)
+            )
+        else:
+            expanded.append(SpeedSegment(seg.start, t1, seg.speed, seg.jobs))
+            expanded.append(
+                SpeedSegment(t2, seg.end + length, seg.speed, seg.jobs)
+            )
+    expanded.append(
+        SpeedSegment(t1, t2, density, tuple(sorted(inside_names)))
+    )
+    expanded.sort(key=lambda s: s.start)
+    return expanded
+
+
+def peak_speed(segments: t.Sequence[SpeedSegment]) -> float:
+    """The maximum speed the profile ever uses (0 for an empty profile)."""
+    return max((s.speed for s in segments), default=0.0)
+
+
+def schedule_energy(
+    segments: t.Sequence[SpeedSegment], exponent: float = 3.0
+) -> float:
+    """Energy of a speed profile under the classic convex model P = s^e.
+
+    With dynamic power cubic in speed (P ∝ f·V² and V ∝ f), energy per
+    segment is ``duration * speed^exponent``. Useful for comparing
+    profiles; absolute units are arbitrary.
+    """
+    if exponent < 1.0:
+        raise ConfigurationError("power exponent must be >= 1 (convex)")
+    return sum(s.duration * s.speed**exponent for s in segments)
+
+
+def discretize_to_table(
+    segments: t.Sequence[SpeedSegment],
+    table: DVSTable,
+    unit_speed_mhz: float | None = None,
+) -> list[tuple[SpeedSegment, FrequencyLevel, FrequencyLevel, float]]:
+    """Map continuous speeds onto real operating points.
+
+    Each segment of speed ``s`` (in units where 1.0 = ``unit_speed_mhz``,
+    default the table maximum) is emulated by the two adjacent DVS
+    levels: run the faster level for fraction ``x`` and the slower for
+    ``1 - x`` such that the average frequency matches — the standard
+    two-speed emulation, optimal for convex power.
+
+    Returns ``(segment, low_level, high_level, high_fraction)`` rows.
+
+    Raises
+    ------
+    ScheduleError
+        If any segment needs more than the fastest level.
+    """
+    unit = unit_speed_mhz or table.max.mhz
+    rows = []
+    for seg in segments:
+        mhz = seg.speed * unit
+        if mhz > table.max.mhz + 1e-9:
+            raise ScheduleError(
+                f"segment [{seg.start:g}, {seg.end:g}] needs {mhz:.1f} MHz "
+                f"> max {table.max.mhz:g}"
+            )
+        high = table.ceil(mhz)
+        low = table.floor(mhz)
+        if high.mhz == low.mhz:
+            fraction = 1.0
+        else:
+            fraction = (mhz - low.mhz) / (high.mhz - low.mhz)
+        rows.append((seg, low, high, fraction))
+    return rows

@@ -1,0 +1,116 @@
+"""Abstract battery interface.
+
+All battery models integrate *piecewise-constant* current loads: the
+node's power-mode state machine guarantees the draw only changes at
+discrete events, so a model needs exactly two operations —
+
+- :meth:`Battery.draw`: advance the state under a constant current for
+  a known duration;
+- :meth:`Battery.time_to_death`: predict, from the current state, how
+  long a constant current can be sustained before the cell is empty.
+
+The prediction is what lets the simulator schedule an exact death event
+whenever the load changes, instead of polling.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import BatteryError
+from repro.units import mas_to_mah
+
+__all__ = ["Battery"]
+
+
+class Battery(abc.ABC):
+    """A battery integrating piecewise-constant current loads.
+
+    Canonical units: current in mA, charge in mA*s, time in seconds.
+    """
+
+    def __init__(self, capacity_mah: float):
+        if capacity_mah <= 0:
+            raise BatteryError(f"capacity must be positive, got {capacity_mah} mAh")
+        self.capacity_mah = float(capacity_mah)
+        self._delivered_mas = 0.0
+
+    # -- required model behaviour ---------------------------------------
+    @abc.abstractmethod
+    def _advance(self, current_ma: float, dt_s: float) -> None:
+        """Advance internal state by ``dt_s`` seconds at ``current_ma``."""
+
+    @abc.abstractmethod
+    def time_to_death(self, current_ma: float) -> float:
+        """Seconds until exhaustion under constant ``current_ma``.
+
+        Returns ``0.0`` if already dead and ``float('inf')`` if the
+        current is sustainable forever (e.g. zero draw).
+        """
+
+    def time_to_death_lower_bound(self, current_ma: float) -> float:
+        """A cheap lower bound on :meth:`time_to_death`.
+
+        Callers that only need to know death is *not before* some time
+        (e.g. the node's death-timer scheduling) use this to avoid the
+        exact root solve on every load change. The default is the exact
+        value; models with expensive exact solutions override it.
+        """
+        return self.time_to_death(current_ma)
+
+    @abc.abstractmethod
+    def charge_fraction(self) -> float:
+        """Remaining usable charge as a fraction of nominal capacity.
+
+        For models with bound charge this counts *all* remaining charge
+        (available + bound); it is a reporting quantity, not a death
+        predictor.
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Restore the factory-fresh (fully charged) state."""
+
+    # -- shared behaviour ----------------------------------------------
+    @property
+    def is_dead(self) -> bool:
+        """True once the cell can no longer sustain any load."""
+        return self.time_to_death(1e-9) <= 0.0
+
+    @property
+    def delivered_mah(self) -> float:
+        """Total charge actually delivered so far, in mAh."""
+        return mas_to_mah(self._delivered_mas)
+
+    def draw(self, current_ma: float, dt_s: float) -> None:
+        """Integrate a constant ``current_ma`` load over ``dt_s`` seconds.
+
+        Raises
+        ------
+        BatteryError
+            If the current is negative (charging is out of scope), the
+            duration is negative, or the load would exhaust the cell
+            *before* ``dt_s`` elapses — callers must consult
+            :meth:`time_to_death` first and truncate the segment.
+        """
+        if current_ma < 0:
+            raise BatteryError(f"negative current {current_ma} mA (charging unsupported)")
+        if dt_s < 0:
+            raise BatteryError(f"negative duration {dt_s} s")
+        if dt_s == 0.0:
+            return
+        # Fast path: the cheap bound usually proves the segment is safe;
+        # the exact (and possibly expensive) solve runs only near death.
+        if self.time_to_death_lower_bound(current_ma) < dt_s - 1e-9:
+            ttd = self.time_to_death(current_ma)
+            if ttd < dt_s - 1e-9:
+                raise BatteryError(
+                    f"battery dies after {ttd:.3f}s but draw() asked for {dt_s:.3f}s "
+                    f"at {current_ma:.1f} mA; truncate the segment at time_to_death()"
+                )
+        self._advance(current_ma, dt_s)
+        self._delivered_mas += current_ma * dt_s
+
+    def _reset_delivery(self) -> None:
+        """Helper for subclasses' :meth:`reset`."""
+        self._delivered_mas = 0.0

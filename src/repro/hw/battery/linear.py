@@ -1,0 +1,52 @@
+"""Ideal linear battery: a plain charge bucket.
+
+No rate-capacity effect, no recovery. Included as the ablation
+baseline showing that the paper's conclusions *depend* on battery
+nonlinearity: with a linear cell, experiment (1A)'s "regained capacity"
+disappears and minimizing average current is exactly equivalent to
+maximizing lifetime.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BatteryError
+from repro.hw.battery.base import Battery
+from repro.units import mah_to_mas
+
+__all__ = ["LinearBattery"]
+
+
+class LinearBattery(Battery):
+    """Charge bucket: lifetime = remaining_charge / current, always."""
+
+    def __init__(self, capacity_mah: float):
+        super().__init__(capacity_mah)
+        self._remaining_mas = mah_to_mas(capacity_mah)
+
+    @property
+    def remaining_mas(self) -> float:
+        """Remaining charge in mA*s."""
+        return self._remaining_mas
+
+    def charge_fraction(self) -> float:
+        return max(0.0, self._remaining_mas / mah_to_mas(self.capacity_mah))
+
+    def _advance(self, current_ma: float, dt_s: float) -> None:
+        self._remaining_mas -= current_ma * dt_s
+        if self._remaining_mas < 0.0:
+            if self._remaining_mas < -1e-6:
+                raise BatteryError("linear battery over-drawn; truncate at time_to_death()")
+            self._remaining_mas = 0.0
+
+    def time_to_death(self, current_ma: float) -> float:
+        if current_ma < 0:
+            raise BatteryError(f"negative current {current_ma} mA")
+        if self._remaining_mas <= 0.0:
+            return 0.0
+        if current_ma == 0.0:
+            return float("inf")
+        return self._remaining_mas / current_ma
+
+    def reset(self) -> None:
+        self._remaining_mas = mah_to_mas(self.capacity_mah)
+        self._reset_delivery()

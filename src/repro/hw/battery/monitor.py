@@ -1,0 +1,94 @@
+"""Battery telemetry, mirroring Itsy's on-board power instrumentation.
+
+The paper collected its power profile with "Itsy's built-in power
+monitor" (§4.4). :class:`BatteryMonitor` plays that role in the
+simulation: it samples state-of-charge over time and accumulates
+per-mode charge so figures and tests can ask "how much charge went to
+communication vs computation".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.hw.battery.base import Battery
+
+__all__ = ["BatterySample", "BatteryMonitor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatterySample:
+    """One telemetry point.
+
+    Attributes
+    ----------
+    time_s:
+        Simulated time of the sample.
+    charge_fraction:
+        Remaining charge fraction (available + bound) at that time.
+    current_ma:
+        Current draw in effect when the sample was taken.
+    mode:
+        Power-mode label in effect (``"idle"``, ``"communication"``...).
+    """
+
+    time_s: float
+    charge_fraction: float
+    current_ma: float
+    mode: str
+
+
+class BatteryMonitor:
+    """Records samples and per-mode charge for one battery.
+
+    Parameters
+    ----------
+    battery:
+        The cell being observed.
+    sample_interval_s:
+        Minimum spacing between stored samples; draws arriving faster
+        update accumulators but do not append samples. ``0`` stores
+        every draw.
+    """
+
+    def __init__(self, battery: Battery, sample_interval_s: float = 60.0):
+        self.battery = battery
+        self.sample_interval_s = sample_interval_s
+        self.samples: list[BatterySample] = []
+        self.charge_by_mode_mas: dict[str, float] = {}
+        self.time_by_mode_s: dict[str, float] = {}
+        self._last_sample_time = -float("inf")
+
+    def observe(self, time_s: float, current_ma: float, dt_s: float, mode: str) -> None:
+        """Account one constant-current segment ending at ``time_s``."""
+        self.charge_by_mode_mas[mode] = (
+            self.charge_by_mode_mas.get(mode, 0.0) + current_ma * dt_s
+        )
+        self.time_by_mode_s[mode] = self.time_by_mode_s.get(mode, 0.0) + dt_s
+        if time_s - self._last_sample_time >= self.sample_interval_s:
+            self.samples.append(
+                BatterySample(
+                    time_s=time_s,
+                    charge_fraction=self.battery.charge_fraction(),
+                    current_ma=current_ma,
+                    mode=mode,
+                )
+            )
+            self._last_sample_time = time_s
+
+    @property
+    def total_charge_mas(self) -> float:
+        """Total charge accounted across all modes, mA*s."""
+        return sum(self.charge_by_mode_mas.values())
+
+    def mode_share(self, mode: str) -> float:
+        """Fraction of total charge drawn in ``mode`` (0 if nothing drawn)."""
+        total = self.total_charge_mas
+        if total <= 0:
+            return 0.0
+        return self.charge_by_mode_mas.get(mode, 0.0) / total
+
+    def discharge_curve(self) -> list[tuple[float, float]]:
+        """(time_s, charge_fraction) pairs for plotting."""
+        return [(s.time_s, s.charge_fraction) for s in self.samples]

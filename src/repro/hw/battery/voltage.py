@@ -1,0 +1,177 @@
+"""Pack-voltage sag and constant-power regulation.
+
+The Itsy runs from a nominally 4 V Li-ion pack through a DC-DC
+regulator. The electronics draw (roughly) constant *power*, so as the
+pack's open-circuit voltage sags with state of charge, the *cell*
+current rises above the nominal figure the Fig. 7 curves quote —
+accelerating the end of discharge.
+
+:class:`VoltageAwareBattery` wraps any base battery model with this
+effect: a load current defined at ``nominal_volts`` is scaled by
+``nominal_volts / (V(soc) * efficiency)`` before reaching the cell,
+with the open-circuit voltage taken from a piecewise-linear
+:class:`OcvCurve`. Death prediction replays the same quasi-static
+sub-stepping on a copy of the cell, so the node's death-timer contract
+(draw up to ``time_to_death`` never over-draws) still holds.
+
+Note on calibration: the shipped KiBaM constants were fitted to the
+paper's *measured lifetimes*, so they already absorb any sag present in
+the hardware. Wrapping the calibrated cell therefore double-counts the
+effect — the voltage-sag ablation uses the wrapper to bound how much of
+the "effective capacity" story sag could account for, not to improve
+the paper-faithful experiments.
+"""
+
+from __future__ import annotations
+
+import copy
+import typing as t
+
+from repro.errors import BatteryError
+from repro.hw.battery.base import Battery
+
+__all__ = ["OcvCurve", "LIION_OCV", "VoltageAwareBattery"]
+
+
+class OcvCurve:
+    """Piecewise-linear open-circuit voltage vs state of charge.
+
+    Parameters
+    ----------
+    points:
+        (soc, volts) pairs with strictly increasing soc covering
+        [0, 1]; voltages must be positive and non-decreasing in soc.
+    """
+
+    def __init__(self, points: t.Sequence[tuple[float, float]]):
+        points = sorted((float(s), float(v)) for s, v in points)
+        if len(points) < 2:
+            raise BatteryError("an OCV curve needs at least two points")
+        socs = [p[0] for p in points]
+        volts = [p[1] for p in points]
+        if socs[0] != 0.0 or socs[-1] != 1.0:
+            raise BatteryError("OCV curve must cover soc = 0 .. 1")
+        if any(b <= a for a, b in zip(socs, socs[1:])):
+            raise BatteryError("OCV soc points must be strictly increasing")
+        if any(v <= 0 for v in volts):
+            raise BatteryError("OCV voltages must be positive")
+        if any(b < a for a, b in zip(volts, volts[1:])):
+            raise BatteryError("OCV voltage must be non-decreasing in soc")
+        self.points = points
+
+    def volts(self, soc: float) -> float:
+        """Open-circuit voltage at a state of charge (clamped to [0, 1])."""
+        soc = min(1.0, max(0.0, soc))
+        for (s0, v0), (s1, v1) in zip(self.points, self.points[1:]):
+            if soc <= s1:
+                frac = (soc - s0) / (s1 - s0)
+                return v0 + frac * (v1 - v0)
+        return self.points[-1][1]  # pragma: no cover - clamped above
+
+    @property
+    def min_volts(self) -> float:
+        """Voltage at empty — the worst case for current scaling."""
+        return self.points[0][1]
+
+
+#: A generic single-cell Li-ion shape, scaled to the Itsy's ~4 V pack.
+LIION_OCV = OcvCurve(
+    [(0.0, 3.3), (0.1, 3.6), (0.5, 3.75), (0.8, 3.95), (1.0, 4.15)]
+)
+
+
+class VoltageAwareBattery(Battery):
+    """Wrap a battery with voltage-sag / constant-power current scaling.
+
+    Parameters
+    ----------
+    inner:
+        The cell model holding the actual charge state.
+    ocv:
+        Open-circuit voltage curve.
+    nominal_volts:
+        The voltage the load currents are quoted at (Fig. 7: ~4 V).
+    efficiency:
+        DC-DC conversion efficiency in (0, 1].
+    substep_s:
+        Quasi-static integration step: within each sub-step the scale
+        factor is held at the entry state of charge. The pack's soc
+        moves slowly (hours), so minutes-scale sub-steps are ample.
+    """
+
+    def __init__(
+        self,
+        inner: Battery,
+        ocv: OcvCurve = LIION_OCV,
+        nominal_volts: float = 4.0,
+        efficiency: float = 0.9,
+        substep_s: float = 60.0,
+    ):
+        super().__init__(inner.capacity_mah)
+        if not 0.0 < efficiency <= 1.0:
+            raise BatteryError(f"efficiency must be in (0, 1]: {efficiency}")
+        if nominal_volts <= 0 or substep_s <= 0:
+            raise BatteryError("nominal_volts and substep_s must be positive")
+        self.inner = inner
+        self.ocv = ocv
+        self.nominal_volts = float(nominal_volts)
+        self.efficiency = float(efficiency)
+        self.substep_s = float(substep_s)
+
+    # -- scaling ------------------------------------------------------------
+    def _scale(self, cell: Battery) -> float:
+        """Cell-current multiplier at the cell's present state of charge."""
+        volts = self.ocv.volts(cell.charge_fraction())
+        return self.nominal_volts / (volts * self.efficiency)
+
+    def _max_scale(self) -> float:
+        return self.nominal_volts / (self.ocv.min_volts * self.efficiency)
+
+    # -- Battery contract -------------------------------------------------
+    def charge_fraction(self) -> float:
+        return self.inner.charge_fraction()
+
+    def _advance(self, current_ma: float, dt_s: float) -> None:
+        remaining = dt_s
+        while remaining > 1e-12:
+            step = min(self.substep_s, remaining)
+            self.inner.draw(current_ma * self._scale(self.inner), step)
+            remaining -= step
+
+    def time_to_death(self, current_ma: float) -> float:
+        """Replay the quasi-static discharge on a copy of the cell."""
+        if current_ma < 0:
+            raise BatteryError(f"negative current {current_ma} mA")
+        if current_ma == 0.0:
+            return self.inner.time_to_death(0.0)
+        cell = copy.deepcopy(self.inner)
+        elapsed = 0.0
+        while True:
+            scaled = current_ma * self.nominal_volts / (
+                self.ocv.volts(cell.charge_fraction()) * self.efficiency
+            )
+            ttd = cell.time_to_death(scaled)
+            if ttd <= self.substep_s:
+                return elapsed + ttd
+            cell.draw(scaled, self.substep_s)
+            elapsed += self.substep_s
+
+    def time_to_death_lower_bound(self, current_ma: float) -> float:
+        """Bound via the worst-case (empty-pack) current scaling."""
+        if current_ma < 0:
+            raise BatteryError(f"negative current {current_ma} mA")
+        if current_ma == 0.0:
+            return self.inner.time_to_death_lower_bound(0.0)
+        return self.inner.time_to_death_lower_bound(
+            current_ma * self._max_scale()
+        )
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._reset_delivery()
+
+    @property
+    def cell_delivered_mah(self) -> float:
+        """Charge the *cell* delivered (exceeds the load-side figure by
+        the sag/efficiency overhead)."""
+        return self.inner.delivered_mah

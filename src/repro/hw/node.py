@@ -1,0 +1,376 @@
+"""The node: one Itsy pocket computer.
+
+A node bundles a DVS-capable CPU, a battery, and serial-link endpoints
+behind a *power-mode state machine*. The paper's §4.4 taxonomy — idle /
+communication / computation — maps one-to-one onto
+:class:`~repro.hw.power.PowerMode`; the battery is integrated lazily
+over the piecewise-constant segments between mode changes, and a death
+timer is (re)scheduled on every change so battery exhaustion interrupts
+the node at the exact simulated instant the available charge runs out.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.battery import Battery, BatteryMonitor
+from repro.hw.dvs import DVSTable, FrequencyLevel
+from repro.hw.link import SerialLink, Transfer
+from repro.hw.power import PowerMode, PowerModel
+from repro.sim import Event, Process, Simulator, TraceRecorder
+
+__all__ = ["ItsyNode", "NodeDead"]
+
+
+class NodeDead:
+    """Interrupt cause delivered to a node's processes on battery death.
+
+    Attributes
+    ----------
+    node:
+        Name of the node that died.
+    time_s:
+        Simulated time of death.
+    """
+
+    def __init__(self, node: str, time_s: float):
+        self.node = node
+        self.time_s = time_s
+
+    def __repr__(self) -> str:
+        return f"NodeDead({self.node!r} at {self.time_s:.3f}s)"
+
+
+class ItsyNode:
+    """One battery-powered, DVS-capable pipeline node.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Actor name, used in traces and link endpoints.
+    battery:
+        The node's private battery (the paper's point is precisely that
+        batteries are *not* shared).
+    power_model:
+        Mode/frequency -> current lookup.
+    dvs_table:
+        Available operating points.
+    trace:
+        Optional trace recorder (Figs. 2/3/9).
+    monitor:
+        Optional battery telemetry.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        battery: Battery,
+        power_model: PowerModel,
+        dvs_table: DVSTable,
+        trace: TraceRecorder | None = None,
+        monitor: BatteryMonitor | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.battery = battery
+        self.power_model = power_model
+        self.dvs_table = dvs_table
+        self.trace = trace
+        self.monitor = monitor
+
+        self.mode = PowerMode.IDLE
+        self.level: FrequencyLevel = dvs_table.min
+        self.activity = "idle"
+        self._detail = ""
+        self._segment_start = sim.now
+        self._current_ma = power_model.current_ma(self.mode, self.level)
+
+        #: Fires (once) with a :class:`NodeDead` when the battery dies.
+        self.died: Event = sim.event()
+        self.death_time_s: float | None = None
+        self._death_generation = 0
+        self._attached: list[Process] = []
+        self._open_offers: list[tuple[SerialLink, Event]] = []
+        #: Completed frames this node has fully processed (diagnostics).
+        self.frames_processed = 0
+        #: DVS level changes performed (the paper treats them as free;
+        #: the switch-cost ablation uses this to quantify that choice).
+        self.level_switches = 0
+
+        self._schedule_death_timer()
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def is_dead(self) -> bool:
+        """True once the battery has been exhausted."""
+        return self.mode is PowerMode.DEAD
+
+    @property
+    def current_ma(self) -> float:
+        """Present battery current draw."""
+        return self._current_ma
+
+    def attach(self, process: Process) -> Process:
+        """Register a process to be interrupted when this node dies."""
+        self._attached.append(process)
+        return process
+
+    def spawn(self, generator: t.Generator, name: str | None = None) -> Process:
+        """Start and attach a process in one call."""
+        return self.attach(self.sim.process(generator, name=name or self.name))
+
+    # -- the power-mode state machine ----------------------------------
+    def set_state(
+        self,
+        mode: PowerMode,
+        level: FrequencyLevel | None = None,
+        activity: str | None = None,
+        detail: str = "",
+    ) -> None:
+        """Transition to ``mode`` (and optionally a new DVS level) *now*.
+
+        Integrates the battery over the segment just ended, records it
+        in the trace, and reschedules the death timer for the new draw.
+        """
+        if self.is_dead:
+            raise SimulationError(f"node {self.name!r} is dead; cannot set state")
+        if level is None:
+            level = self.level
+        if level not in self.dvs_table.levels:
+            raise ConfigurationError(f"{level} is not in this node's DVS table")
+        self._close_segment()
+        if level is not self.level:
+            self.level_switches += 1
+        self.mode = mode
+        self.level = level
+        self.activity = activity if activity is not None else str(mode)
+        self._detail = detail
+        self._current_ma = self.power_model.current_ma(mode, level)
+        self._schedule_death_timer()
+
+    def _close_segment(self) -> None:
+        """Integrate battery/trace over [segment_start, now]."""
+        now = self.sim.now
+        dt = now - self._segment_start
+        if dt > 0:
+            self.battery.draw(self._current_ma, dt)
+            if self.monitor is not None:
+                self.monitor.observe(now, self._current_ma, dt, str(self.mode))
+            if self.trace is not None:
+                self.trace.add(
+                    self.name,
+                    self._segment_start,
+                    now,
+                    self.activity,
+                    frequency_mhz=self.level.mhz,
+                    current_ma=self._current_ma,
+                    detail=self._detail,
+                )
+        self._segment_start = now
+
+    # -- death handling -----------------------------------------------------
+    def _schedule_death_timer(self) -> None:
+        """Arm a one-shot callback no later than battery exhaustion.
+
+        Uses the battery's cheap lower bound; the exact (root-solved)
+        death time is computed only when the bound expires with the
+        same draw still in effect, so steady operation far from death
+        costs no root solves.
+        """
+        self._death_generation += 1
+        generation = self._death_generation
+        bound = self.battery.time_to_death_lower_bound(self._current_ma)
+        if bound == float("inf"):
+            return
+        self._arm_death_timer(generation, bound)
+
+    def _arm_death_timer(self, generation: int, delay_s: float) -> None:
+        timer = self.sim.timeout(max(0.0, delay_s))
+        timer.add_callback(lambda _event: self._on_death_timer(generation))
+
+    def _on_death_timer(self, generation: int) -> None:
+        if generation != self._death_generation or self.is_dead:
+            return  # draw changed since this timer was armed
+        # Battery state is lazily integrated: it is current as of
+        # _segment_start, so the exact death instant for the ongoing
+        # constant draw is _segment_start + time_to_death().
+        exact = self.battery.time_to_death(self._current_ma)
+        death_at = self._segment_start + exact
+        if death_at > self.sim.now + 1e-9:
+            self._arm_death_timer(generation, death_at - self.sim.now)
+            return
+        self._die()
+
+    def fail_at(self, time_s: float) -> None:
+        """Schedule a forced failure at absolute simulated time ``time_s``.
+
+        Fault injection for testing the §5.4 recovery protocol with a
+        failure cause other than battery exhaustion (a crash, a pulled
+        battery): the node dies at exactly that instant, with whatever
+        charge remains stranded.
+        """
+        if time_s < self.sim.now:
+            raise SimulationError(
+                f"cannot schedule a failure in the past ({time_s} < {self.sim.now})"
+            )
+        timer = self.sim.timeout(time_s - self.sim.now)
+        timer.add_callback(lambda _event: None if self.is_dead else self._die())
+
+    def _die(self) -> None:
+        """Common death path: close accounting, notify, cancel offers."""
+        self._close_segment()
+        self.mode = PowerMode.DEAD
+        self.activity = "dead"
+        self._current_ma = 0.0
+        self.death_time_s = self.sim.now
+        self._death_generation += 1
+        # Withdraw pending link offers so live peers cannot rendezvous
+        # with a corpse.
+        for link, offer in self._open_offers:
+            link.cancel(offer)
+        self._open_offers.clear()
+        cause = NodeDead(self.name, self.sim.now)
+        self.died.succeed(cause)
+        for process in self._attached:
+            if process.is_alive:
+                process.interrupt(cause)
+
+    # -- behaviour helpers (generators for process bodies) ---------------
+    def compute(
+        self,
+        seconds_at_max: float,
+        level: FrequencyLevel,
+        activity: str = "proc",
+        detail: str = "",
+    ) -> t.Generator:
+        """Run ``seconds_at_max`` (profiled at f_max) of work at ``level``.
+
+        Yields inside a process body::
+
+            yield from node.compute(0.162, level)
+        """
+        scaled = self.dvs_table.scale_time(seconds_at_max, level)
+        self.set_state(PowerMode.COMPUTATION, level, activity, detail)
+        yield self.sim.timeout(scaled)
+        self.set_state(PowerMode.IDLE, level, "idle")
+
+    def transfer(
+        self,
+        link: SerialLink,
+        grant: Event,
+        io_level: FrequencyLevel,
+        activity: str,
+        detail: str = "",
+    ) -> t.Generator:
+        """Complete one link transaction, managing power modes.
+
+        The node idles (at its current level) while waiting for the
+        rendezvous, switches to COMMUNICATION at ``io_level`` for the
+        transaction itself, then returns to IDLE. Returns the
+        :class:`~repro.hw.link.Transfer`.
+        """
+        self._open_offers.append((link, grant))
+        self.set_state(PowerMode.IDLE, self.level, "wait", detail)
+        try:
+            transfer: Transfer = yield grant
+        finally:
+            try:
+                self._open_offers.remove((link, grant))
+            except ValueError:
+                pass  # already cleared by death handling
+        self.set_state(PowerMode.COMMUNICATION, io_level, activity, detail)
+        yield transfer.done
+        self.set_state(PowerMode.IDLE, io_level, "idle")
+        return transfer
+
+    def transfer_or_timeout(
+        self,
+        link: SerialLink,
+        grant: Event,
+        io_level: FrequencyLevel,
+        activity: str,
+        timeout_s: float,
+        detail: str = "",
+    ) -> t.Generator:
+        """Like :meth:`transfer`, but give up after ``timeout_s`` waiting.
+
+        Returns the :class:`~repro.hw.link.Transfer`, or ``None`` if the
+        rendezvous did not start within the timeout (the offer is then
+        withdrawn). This is the primitive the §5.4 failure-detection
+        protocol is built on.
+        """
+        self._open_offers.append((link, grant))
+        self.set_state(PowerMode.IDLE, self.level, "wait", detail)
+        timer = self.sim.timeout(timeout_s)
+        try:
+            yield self.sim.any_of([grant, timer])
+        finally:
+            try:
+                self._open_offers.remove((link, grant))
+            except ValueError:
+                pass  # already cleared by death handling
+        if not grant.triggered:
+            link.cancel(grant)
+            return None
+        transfer: Transfer = grant.value
+        self.set_state(PowerMode.COMMUNICATION, io_level, activity, detail)
+        yield transfer.done
+        self.set_state(PowerMode.IDLE, io_level, "idle")
+        return transfer
+
+    def comm_delay(
+        self, seconds: float, io_level: FrequencyLevel, activity: str = "ack", detail: str = ""
+    ) -> t.Generator:
+        """Spend fixed time in COMMUNICATION mode without a link partner.
+
+        Models protocol exchanges with the mains-powered host (whose
+        side of the transaction costs it nothing we account for), e.g.
+        acknowledgment transactions in the recovery protocol.
+        """
+        if seconds <= 0:
+            return
+        self.set_state(PowerMode.COMMUNICATION, io_level, activity, detail)
+        yield self.sim.timeout(seconds)
+        self.set_state(PowerMode.IDLE, io_level, "idle")
+
+    def idle_for(self, seconds: float, level: FrequencyLevel | None = None) -> t.Generator:
+        """Idle at ``level`` (default: current) for a fixed time."""
+        self.set_state(PowerMode.IDLE, level or self.level, "idle")
+        yield self.sim.timeout(seconds)
+
+    def sleep_for(self, seconds: float, wake_latency_s: float = 0.0) -> t.Generator:
+        """Deep-sleep for ``seconds``, then pay the wake-up latency.
+
+        Sleep draws the power model's flat ``sleep_ma``; the wake-up
+        (PLL restart, DRAM exit from self-refresh) is charged at the
+        computation current of the current level. The Itsy platform
+        supports this mode; the paper's experiments idle instead — the
+        sleep-in-slack extension measures the difference.
+        """
+        if seconds <= 0:
+            return
+        self.set_state(PowerMode.SLEEP, self.level, "sleep")
+        yield self.sim.timeout(seconds)
+        if wake_latency_s > 0:
+            self.set_state(PowerMode.COMPUTATION, self.level, "wake")
+            yield self.sim.timeout(wake_latency_s)
+        self.set_state(PowerMode.IDLE, self.level, "idle")
+
+    def reconfigure(self, seconds: float, detail: str = "") -> t.Generator:
+        """Spend ``seconds`` reloading code during a rotation (§5.5).
+
+        Modelled at computation power: the node is refreshing its code
+        memory, not sleeping.
+        """
+        if seconds <= 0:
+            return
+        self.set_state(PowerMode.COMPUTATION, self.level, "reconfig", detail)
+        yield self.sim.timeout(seconds)
+        self.set_state(PowerMode.IDLE, self.level, "idle")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ItsyNode {self.name!r} {self.mode} @ {self.level}>"

@@ -1,0 +1,57 @@
+"""The distributed pipeline: partitioned execution of a task chain.
+
+This package turns a :class:`~repro.apps.atr.profile.TaskProfile` plus
+a :class:`~repro.pipeline.tasks.Partition` into running simulation
+processes:
+
+- :mod:`repro.pipeline.tasks` — partitions of the block chain onto
+  nodes and the per-node payload/work accounting.
+- :mod:`repro.pipeline.schedule` — the static per-node frame schedule
+  (RECV -> PROC -> SEND inside the frame delay D) and required-
+  frequency arithmetic.
+- :mod:`repro.pipeline.engine` — the discrete-event execution engine:
+  host source/sink, node frame loops, stall detection, results.
+- :mod:`repro.pipeline.rotation` — the §5.5 node-rotation controller.
+- :mod:`repro.pipeline.recovery` — the §5.4 ack/timeout power-failure
+  recovery protocol with workload migration.
+"""
+
+from repro.pipeline.tasks import NodeAssignment, Partition, enumerate_partitions
+from repro.pipeline.schedule import FrameSchedule, NodePlan, plan_node
+from repro.pipeline.engine import (
+    Frame,
+    PipelineConfig,
+    PipelineEngine,
+    PipelineResult,
+    RoleConfig,
+)
+from repro.pipeline.rotation import RotationController
+from repro.pipeline.workload import (
+    BurstyWorkload,
+    ConstantWorkload,
+    TraceWorkload,
+    UniformWorkload,
+    WorkloadModel,
+)
+from repro.pipeline.recovery import RecoveryConfig
+
+__all__ = [
+    "Partition",
+    "NodeAssignment",
+    "enumerate_partitions",
+    "FrameSchedule",
+    "NodePlan",
+    "plan_node",
+    "Frame",
+    "RoleConfig",
+    "PipelineConfig",
+    "PipelineEngine",
+    "PipelineResult",
+    "RotationController",
+    "RecoveryConfig",
+    "WorkloadModel",
+    "ConstantWorkload",
+    "UniformWorkload",
+    "BurstyWorkload",
+    "TraceWorkload",
+]

@@ -1,0 +1,795 @@
+"""The distributed-pipeline execution engine.
+
+Builds the simulated testbed — host hub, nodes, links — from a
+:class:`PipelineConfig` and runs the paper's frame protocol (§3) until
+the batteries give out:
+
+- the **host source** emits one frame every D seconds to whichever node
+  currently holds pipeline role 0;
+- each **node** loops RECV -> PROC -> SEND for its role, fully
+  serialized, switching power modes (and DVS levels, per policy) as it
+  goes;
+- the **host sink** listens on every node's serial port and records
+  final results;
+- a **watchdog** ends the run when all nodes are dead, when the
+  pipeline has stalled (a node died and nothing progresses — the
+  paper's experiments (2)/(2A)), or at a safety horizon.
+
+Node rotation (§5.5) and power-failure recovery (§5.4) plug into the
+node loop; see :mod:`repro.pipeline.rotation` and
+:mod:`repro.pipeline.recovery` for the protocol definitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import ConfigurationError
+from repro.hw.battery import Battery, BatteryMonitor
+from repro.hw.dvs import SA1100_TABLE, DVSTable, FrequencyLevel
+from repro.hw.host import HOST_NAME, HostHub
+from repro.hw.link import PAPER_LINK_TIMING, SerialLink, TransactionTiming
+from repro.hw.node import ItsyNode
+from repro.hw.power import PAPER_POWER_MODEL, PowerModel
+from repro.pipeline.recovery import RecoveryConfig
+from repro.pipeline.rotation import RotationController
+from repro.pipeline.workload import WorkloadModel
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import NodeAssignment, Partition
+from repro.sim import Event, Simulator, TraceRecorder
+
+__all__ = ["Frame", "RoleConfig", "PipelineConfig", "PipelineEngine", "PipelineResult"]
+
+
+@dataclasses.dataclass
+class Frame:
+    """One image frame travelling down the pipeline.
+
+    Attributes
+    ----------
+    id:
+        Sequence number assigned by the host source.
+    emitted_s:
+        When the host offered it.
+    stages_done:
+        How many pipeline stages have processed it (for invariants).
+    scale:
+        Per-frame PROC scale factor from the workload model (1.0 = the
+        profiled cost).
+    """
+
+    id: int
+    emitted_s: float
+    stages_done: int = 0
+    scale: float = 1.0
+
+
+class _Ack:
+    """Marker message for recovery-protocol acknowledgments."""
+
+    __slots__ = ("frame_id",)
+
+    def __init__(self, frame_id: int):
+        self.frame_id = frame_id
+
+
+@dataclasses.dataclass(frozen=True)
+class RoleConfig:
+    """Operating configuration of one pipeline role.
+
+    Attributes
+    ----------
+    assignment:
+        The blocks, payloads, and work of this stage.
+    comp_level:
+        DVS level during PROC.
+    io_level:
+        DVS level during RECV/SEND — equal to ``comp_level`` without
+        the DVS-during-I/O technique, the minimum level with it.
+    """
+
+    assignment: NodeAssignment
+    comp_level: FrequencyLevel
+    io_level: FrequencyLevel
+    #: PROC time available inside the frame (D minus nominal comm and
+    #: protocol overhead); used by adaptive per-frame DVS. None when
+    #: the policy did not derive it from a plan.
+    proc_budget_s: float | None = None
+
+
+@dataclasses.dataclass
+class PipelineConfig:
+    """Everything needed to build and run one pipeline experiment.
+
+    Attributes
+    ----------
+    partition:
+        The block-chain partition (also used for recovery merging).
+    roles:
+        Per-stage operating configuration, one per partition stage.
+    node_names:
+        Physical node names; ``node_names[i]`` initially holds role i.
+    battery_factory:
+        Called once per node to build its private battery.
+    deadline_s:
+        The frame delay D.
+    timing:
+        Serial-link transaction timing.
+    power_model, dvs_table:
+        Shared hardware models.
+    rotation:
+        Optional §5.5 rotation controller.
+    recovery:
+        Optional §5.4 recovery protocol configuration.
+    max_frames:
+        Stop after this many delivered results (None = run to death).
+    stall_timeout_s:
+        Watchdog: no progress for this long after a node death ends the
+        run (default 20 * D).
+    horizon_s:
+        Hard safety limit on simulated time.
+    trace:
+        Optional trace recorder for timing-diagram figures.
+    monitor_interval_s:
+        Battery-telemetry sampling period (None disables monitors).
+    store_and_forward:
+        Host-hub forwarding mode (see :class:`~repro.hw.host.HostHub`).
+    validate_schedules:
+        Check every role's static schedule fits D before running.
+    seed:
+        Root seed for stochastic components (link startup jitter).
+        Irrelevant when the timing is deterministic.
+    lateness_tolerance_s:
+        A result delivered more than this much after its per-frame
+        contract (emission time + N * D) counts as a deadline miss.
+    workload:
+        Optional per-frame workload scaling (see
+        :mod:`repro.pipeline.workload`).
+    adaptive_workload_dvs:
+        Re-pick each frame's compute level from its actual workload and
+        the stage's PROC budget (intra-frame DVS for variable workload).
+    """
+
+    partition: Partition
+    roles: tuple[RoleConfig, ...]
+    node_names: tuple[str, ...]
+    battery_factory: t.Callable[[], Battery]
+    deadline_s: float = 2.3
+    timing: TransactionTiming = PAPER_LINK_TIMING
+    power_model: PowerModel = PAPER_POWER_MODEL
+    dvs_table: DVSTable = SA1100_TABLE
+    rotation: RotationController | None = None
+    recovery: RecoveryConfig | None = None
+    max_frames: int | None = None
+    stall_timeout_s: float | None = None
+    horizon_s: float = 100 * 24 * 3600.0
+    trace: TraceRecorder | None = None
+    monitor_interval_s: float | None = 300.0
+    store_and_forward: bool = False
+    validate_schedules: bool = True
+    seed: int = 0
+    lateness_tolerance_s: float = 0.05
+    #: Optional per-frame workload scaling (see repro.pipeline.workload).
+    workload: "WorkloadModel | None" = None
+    #: Re-pick each frame's compute level from its actual workload and
+    #: the stage's PROC budget (intra-frame DVS for variable workload).
+    adaptive_workload_dvs: bool = False
+    #: Deep-sleep through each frame's trailing slack instead of idling
+    #: (the Itsy supports sleep; the paper idles — this extension
+    #: measures the difference). Requires deterministic workload and no
+    #: rotation, because the sleep window is sized from the static
+    #: schedule.
+    sleep_in_slack: bool = False
+    #: Wake-up latency paid (at computation current) after each sleep.
+    sleep_wake_latency_s: float = 0.05
+    #: Minimum slack worth sleeping through (shorter windows idle).
+    sleep_min_slack_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.adaptive_workload_dvs and any(
+            rc.proc_budget_s is None for rc in self.roles
+        ):
+            raise ConfigurationError(
+                "adaptive_workload_dvs needs RoleConfig.proc_budget_s on "
+                "every role (policies derive it from the node plans)"
+            )
+        if self.sleep_in_slack:
+            if self.rotation is not None or self.workload is not None:
+                raise ConfigurationError(
+                    "sleep_in_slack sizes its window from the static "
+                    "schedule; it cannot combine with rotation or a "
+                    "variable workload"
+                )
+            if any(rc.proc_budget_s is None for rc in self.roles):
+                raise ConfigurationError(
+                    "sleep_in_slack needs RoleConfig.proc_budget_s on "
+                    "every role (policies derive it from the node plans)"
+                )
+            if self.sleep_wake_latency_s < 0 or self.sleep_min_slack_s < 0:
+                raise ConfigurationError("sleep latencies must be >= 0")
+        if len(self.roles) != self.partition.n_stages:
+            raise ConfigurationError(
+                f"{len(self.roles)} role configs for "
+                f"{self.partition.n_stages} partition stages"
+            )
+        if len(self.node_names) != len(self.roles):
+            raise ConfigurationError(
+                f"{len(self.node_names)} nodes for {len(self.roles)} roles"
+            )
+        if self.deadline_s <= 0:
+            raise ConfigurationError("frame delay D must be positive")
+        if self.rotation is not None and self.recovery is not None:
+            raise ConfigurationError(
+                "rotation and recovery are separate techniques in the paper; "
+                "configure one at a time"
+            )
+        if self.rotation is not None and self.rotation.n_stages != len(self.roles):
+            raise ConfigurationError("rotation controller depth != pipeline depth")
+        if self.recovery is not None and len(self.roles) != 2:
+            raise ConfigurationError(
+                "failure recovery is implemented for 2-node pipelines "
+                "(the configuration the paper evaluates)"
+            )
+        if self.stall_timeout_s is None:
+            self.stall_timeout_s = 20.0 * self.deadline_s
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Outcome of one pipeline run.
+
+    Attributes
+    ----------
+    frames_completed:
+        Results delivered to the host (the paper's F).
+    result_times_s:
+        Delivery timestamp of each result (capped at ``keep_result_times``).
+    end_time_s:
+        Simulated time the watchdog ended the run.
+    end_reason:
+        ``"all-dead"``, ``"stall"``, ``"max-frames"`` or ``"horizon"``.
+    death_times_s:
+        node name -> battery-death time (missing if still alive).
+    delivered_mah:
+        node name -> charge actually delivered by its battery.
+    migrations:
+        (time, surviving node) pairs recorded by the recovery protocol.
+    monitors:
+        node name -> battery telemetry (if enabled).
+    trace:
+        The trace recorder (if provided).
+    """
+
+    frames_completed: int
+    result_times_s: list[float]
+    end_time_s: float
+    end_reason: str
+    death_times_s: dict[str, float]
+    delivered_mah: dict[str, float]
+    migrations: list[tuple[float, str]]
+    monitors: dict[str, BatteryMonitor]
+    trace: TraceRecorder | None
+    #: Delivery time of the final result. Stored separately because
+    #: ``result_times_s`` keeps only a bounded sample of timestamps.
+    last_result_s: float | None = None
+    #: Results that arrived later than their nominal slot by more than
+    #: the configured tolerance (non-zero only under stochastic timing
+    #: or reconfiguration hiccups).
+    late_results: int = 0
+    #: Worst observed lateness against the nominal delivery grid.
+    max_lateness_s: float = 0.0
+    #: Frames each node fully processed (a rotating node counts every
+    #: frame it touched; sums to more than frames_completed for N > 1).
+    frames_processed: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: DVS level switches each node performed.
+    level_switches: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def first_death_s(self) -> float | None:
+        """Earliest battery death, if any."""
+        return min(self.death_times_s.values(), default=None)
+
+    def mean_result_period_s(self) -> float | None:
+        """Average spacing of deliveries (should approximate D)."""
+        if len(self.result_times_s) < 2:
+            return None
+        first, last = self.result_times_s[0], self.result_times_s[-1]
+        return (last - first) / (len(self.result_times_s) - 1)
+
+
+class PipelineEngine:
+    """Builds and runs one pipeline experiment. Single use: build, run."""
+
+    #: Cap on stored per-result timestamps (inter-arrival statistics only
+    #: need a sample; lifetimes come from counters).
+    keep_result_times = 4096
+
+    def __init__(self, config: PipelineConfig, sim: Simulator | None = None):
+        self.config = config
+        self.sim = sim or Simulator()
+        self._validate()
+
+        rng = None
+        if config.timing.startup_jitter_s > 0 or config.timing.corruption_prob > 0:
+            from repro.sim import RngStreams
+
+            rng = RngStreams(config.seed).stream("link.startup")
+        self.hub = HostHub(
+            self.sim,
+            config.node_names,
+            timing=config.timing,
+            store_and_forward=config.store_and_forward,
+            rng=rng,
+        )
+        self.monitors: dict[str, BatteryMonitor] = {}
+        self.nodes: dict[str, ItsyNode] = {}
+        for name in config.node_names:
+            battery = config.battery_factory()
+            monitor = None
+            if config.monitor_interval_s is not None:
+                monitor = BatteryMonitor(battery, config.monitor_interval_s)
+                self.monitors[name] = monitor
+            self.nodes[name] = ItsyNode(
+                self.sim,
+                name,
+                battery,
+                config.power_model,
+                config.dvs_table,
+                trace=config.trace,
+                monitor=monitor,
+            )
+
+        self.done: Event = self.sim.event()
+        self._end_reason = "unknown"
+        self.results_count = 0
+        self.result_times: list[float] = []
+        self._last_progress = 0.0
+        self._first_result_s: float | None = None
+        self._prev_result_s = 0.0
+        self.late_results = 0
+        self.max_lateness_s = 0.0
+        self.migrations: list[tuple[float, str]] = []
+        self._stage0_holder: str | None = config.node_names[0]
+        self._stage0_changed: Event = self.sim.event()
+
+    # -- validation -------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.config.validate_schedules:
+            return
+        n = len(self.config.roles)
+        for i, role in enumerate(self.config.roles):
+            overhead = self._ack_overhead_for_stage(i)
+            if self.config.store_and_forward:
+                # Inter-node edges cost two serial hops; validate each
+                # edge against the timing it will actually see.
+                from repro.hw.host import store_and_forward_timing
+
+                inter = store_and_forward_timing(self.config.timing)
+                host = self.config.timing
+                recv_timing = inter if i > 0 else host
+                send_timing = inter if i < n - 1 else host
+                recv_s = recv_timing.nominal_duration(role.assignment.recv_bytes)
+                send_s = send_timing.nominal_duration(role.assignment.send_bytes)
+                proc_s = self.config.dvs_table.scale_time(
+                    role.assignment.proc_seconds_at_max, role.comp_level
+                )
+                busy = recv_s + send_s + overhead + proc_s
+                if busy > self.config.deadline_s + 1e-9:
+                    from repro.errors import DeadlineMissError
+
+                    raise DeadlineMissError(
+                        f"stage{i} (store-and-forward)", busy, self.config.deadline_s
+                    )
+            else:
+                plan_node(
+                    role.assignment,
+                    self.config.timing,
+                    self.config.deadline_s,
+                    self.config.dvs_table,
+                    overhead_s=overhead,
+                    level=role.comp_level,
+                )
+
+    def _ack_overhead_for_stage(self, stage: int) -> float:
+        """Static per-frame ack time of a stage under the recovery protocol."""
+        rec = self.config.recovery
+        if rec is None:
+            return 0.0
+        n_stages = len(self.config.roles)
+        acked = 0
+        # Inter-node transactions always carry acks: the upstream edge
+        # of stages > 0 and the downstream edge of stages < N-1.
+        if stage > 0:
+            acked += 1
+        if stage < n_stages - 1:
+            acked += 1
+        if not rec.acks_between_nodes_only:
+            # Host-facing edges acked too.
+            if stage == 0:
+                acked += 1
+            if stage == n_stages - 1:
+                acked += 1
+        return rec.per_frame_overhead_s(self.config.timing, acked)
+
+    # -- stage-0 bookkeeping (who receives from the host) ------------------
+    def _set_stage0(self, node_name: str | None) -> None:
+        self._stage0_holder = node_name
+        old, self._stage0_changed = self._stage0_changed, self.sim.event()
+        old.succeed(node_name)
+
+    # -- run --------------------------------------------------------------
+    def run(self) -> PipelineResult:
+        """Execute the experiment and collect the result."""
+        cfg = self.config
+        self.sim.process(self._source(), name="host-source")
+        for name in cfg.node_names:
+            self.sim.process(self._sink_loop(name), name=f"host-sink-{name}")
+        for i, name in enumerate(cfg.node_names):
+            node = self.nodes[name]
+            node.spawn(self._node_loop(node, i), name=f"loop-{name}")
+        self.sim.process(self._watchdog(), name="watchdog")
+        self.sim.run(until=self.done)
+
+        death_times = {
+            name: node.death_time_s
+            for name, node in self.nodes.items()
+            if node.death_time_s is not None
+        }
+        delivered = {
+            name: node.battery.delivered_mah for name, node in self.nodes.items()
+        }
+        return PipelineResult(
+            frames_completed=self.results_count,
+            result_times_s=list(self.result_times),
+            end_time_s=self.sim.now,
+            end_reason=self._end_reason,
+            death_times_s=death_times,
+            delivered_mah=delivered,
+            migrations=list(self.migrations),
+            monitors=dict(self.monitors),
+            trace=cfg.trace,
+            last_result_s=self._last_progress if self.results_count else None,
+            late_results=self.late_results,
+            max_lateness_s=self.max_lateness_s,
+            frames_processed={
+                name: node.frames_processed for name, node in self.nodes.items()
+            },
+            level_switches={
+                name: node.level_switches for name, node in self.nodes.items()
+            },
+        )
+
+    def _finish(self, reason: str) -> None:
+        if not self.done.triggered:
+            self._end_reason = reason
+            self.done.succeed(reason)
+
+    # -- host processes -----------------------------------------------------
+    def _source(self) -> t.Generator:
+        """Emit one frame every D to the current role-0 holder."""
+        cfg = self.config
+        input_bytes = cfg.partition.profile.input_bytes
+        frame_id = 0
+        next_emit = 0.0
+        workload_rng = None
+        if cfg.workload is not None:
+            from repro.sim import RngStreams
+
+            workload_rng = RngStreams(cfg.seed).stream("workload")
+        while True:
+            if self.sim.now < next_emit:
+                yield self.sim.timeout(next_emit - self.sim.now)
+            scale = 1.0
+            if cfg.workload is not None:
+                scale = cfg.workload.scale_for(frame_id, workload_rng)
+            frame = Frame(id=frame_id, emitted_s=self.sim.now, scale=scale)
+            while True:
+                target = self._stage0_holder
+                if target is None or self.nodes[target].is_dead:
+                    # Nobody can take frames; wait for a takeover.
+                    yield self._stage0_changed
+                    continue
+                link = self.hub.host_link(target)
+                grant = link.offer_send(frame, input_bytes, frm=HOST_NAME)
+                changed = self._stage0_changed
+                yield self.sim.any_of([grant, changed])
+                if grant.triggered:
+                    transfer = grant.value
+                    yield transfer.done
+                    if cfg.trace is not None:
+                        cfg.trace.add(
+                            HOST_NAME,
+                            transfer.start_s,
+                            transfer.end_s,
+                            "send",
+                            detail=f"frame {frame.id} -> {target}",
+                        )
+                    break
+                # Stage 0 moved while we were offering: withdraw, retry.
+                link.cancel(grant)
+            frame_id += 1
+            next_emit += cfg.deadline_s
+
+    def _sink_loop(self, node_name: str) -> t.Generator:
+        """Accept final results arriving on one node's serial port."""
+        link = self.hub.host_link(node_name)
+        while True:
+            grant = link.offer_recv(to=HOST_NAME)
+            transfer = yield grant
+            yield transfer.done
+            if self.config.trace is not None:
+                self.config.trace.add(
+                    HOST_NAME,
+                    transfer.start_s,
+                    transfer.end_s,
+                    "recv",
+                    detail=f"result {transfer.message.id} <- {node_name}",
+                )
+            self._record_result(transfer.message)
+
+    def _record_result(self, frame: Frame) -> None:
+        self.results_count += 1
+        self._last_progress = self.sim.now
+        if self._first_result_s is None:
+            self._first_result_s = self.sim.now
+        # The per-frame latency contract implied by §3/§4.5: a frame
+        # entering an N-stage pipeline must leave within N * D of its
+        # emission. Measuring against each frame's own emission time is
+        # robust both to early deliveries (light-workload frames finish
+        # ahead of schedule) and to hiccups (a failure migration delays
+        # only the frames actually in flight, not every later one).
+        contract = len(self.config.roles) * self.config.deadline_s
+        lateness = (self.sim.now - frame.emitted_s) - contract
+        if lateness > self.max_lateness_s:
+            self.max_lateness_s = lateness
+        if lateness > self.config.lateness_tolerance_s:
+            self.late_results += 1
+        self._prev_result_s = self.sim.now
+        if len(self.result_times) < self.keep_result_times:
+            self.result_times.append(self.sim.now)
+        if (
+            self.config.max_frames is not None
+            and self.results_count >= self.config.max_frames
+        ):
+            self._finish("max-frames")
+
+    def _watchdog(self) -> t.Generator:
+        """End the run on death-of-all, stall, or horizon."""
+        cfg = self.config
+        self._last_progress = self.sim.now
+        check = max(cfg.deadline_s, 1.0)
+        while not self.done.triggered:
+            yield self.sim.timeout(check)
+            if all(node.is_dead for node in self.nodes.values()):
+                self._finish("all-dead")
+                return
+            stalled_for = self.sim.now - self._last_progress
+            any_dead = any(node.is_dead for node in self.nodes.values())
+            if any_dead and stalled_for > cfg.stall_timeout_s:
+                self._finish("stall")
+                return
+            if self.sim.now >= cfg.horizon_s:
+                self._finish("horizon")
+                return
+
+    # -- node behaviour ------------------------------------------------------
+    def _upstream(self, node_name: str, role: int) -> tuple[SerialLink, str]:
+        """Link and peer a role receives its input on (physical ring)."""
+        if role == 0:
+            return self.hub.host_link(node_name), HOST_NAME
+        names = self.config.node_names
+        i = names.index(node_name)
+        peer = names[(i - 1) % len(names)]
+        return self.hub.link(peer, node_name), peer
+
+    def _downstream(self, node_name: str, role: int) -> tuple[SerialLink, str]:
+        """Link and peer a role sends its output on (physical ring)."""
+        if role == len(self.config.roles) - 1:
+            return self.hub.host_link(node_name), HOST_NAME
+        names = self.config.node_names
+        i = names.index(node_name)
+        peer = names[(i + 1) % len(names)]
+        return self.hub.link(node_name, peer), peer
+
+    def _proc_blocks(
+        self,
+        node: ItsyNode,
+        assignment: NodeAssignment,
+        rolecfg: RoleConfig,
+        frame: Frame,
+    ) -> t.Generator:
+        """Execute a stage's blocks back to back (per-block trace segments).
+
+        Block times scale with the frame's workload factor. With
+        adaptive_workload_dvs the compute level is re-chosen for this
+        frame's actual work against the stage's PROC budget (clamped at
+        the table maximum — an overload then simply runs late, which
+        the sink's lateness accounting records).
+        """
+        level = rolecfg.comp_level
+        if self.config.adaptive_workload_dvs and frame.scale != 1.0:
+            required = self.config.dvs_table.required_mhz(
+                assignment.proc_seconds_at_max * frame.scale,
+                rolecfg.proc_budget_s or 0.0,
+            )
+            level = (
+                self.config.dvs_table.max
+                if required > self.config.dvs_table.max.mhz
+                else self.config.dvs_table.ceil(required)
+            )
+        profile = self.config.partition.profile
+        for bi in range(assignment.block_start, assignment.block_stop):
+            block = profile.blocks[bi]
+            yield from node.compute(
+                block.seconds_at_max * frame.scale,
+                level,
+                "proc",
+                detail=f"{block.name} f{frame.id}",
+            )
+        frame.stages_done += 1
+
+    def _node_loop(self, node: ItsyNode, node_index: int) -> t.Generator:
+        """The per-node frame loop, with rotation or recovery if configured."""
+        cfg = self.config
+        n_stages = len(cfg.roles)
+        role = node_index
+        migrated = False
+
+        if role == 0:
+            self._set_stage0(node.name)
+
+        while True:
+            rolecfg = self._merged_role() if migrated else cfg.roles[role]
+            assignment = rolecfg.assignment
+
+            # ---- RECV -------------------------------------------------
+            up_link, up_peer = (
+                (self.hub.host_link(node.name), HOST_NAME)
+                if migrated
+                else self._upstream(node.name, role)
+            )
+            grant = up_link.offer_recv(to=node.name)
+            detail = f"from {up_peer}"
+            if cfg.recovery is not None and up_peer != HOST_NAME:
+                transfer = yield from node.transfer_or_timeout(
+                    up_link, grant, rolecfg.io_level, "recv",
+                    cfg.recovery.detect_timeout_s, detail,
+                )
+                if transfer is None:
+                    migrated = yield from self._migrate(node)
+                    continue
+                # Acknowledge the data with a reverse transaction.
+                yield from self._send_ack(node, up_link, rolecfg.io_level, transfer.message)
+            else:
+                transfer = yield from node.transfer(
+                    up_link, grant, rolecfg.io_level, "recv", detail
+                )
+                if cfg.recovery is not None and not cfg.recovery.acks_between_nodes_only and not migrated:
+                    # Host-facing ack, modelled as pure node-side comm time.
+                    yield from node.comm_delay(
+                        cfg.recovery.ack_duration_s(cfg.timing),
+                        rolecfg.io_level, "ack", "to host",
+                    )
+            frame: Frame = transfer.message
+
+            # ---- PROC -------------------------------------------------
+            yield from self._proc_blocks(node, assignment, rolecfg, frame)
+
+            # ---- rotation transition (roles 0..N-2): continue as role+1
+            if (
+                cfg.rotation is not None
+                and not migrated
+                and role < n_stages - 1
+                and cfg.rotation.is_rotation_frame(frame.id, role)
+            ):
+                role += 1
+                rolecfg = cfg.roles[role]
+                assignment = rolecfg.assignment
+                if cfg.rotation.reconfig_seconds > 0:
+                    yield from node.reconfigure(
+                        cfg.rotation.reconfig_seconds, f"-> role {role}"
+                    )
+                yield from self._proc_blocks(node, assignment, rolecfg, frame)
+
+            # ---- SEND -------------------------------------------------
+            down_link, down_peer = (
+                (self.hub.host_link(node.name), HOST_NAME)
+                if migrated
+                else self._downstream(node.name, role)
+            )
+            grant = down_link.offer_send(
+                frame, assignment.send_bytes, frm=node.name
+            )
+            detail = f"to {down_peer}"
+            if cfg.recovery is not None and down_peer != HOST_NAME:
+                transfer = yield from node.transfer_or_timeout(
+                    down_link, grant, rolecfg.io_level, "send",
+                    cfg.recovery.detect_timeout_s, detail,
+                )
+                if transfer is None:
+                    migrated = yield from self._migrate(node)
+                    continue
+                ack = yield from self._await_ack(node, down_link, rolecfg.io_level)
+                if ack is None:
+                    migrated = yield from self._migrate(node)
+                    continue
+            else:
+                yield from node.transfer(
+                    down_link, grant, rolecfg.io_level, "send", detail
+                )
+                if (
+                    cfg.recovery is not None
+                    and not cfg.recovery.acks_between_nodes_only
+                ):
+                    yield from node.comm_delay(
+                        cfg.recovery.ack_duration_s(cfg.timing),
+                        rolecfg.io_level, "ack", "from host",
+                    )
+            node.frames_processed += 1
+
+            # ---- sleep through the trailing slack (extension) -----------
+            if cfg.sleep_in_slack and not migrated:
+                proc_s = (
+                    assignment.proc_seconds_at_max
+                    * self.config.dvs_table.max.mhz
+                    / rolecfg.comp_level.mhz
+                )
+                slack = (rolecfg.proc_budget_s or 0.0) - proc_s
+                window = slack - cfg.sleep_wake_latency_s
+                if window >= cfg.sleep_min_slack_s:
+                    yield from node.sleep_for(window, cfg.sleep_wake_latency_s)
+
+            # ---- rotation transition (last role): become role 0 --------
+            if (
+                cfg.rotation is not None
+                and not migrated
+                and role == n_stages - 1
+                and cfg.rotation.is_rotation_frame(frame.id, role)
+            ):
+                role = 0
+                if cfg.rotation.reconfig_seconds > 0:
+                    yield from node.reconfigure(
+                        cfg.rotation.reconfig_seconds, "-> role 0"
+                    )
+                self._set_stage0(node.name)
+
+    # -- recovery protocol helpers -------------------------------------
+    def _send_ack(self, node: ItsyNode, link: SerialLink, io_level: FrequencyLevel, frame: Frame) -> t.Generator:
+        """Receiver side: acknowledge a data transaction (reverse direction)."""
+        rec = self.config.recovery
+        assert rec is not None
+        grant = link.offer_send(_Ack(frame.id), rec.ack_payload_bytes, frm=node.name)
+        transfer = yield from node.transfer_or_timeout(
+            link, grant, io_level, "ack", rec.detect_timeout_s, f"ack f{frame.id}"
+        )
+        return transfer
+
+    def _await_ack(self, node: ItsyNode, link: SerialLink, io_level: FrequencyLevel) -> t.Generator:
+        """Sender side: wait for the receiver's acknowledgment."""
+        rec = self.config.recovery
+        assert rec is not None
+        grant = link.offer_recv(to=node.name)
+        transfer = yield from node.transfer_or_timeout(
+            link, grant, io_level, "ack", rec.detect_timeout_s, "await ack"
+        )
+        return transfer
+
+    def _merged_role(self) -> RoleConfig:
+        """The whole-chain role a recovery survivor runs."""
+        rec = self.config.recovery
+        assert rec is not None
+        merged = self.config.partition.merged(0, self.config.partition.n_stages)
+        comp = rec.migrated_comp_level or self.config.dvs_table.max
+        io = rec.migrated_io_level or comp
+        return RoleConfig(assignment=merged, comp_level=comp, io_level=io)
+
+    def _migrate(self, node: ItsyNode) -> t.Generator:
+        """Absorb the dead neighbour's share and take over the pipeline."""
+        self.migrations.append((self.sim.now, node.name))
+        self._set_stage0(node.name)
+        # Reconfiguration: load the full-chain code. Charged like a
+        # rotation reconfiguration; one frame delay is a conservative
+        # figure for reloading both blocks' code from flash.
+        yield from node.reconfigure(0.0, "migrate")
+        return True

@@ -1,0 +1,77 @@
+"""Power-failure recovery (§5.4): ack/timeout detection plus migration.
+
+The protocol the paper implements as a proof of concept:
+
+- every data transaction is acknowledged by the receiver with a
+  *separate* serial transaction (50-100 ms startup, negligible payload);
+- a timeout on the expected transaction (data or ack) marks the
+  neighbour as failed;
+- the failed node's computation share migrates to the surviving
+  neighbour, which reconfigures and carries on;
+- because the extra transactions eat into the frame budget, the nodes
+  must run *faster* than the plain partitioned configuration — the
+  paper measures 73.7 and 118 MHz against 59 and 103.2 without
+  recovery.
+
+:class:`RecoveryConfig` packages the protocol's knobs. The engine uses
+it both to stretch the per-frame schedule (ack transactions) and to
+drive the detection/migration state machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.hw.dvs import FrequencyLevel
+from repro.hw.link import TransactionTiming
+
+__all__ = ["RecoveryConfig"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs of the ack/timeout/migrate protocol.
+
+    Attributes
+    ----------
+    ack_payload_bytes:
+        Payload of an acknowledgment transaction (the cost is dominated
+        by the startup time either way).
+    detect_timeout_s:
+        How long a node waits for an expected transaction before
+        declaring its peer dead. Must comfortably exceed one frame
+        delay or healthy jitter triggers false positives.
+    migrated_comp_level:
+        DVS level the surviving node computes at after absorbing the
+        whole chain (the paper's survivor behaves like experiment (1A):
+        206.4 MHz compute).
+    migrated_io_level:
+        DVS level during I/O after migration (59 MHz with DVS-during-I/O).
+    acks_between_nodes_only:
+        If True (paper behaviour), only inter-node transactions carry
+        acks — the mains-powered host does not participate in battery
+        failure detection. If False, host transactions are acked too.
+    """
+
+    ack_payload_bytes: int = 0
+    detect_timeout_s: float = 6.9  # 3 * D for the paper's D = 2.3 s
+    migrated_comp_level: FrequencyLevel | None = None
+    migrated_io_level: FrequencyLevel | None = None
+    acks_between_nodes_only: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ack_payload_bytes < 0:
+            raise ConfigurationError("ack payload must be non-negative")
+        if self.detect_timeout_s <= 0:
+            raise ConfigurationError("detection timeout must be positive")
+
+    def ack_duration_s(self, timing: TransactionTiming) -> float:
+        """Duration of one ack transaction under the given link timing."""
+        return timing.nominal_duration(self.ack_payload_bytes)
+
+    def per_frame_overhead_s(self, timing: TransactionTiming, n_acked_transactions: int) -> float:
+        """Schedule overhead of acking ``n_acked_transactions`` per frame."""
+        if n_acked_transactions < 0:
+            raise ConfigurationError("transaction count must be non-negative")
+        return n_acked_transactions * self.ack_duration_s(timing)

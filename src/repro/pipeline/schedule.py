@@ -1,0 +1,162 @@
+"""Static per-node frame schedules and required-frequency arithmetic.
+
+Each node must serialize RECV -> PROC -> SEND inside the frame delay D
+(§3). Given a stage's payloads, the link timing, and any fixed protocol
+overhead (acknowledgment transactions for failure recovery), the PROC
+budget is what remains of D — which determines the minimum continuous
+frequency and, after rounding up to a real operating point, the DVS
+level the node runs at. This is exactly the arithmetic behind the
+paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import DeadlineMissError, InfeasiblePartitionError
+from repro.hw.dvs import DVSTable, FrequencyLevel
+from repro.hw.link import TransactionTiming
+from repro.pipeline.tasks import NodeAssignment
+
+__all__ = ["FrameSchedule", "NodePlan", "plan_node", "required_frequency_mhz"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameSchedule:
+    """The time budget of one node's frame, all in seconds.
+
+    Attributes
+    ----------
+    recv_s, send_s:
+        Data-transaction durations (startup + wire time).
+    overhead_s:
+        Fixed extra per-frame communication (e.g. ack transactions).
+    proc_s:
+        PROC time at the *chosen* level.
+    deadline_s:
+        The frame delay D.
+    """
+
+    recv_s: float
+    send_s: float
+    overhead_s: float
+    proc_s: float
+    deadline_s: float
+
+    @property
+    def comm_s(self) -> float:
+        """Total per-frame communication time."""
+        return self.recv_s + self.send_s + self.overhead_s
+
+    @property
+    def busy_s(self) -> float:
+        """Total occupied time per frame."""
+        return self.comm_s + self.proc_s
+
+    @property
+    def slack_s(self) -> float:
+        """Idle time left in the frame."""
+        return self.deadline_s - self.busy_s
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the frame fits inside D (with float tolerance)."""
+        return self.slack_s >= -1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class NodePlan:
+    """A stage's chosen operating point plus its schedule.
+
+    Attributes
+    ----------
+    assignment:
+        The work this plan covers.
+    level:
+        Chosen DVS level for PROC.
+    required_mhz:
+        The continuous minimum frequency before rounding up.
+    schedule:
+        The resulting frame budget at ``level``.
+    """
+
+    assignment: NodeAssignment
+    level: FrequencyLevel
+    required_mhz: float
+    schedule: FrameSchedule
+
+
+def required_frequency_mhz(
+    assignment: NodeAssignment,
+    timing: TransactionTiming,
+    deadline_s: float,
+    table: DVSTable,
+    overhead_s: float = 0.0,
+) -> float:
+    """Continuous frequency needed for a stage to fit its frame in D.
+
+    Communication time is frequency-independent (§6.3), so the PROC
+    budget is ``D - recv - send - overhead`` and the requirement scales
+    the profiled time accordingly. Returns ``inf`` when the budget is
+    non-positive (pure-communication overload).
+    """
+    recv_s = timing.nominal_duration(assignment.recv_bytes)
+    send_s = timing.nominal_duration(assignment.send_bytes)
+    budget = deadline_s - recv_s - send_s - overhead_s
+    return table.required_mhz(assignment.proc_seconds_at_max, budget)
+
+
+def plan_node(
+    assignment: NodeAssignment,
+    timing: TransactionTiming,
+    deadline_s: float,
+    table: DVSTable,
+    overhead_s: float = 0.0,
+    level: FrequencyLevel | None = None,
+) -> NodePlan:
+    """Choose (or validate) a DVS level and build the frame schedule.
+
+    With ``level=None`` the slowest feasible operating point is chosen
+    (round the continuous requirement up). With an explicit ``level``
+    — e.g. the paper's pinned 73.7/118 MHz recovery configuration — the
+    schedule is built at that level and validated against D.
+
+    Raises
+    ------
+    InfeasiblePartitionError
+        If no level (or the given level's schedule) can meet D because
+        the required frequency exceeds the table maximum.
+    DeadlineMissError
+        If an explicitly pinned level yields an infeasible schedule.
+    """
+    required = required_frequency_mhz(assignment, timing, deadline_s, table, overhead_s)
+    if level is None:
+        if required == float("inf"):
+            raise InfeasiblePartitionError(
+                f"stage {assignment.index}: communication alone "
+                f"({timing.nominal_duration(assignment.recv_bytes) + timing.nominal_duration(assignment.send_bytes) + overhead_s:.3f}s) "
+                f"exceeds the frame delay {deadline_s:.3f}s",
+                required_mhz=required,
+            )
+        level = table.ceil(required)  # raises InfeasiblePartitionError if > max
+
+    recv_s = timing.nominal_duration(assignment.recv_bytes)
+    send_s = timing.nominal_duration(assignment.send_bytes)
+    proc_s = table.scale_time(assignment.proc_seconds_at_max, level)
+    schedule = FrameSchedule(
+        recv_s=recv_s,
+        send_s=send_s,
+        overhead_s=overhead_s,
+        proc_s=proc_s,
+        deadline_s=deadline_s,
+    )
+    if not schedule.feasible:
+        raise DeadlineMissError(
+            f"stage{assignment.index}", schedule.busy_s, deadline_s
+        )
+    return NodePlan(
+        assignment=assignment,
+        level=level,
+        required_mhz=required,
+        schedule=schedule,
+    )

@@ -1,0 +1,163 @@
+"""Partitions: contiguous assignments of the block chain to nodes.
+
+The ATR dataflow is a chain, so a partition onto an N-node pipeline is
+a list of N contiguous, non-empty block ranges covering the chain in
+order (the paper's Fig. 8 enumerates the three 2-node partitions of the
+4-block chain). :class:`NodeAssignment` carries the per-node accounting
+— work at f_max, bytes in, bytes out — that both the partitioning
+optimizer and the execution engine consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as t
+
+from repro.apps.atr.profile import TaskProfile
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeAssignment", "Partition", "enumerate_partitions"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeAssignment:
+    """The work one pipeline stage performs per frame.
+
+    Attributes
+    ----------
+    index:
+        Stage index, 0-based (stage 0 receives from the host).
+    block_start, block_stop:
+        Half-open block range this stage executes.
+    block_names:
+        Names of those blocks (for reports).
+    proc_seconds_at_max:
+        PROC time at the fastest DVS level.
+    recv_bytes, send_bytes:
+        Payload received from the predecessor (host for stage 0) and
+        sent to the successor (host for the last stage).
+    """
+
+    index: int
+    block_start: int
+    block_stop: int
+    block_names: tuple[str, ...]
+    proc_seconds_at_max: float
+    recv_bytes: int
+    send_bytes: int
+
+    @property
+    def comm_payload_bytes(self) -> int:
+        """Total per-frame communication payload (the Fig. 8 column)."""
+        return self.recv_bytes + self.send_bytes
+
+
+class Partition:
+    """A contiguous partition of a task profile onto N pipeline stages.
+
+    Parameters
+    ----------
+    profile:
+        The block chain being partitioned.
+    cuts:
+        Stage boundaries: ``cuts[i]`` is the first block of stage i+1.
+        Must be strictly increasing within ``(0, n_blocks)``. An empty
+        sequence is the single-node "partition".
+
+    Examples
+    --------
+    The paper's scheme 1 — (Target Detection) / (rest) — is ``cuts=[1]``:
+
+    >>> from repro.apps.atr.profile import PAPER_PROFILE
+    >>> p = Partition(PAPER_PROFILE, [1])
+    >>> [a.block_names for a in p.assignments]
+    [('target_detection',), ('fft', 'ifft', 'compute_distance')]
+    """
+
+    def __init__(self, profile: TaskProfile, cuts: t.Sequence[int] = ()):
+        n = len(profile.blocks)
+        cuts = tuple(cuts)
+        if any(not 0 < c < n for c in cuts):
+            raise ConfigurationError(f"cuts must lie in (0, {n}), got {list(cuts)}")
+        if any(b <= a for a, b in zip(cuts, cuts[1:])):
+            raise ConfigurationError(f"cuts must be strictly increasing: {list(cuts)}")
+        self.profile = profile
+        self.cuts = cuts
+        bounds = [0, *cuts, n]
+        self.assignments: tuple[NodeAssignment, ...] = tuple(
+            NodeAssignment(
+                index=i,
+                block_start=start,
+                block_stop=stop,
+                block_names=profile.names[start:stop],
+                proc_seconds_at_max=profile.segment_seconds(start, stop),
+                recv_bytes=profile.segment_input_bytes(start),
+                send_bytes=profile.segment_output_bytes(stop),
+            )
+            for i, (start, stop) in enumerate(zip(bounds, bounds[1:]))
+        )
+
+    @property
+    def n_stages(self) -> int:
+        """Number of pipeline stages."""
+        return len(self.assignments)
+
+    def stage(self, index: int) -> NodeAssignment:
+        """The assignment of stage ``index``."""
+        if not 0 <= index < self.n_stages:
+            raise ConfigurationError(
+                f"stage {index} out of range for {self.n_stages}-stage partition"
+            )
+        return self.assignments[index]
+
+    def merged(self, start_stage: int, stop_stage: int) -> NodeAssignment:
+        """The assignment covering stages ``[start_stage, stop_stage)`` fused.
+
+        Used by failure recovery: when a node migrates a dead
+        neighbour's share onto itself, it executes the merged range.
+        """
+        if not 0 <= start_stage < stop_stage <= self.n_stages:
+            raise ConfigurationError(
+                f"invalid stage range [{start_stage}, {stop_stage})"
+            )
+        first = self.assignments[start_stage]
+        last = self.assignments[stop_stage - 1]
+        return NodeAssignment(
+            index=first.index,
+            block_start=first.block_start,
+            block_stop=last.block_stop,
+            block_names=self.profile.names[first.block_start : last.block_stop],
+            proc_seconds_at_max=self.profile.segment_seconds(
+                first.block_start, last.block_stop
+            ),
+            recv_bytes=first.recv_bytes,
+            send_bytes=last.send_bytes,
+        )
+
+    def describe(self) -> str:
+        """Human-readable scheme label like ``(A) (B+C+D)``."""
+        parts = []
+        for a in self.assignments:
+            parts.append("(" + " + ".join(a.block_names) + ")")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Partition cuts={list(self.cuts)} {self.describe()}>"
+
+
+def enumerate_partitions(profile: TaskProfile, n_stages: int) -> list[Partition]:
+    """All contiguous partitions of ``profile`` into ``n_stages`` stages.
+
+    For the paper's 4-block chain and 2 stages this yields exactly the
+    three schemes of Fig. 8, in cut order.
+    """
+    n = len(profile.blocks)
+    if not 1 <= n_stages <= n:
+        raise ConfigurationError(
+            f"need 1 <= n_stages <= {n} blocks, got {n_stages}"
+        )
+    return [
+        Partition(profile, cuts)
+        for cuts in itertools.combinations(range(1, n), n_stages - 1)
+    ]

@@ -1,0 +1,152 @@
+"""Variable per-frame workload models.
+
+The paper fixes the ATR workload ("we assume the workload of the
+algorithm is fixed", §3) and notes that techniques for *variable*
+workload "can be readily brought into the context of this study". This
+module brings them in: a :class:`WorkloadModel` scales each frame's
+PROC requirement (e.g. more targets, harder clutter), the engine
+carries the scale with the frame, and an adaptive per-frame DVS mode
+(:attr:`~repro.pipeline.engine.PipelineConfig.adaptive_workload_dvs`)
+re-picks the compute level frame by frame — the intra-task slack
+reclamation of the Shin/Im related work, at frame granularity.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as t
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "WorkloadModel",
+    "ConstantWorkload",
+    "UniformWorkload",
+    "BurstyWorkload",
+    "TraceWorkload",
+]
+
+
+class WorkloadModel(abc.ABC):
+    """Maps a frame id to a PROC scale factor (1.0 = the profiled cost)."""
+
+    @abc.abstractmethod
+    def scale_for(self, frame_id: int, rng: np.random.Generator) -> float:
+        """Scale factor for ``frame_id``; must be positive.
+
+        Implementations must be deterministic given the RNG stream
+        state — the engine draws frames in id order from a dedicated
+        seeded stream, so runs replay exactly.
+        """
+
+    def describe(self) -> str:
+        """Label for reports."""
+        return type(self).__name__
+
+
+class ConstantWorkload(WorkloadModel):
+    """Every frame costs ``scale`` times the profile (default: exactly it)."""
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def scale_for(self, frame_id: int, rng: np.random.Generator) -> float:
+        return self.scale
+
+    def describe(self) -> str:
+        return f"Constant({self.scale:g})"
+
+
+class UniformWorkload(WorkloadModel):
+    """Independent per-frame scales, uniform in [low, high]."""
+
+    def __init__(self, low: float = 0.7, high: float = 1.3):
+        if not 0 < low <= high:
+            raise ConfigurationError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def scale_for(self, frame_id: int, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def describe(self) -> str:
+        return f"Uniform[{self.low:g}, {self.high:g}]"
+
+
+class BurstyWorkload(WorkloadModel):
+    """Two-state Markov workload: calm frames with occasional hot bursts.
+
+    Models scene activity: most frames carry the baseline cost, but
+    with probability ``burst_prob`` a burst starts and the next
+    ``burst_length`` frames cost ``burst_scale``. State is internal, so
+    frames must be drawn in order (the engine does).
+    """
+
+    def __init__(
+        self,
+        calm_scale: float = 0.8,
+        burst_scale: float = 1.4,
+        burst_prob: float = 0.05,
+        burst_length: int = 5,
+    ):
+        if calm_scale <= 0 or burst_scale <= 0:
+            raise ConfigurationError("scales must be positive")
+        if not 0 <= burst_prob <= 1:
+            raise ConfigurationError(f"burst_prob must be in [0, 1]: {burst_prob}")
+        if burst_length < 1:
+            raise ConfigurationError(f"burst_length must be >= 1: {burst_length}")
+        self.calm_scale = float(calm_scale)
+        self.burst_scale = float(burst_scale)
+        self.burst_prob = float(burst_prob)
+        self.burst_length = int(burst_length)
+        self._remaining_burst = 0
+
+    def scale_for(self, frame_id: int, rng: np.random.Generator) -> float:
+        if self._remaining_burst > 0:
+            self._remaining_burst -= 1
+            return self.burst_scale
+        if float(rng.uniform()) < self.burst_prob:
+            self._remaining_burst = self.burst_length - 1
+            return self.burst_scale
+        return self.calm_scale
+
+    def describe(self) -> str:
+        return (
+            f"Bursty(calm={self.calm_scale:g}, burst={self.burst_scale:g} "
+            f"x{self.burst_length}, p={self.burst_prob:g})"
+        )
+
+
+class TraceWorkload(WorkloadModel):
+    """Replay a recorded sequence of per-frame scales.
+
+    Bridges measurement and simulation: e.g. run the real multi-scale
+    recognizer over a scene stream, record each frame's relative cost,
+    and feed the trace to the simulated pipeline. Frames beyond the
+    trace either wrap around (``wrap=True``, default — periodic replay)
+    or hold the last value.
+    """
+
+    def __init__(self, scales: t.Sequence[float], wrap: bool = True):
+        scales = tuple(float(s) for s in scales)
+        if not scales:
+            raise ConfigurationError("trace must contain at least one scale")
+        if any(s <= 0 for s in scales):
+            raise ConfigurationError("all trace scales must be positive")
+        self.scales = scales
+        self.wrap = wrap
+
+    def scale_for(self, frame_id: int, rng: np.random.Generator) -> float:
+        if frame_id < len(self.scales):
+            return self.scales[frame_id]
+        if self.wrap:
+            return self.scales[frame_id % len(self.scales)]
+        return self.scales[-1]
+
+    def describe(self) -> str:
+        mode = "wrap" if self.wrap else "hold"
+        return f"Trace({len(self.scales)} frames, {mode})"

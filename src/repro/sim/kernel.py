@@ -1,0 +1,146 @@
+"""The simulation kernel: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as t
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Owns simulated time and dispatches events in timestamp order.
+
+    Determinism: events scheduled for the same timestamp are processed
+    in scheduling order (a monotonically increasing sequence number
+    breaks ties), so repeated runs of the same model produce identical
+    traces.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(1.5)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> log
+    [1.5]
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._event_count = 0
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events dispatched so far (diagnostics)."""
+        return self._event_count
+
+    # -- event construction --------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`~repro.sim.events.Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: t.Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: t.Sequence[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: t.Sequence[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def process(self, generator: t.Generator, name: str | None = None) -> "Process":
+        """Start a new process running ``generator``; returns the Process.
+
+        The process is itself an event that fires with the generator's
+        return value, so processes can wait on each other.
+        """
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: Event, *, delay: float = 0.0) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+
+    # -- run loop ----------------------------------------------------------
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError(f"time went backwards: {when} < {self._now}")
+        self._now = when
+        self._event_count += 1
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> None:
+        """Run until the queue drains, ``until`` seconds, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until no events remain.
+            ``float``
+                run until simulated time reaches the given timestamp;
+                the clock is advanced to exactly that value.
+            :class:`Event`
+                run until the given event has been *processed*. Raises
+                :class:`SimulationError` if the queue drains first.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "event queue drained before the 'until' event fired"
+                    )
+                self.step()
+            return
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon}: clock already at {self._now}"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6g} queued={len(self._heap)}>"

@@ -1,0 +1,157 @@
+"""Inter-process coordination primitives: channels and resources.
+
+- :class:`Channel` is an unbounded (or bounded) FIFO message queue with
+  blocking ``get``. It models a mailbox: the serial-link and pipeline
+  code use channels to hand frames between node processes.
+- :class:`Resource` is a counting semaphore with FIFO discipline. The
+  host hub uses one to serialize transactions that share a port.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing as t
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["Channel", "Resource"]
+
+
+class Channel:
+    """FIFO message queue with blocking ``get`` and optional capacity.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Maximum queued items; ``None`` (default) means unbounded.
+        ``put`` on a full bounded channel blocks until space frees up.
+
+    Examples
+    --------
+    >>> from repro.sim import Simulator
+    >>> sim = Simulator()
+    >>> ch = Channel(sim)
+    >>> out = []
+    >>> def consumer(sim, ch):
+    ...     item = yield ch.get()
+    ...     out.append(item)
+    >>> def producer(sim, ch):
+    ...     yield sim.timeout(1.0)
+    ...     yield ch.put("frame-0")
+    >>> _ = sim.process(consumer(sim, ch)); _ = sim.process(producer(sim, ch))
+    >>> sim.run(); out
+    ['frame-0']
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"channel capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: collections.deque[t.Any] = collections.deque()
+        self._getters: collections.deque[Event] = collections.deque()
+        self._putters: collections.deque[tuple[Event, t.Any]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of processes currently blocked in ``get``."""
+        return len(self._getters)
+
+    def put(self, item: t.Any) -> Event:
+        """Enqueue ``item``; returns an event that fires once stored."""
+        done = Event(self.sim)
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append((done, item))
+            return done
+        self._deliver(item)
+        done.succeed(None)
+        return done
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item (FIFO)."""
+        got = Event(self.sim)
+        if self._items:
+            got.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(got)
+        return got
+
+    def try_get(self) -> tuple[bool, t.Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _deliver(self, item: t.Any) -> None:
+        """Hand ``item`` to a blocked getter, or queue it."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def _admit_putter(self) -> None:
+        """After a dequeue, unblock the oldest blocked putter (if any)."""
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            done, item = self._putters.popleft()
+            self._deliver(item)
+            done.succeed(None)
+
+
+class Resource:
+    """Counting semaphore with FIFO queueing.
+
+    ``request()`` yields an event that fires once a slot is held; the
+    holder must call ``release()`` exactly once.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: collections.deque[Event] = collections.deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Return an event that fires once a slot is acquired."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(None)
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release a held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._queue:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            self._queue.popleft().succeed(None)
+        else:
+            self._in_use -= 1

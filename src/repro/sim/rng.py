@@ -1,0 +1,57 @@
+"""Named, independently seeded random streams.
+
+Experiments must be reproducible: the same configuration and seed must
+produce bit-identical results. :class:`RngStreams` derives one
+:class:`numpy.random.Generator` per *named* stream from a root seed via
+``numpy``'s ``SeedSequence.spawn`` convention keyed by the stream name,
+so adding a new consumer of randomness never perturbs existing streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """Factory for deterministic per-purpose random generators.
+
+    Parameters
+    ----------
+    seed:
+        Root seed. Two :class:`RngStreams` with the same seed hand out
+        identical streams for identical names.
+
+    Examples
+    --------
+    >>> a = RngStreams(7).stream("link.startup")
+    >>> b = RngStreams(7).stream("link.startup")
+    >>> float(a.uniform()) == float(b.uniform())
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._cache: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The same name always returns the *same generator object* within
+        one :class:`RngStreams` instance, so consumption is stateful per
+        stream but isolated across streams.
+        """
+        if name not in self._cache:
+            # Key the child seed on a stable hash of the stream name so
+            # stream identity does not depend on creation order.
+            name_key = zlib.crc32(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self.seed, spawn_key=(name_key,))
+            self._cache[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._cache[name]
+
+    def fork(self, salt: int) -> "RngStreams":
+        """Derive an independent family of streams (e.g. per replication)."""
+        return RngStreams(self.seed * 1_000_003 + int(salt))

@@ -1,0 +1,136 @@
+"""Activity traces: piecewise-constant segments of node state.
+
+The paper's Figs. 2, 3 and 9 are timing-vs-power diagrams. The
+:class:`TraceRecorder` captures exactly that: for each actor (node) a
+sequence of :class:`Segment`\\ s — time interval, activity label (e.g.
+``"recv"``, ``"proc"``, ``"send"``, ``"idle"``), operating frequency and
+battery current. The analysis layer renders these as Gantt charts and
+the tests use them to assert schedule invariants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+__all__ = ["Segment", "TraceRecorder"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One piecewise-constant activity interval of one actor.
+
+    Attributes
+    ----------
+    actor:
+        Name of the node (or other actor) the segment belongs to.
+    start, end:
+        Interval bounds in simulated seconds; ``end >= start``.
+    activity:
+        Label such as ``"recv"``, ``"proc"``, ``"send"``, ``"idle"``,
+        ``"reconfig"``, ``"dead"``.
+    frequency_mhz:
+        CPU frequency in effect during the segment.
+    current_ma:
+        Battery current draw during the segment.
+    detail:
+        Free-form annotation (frame id, peer, payload size...).
+    """
+
+    actor: str
+    start: float
+    end: float
+    activity: str
+    frequency_mhz: float = 0.0
+    current_ma: float = 0.0
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Segment length in seconds."""
+        return self.end - self.start
+
+    @property
+    def charge_mas(self) -> float:
+        """Charge drawn over the segment, in mA*s."""
+        return self.current_ma * self.duration
+
+
+class TraceRecorder:
+    """Collects :class:`Segment` objects per actor.
+
+    A recorder can be disabled (``enabled=False``) to make long
+    discharge runs allocation-free; recording calls become no-ops.
+    """
+
+    def __init__(self, enabled: bool = True, horizon: float | None = None):
+        self.enabled = enabled
+        #: Only segments starting before ``horizon`` are kept (None = all).
+        self.horizon = horizon
+        self._segments: dict[str, list[Segment]] = {}
+
+    def record(self, segment: Segment) -> None:
+        """Store one segment (no-op when disabled or past the horizon)."""
+        if not self.enabled:
+            return
+        if self.horizon is not None and segment.start >= self.horizon:
+            return
+        self._segments.setdefault(segment.actor, []).append(segment)
+
+    def add(
+        self,
+        actor: str,
+        start: float,
+        end: float,
+        activity: str,
+        *,
+        frequency_mhz: float = 0.0,
+        current_ma: float = 0.0,
+        detail: str = "",
+    ) -> None:
+        """Convenience wrapper building and recording a :class:`Segment`."""
+        if not self.enabled:
+            return
+        self.record(
+            Segment(
+                actor=actor,
+                start=start,
+                end=end,
+                activity=activity,
+                frequency_mhz=frequency_mhz,
+                current_ma=current_ma,
+                detail=detail,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def actors(self) -> list[str]:
+        """Actors that have at least one recorded segment, in first-seen order."""
+        return list(self._segments)
+
+    def segments(self, actor: str) -> list[Segment]:
+        """All segments recorded for ``actor`` (empty list if none)."""
+        return list(self._segments.get(actor, []))
+
+    def all_segments(self) -> list[Segment]:
+        """Every recorded segment, ordered by (actor-first-seen, time)."""
+        out: list[Segment] = []
+        for actor in self._segments:
+            out.extend(self._segments[actor])
+        return out
+
+    def total_charge_mas(self, actor: str) -> float:
+        """Total charge drawn by ``actor`` across its recorded segments."""
+        return sum(s.charge_mas for s in self._segments.get(actor, []))
+
+    def busy_time(self, actor: str, activities: t.Collection[str]) -> float:
+        """Total time ``actor`` spent in any of the given activities."""
+        wanted = set(activities)
+        return sum(
+            s.duration for s in self._segments.get(actor, []) if s.activity in wanted
+        )
+
+    def clear(self) -> None:
+        """Drop all recorded segments."""
+        self._segments.clear()

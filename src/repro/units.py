@@ -1,0 +1,89 @@
+"""Unit conventions and converters used throughout :mod:`repro`.
+
+The library uses a single set of canonical units so quantities can be
+combined without bookkeeping:
+
+========================  =====================
+quantity                  canonical unit
+========================  =====================
+time                      seconds (``s``)
+battery lifetime (report) hours (``h``)
+current                   milliamperes (``mA``)
+charge                    milliampere-seconds (``mA*s``)
+battery capacity (report) milliampere-hours (``mAh``)
+data size                 bytes
+bandwidth                 bits per second
+frequency                 megahertz (``MHz``)
+voltage                   volts (``V``)
+========================  =====================
+
+The paper quotes payloads in "KB"; its numbers are consistent with
+decimal kilobytes against the measured 80 Kbps PPP rate, so ``KB``
+here is 1000 bytes (see :func:`kb_to_bytes`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECONDS_PER_HOUR",
+    "BITS_PER_BYTE",
+    "hours_to_seconds",
+    "seconds_to_hours",
+    "mah_to_mas",
+    "mas_to_mah",
+    "kb_to_bytes",
+    "bytes_to_kb",
+    "kbps_to_bps",
+    "transfer_seconds",
+]
+
+SECONDS_PER_HOUR = 3600.0
+BITS_PER_BYTE = 8
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to canonical seconds."""
+    return hours * SECONDS_PER_HOUR
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert canonical seconds to hours (for reporting lifetimes)."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def mah_to_mas(mah: float) -> float:
+    """Convert a capacity in mAh to canonical mA*s."""
+    return mah * SECONDS_PER_HOUR
+
+
+def mas_to_mah(mas: float) -> float:
+    """Convert canonical mA*s to mAh (for reporting capacities)."""
+    return mas / SECONDS_PER_HOUR
+
+
+def kb_to_bytes(kb: float) -> int:
+    """Convert the paper's "KB" payload figures to bytes (1 KB = 1000 B)."""
+    return int(round(kb * 1000))
+
+
+def bytes_to_kb(nbytes: float) -> float:
+    """Convert bytes to the paper's decimal-KB convention."""
+    return nbytes / 1000.0
+
+
+def kbps_to_bps(kbps: float) -> float:
+    """Convert kilobits/second to bits/second."""
+    return kbps * 1000.0
+
+
+def transfer_seconds(payload_bytes: float, bandwidth_bps: float) -> float:
+    """Pure wire time (no startup) to move ``payload_bytes`` at ``bandwidth_bps``.
+
+    >>> round(transfer_seconds(10_100, 80_000), 3)   # Fig. 6 input frame
+    1.01
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    if payload_bytes < 0:
+        raise ValueError(f"payload must be non-negative, got {payload_bytes}")
+    return payload_bytes * BITS_PER_BYTE / bandwidth_bps

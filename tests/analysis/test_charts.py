@@ -1,0 +1,67 @@
+"""ASCII charts."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_longest_bar_full_width(self):
+        out = bar_chart([("a", 2.0), ("b", 1.0)], width=10)
+        rows = out.splitlines()
+        assert "#" * 10 in rows[0]
+        assert "#" * 5 in rows[1]
+        assert "#" * 6 not in rows[1]
+
+    def test_values_printed(self):
+        out = bar_chart([("x", 6.13)], unit=" h")
+        assert "6.13 h" in out
+
+    def test_annotations(self):
+        out = bar_chart([("2C", 8.9)], annotations={"2C": "Rnorm 145%"})
+        assert "Rnorm 145%" in out
+
+    def test_title(self):
+        out = bar_chart([("a", 1.0)], title="Fig 10")
+        assert out.splitlines()[0] == "Fig 10"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([])
+
+    def test_all_zero_no_crash(self):
+        out = bar_chart([("a", 0.0)])
+        assert "0.00" in out
+
+
+class TestLinePlot:
+    def test_grid_dimensions(self):
+        out = line_plot([(0, 0), (1, 1)], width=20, height=5)
+        rows = [ln for ln in out.splitlines() if ln.startswith("|")]
+        assert len(rows) == 5
+
+    def test_axis_ranges_annotated(self):
+        out = line_plot([(0, 10), (100, 50)], x_label="t", y_label="mAh")
+        assert "mAh" in out and "t [0 .. 100]" in out
+
+    def test_points_plotted(self):
+        out = line_plot([(0, 0), (1, 1), (2, 4)])
+        assert out.count("*") >= 3
+
+    def test_monotone_series_shape(self):
+        pts = [(i, i * i) for i in range(10)]
+        out = line_plot(pts, width=30, height=8)
+        rows = [ln[1:] for ln in out.splitlines() if ln.startswith("|")]
+        first_star_cols = [row.index("*") for row in rows if "*" in row]
+        # Higher rows (larger y) appear at larger x for a rising series.
+        assert first_star_cols == sorted(first_star_cols, reverse=True)
+
+    def test_too_few_points(self):
+        assert "need >= 2" in line_plot([(0, 0)])
+
+    def test_constant_series_no_crash(self):
+        out = line_plot([(0, 5.0), (1, 5.0), (2, 5.0)])
+        assert "*" in out

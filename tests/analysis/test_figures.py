@@ -1,0 +1,120 @@
+"""Figure generators: structured rows behind each paper artifact."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure6_performance_profile,
+    figure7_power_profile,
+    figure8_partitioning,
+    figure10_results,
+)
+from repro.core.experiments import run_paper_suite
+from tests.conftest import tiny_battery_factory
+
+
+class TestFigure6:
+    def test_rows_cover_input_blocks_total(self):
+        fig = figure6_performance_profile()
+        stages = [r["stage"] for r in fig.rows]
+        assert stages[0].startswith("input")
+        assert "target_detection" in stages
+        assert stages[-1].startswith("TOTAL")
+
+    def test_input_transfer_is_paper_recv_time(self):
+        fig = figure6_performance_profile()
+        assert fig.rows[0]["transfer_s"] == pytest.approx(1.1, abs=0.01)
+
+    def test_total_proc_is_1_1s(self):
+        fig = figure6_performance_profile()
+        assert fig.rows[-1]["proc_s_at_206MHz"] == pytest.approx(1.1)
+
+    def test_text_renders(self):
+        assert "Fig. 6" in figure6_performance_profile().text
+
+
+class TestFigure7:
+    def test_eleven_rows(self):
+        assert len(figure7_power_profile().rows) == 11
+
+    def test_quoted_anchors_present(self):
+        rows = figure7_power_profile().rows
+        first, last = rows[0], rows[-1]
+        assert first["communication_ma"] == pytest.approx(40.0)
+        assert last["communication_ma"] == pytest.approx(110.0)
+        assert last["computation_ma"] == pytest.approx(130.0)
+
+    def test_text_renders(self):
+        assert "Fig. 7" in figure7_power_profile().text
+
+
+class TestFigure8:
+    def test_three_schemes(self):
+        assert len(figure8_partitioning().rows) == 3
+
+    def test_scheme1_row(self):
+        row = figure8_partitioning().rows[0]
+        assert row["node1_mhz"] == 59.0
+        assert row["node2_mhz"] == 103.2
+        assert row["feasible"]
+
+    def test_scheme3_infeasible_row(self):
+        row = figure8_partitioning().rows[2]
+        assert not row["feasible"]
+
+
+class TestDischargeCurves:
+    def test_curves_per_node(self):
+        from repro.analysis.figures import figure_discharge_curves
+        from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+
+        run = run_experiment(
+            PAPER_EXPERIMENTS["2"],
+            battery_factory=tiny_battery_factory,
+            monitor_interval_s=30.0,
+        )
+        fig = figure_discharge_curves(run)
+        nodes = {r["node"] for r in fig.rows}
+        assert nodes == {"node1", "node2"}
+        # Fractions are non-increasing per node.
+        for node in nodes:
+            fracs = [r["charge_fraction"] for r in fig.rows if r["node"] == node]
+            assert all(b <= a + 1e-9 for a, b in zip(fracs, fracs[1:]))
+        assert "node1 discharge" in fig.text
+
+    def test_requires_monitors(self):
+        from repro.analysis.figures import figure_discharge_curves
+        from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+        from repro.errors import ConfigurationError
+
+        run = run_experiment(
+            PAPER_EXPERIMENTS["1"],
+            battery_factory=tiny_battery_factory,
+            max_frames=3,
+        )
+        with pytest.raises(ConfigurationError):
+            figure_discharge_curves(run)
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return run_paper_suite(
+            ["1", "1A", "2", "0A"], battery_factory=tiny_battery_factory
+        )
+
+    def test_excludes_no_io_experiments(self, runs):
+        fig = figure10_results(runs)
+        labels = [r["experiment"] for r in fig.rows]
+        assert "0A" not in labels
+        assert labels == ["1", "1A", "2"]
+
+    def test_rows_carry_paper_reference(self, runs):
+        fig = figure10_results(runs)
+        baseline = fig.rows[0]
+        assert baseline["paper_T_hours"] == 6.13
+        assert baseline["Rnorm_percent"] == pytest.approx(100.0)
+
+    def test_text_has_both_charts(self, runs):
+        text = figure10_results(runs).text
+        assert "absolute battery life" in text
+        assert "normalized battery life" in text

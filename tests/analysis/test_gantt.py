@@ -1,0 +1,63 @@
+"""Gantt rendering of traces."""
+
+from repro.analysis.gantt import render_gantt
+from repro.sim import TraceRecorder
+
+
+def make_trace():
+    t = TraceRecorder()
+    t.add("node1", 0.0, 1.1, "recv")
+    t.add("node1", 1.1, 2.2, "proc")
+    t.add("node1", 2.2, 2.3, "send")
+    t.add("node2", 2.2, 2.3, "recv")
+    return t
+
+
+class TestRenderGantt:
+    def test_rows_per_actor(self):
+        out = render_gantt(make_trace(), width=46)
+        lines = out.splitlines()
+        assert lines[0].startswith("node1")
+        assert lines[1].startswith("node2")
+
+    def test_glyphs_by_activity(self):
+        out = render_gantt(make_trace(), width=46)
+        row1 = out.splitlines()[0]
+        assert "R" in row1 and "P" in row1 and "S" in row1
+
+    def test_overlap_alignment(self):
+        """Node1's SEND and Node2's RECV occupy the same columns (Fig. 3)."""
+        out = render_gantt(make_trace(), width=46)
+        r1, r2 = out.splitlines()[:2]
+        s_cols = {i for i, ch in enumerate(r1) if ch == "S"}
+        r_cols = {i for i, ch in enumerate(r2) if ch == "R"}
+        assert s_cols & r_cols
+
+    def test_legend_lists_used_activities(self):
+        out = render_gantt(make_trace())
+        legend = out.splitlines()[-1]
+        for activity in ("recv", "proc", "send"):
+            assert activity in legend
+
+    def test_window_selection(self):
+        out = render_gantt(make_trace(), start_s=1.1, end_s=2.2, width=20)
+        row1 = out.splitlines()[0]
+        assert "R" not in row1  # recv is outside the window
+        assert "P" in row1
+
+    def test_deadline_ruler(self):
+        out = render_gantt(make_trace(), deadline_s=1.15, width=46)
+        ruler = out.splitlines()[0]
+        assert ruler.count("|") >= 2
+
+    def test_custom_glyphs(self):
+        out = render_gantt(make_trace(), glyphs={"proc": "@"})
+        assert "@" in out
+
+    def test_empty_trace(self):
+        assert "(empty trace)" in render_gantt(TraceRecorder())
+
+    def test_actor_order_respected(self):
+        out = render_gantt(make_trace(), actors=["node2", "node1"])
+        lines = out.splitlines()
+        assert lines[0].startswith("node2")

@@ -1,0 +1,53 @@
+"""Calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    _perturbed,
+    evaluate_scenario,
+    sensitivity_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+from repro.hw.power import PAPER_POWER_MODEL
+
+
+class TestPerturbation:
+    def test_capacity_scales(self):
+        battery, _ = _perturbed("capacity", 1.1)
+        assert battery.capacity_mah == pytest.approx(
+            PAPER_KIBAM_PARAMETERS.capacity_mah * 1.1
+        )
+
+    def test_io_activity_changes_power_model_only(self):
+        battery, power = _perturbed("io_activity", 0.9)
+        assert battery is PAPER_KIBAM_PARAMETERS
+        assert power.io_activity == pytest.approx(
+            PAPER_POWER_MODEL.io_activity * 0.9
+        )
+
+    def test_c_clamped_below_one(self):
+        battery, _ = _perturbed("c", 10.0)
+        assert battery.c <= 0.95
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _perturbed("voltage", 1.1)
+
+
+class TestScenario:
+    def test_nominal_matches_paper_shape(self):
+        outcome = evaluate_scenario(
+            "nominal", PAPER_KIBAM_PARAMETERS, PAPER_POWER_MODEL
+        )
+        assert outcome.ordering_holds
+        assert outcome.baseline_h == pytest.approx(6.08, abs=0.1)
+        assert 1.1 < outcome.partitioning_rnorm < 1.3
+        assert 1.5 < outcome.rotation_rnorm < 1.75
+
+    def test_sweep_shape(self):
+        outcomes = sensitivity_sweep(rel_changes=(0.05,))
+        # nominal + one change per parameter
+        assert len(outcomes) == 1 + 4
+        assert outcomes[0].label == "nominal"
+        assert all("+" in o.label or o.label == "nominal" for o in outcomes)

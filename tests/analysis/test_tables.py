@@ -1,0 +1,52 @@
+"""ASCII table rendering."""
+
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_numeric_right_aligned(self):
+        out = format_table([{"n": 1}, {"n": 100}])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_text_left_aligned(self):
+        out = format_table([{"s": "ab"}, {"s": "abcdef"}])
+        rows = out.splitlines()[2:]
+        assert rows[0].startswith("ab")
+
+    def test_missing_values_dash(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert "-" in out.splitlines()[3]
+
+    def test_float_format(self):
+        out = format_table([{"x": 3.14159}], float_fmt=".1f")
+        assert "3.1" in out and "3.14" not in out
+
+    def test_bool_rendering(self):
+        out = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_headers_override(self):
+        out = format_table([{"t": 1.0}], headers={"t": "T (hours)"})
+        assert "T (hours)" in out
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_selection_and_order(self):
+        out = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        head = out.splitlines()[0]
+        assert head.index("c") < head.index("a")
+        assert "b" not in head
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])

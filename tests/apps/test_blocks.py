@@ -1,0 +1,180 @@
+"""The four ATR functional blocks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.atr.blocks import (
+    compute_distances,
+    detect_targets,
+    fft_correlate,
+    ifft_peaks,
+    label_components,
+)
+from repro.apps.atr.image import SceneSpec, generate_scene
+from repro.apps.atr.templates import TEMPLATE_BANK
+
+
+@pytest.fixture
+def scene():
+    return generate_scene(
+        SceneSpec(size=64, n_targets=1, clutter_sigma=0.25),
+        np.random.default_rng(3),
+    )
+
+
+class TestLabeling:
+    def test_empty_mask(self):
+        labels, n = label_components(np.zeros((5, 5), dtype=bool))
+        assert n == 0
+        assert labels.sum() == 0
+
+    def test_single_blob(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2:4, 2:4] = True
+        labels, n = label_components(mask)
+        assert n == 1
+        assert (labels[2:4, 2:4] == 1).all()
+
+    def test_two_separate_blobs(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0:2, 0:2] = True
+        mask[5:7, 5:7] = True
+        _, n = label_components(mask)
+        assert n == 2
+
+    def test_diagonal_not_connected(self):
+        # 4-connectivity: diagonal touch is two components.
+        mask = np.array([[1, 0], [0, 1]], dtype=bool)
+        _, n = label_components(mask)
+        assert n == 2
+
+    def test_u_shape_merges(self):
+        # A U-shape forces a union of provisional labels.
+        mask = np.array(
+            [
+                [1, 0, 1],
+                [1, 0, 1],
+                [1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        _, n = label_components(mask)
+        assert n == 1
+
+    def test_matches_scipy(self):
+        from scipy import ndimage
+
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            mask = rng.random((20, 20)) > 0.65
+            _, ours = label_components(mask)
+            _, theirs = ndimage.label(mask)
+            assert ours == theirs
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            label_components(np.zeros(5, dtype=bool))
+
+
+class TestDetect:
+    def test_finds_embedded_target(self, scene):
+        rois = detect_targets(scene.image)
+        assert len(rois) >= 1
+        truth = scene.truths[0]
+        best = rois[0]
+        assert abs(best.row - truth.row) <= 12
+        assert abs(best.col - truth.col) <= 12
+
+    def test_empty_image_no_detections(self):
+        rois = detect_targets(np.zeros((64, 64)))
+        assert rois == []
+
+    def test_max_regions_respected(self):
+        rng = np.random.default_rng(5)
+        scene = generate_scene(SceneSpec(size=128, n_targets=4), rng)
+        rois = detect_targets(scene.image, max_regions=2)
+        assert len(rois) <= 2
+
+    def test_rois_sorted_by_mass(self, scene):
+        rois = detect_targets(scene.image, max_regions=4, threshold_sigma=1.5)
+        masses = [r.mass for r in rois]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_patch_window_size(self, scene):
+        rois = detect_targets(scene.image, window=24)
+        for roi in rois:
+            assert roi.patch.shape == (24, 24)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            detect_targets(np.zeros((4, 4, 3)))
+
+
+class TestFFTAndIFFT:
+    def test_spectra_for_every_template(self, scene):
+        rois = detect_targets(scene.image)
+        spectra = fft_correlate(rois)
+        assert len(spectra) == len(rois)
+        assert set(spectra[0].spectra) == {t.name for t in TEMPLATE_BANK}
+
+    def test_fft_size_is_power_of_two(self, scene):
+        spectra = fft_correlate(detect_targets(scene.image))
+        n = spectra[0].fft_size
+        assert n & (n - 1) == 0
+
+    def test_peaks_located(self, scene):
+        peaks = ifft_peaks(fft_correlate(detect_targets(scene.image)))
+        assert len(peaks) == 1
+        for name, (value, r, c) in peaks[0].peaks.items():
+            assert np.isfinite(value)
+
+    def test_correlation_identifies_right_template(self):
+        """A clean template image must correlate best with itself."""
+        rng = np.random.default_rng(0)
+        for template in TEMPLATE_BANK:
+            img = rng.normal(0, 0.05, (64, 64))
+            img[20 : 20 + template.mask.shape[0], 20 : 20 + template.mask.shape[1]] += (
+                3.0 * template.mask
+            )
+            rois = detect_targets(img)
+            assert rois, f"no ROI for {template.name}"
+            peaks = ifft_peaks(fft_correlate(rois))[0]
+            best = max(peaks.peaks.items(), key=lambda kv: kv[1][0])[0]
+            assert best == template.name
+
+
+class TestDistances:
+    def test_distance_from_extent(self, scene):
+        peaks = ifft_peaks(fft_correlate(detect_targets(scene.image)))
+        records = compute_distances(peaks)
+        assert len(records) == 1
+        assert records[0]["distance_m"] > 0
+
+    def test_min_score_filters(self, scene):
+        peaks = ifft_peaks(fft_correlate(detect_targets(scene.image)))
+        none = compute_distances(peaks, min_score=float("inf"))
+        assert none == []
+
+    def test_empty_input(self):
+        assert compute_distances([]) == []
+
+    def test_distance_accuracy_on_clean_scene(self):
+        """Estimated range within ~35% of ground truth on easy scenes."""
+        rng = np.random.default_rng(21)
+        spec = SceneSpec(size=96, clutter_sigma=0.15)
+        hits = 0
+        total = 0
+        for _ in range(10):
+            scene = generate_scene(spec, rng)
+            if not scene.truths:
+                continue
+            peaks = ifft_peaks(fft_correlate(detect_targets(scene.image)))
+            records = compute_distances(peaks)
+            if not records:
+                continue
+            total += 1
+            truth = scene.truths[0]
+            if abs(records[0]["distance_m"] - truth.distance_m) / truth.distance_m < 0.35:
+                hits += 1
+        assert total >= 8
+        assert hits / total >= 0.7

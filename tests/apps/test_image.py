@@ -1,0 +1,85 @@
+"""Synthetic scene generation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.atr.image import FOCAL_PIXELS, SceneSpec, generate_scene
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSceneSpec:
+    def test_defaults_valid(self):
+        SceneSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size=16),
+            dict(n_targets=-1),
+            dict(clutter_sigma=-0.1),
+            dict(target_amplitude=0.0),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SceneSpec(**kwargs)
+
+
+class TestGeneration:
+    def test_image_shape(self, rng):
+        scene = generate_scene(SceneSpec(size=64), rng)
+        assert scene.image.shape == (64, 64)
+
+    def test_requested_targets_embedded(self, rng):
+        scene = generate_scene(SceneSpec(size=96, n_targets=2), rng)
+        assert len(scene.truths) == 2
+
+    def test_zero_targets(self, rng):
+        scene = generate_scene(SceneSpec(n_targets=0), rng)
+        assert scene.truths == ()
+
+    def test_deterministic_given_rng_state(self):
+        a = generate_scene(SceneSpec(), np.random.default_rng(42))
+        b = generate_scene(SceneSpec(), np.random.default_rng(42))
+        assert np.array_equal(a.image, b.image)
+        assert a.truths[0].row == b.truths[0].row
+
+    def test_targets_within_bounds(self, rng):
+        for _ in range(20):
+            scene = generate_scene(SceneSpec(size=64), rng)
+            for truth in scene.truths:
+                assert 0 <= truth.row < 64
+                assert 0 <= truth.col < 64
+
+    def test_target_brightens_region(self, rng):
+        spec = SceneSpec(size=64, clutter_sigma=0.1, target_amplitude=5.0)
+        scene = generate_scene(spec, rng)
+        truth = scene.truths[0]
+        h, w = truth.template.mask.shape
+        region = scene.image[truth.row : truth.row + int(h * truth.scale) + 2,
+                             truth.col : truth.col + int(w * truth.scale) + 2]
+        assert region.max() > scene.image.mean() + 3 * scene.image.std() * 0.5
+
+    def test_clutter_sigma_respected(self, rng):
+        scene = generate_scene(SceneSpec(n_targets=0, clutter_sigma=0.5), rng)
+        assert scene.image.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_ground_truth_distance_consistent(self, rng):
+        scene = generate_scene(SceneSpec(size=96), rng)
+        truth = scene.truths[0]
+        # distance = focal * size / pixel extent (pinhole model)
+        h, w = truth.template.mask.shape
+        extent = max(
+            max(4, int(round(h * truth.scale))), max(4, int(round(w * truth.scale)))
+        )
+        assert truth.distance_m == pytest.approx(
+            FOCAL_PIXELS * truth.template.physical_size_m / extent
+        )
+
+    def test_nbytes_float32_pixels(self, rng):
+        scene = generate_scene(SceneSpec(size=64), rng)
+        assert scene.nbytes == 64 * 64 * 4

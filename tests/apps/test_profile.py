@@ -1,0 +1,130 @@
+"""Task profiles: the Fig. 6 model."""
+
+import pytest
+
+from repro.apps.atr.profile import (
+    PAPER_PROFILE,
+    PAPER_PROFILE_RAW,
+    BlockProfile,
+    TaskProfile,
+    measure_profile,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperProfile:
+    def test_raw_block_times_are_fig6(self):
+        times = [b.seconds_at_max for b in PAPER_PROFILE_RAW.blocks]
+        assert times == [0.18, 0.19, 0.32, 0.53]
+
+    def test_raw_payloads_are_fig6(self):
+        payloads = [b.output_bytes for b in PAPER_PROFILE_RAW.blocks]
+        assert payloads == [600, 7500, 7500, 100]
+        assert PAPER_PROFILE_RAW.input_bytes == 10_100
+
+    def test_normalized_total_is_paper_proc_time(self):
+        assert PAPER_PROFILE.total_seconds_at_max == pytest.approx(1.1)
+
+    def test_normalization_preserves_ratios(self):
+        raw = PAPER_PROFILE_RAW.blocks
+        norm = PAPER_PROFILE.blocks
+        for a, b in zip(raw, norm):
+            assert b.seconds_at_max / a.seconds_at_max == pytest.approx(1.1 / 1.22)
+
+    def test_normalization_preserves_payloads(self):
+        assert [b.output_bytes for b in PAPER_PROFILE.blocks] == [
+            b.output_bytes for b in PAPER_PROFILE_RAW.blocks
+        ]
+
+    def test_block_names(self):
+        assert PAPER_PROFILE.names == (
+            "target_detection",
+            "fft",
+            "ifft",
+            "compute_distance",
+        )
+
+    def test_output_bytes_is_last_block(self):
+        assert PAPER_PROFILE.output_bytes == 100
+
+
+class TestSegmentQueries:
+    def test_segment_seconds(self):
+        assert PAPER_PROFILE_RAW.segment_seconds(1, 4) == pytest.approx(
+            0.19 + 0.32 + 0.53
+        )
+
+    def test_segment_input_bytes_first_is_frame(self):
+        assert PAPER_PROFILE.segment_input_bytes(0) == 10_100
+
+    def test_segment_input_bytes_interior(self):
+        assert PAPER_PROFILE.segment_input_bytes(1) == 600
+
+    def test_segment_output_bytes(self):
+        assert PAPER_PROFILE.segment_output_bytes(2) == 7500
+        assert PAPER_PROFILE.segment_output_bytes(4) == 100
+
+    @pytest.mark.parametrize("rng", [(-1, 2), (2, 2), (0, 9)])
+    def test_bad_ranges_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            PAPER_PROFILE.segment_seconds(*rng)
+
+
+class TestValidation:
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskProfile(blocks=(), input_bytes=100)
+
+    def test_negative_block_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockProfile("x", -1.0, 100)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockProfile("x", 1.0, -5)
+
+    def test_scaled_requires_positive(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_PROFILE.scaled(0.0)
+
+
+class TestBlockScaling:
+    def test_scales_named_blocks_only(self):
+        heavier = PAPER_PROFILE.with_blocks_scaled({"fft", "ifft"}, 3.0)
+        by_name = {b.name: b for b in heavier.blocks}
+        base = {b.name: b for b in PAPER_PROFILE.blocks}
+        assert by_name["fft"].seconds_at_max == pytest.approx(
+            3.0 * base["fft"].seconds_at_max
+        )
+        assert by_name["target_detection"].seconds_at_max == pytest.approx(
+            base["target_detection"].seconds_at_max
+        )
+
+    def test_payloads_untouched(self):
+        heavier = PAPER_PROFILE.with_blocks_scaled({"fft"}, 2.0)
+        assert [b.output_bytes for b in heavier.blocks] == [
+            b.output_bytes for b in PAPER_PROFILE.blocks
+        ]
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_PROFILE.with_blocks_scaled({"nope"}, 2.0)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_PROFILE.with_blocks_scaled({"fft"}, 0.0)
+
+
+class TestMeasuredProfile:
+    def test_measure_profile_totals_itsy_time(self):
+        profile = measure_profile(repeats=1, itsy_total_seconds=1.1)
+        assert profile.total_seconds_at_max == pytest.approx(1.1)
+
+    def test_measure_profile_has_four_blocks(self):
+        profile = measure_profile(repeats=1)
+        assert profile.names == PAPER_PROFILE.names
+
+    def test_measure_profile_payloads_positive(self):
+        profile = measure_profile(repeats=1)
+        assert profile.input_bytes > 0
+        assert all(b.output_bytes > 0 for b in profile.blocks)

@@ -1,0 +1,70 @@
+"""End-to-end reference ATR pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.atr import ATRPipeline, SceneSpec, generate_scene
+
+
+@pytest.fixture
+def pipeline():
+    return ATRPipeline()
+
+
+class TestEndToEnd:
+    def test_recognizes_easy_scenes(self, pipeline):
+        rng = np.random.default_rng(42)
+        spec = SceneSpec(size=64, n_targets=1, clutter_sigma=0.3)
+        scores = []
+        for i in range(10):
+            scene = generate_scene(spec, rng)
+            result = pipeline.run(scene, frame_id=i)
+            scores.append(pipeline.score_against_truth(scene, result))
+        assert sum(scores) / len(scores) >= 0.8
+
+    def test_result_carries_frame_id(self, pipeline):
+        scene = generate_scene(SceneSpec(), np.random.default_rng(0))
+        assert pipeline.run(scene, frame_id=17).frame_id == 17
+
+    def test_accepts_raw_array(self, pipeline):
+        img = np.zeros((64, 64))
+        result = pipeline.run(img)
+        assert result.detections == ()
+
+    def test_result_nbytes_small(self, pipeline):
+        """The final result is the paper's ~0.1 KB message."""
+        scene = generate_scene(SceneSpec(), np.random.default_rng(1))
+        result = pipeline.run(scene)
+        assert result.nbytes <= 100
+
+    def test_max_regions_limits_detections(self):
+        rng = np.random.default_rng(9)
+        scene = generate_scene(SceneSpec(size=128, n_targets=3), rng)
+        pipe = ATRPipeline(max_regions=1)
+        assert len(pipe.run(scene).detections) <= 1
+
+
+class TestScoring:
+    def test_empty_scene_empty_result_is_perfect(self, pipeline):
+        scene = generate_scene(SceneSpec(n_targets=0), np.random.default_rng(0))
+        result = pipeline.run(scene)
+        if not result.detections:
+            assert pipeline.score_against_truth(scene, result) == 1.0
+
+    def test_wrong_template_scores_zero(self, pipeline):
+        from repro.apps.atr.reference import ATRResult, Detection
+
+        scene = generate_scene(SceneSpec(), np.random.default_rng(3))
+        truth = scene.truths[0]
+        wrong_name = next(
+            t.name
+            for t in pipeline.templates
+            if t.name != truth.template.name
+        )
+        fake = ATRResult(
+            frame_id=0,
+            detections=(
+                Detection(wrong_name, 1.0, truth.row, truth.col, 100.0),
+            ),
+        )
+        assert pipeline.score_against_truth(scene, fake) == 0.0

@@ -1,0 +1,50 @@
+"""Target templates."""
+
+import numpy as np
+import pytest
+
+from repro.apps.atr.templates import TEMPLATE_BANK, make_template_bank
+
+
+class TestBank:
+    def test_three_distinct_templates(self):
+        names = [t.name for t in TEMPLATE_BANK]
+        assert names == ["tank", "truck", "aircraft"]
+
+    def test_masks_binaryish(self):
+        for t in TEMPLATE_BANK:
+            assert t.mask.min() >= 0.0 and t.mask.max() <= 1.0
+            assert t.mask.max() == 1.0  # non-empty
+
+    def test_masks_differ_pairwise(self):
+        for a in TEMPLATE_BANK:
+            for b in TEMPLATE_BANK:
+                if a.name != b.name:
+                    assert not np.array_equal(a.mask, b.mask)
+
+    def test_physical_sizes_positive(self):
+        for t in TEMPLATE_BANK:
+            assert t.physical_size_m > 0
+
+    def test_pixel_extent(self):
+        for t in TEMPLATE_BANK:
+            assert 0 < t.pixel_extent <= max(t.shape)
+
+    def test_custom_size(self):
+        bank = make_template_bank(32)
+        assert all(t.shape == (32, 32) for t in bank)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_template_bank(4)
+
+
+class TestNormalized:
+    def test_zero_mean(self):
+        for t in TEMPLATE_BANK:
+            assert abs(t.normalized().mean()) < 1e-12
+
+    def test_unit_energy(self):
+        for t in TEMPLATE_BANK:
+            n = t.normalized()
+            assert np.sqrt((n * n).sum()) == pytest.approx(1.0)

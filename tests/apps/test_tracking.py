@@ -1,0 +1,125 @@
+"""Multi-frame, multi-target tracking."""
+
+import pytest
+
+from repro.apps.atr.reference import ATRResult, Detection
+from repro.apps.atr.tracking import ATRTracker
+
+
+def frame(frame_id, *detections):
+    return ATRResult(frame_id=frame_id, detections=tuple(detections))
+
+
+def det(template, row, col, distance=100.0, score=1.0):
+    return Detection(template, score, row, col, distance)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(gate_px=0), dict(smoothing=0.0), dict(smoothing=1.5), dict(min_hits=0)],
+    )
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            ATRTracker(**kwargs)
+
+
+class TestSingleTarget:
+    def test_moving_target_keeps_one_track(self):
+        tracker = ATRTracker(gate_px=10)
+        for i in range(8):
+            tracker.update(frame(i, det("tank", 20 + 2 * i, 30 + i)))
+        assert len(tracker.all_tracks()) == 1
+        track = tracker.live_tracks[0]
+        assert track.hits == 8
+        assert track.template == "tank"
+        assert (track.row, track.col) == (34, 37)
+
+    def test_distance_smoothing_reduces_noise(self):
+        tracker = ATRTracker(smoothing=0.3)
+        readings = [100.0, 140.0, 60.0, 130.0, 70.0, 110.0, 90.0]
+        for i, distance in enumerate(readings):
+            tracker.update(frame(i, det("tank", 20, 20, distance=distance)))
+        track = tracker.live_tracks[0]
+        true = 100.0
+        raw_error = abs(readings[-1] - true)
+        assert abs(track.distance_m - true) < raw_error
+
+    def test_template_majority_vote(self):
+        tracker = ATRTracker()
+        labels = ["tank", "tank", "truck", "tank"]
+        for i, label in enumerate(labels):
+            tracker.update(frame(i, det(label, 20, 20)))
+        assert tracker.live_tracks[0].template == "tank"
+
+    def test_track_retired_after_coasting(self):
+        tracker = ATRTracker(max_coast_frames=2)
+        tracker.update(frame(0, det("tank", 20, 20)))
+        for i in range(1, 5):
+            tracker.update(frame(i))  # empty frames
+        assert tracker.live_tracks == []
+        assert len(tracker.all_tracks()) == 1
+
+
+class TestMultiTarget:
+    def test_two_separated_targets_two_tracks(self):
+        tracker = ATRTracker(gate_px=8)
+        for i in range(5):
+            tracker.update(
+                frame(i, det("tank", 10 + i, 10), det("aircraft", 50, 50 + i))
+            )
+        live = tracker.live_tracks
+        assert len(live) == 2
+        assert {t.template for t in live} == {"tank", "aircraft"}
+
+    def test_far_jump_starts_new_track(self):
+        tracker = ATRTracker(gate_px=5)
+        tracker.update(frame(0, det("tank", 10, 10)))
+        tracker.update(frame(1, det("tank", 50, 50)))
+        assert len(tracker.live_tracks) == 2
+
+    def test_greedy_association_prefers_closest(self):
+        tracker = ATRTracker(gate_px=20)
+        tracker.update(frame(0, det("tank", 10, 10), det("tank", 30, 30)))
+        a, b = sorted(tracker.live_tracks, key=lambda t: t.row)
+        tracker.update(frame(1, det("tank", 12, 12), det("tank", 28, 28)))
+        a2, b2 = sorted(tracker.live_tracks, key=lambda t: t.row)
+        assert (a2.track_id, b2.track_id) == (a.track_id, b.track_id)
+        assert a2.hits == b2.hits == 2
+
+    def test_one_detection_cannot_feed_two_tracks(self):
+        tracker = ATRTracker(gate_px=30)
+        tracker.update(frame(0, det("tank", 10, 10), det("tank", 20, 20)))
+        tracker.update(frame(1, det("tank", 15, 15)))
+        hits = sorted(t.hits for t in tracker.live_tracks)
+        assert hits == [1, 2]
+
+    def test_confirmed_filters_clutter(self):
+        tracker = ATRTracker(min_hits=3, gate_px=5)
+        for i in range(4):
+            tracker.update(frame(i, det("tank", 10, 10)))
+        tracker.update(frame(4, det("truck", 60, 60)))  # single clutter hit
+        confirmed = tracker.confirmed_tracks()
+        assert len(confirmed) == 1
+        assert confirmed[0].template == "tank"
+
+
+class TestEndToEndWithRecognizer:
+    def test_tracks_synthetic_target_through_scenes(self):
+        """Recognizer detections over a static scene form one stable track."""
+        import numpy as np
+
+        from repro.apps.atr import ATRPipeline, SceneSpec, generate_scene
+
+        rng = np.random.default_rng(5)
+        scene = generate_scene(SceneSpec(size=96, clutter_sigma=0.2), rng)
+        pipe = ATRPipeline()
+        tracker = ATRTracker(gate_px=6)
+        for i in range(5):
+            # Fresh clutter, same target: regenerate noise around the
+            # fixed embedded silhouette.
+            noisy = scene.image + rng.normal(0, 0.05, scene.image.shape)
+            tracker.update(pipe.run(noisy, frame_id=i))
+        confirmed = tracker.confirmed_tracks()
+        assert len(confirmed) == 1
+        assert confirmed[0].template == scene.truths[0].template.name

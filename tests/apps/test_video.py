@@ -1,0 +1,122 @@
+"""Video workload: GOP structures and the frame-based DVS experiment."""
+
+import pytest
+
+from repro.apps.video import FrameType, GopStructure, VIDEO_PROFILE, video_workload
+from repro.apps.video.profile import VIDEO_FRAME_PERIOD_S
+from repro.errors import ConfigurationError
+
+
+class TestGopStructure:
+    def test_default_pattern(self):
+        gop = GopStructure()
+        assert len(gop) == 9
+        assert gop.pattern[0] is FrameType.I
+
+    def test_frame_types_repeat(self):
+        gop = GopStructure("IBBP")
+        types = gop.frame_types(9)
+        assert [str(t) for t in types] == list("IBBPIBBPI")
+
+    def test_workload_scales_follow_costs(self):
+        gop = GopStructure("IPB")
+        assert gop.workload_scales() == [1.0, 0.6, 0.4]
+
+    def test_mean_and_peak(self):
+        gop = GopStructure("IPB")
+        assert gop.peak_cost == 1.0
+        assert gop.mean_cost == pytest.approx((1.0 + 0.6 + 0.4) / 3)
+
+    def test_describe(self):
+        assert GopStructure("IBBP").describe().startswith("IBBP")
+
+    @pytest.mark.parametrize("pattern", ["", "PBB", "IXB"])
+    def test_invalid_patterns_rejected(self, pattern):
+        with pytest.raises(ConfigurationError):
+            GopStructure(pattern)
+
+    def test_custom_costs(self):
+        gop = GopStructure("IP", costs={FrameType.I: 2.0, FrameType.P: 1.0})
+        assert gop.workload_scales() == [2.0, 1.0]
+
+    def test_missing_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GopStructure("IPB", costs={FrameType.I: 1.0})
+
+    def test_nonpositive_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GopStructure("IP", costs={FrameType.I: 1.0, FrameType.P: 0.0})
+
+
+class TestVideoProfile:
+    def test_single_node_feasible_at_frame_rate(self):
+        """An I frame must fit the 0.6 s period on one node."""
+        from repro.hw.dvs import SA1100_TABLE
+        from repro.hw.link import PAPER_LINK_TIMING
+        from repro.pipeline.schedule import plan_node
+        from repro.pipeline.tasks import Partition
+
+        plan = plan_node(
+            Partition(VIDEO_PROFILE).stage(0),
+            PAPER_LINK_TIMING,
+            VIDEO_FRAME_PERIOD_S,
+            SA1100_TABLE,
+        )
+        assert plan.schedule.feasible
+
+    def test_workload_trace_is_gop_periodic(self):
+        import numpy as np
+
+        trace = video_workload(GopStructure("IBBP"))
+        rng = np.random.default_rng(0)
+        scales = [trace.scale_for(i, rng) for i in range(8)]
+        assert scales == [1.0, 0.4, 0.4, 0.6] * 2
+
+
+class TestFrameBasedDVS:
+    """Choi et al.'s technique, realized as adaptive per-frame DVS."""
+
+    def run_decoder(self, adaptive: bool):
+        from repro.core.policies import DVSDuringIOPolicy, SlowestFeasiblePolicy
+        from repro.hw.dvs import SA1100_TABLE
+        from repro.hw.link import PAPER_LINK_TIMING
+        from repro.pipeline.engine import PipelineConfig, PipelineEngine
+        from repro.pipeline.schedule import plan_node
+        from repro.pipeline.tasks import Partition
+        from tests.conftest import tiny_battery_factory
+
+        partition = Partition(VIDEO_PROFILE)
+        plans = [
+            plan_node(
+                a, PAPER_LINK_TIMING, VIDEO_FRAME_PERIOD_S, SA1100_TABLE
+            )
+            for a in partition.assignments
+        ]
+        roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+            plans, SA1100_TABLE
+        )
+        config = PipelineConfig(
+            partition=partition,
+            roles=roles,
+            node_names=("player",),
+            battery_factory=tiny_battery_factory,
+            deadline_s=VIDEO_FRAME_PERIOD_S,
+            workload=video_workload(),
+            adaptive_workload_dvs=adaptive,
+            max_frames=180,  # 20 GOPs
+            monitor_interval_s=None,
+        )
+        return PipelineEngine(config).run()
+
+    def test_frame_based_dvs_saves_energy_without_misses(self):
+        static = self.run_decoder(adaptive=False)
+        frame_based = self.run_decoder(adaptive=True)
+        assert static.frames_completed == frame_based.frames_completed == 180
+        # Both meet the playback deadline (the static level is sized
+        # for the I frame, the worst case).
+        assert static.late_results == frame_based.late_results == 0
+        # Frame-based DVS spends measurably less on the B/P frames.
+        assert (
+            frame_based.delivered_mah["player"]
+            < 0.97 * static.delivered_mah["player"]
+        )

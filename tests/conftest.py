@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Engine-behaviour tests use a deliberately tiny battery so simulated
+discharge runs finish in milliseconds of wall time; the full
+paper-scale runs live in the integration tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.battery import KiBaM, KiBaMParameters, LinearBattery
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.power import PAPER_POWER_MODEL
+from repro.sim import Simulator
+
+
+#: Small cell with paper-like dynamics: dies after roughly 6-10 minutes
+#: of simulated full-speed computation.
+TINY_KIBAM = KiBaMParameters(capacity_mah=25.0, c=0.22628, k_prime_per_hour=0.42188)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_battery() -> KiBaM:
+    return KiBaM(TINY_KIBAM)
+
+
+def tiny_battery_factory() -> KiBaM:
+    """Picklable/importable factory for engine configs."""
+    return KiBaM(TINY_KIBAM)
+
+
+def tiny_linear_factory() -> LinearBattery:
+    return LinearBattery(25.0)
+
+
+@pytest.fixture
+def power_model():
+    return PAPER_POWER_MODEL
+
+
+@pytest.fixture
+def table():
+    return SA1100_TABLE

@@ -1,0 +1,73 @@
+"""Calibration against the paper's measured lifetimes."""
+
+import pytest
+
+from repro.core.calibration import (
+    Anchor,
+    DutySegment,
+    calibrate_battery,
+    paper_anchors,
+    predicted_lifetime_hours,
+)
+from repro.errors import CalibrationError
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS, KiBaMParameters
+from repro.hw.power import PAPER_POWER_MODEL, PowerMode
+
+
+class TestAnchors:
+    def test_five_anchors(self):
+        anchors = paper_anchors()
+        assert [a.label for a in anchors] == ["0A", "0B", "1", "1A", "2"]
+
+    def test_targets_are_paper_lifetimes(self):
+        targets = {a.label: a.target_hours for a in paper_anchors()}
+        assert targets == {"0A": 3.4, "0B": 12.9, "1": 6.13, "1A": 7.6, "2": 14.1}
+
+    def test_experiment1_duty_cycle_fills_deadline(self):
+        anchor = next(a for a in paper_anchors() if a.label == "1")
+        assert sum(s.duration_s for s in anchor.segments) == pytest.approx(2.3)
+
+    def test_durations_derived_from_profile_and_link(self):
+        anchor = next(a for a in paper_anchors() if a.label == "1")
+        recv = next(s for s in anchor.segments if s.mode is PowerMode.COMMUNICATION)
+        assert recv.duration_s == pytest.approx(1.1, abs=0.01)
+
+
+class TestStoredConstants:
+    """The shipped parameters must reproduce every anchor."""
+
+    @pytest.mark.parametrize("anchor", paper_anchors(), ids=lambda a: a.label)
+    def test_anchor_within_tolerance(self, anchor):
+        predicted = predicted_lifetime_hours(
+            anchor, PAPER_KIBAM_PARAMETERS, PAPER_POWER_MODEL
+        )
+        assert predicted == pytest.approx(anchor.target_hours, abs=0.4)
+
+    def test_stored_point_near_stationary(self):
+        """Restarting the fit from the stored constants must not move far."""
+        result = calibrate_battery(max_nfev=3)
+        assert result.battery.capacity_mah == pytest.approx(
+            PAPER_KIBAM_PARAMETERS.capacity_mah, rel=0.05
+        )
+        assert result.max_abs_residual_hours < 0.4
+
+
+class TestPredictedLifetime:
+    def test_continuous_discharge_matches_ttd(self):
+        anchor = Anchor(
+            "x", (DutySegment(PowerMode.COMPUTATION, 206.4, 1.0),), 1.0
+        )
+        from repro.hw.battery import KiBaM
+
+        cell = KiBaM(PAPER_KIBAM_PARAMETERS)
+        expected = cell.time_to_death(130.0) / 3600.0
+        predicted = predicted_lifetime_hours(
+            anchor, PAPER_KIBAM_PARAMETERS, PAPER_POWER_MODEL
+        )
+        assert predicted == pytest.approx(expected, rel=1e-3)
+
+    def test_no_death_raises(self):
+        anchor = Anchor("x", (DutySegment(PowerMode.IDLE, 59.0, 1.0),), 1.0)
+        params = KiBaMParameters(capacity_mah=1e6, c=0.5, k_prime_per_hour=10.0)
+        with pytest.raises(CalibrationError):
+            predicted_lifetime_hours(anchor, params, PAPER_POWER_MODEL, max_hours=0.1)

@@ -1,0 +1,74 @@
+"""§4.5 metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    ExperimentMetrics,
+    battery_life_hours,
+    normalized_battery_life_hours,
+    normalized_ratio,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBatteryLife:
+    def test_paper_baseline_identity(self):
+        """T(1) = F(1) * D: 9600 frames at 2.3 s is 6.13 h."""
+        assert battery_life_hours(9600, 2.3, 1) == pytest.approx(6.13, abs=0.01)
+
+    def test_pipeline_fill_term(self):
+        t1 = battery_life_hours(1000, 2.3, 1)
+        t2 = battery_life_hours(1000, 2.3, 2)
+        assert t2 - t1 == pytest.approx(2.3 / 3600.0)
+
+    def test_normalized_divides_by_nodes(self):
+        assert normalized_battery_life_hours(1000, 2.3, 2) == pytest.approx(
+            battery_life_hours(1000, 2.3, 2) / 2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            battery_life_hours(-1, 2.3, 1)
+        with pytest.raises(ConfigurationError):
+            battery_life_hours(1, 0.0, 1)
+        with pytest.raises(ConfigurationError):
+            battery_life_hours(1, 2.3, 0)
+
+
+class TestNormalizedRatio:
+    def test_paper_experiment_2(self):
+        """Paper: Tnorm(2) = 7.05 h against T(1) = 6.13 h -> 115%."""
+        assert normalized_ratio(7.05, 6.13) == pytest.approx(1.15, abs=0.01)
+
+    def test_baseline_is_unity(self):
+        assert normalized_ratio(6.13, 6.13) == 1.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalized_ratio(1.0, 0.0)
+
+
+class TestExperimentMetrics:
+    def test_from_frames_builds_row(self):
+        m = ExperimentMetrics.from_frames("2", 22100, 2.3, 2, baseline_hours=6.13)
+        assert m.t_hours == pytest.approx(14.12, abs=0.01)
+        assert m.tnorm_hours == pytest.approx(7.06, abs=0.01)
+        assert m.rnorm == pytest.approx(1.152, abs=0.005)
+
+    def test_no_baseline_no_rnorm(self):
+        m = ExperimentMetrics.from_frames("0A", 11500, 1.1, 1)
+        assert m.rnorm is None
+
+    def test_as_row_shape(self):
+        m = ExperimentMetrics.from_frames("1", 9600, 2.3, 1, baseline_hours=6.13)
+        row = m.as_row()
+        assert row["experiment"] == "1"
+        assert row["Rnorm_percent"] == pytest.approx(100.0, abs=0.5)
+        assert set(row) == {
+            "experiment",
+            "nodes",
+            "frames",
+            "T_hours",
+            "Tnorm_hours",
+            "Rnorm_percent",
+        }

@@ -1,0 +1,120 @@
+"""Configuration optimizer (on tiny cells for speed)."""
+
+import pytest
+
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.optimizer import (
+    optimize_configuration,
+    predict_rotation_lifetime_hours,
+)
+from repro.core.policies import DVSDuringIOPolicy, SlowestFeasiblePolicy
+from repro.errors import ConfigurationError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+from tests.conftest import TINY_KIBAM
+
+D = 2.3
+
+
+@pytest.fixture(scope="module")
+def ranked():
+    return optimize_configuration(PAPER_PROFILE, max_stages=3, battery=TINY_KIBAM)
+
+
+class TestRanking:
+    def test_paper_configuration_wins_among_multinode(self, ranked):
+        """Scheme 1 + DVS-I/O + rotation tops every multi-node option.
+
+        (At this reduced capacity the single node + DVS-I/O edges ahead
+        on Tnorm — the recovery effect is capacity-dependent, as the
+        battery-model ablation shows; the paper-scale check below
+        confirms the full-space winner.)"""
+        best_multi = next(c for c in ranked if c.n_stages >= 2)
+        assert best_multi.cuts == (1,)
+        assert best_multi.dvs_during_io
+        assert best_multi.rotation
+
+    def test_paper_configuration_wins_at_paper_scale(self):
+        """At the calibrated capacity, scheme 1 + DVS-I/O + rotation is
+        the global optimum — the optimizer agrees with the paper."""
+        ranked = optimize_configuration(PAPER_PROFILE, max_stages=2)
+        best = ranked[0]
+        assert best.cuts == (1,)
+        assert best.dvs_during_io
+        assert best.rotation
+        # And its predicted lifetime matches the measured (2C) band.
+        assert best.lifetime_hours == pytest.approx(19.6, abs=0.5)
+
+    def test_sorted_by_normalized_lifetime(self, ranked):
+        values = [c.normalized_hours for c in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_absolute_objective_prefers_depth(self):
+        ranked = optimize_configuration(
+            PAPER_PROFILE, max_stages=3, battery=TINY_KIBAM, objective="absolute"
+        )
+        # More batteries always buy more absolute uptime with rotation.
+        assert ranked[0].n_stages == 3
+        assert ranked[0].rotation
+
+    def test_rotation_always_beats_same_config_without(self, ranked):
+        by_key = {
+            (c.cuts, c.dvs_during_io, c.rotation): c.lifetime_hours for c in ranked
+        }
+        for (cuts, dvs, rot), hours in by_key.items():
+            if rot:
+                assert hours >= by_key[(cuts, dvs, False)]
+
+    def test_infeasible_partitions_skipped(self, ranked):
+        # Scheme 3 (cut at block 3) cannot meet D and must be absent.
+        assert all(c.cuts != (3,) for c in ranked)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimize_configuration(PAPER_PROFILE, objective="vibes")
+
+    def test_impossible_deadline_raises(self):
+        with pytest.raises(ConfigurationError):
+            optimize_configuration(
+                PAPER_PROFILE, deadline_s=1.2, battery=TINY_KIBAM
+            )
+
+
+class TestRotationPrediction:
+    def test_matches_engine(self):
+        """The analytical rotation lifetime tracks the DES engine."""
+        from repro.pipeline.engine import PipelineEngine
+        from tests.pipeline.test_engine import make_config
+
+        partition = Partition(PAPER_PROFILE, (1,))
+        plans = [
+            plan_node(a, PAPER_LINK_TIMING, D, SA1100_TABLE)
+            for a in partition.assignments
+        ]
+        roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+            plans, SA1100_TABLE
+        )
+        predicted = predict_rotation_lifetime_hours(roles, battery=TINY_KIBAM)
+
+        result = PipelineEngine(
+            make_config(cuts=(1,), rotation_period=10)
+        ).run()
+        engine_hours = result.last_result_s / 3600.0
+        assert engine_hours == pytest.approx(predicted, rel=0.02)
+
+    def test_balanced_lifetime_between_stage_extremes(self):
+        partition = Partition(PAPER_PROFILE, (1,))
+        plans = [
+            plan_node(a, PAPER_LINK_TIMING, D, SA1100_TABLE)
+            for a in partition.assignments
+        ]
+        roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+            plans, SA1100_TABLE
+        )
+        from repro.core.prediction import predict_first_death
+
+        _, first, per_stage = predict_first_death(roles, battery=TINY_KIBAM)
+        balanced = predict_rotation_lifetime_hours(roles, battery=TINY_KIBAM)
+        assert first < balanced < max(per_stage.values()) * 2

@@ -1,0 +1,126 @@
+"""Partitioning analysis: the Fig. 8 reproduction."""
+
+import pytest
+
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.partitioning import (
+    analyze_partitions,
+    estimate_average_current_ma,
+    select_best,
+)
+from repro.errors import InfeasiblePartitionError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.hw.power import PAPER_POWER_MODEL
+
+D = 2.3
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    return analyze_partitions(PAPER_PROFILE, 2, PAPER_LINK_TIMING, D, SA1100_TABLE)
+
+
+class TestFig8:
+    def test_three_schemes(self, analyses):
+        assert len(analyses) == 3
+
+    def test_scheme1_levels(self, analyses):
+        s1 = analyses[0]
+        assert s1.feasible
+        assert s1.stages[0].level.mhz == 59.0
+        assert s1.stages[1].level.mhz == 103.2
+
+    def test_scheme1_payloads(self, analyses):
+        s1 = analyses[0]
+        assert s1.stages[0].comm_payload_kb == pytest.approx(10.7)
+        assert s1.stages[1].comm_payload_kb == pytest.approx(0.7)
+
+    def test_scheme2_feasible_but_fast(self, analyses):
+        s2 = analyses[1]
+        assert s2.feasible
+        # Paper: 191.7 / 132.7 MHz. Node1 derives exactly; Node2's level
+        # depends on the profile normalization and lands within one step.
+        assert s2.stages[0].level.mhz == 191.7
+        assert s2.stages[1].level.mhz in (118.0, 132.7)
+
+    def test_scheme3_infeasible(self, analyses):
+        s3 = analyses[2]
+        assert not s3.feasible
+        assert s3.stages[0].plan is None
+        # Paper: "not capable ... unless clocked at 380 MHz".
+        assert s3.stages[0].required_mhz > 206.4
+
+    def test_rows_render(self, analyses):
+        rows = [a.as_row() for a in analyses]
+        assert rows[0]["node1_mhz"] == 59.0
+        assert "infeasible" in str(rows[2]["node1_mhz"])
+
+
+class TestSelection:
+    def test_paper_choice_is_scheme1(self, analyses):
+        """The paper's energy criterion (§5.3) selects scheme 1."""
+        best = select_best(analyses)
+        assert best is analyses[0]
+
+    def test_max_current_criterion_differs(self, analyses):
+        """Under DVS-during-I/O the critical-battery criterion prefers a
+        scheme whose heavy node idles more — a model prediction the
+        ablation benches explore."""
+        best = select_best(
+            analyses, PAPER_POWER_MODEL, D, criterion="max-current"
+        )
+        assert best.feasible
+
+    def test_max_current_requires_model(self, analyses):
+        with pytest.raises(ValueError):
+            select_best(analyses, criterion="max-current")
+
+    def test_unknown_criterion_rejected(self, analyses):
+        with pytest.raises(ValueError):
+            select_best(analyses, criterion="magic")
+
+    def test_no_feasible_raises(self):
+        tight = analyze_partitions(
+            PAPER_PROFILE, 2, PAPER_LINK_TIMING, 1.3, SA1100_TABLE
+        )
+        with pytest.raises(InfeasiblePartitionError):
+            select_best(tight)
+
+
+class TestCurrentEstimates:
+    def test_scheme1_stage_currents(self, analyses):
+        currents = estimate_average_current_ma(analyses[0], PAPER_POWER_MODEL, D)
+        assert len(currents) == 2
+        # Node2 (heavy compute at 103.2) draws more on average than
+        # Node1 (mostly I/O at 59) — the imbalance the paper blames.
+        assert currents[1] > currents[0]
+
+    def test_infeasible_scheme_rejected(self, analyses):
+        with pytest.raises(InfeasiblePartitionError):
+            estimate_average_current_ma(analyses[2], PAPER_POWER_MODEL, D)
+
+    def test_dvs_during_io_lowers_estimate(self, analyses):
+        with_dvs = estimate_average_current_ma(
+            analyses[0], PAPER_POWER_MODEL, D, dvs_during_io=True
+        )
+        without = estimate_average_current_ma(
+            analyses[0], PAPER_POWER_MODEL, D, dvs_during_io=False
+        )
+        assert sum(with_dvs) < sum(without)
+
+
+class TestOverheadPropagation:
+    def test_ack_overhead_changes_levels(self):
+        plain = analyze_partitions(
+            PAPER_PROFILE, 2, PAPER_LINK_TIMING, D, SA1100_TABLE
+        )
+        acked = analyze_partitions(
+            PAPER_PROFILE, 2, PAPER_LINK_TIMING, D, SA1100_TABLE, overhead_s=0.18
+        )
+        # With per-frame ack overhead, the heavy node must clock up —
+        # the §5.4 observation that recovery "forces an increase of
+        # computation speed".
+        assert (
+            acked[0].stages[1].level.mhz > plain[0].stages[1].level.mhz
+        )

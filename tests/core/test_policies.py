@@ -1,0 +1,90 @@
+"""DVS policies."""
+
+import pytest
+
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.policies import (
+    BaselinePolicy,
+    DVSDuringIOPolicy,
+    PinnedLevelsPolicy,
+    SlowestFeasiblePolicy,
+)
+from repro.errors import ConfigurationError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+
+
+@pytest.fixture
+def plans():
+    partition = Partition(PAPER_PROFILE, [1])
+    return [
+        plan_node(a, PAPER_LINK_TIMING, 2.3, SA1100_TABLE)
+        for a in partition.assignments
+    ]
+
+
+class TestBaselinePolicy:
+    def test_everything_at_max(self, plans):
+        roles = BaselinePolicy().role_configs(plans, SA1100_TABLE)
+        for rc in roles:
+            assert rc.comp_level.mhz == 206.4
+            assert rc.io_level.mhz == 206.4
+
+
+class TestSlowestFeasible:
+    def test_uses_plan_levels(self, plans):
+        roles = SlowestFeasiblePolicy().role_configs(plans, SA1100_TABLE)
+        assert roles[0].comp_level.mhz == 59.0
+        assert roles[1].comp_level.mhz == 103.2
+
+    def test_io_follows_comp(self, plans):
+        roles = SlowestFeasiblePolicy().role_configs(plans, SA1100_TABLE)
+        for rc in roles:
+            assert rc.io_level == rc.comp_level
+
+
+class TestDVSDuringIO:
+    def test_io_dropped_to_min(self, plans):
+        roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+            plans, SA1100_TABLE
+        )
+        for rc in roles:
+            assert rc.io_level.mhz == 59.0
+
+    def test_comp_untouched(self, plans):
+        inner = SlowestFeasiblePolicy()
+        wrapped = DVSDuringIOPolicy(inner).role_configs(plans, SA1100_TABLE)
+        plain = inner.role_configs(plans, SA1100_TABLE)
+        for a, b in zip(wrapped, plain):
+            assert a.comp_level == b.comp_level
+
+    def test_describe_mentions_both(self):
+        assert "DVSDuringIO" in DVSDuringIOPolicy(BaselinePolicy()).describe()
+        assert "Baseline" in DVSDuringIOPolicy(BaselinePolicy()).describe()
+
+
+class TestPinnedLevels:
+    def test_paper_2b_levels(self, plans):
+        roles = PinnedLevelsPolicy([73.7, 118.0]).role_configs(plans, SA1100_TABLE)
+        assert roles[0].comp_level.mhz == 73.7
+        assert roles[1].comp_level.mhz == 118.0
+
+    def test_explicit_io_levels(self, plans):
+        roles = PinnedLevelsPolicy([73.7, 118.0], io_mhz=[59.0, 59.0]).role_configs(
+            plans, SA1100_TABLE
+        )
+        assert all(rc.io_level.mhz == 59.0 for rc in roles)
+
+    def test_count_mismatch_rejected(self, plans):
+        with pytest.raises(ConfigurationError):
+            PinnedLevelsPolicy([206.4]).role_configs(plans, SA1100_TABLE)
+
+    def test_io_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinnedLevelsPolicy([206.4, 118.0], io_mhz=[59.0])
+
+    def test_unknown_frequency_rejected(self, plans):
+        with pytest.raises(ConfigurationError):
+            PinnedLevelsPolicy([100.0, 118.0]).role_configs(plans, SA1100_TABLE)

@@ -1,0 +1,125 @@
+"""Analytical lifetime prediction, cross-validated against the engine."""
+
+import pytest
+
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.core.policies import (
+    BaselinePolicy,
+    DVSDuringIOPolicy,
+    SlowestFeasiblePolicy,
+)
+from repro.core.prediction import (
+    predict_first_death,
+    predict_role_lifetime_hours,
+    role_duty_cycle,
+)
+from repro.errors import ScheduleError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.hw.power import PowerMode
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+from tests.conftest import TINY_KIBAM, tiny_battery_factory
+
+D = 2.3
+
+
+def roles_for(cuts, policy):
+    partition = Partition(PAPER_PROFILE, cuts)
+    plans = [
+        plan_node(a, PAPER_LINK_TIMING, D, SA1100_TABLE)
+        for a in partition.assignments
+    ]
+    return policy.role_configs(plans, SA1100_TABLE)
+
+
+class TestDutyCycle:
+    def test_baseline_fills_frame_exactly(self):
+        (role,) = roles_for((), BaselinePolicy())
+        segments = role_duty_cycle(role)
+        assert sum(s.duration_s for s in segments) == pytest.approx(D)
+        # No idle in the baseline (2.3 s of work in a 2.3 s frame).
+        assert all(s.mode is not PowerMode.IDLE for s in segments)
+
+    def test_partitioned_stage_has_idle(self):
+        roles = roles_for((1,), SlowestFeasiblePolicy())
+        segments = role_duty_cycle(roles[0])
+        idle = [s for s in segments if s.mode is PowerMode.IDLE]
+        assert idle and idle[0].duration_s > 0.3
+
+    def test_mode_sequence(self):
+        roles = roles_for((1,), DVSDuringIOPolicy(SlowestFeasiblePolicy()))
+        modes = [s.mode for s in role_duty_cycle(roles[1])]
+        assert modes[0] is PowerMode.COMMUNICATION
+        assert modes[1] is PowerMode.COMPUTATION
+
+    def test_io_level_respected(self):
+        roles = roles_for((1,), DVSDuringIOPolicy(SlowestFeasiblePolicy()))
+        segments = role_duty_cycle(roles[1])
+        comm = [s for s in segments if s.mode is PowerMode.COMMUNICATION]
+        assert all(s.level_mhz == 59.0 for s in comm)
+
+    def test_overloaded_stage_rejected(self):
+        (role,) = roles_for((), BaselinePolicy())
+        with pytest.raises(ScheduleError):
+            role_duty_cycle(role, deadline_s=2.0)
+
+    def test_ack_overhead_consumes_idle(self):
+        roles = roles_for((1,), SlowestFeasiblePolicy())
+        plain = role_duty_cycle(roles[0])
+        acked = role_duty_cycle(roles[0], ack_overhead_s=0.18)
+        idle_of = lambda segs: sum(
+            s.duration_s for s in segs if s.mode is PowerMode.IDLE
+        )
+        assert idle_of(acked) == pytest.approx(idle_of(plain) - 0.18)
+
+
+class TestEngineAgreement:
+    """The analytical path and the DES engine must agree closely."""
+
+    @pytest.mark.parametrize(
+        "cuts,policy",
+        [
+            ((), BaselinePolicy()),
+            ((), DVSDuringIOPolicy(BaselinePolicy())),
+            ((1,), SlowestFeasiblePolicy()),
+            ((1,), DVSDuringIOPolicy(SlowestFeasiblePolicy())),
+            ((1, 3), DVSDuringIOPolicy(SlowestFeasiblePolicy())),
+        ],
+        ids=["1", "1A", "2", "2A", "three-stage"],
+    )
+    def test_first_death_matches_engine(self, cuts, policy):
+        from tests.pipeline.test_engine import make_config
+        from repro.pipeline.engine import PipelineEngine
+
+        roles = roles_for(cuts, policy)
+        stage, predicted_h, _ = predict_first_death(roles, battery=TINY_KIBAM)
+
+        result = PipelineEngine(make_config(cuts=cuts, policy=policy)).run()
+        engine_first = min(result.death_times_s.values()) / 3600.0
+        assert engine_first == pytest.approx(predicted_h, rel=0.005)
+        # And it is the same node that dies.
+        dead_node = min(result.death_times_s, key=result.death_times_s.get)
+        assert dead_node == f"node{stage + 1}"
+
+
+class TestFirstDeath:
+    def test_heavy_stage_dies_first(self):
+        roles = roles_for((1,), SlowestFeasiblePolicy())
+        stage, hours, per_stage = predict_first_death(roles, battery=TINY_KIBAM)
+        assert stage == 1  # Node2, as the paper observes
+        assert per_stage[0] > per_stage[1]
+
+    def test_dvs_during_io_extends_all_stages(self):
+        plain = roles_for((1,), SlowestFeasiblePolicy())
+        dvs = roles_for((1,), DVSDuringIOPolicy(SlowestFeasiblePolicy()))
+        for p, d in zip(plain, dvs):
+            assert predict_role_lifetime_hours(
+                d, battery=TINY_KIBAM
+            ) >= predict_role_lifetime_hours(p, battery=TINY_KIBAM)
+
+    def test_empty_roles_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            predict_first_death([])

@@ -1,0 +1,178 @@
+"""YDS optimal voltage scheduling."""
+
+import pytest
+
+from repro.core.yds import (
+    Job,
+    discretize_to_table,
+    peak_speed,
+    schedule_energy,
+    yds_schedule,
+)
+from repro.errors import ConfigurationError, ScheduleError
+from repro.hw.dvs import SA1100_TABLE
+
+
+def total_work(segments):
+    return sum(s.work for s in segments)
+
+
+class TestBasics:
+    def test_single_job_spreads_over_window(self):
+        segs = yds_schedule([Job("a", 0.0, 10.0, 5.0)])
+        assert len(segs) == 1
+        assert segs[0].speed == pytest.approx(0.5)
+        assert (segs[0].start, segs[0].end) == (0.0, 10.0)
+
+    def test_nested_windows_share_critical_interval(self):
+        segs = yds_schedule([Job("a", 0.0, 5.0, 2.0), Job("b", 0.0, 10.0, 3.0)])
+        # Density over [0, 10] (0.5) beats [0, 5] (0.4): one flat segment.
+        assert len(segs) == 1
+        assert segs[0].speed == pytest.approx(0.5)
+        assert segs[0].jobs == ("a", "b")
+
+    def test_textbook_two_level_profile(self):
+        segs = yds_schedule([Job("hot", 0.0, 2.0, 2.0), Job("cool", 0.0, 10.0, 2.0)])
+        assert [round(s.speed, 4) for s in segs] == [1.0, 0.25]
+        assert (segs[0].start, segs[0].end) == (0.0, 2.0)
+        assert (segs[1].start, segs[1].end) == (2.0, 10.0)
+
+    def test_segment_split_across_critical_interval(self):
+        """A slow job straddling a hot window gets split around it."""
+        segs = yds_schedule(
+            [Job("hot", 4.0, 6.0, 4.0), Job("slow", 0.0, 10.0, 2.0)]
+        )
+        speeds = [(s.start, s.end, round(s.speed, 4)) for s in segs]
+        assert speeds == [(0.0, 4.0, 0.25), (4.0, 6.0, 2.0), (6.0, 10.0, 0.25)]
+
+    def test_empty_and_zero_work(self):
+        assert yds_schedule([]) == []
+        assert yds_schedule([Job("z", 0.0, 1.0, 0.0)]) == []
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job("bad", 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Job("bad", 0.0, 1.0, -1.0)
+
+
+class TestOptimalityProperties:
+    def make_jobs(self, seed, n=6):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        jobs = []
+        for i in range(n):
+            arrival = float(rng.uniform(0, 10))
+            deadline = arrival + float(rng.uniform(0.5, 6))
+            jobs.append(Job(f"j{i}", arrival, deadline, float(rng.uniform(0.1, 3))))
+        return jobs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_work_conservation(self, seed):
+        jobs = self.make_jobs(seed)
+        segs = yds_schedule(jobs)
+        assert total_work(segs) == pytest.approx(sum(j.work for j in jobs))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_profile_is_feasible(self, seed):
+        """Every window contains enough integral speed for its jobs."""
+        jobs = self.make_jobs(seed)
+        segs = yds_schedule(jobs)
+
+        def capacity(t1, t2):
+            return sum(
+                s.speed * max(0.0, min(s.end, t2) - max(s.start, t1)) for s in segs
+            )
+
+        for t1 in {j.arrival for j in jobs}:
+            for t2 in {j.deadline for j in jobs}:
+                if t2 <= t1:
+                    continue
+                demand = sum(
+                    j.work for j in jobs if j.arrival >= t1 and j.deadline <= t2
+                )
+                assert capacity(t1, t2) >= demand - 1e-9
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_peak_speed_is_tight(self, seed):
+        """Optimality: the peak speed equals the max interval density,
+        which lower-bounds any feasible schedule."""
+        jobs = self.make_jobs(seed)
+        segs = yds_schedule(jobs)
+        densities = []
+        for t1 in {j.arrival for j in jobs}:
+            for t2 in {j.deadline for j in jobs}:
+                if t2 <= t1:
+                    continue
+                inside = [j for j in jobs if j.arrival >= t1 and j.deadline <= t2]
+                if inside:
+                    densities.append(sum(j.work for j in inside) / (t2 - t1))
+        assert peak_speed(segs) == pytest.approx(max(densities))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_beats_constant_speed_energy(self, seed):
+        """YDS energy is no worse than the cheapest feasible flat profile."""
+        jobs = self.make_jobs(seed)
+        segs = yds_schedule(jobs)
+        horizon_start = min(j.arrival for j in jobs)
+        horizon_end = max(j.deadline for j in jobs)
+        flat_speed = peak_speed(segs)  # flat must run at >= peak density
+        flat_energy = (horizon_end - horizon_start) * flat_speed**3
+        assert schedule_energy(segs) <= flat_energy + 1e-9
+
+
+class TestPaperConnection:
+    def test_periodic_atr_frames_yield_constant_speed(self):
+        """For the paper's periodic workload, YDS = slowest-feasible.
+
+        Each frame's PROC job is released when RECV ends and due when
+        SEND must start; YDS on this job set is one flat speed equal to
+        required_frequency / f_max.
+        """
+        from repro.apps.atr.profile import PAPER_PROFILE
+        from repro.hw.link import PAPER_LINK_TIMING
+        from repro.pipeline.schedule import required_frequency_mhz
+        from repro.pipeline.tasks import Partition
+
+        D = 2.3
+        stage = Partition(PAPER_PROFILE, (1,)).stage(1)  # Node2
+        recv = PAPER_LINK_TIMING.nominal_duration(stage.recv_bytes)
+        send = PAPER_LINK_TIMING.nominal_duration(stage.send_bytes)
+        jobs = [
+            Job(
+                f"frame{k}",
+                arrival=k * D + recv,
+                deadline=(k + 1) * D - send,
+                work=stage.proc_seconds_at_max,
+            )
+            for k in range(5)
+        ]
+        segs = yds_schedule(jobs)
+        speeds = {round(s.speed, 9) for s in segs}
+        assert len(speeds) == 1
+        required = required_frequency_mhz(
+            stage, PAPER_LINK_TIMING, D, SA1100_TABLE
+        )
+        assert peak_speed(segs) * 206.4 == pytest.approx(required)
+
+
+class TestDiscretization:
+    def test_exact_level_single_fraction(self):
+        segs = yds_schedule([Job("a", 0.0, 2.2, 1.1)])  # speed 0.5 = 103.2 MHz
+        rows = discretize_to_table(segs, SA1100_TABLE)
+        seg, low, high, fraction = rows[0]
+        assert low.mhz == high.mhz == 103.2
+        assert fraction == 1.0
+
+    def test_between_levels_split(self):
+        segs = yds_schedule([Job("a", 0.0, 2.0, 1.1)])  # 0.55 -> 113.5 MHz
+        (seg, low, high, fraction), = discretize_to_table(segs, SA1100_TABLE)
+        assert (low.mhz, high.mhz) == (103.2, 118.0)
+        average = low.mhz * (1 - fraction) + high.mhz * fraction
+        assert average == pytest.approx(0.55 * 206.4)
+
+    def test_over_max_rejected(self):
+        segs = yds_schedule([Job("a", 0.0, 1.0, 1.5)])  # speed 1.5 > 1.0
+        with pytest.raises(ScheduleError):
+            discretize_to_table(segs, SA1100_TABLE)

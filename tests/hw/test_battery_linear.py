@@ -1,0 +1,60 @@
+"""Linear battery baseline."""
+
+import pytest
+
+from repro.errors import BatteryError
+from repro.hw.battery import LinearBattery
+from repro.units import mah_to_mas
+
+
+class TestLinearBattery:
+    def test_lifetime_is_charge_over_current(self):
+        cell = LinearBattery(100.0)
+        assert cell.time_to_death(50.0) == pytest.approx(mah_to_mas(100.0) / 50.0)
+
+    def test_no_rate_capacity_effect(self):
+        slow, fast = LinearBattery(100.0), LinearBattery(100.0)
+        assert 20.0 * slow.time_to_death(20.0) == pytest.approx(
+            200.0 * fast.time_to_death(200.0)
+        )
+
+    def test_no_recovery_effect(self):
+        cell = LinearBattery(100.0)
+        cell.draw(100.0, 600.0)
+        before = cell.remaining_mas
+        cell.draw(0.0, 3600.0)
+        assert cell.remaining_mas == before
+
+    def test_draw_decrements(self):
+        cell = LinearBattery(1.0)
+        cell.draw(1.0, 1800.0)
+        assert cell.charge_fraction() == pytest.approx(0.5)
+
+    def test_death_exact(self):
+        cell = LinearBattery(1.0)
+        cell.draw(1.0, 3600.0)
+        assert cell.is_dead
+        assert cell.time_to_death(1.0) == 0.0
+
+    def test_overdraw_rejected(self):
+        cell = LinearBattery(1.0)
+        with pytest.raises(BatteryError):
+            cell.draw(1.0, 7200.0)
+
+    def test_zero_current_never_dies(self):
+        assert LinearBattery(1.0).time_to_death(0.0) == float("inf")
+
+    def test_reset(self):
+        cell = LinearBattery(1.0)
+        cell.draw(1.0, 1800.0)
+        cell.reset()
+        assert cell.charge_fraction() == 1.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(BatteryError):
+            LinearBattery(0.0)
+
+    def test_delivered_accounting(self):
+        cell = LinearBattery(10.0)
+        cell.draw(5.0, 3600.0)
+        assert cell.delivered_mah == pytest.approx(5.0)

@@ -1,0 +1,63 @@
+"""Battery telemetry."""
+
+import pytest
+
+from repro.hw.battery import BatteryMonitor, LinearBattery
+
+
+@pytest.fixture
+def monitored():
+    cell = LinearBattery(100.0)
+    return cell, BatteryMonitor(cell, sample_interval_s=10.0)
+
+
+class TestAccounting:
+    def test_charge_by_mode(self, monitored):
+        cell, mon = monitored
+        cell.draw(50.0, 10.0)
+        mon.observe(10.0, 50.0, 10.0, "computation")
+        cell.draw(20.0, 5.0)
+        mon.observe(15.0, 20.0, 5.0, "communication")
+        assert mon.charge_by_mode_mas["computation"] == pytest.approx(500.0)
+        assert mon.charge_by_mode_mas["communication"] == pytest.approx(100.0)
+        assert mon.total_charge_mas == pytest.approx(600.0)
+
+    def test_time_by_mode(self, monitored):
+        _, mon = monitored
+        mon.observe(10.0, 50.0, 10.0, "idle")
+        mon.observe(20.0, 50.0, 10.0, "idle")
+        assert mon.time_by_mode_s["idle"] == pytest.approx(20.0)
+
+    def test_mode_share(self, monitored):
+        _, mon = monitored
+        mon.observe(1.0, 100.0, 1.0, "computation")
+        mon.observe(2.0, 100.0, 3.0, "communication")
+        assert mon.mode_share("computation") == pytest.approx(0.25)
+
+    def test_mode_share_empty(self, monitored):
+        _, mon = monitored
+        assert mon.mode_share("anything") == 0.0
+
+
+class TestSampling:
+    def test_samples_respect_interval(self, monitored):
+        _, mon = monitored
+        for i in range(100):
+            mon.observe(i * 1.0, 10.0, 1.0, "idle")
+        # 100 s of observations at >= 10 s spacing: at most 11 samples.
+        assert 2 <= len(mon.samples) <= 11
+        times = [s.time_s for s in mon.samples]
+        assert all(b - a >= 10.0 for a, b in zip(times, times[1:]))
+
+    def test_discharge_curve_is_nonincreasing(self, monitored):
+        cell, mon = monitored
+        for i in range(60):
+            cell.draw(50.0, 60.0)
+            mon.observe((i + 1) * 60.0, 50.0, 60.0, "computation")
+        fractions = [f for _, f in mon.discharge_curve()]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+
+    def test_samples_carry_mode(self, monitored):
+        _, mon = monitored
+        mon.observe(0.0, 10.0, 1.0, "communication")
+        assert mon.samples[0].mode == "communication"

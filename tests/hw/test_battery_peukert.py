@@ -1,0 +1,60 @@
+"""Peukert battery: rate-capacity without recovery."""
+
+import pytest
+
+from repro.errors import BatteryError
+from repro.hw.battery import PeukertBattery
+from repro.units import mah_to_mas
+
+
+class TestPeukert:
+    def test_rated_current_delivers_rated_capacity(self):
+        cell = PeukertBattery(100.0, reference_ma=50.0, exponent=1.2)
+        t = cell.time_to_death(50.0)
+        assert 50.0 * t == pytest.approx(mah_to_mas(100.0))
+
+    def test_rate_capacity_effect(self):
+        slow = PeukertBattery(100.0, reference_ma=50.0, exponent=1.2)
+        fast = PeukertBattery(100.0, reference_ma=50.0, exponent=1.2)
+        assert 25.0 * slow.time_to_death(25.0) > 200.0 * fast.time_to_death(200.0)
+
+    def test_exponent_one_is_linear(self):
+        cell = PeukertBattery(100.0, reference_ma=50.0, exponent=1.0)
+        assert 25.0 * cell.time_to_death(25.0) == pytest.approx(
+            200.0 * PeukertBattery(100.0, 50.0, 1.0).time_to_death(200.0)
+        )
+
+    def test_no_recovery(self):
+        cell = PeukertBattery(100.0)
+        cell.draw(120.0, 600.0)
+        frac = cell.charge_fraction()
+        cell.draw(0.0, 36000.0)
+        assert cell.charge_fraction() == frac
+
+    def test_peukert_law_shape(self):
+        """t = C/I^p (scaled): doubling current divides life by 2^p."""
+        p = 1.3
+        cell_a = PeukertBattery(100.0, reference_ma=60.0, exponent=p)
+        cell_b = PeukertBattery(100.0, reference_ma=60.0, exponent=p)
+        ratio = cell_a.time_to_death(60.0) / cell_b.time_to_death(120.0)
+        assert ratio == pytest.approx(2.0**p, rel=1e-9)
+
+    def test_effective_rate_zero_current(self):
+        assert PeukertBattery(100.0).effective_rate(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(BatteryError):
+            PeukertBattery(100.0, reference_ma=0.0)
+        with pytest.raises(BatteryError):
+            PeukertBattery(100.0, exponent=0.9)
+
+    def test_overdraw_rejected(self):
+        cell = PeukertBattery(1.0, reference_ma=60.0)
+        with pytest.raises(BatteryError):
+            cell.draw(60.0, 2 * 3600.0)
+
+    def test_reset(self):
+        cell = PeukertBattery(10.0)
+        cell.draw(60.0, 60.0)
+        cell.reset()
+        assert cell.charge_fraction() == 1.0

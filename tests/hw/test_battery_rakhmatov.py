@@ -1,0 +1,133 @@
+"""Rakhmatov-Vrudhula diffusion battery."""
+
+import pytest
+
+from repro.errors import BatteryError
+from repro.hw.battery import RakhmatovBattery
+from repro.units import mah_to_mas
+
+
+@pytest.fixture
+def cell():
+    return RakhmatovBattery(300.0, beta_per_sqrt_s=0.02)
+
+
+class TestValidation:
+    def test_bad_beta(self):
+        with pytest.raises(BatteryError):
+            RakhmatovBattery(100.0, beta_per_sqrt_s=0.0)
+
+    def test_bad_terms(self):
+        with pytest.raises(BatteryError):
+            RakhmatovBattery(100.0, n_terms=0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(BatteryError):
+            RakhmatovBattery(0.0)
+
+
+class TestStatics:
+    def test_fresh_state(self, cell):
+        assert cell.charge_fraction() == 1.0
+        assert cell.apparent_charge_mas == 0.0
+        assert not cell.is_dead
+
+    def test_vanishing_rate_delivers_full_capacity(self):
+        """As I -> 0, lifetime * I -> alpha (the defining property)."""
+        cell = RakhmatovBattery(300.0, beta_per_sqrt_s=0.02)
+        t = cell.time_to_death(1.0)
+        assert 1.0 * t == pytest.approx(mah_to_mas(300.0), rel=0.02)
+
+    def test_rate_capacity_effect(self):
+        slow = RakhmatovBattery(300.0, beta_per_sqrt_s=0.02)
+        fast = RakhmatovBattery(300.0, beta_per_sqrt_s=0.02)
+        assert 20.0 * slow.time_to_death(20.0) > 130.0 * fast.time_to_death(130.0)
+
+    def test_larger_beta_means_weaker_effects(self):
+        """Fast diffusion approaches the ideal battery."""
+        slow_diff = RakhmatovBattery(300.0, beta_per_sqrt_s=0.01)
+        fast_diff = RakhmatovBattery(300.0, beta_per_sqrt_s=0.5)
+        assert fast_diff.time_to_death(130.0) > slow_diff.time_to_death(130.0)
+
+
+class TestRecovery:
+    def test_rest_reduces_apparent_charge(self, cell):
+        cell.draw(130.0, 600.0)
+        sigma_loaded = cell.apparent_charge_mas
+        cell.draw(0.0, 600.0)
+        assert cell.apparent_charge_mas < sigma_loaded
+        # Delivered charge is untouched by rest.
+        assert cell.delivered_mah == pytest.approx(130.0 * 600.0 / 3600.0)
+
+    def test_long_rest_recovers_all_unavailable_charge(self, cell):
+        cell.draw(130.0, 600.0)
+        cell.draw(0.0, 1e6)
+        assert cell.unavailable_mas == pytest.approx(0.0, abs=1e-6)
+
+    def test_pulsed_outlasts_continuous(self):
+        continuous = RakhmatovBattery(300.0, beta_per_sqrt_s=0.02)
+        t_cont = continuous.time_to_death(130.0)
+        pulsed = RakhmatovBattery(300.0, beta_per_sqrt_s=0.02)
+        delivered = 0.0
+        while True:
+            ttd = pulsed.time_to_death(130.0)
+            if ttd <= 30.0:
+                delivered += 130.0 * ttd
+                break
+            pulsed.draw(130.0, 30.0)
+            delivered += 130.0 * 30.0
+            pulsed.draw(0.0, 30.0)
+        assert delivered > 130.0 * t_cont
+
+
+class TestDeath:
+    def test_prediction_consistent_with_stepping(self, cell):
+        ttd = cell.time_to_death(130.0)
+        cell.draw(130.0, ttd)
+        assert cell.is_dead
+        assert cell.time_to_death(130.0) == 0.0
+
+    def test_lower_bound_is_lower(self, cell):
+        for current in (10.0, 130.0, 400.0):
+            assert cell.time_to_death_lower_bound(current) <= cell.time_to_death(
+                current
+            ) * (1 + 1e-12)
+
+    def test_zero_current_never_dies(self, cell):
+        assert cell.time_to_death(0.0) == float("inf")
+
+    def test_negative_current_rejected(self, cell):
+        with pytest.raises(BatteryError):
+            cell.time_to_death(-1.0)
+
+    def test_overdraw_rejected(self, cell):
+        ttd = cell.time_to_death(130.0)
+        with pytest.raises(BatteryError):
+            cell.draw(130.0, 3 * ttd)
+
+    def test_reset(self, cell):
+        cell.draw(130.0, 100.0)
+        cell.reset()
+        assert cell.charge_fraction() == 1.0
+        assert cell.unavailable_mas == 0.0
+
+
+class TestNodeIntegration:
+    def test_works_inside_the_node_state_machine(self):
+        """The diffusion model plugs into the same death-event machinery."""
+        from repro.hw import ItsyNode, SA1100_TABLE
+        from repro.hw.power import PAPER_POWER_MODEL
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        cell = RakhmatovBattery(10.0, beta_per_sqrt_s=0.02)
+        node = ItsyNode(sim, "n", cell, PAPER_POWER_MODEL, SA1100_TABLE)
+
+        def forever(node):
+            while True:
+                yield from node.compute(1.0, SA1100_TABLE.max)
+
+        node.spawn(forever(node))
+        sim.run()
+        assert node.is_dead
+        assert node.death_time_s is not None

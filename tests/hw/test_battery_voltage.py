@@ -1,0 +1,132 @@
+"""Voltage-sag / constant-power battery wrapper."""
+
+import pytest
+
+from repro.errors import BatteryError
+from repro.hw.battery import KiBaM, KiBaMParameters, LinearBattery
+from repro.hw.battery.voltage import LIION_OCV, OcvCurve, VoltageAwareBattery
+
+
+PARAMS = KiBaMParameters(300.0, c=0.3, k_prime_per_hour=1.0)
+
+
+def wrapped(**kwargs):
+    return VoltageAwareBattery(KiBaM(PARAMS), **kwargs)
+
+
+class TestOcvCurve:
+    def test_interpolation(self):
+        curve = OcvCurve([(0.0, 3.0), (1.0, 4.0)])
+        assert curve.volts(0.5) == pytest.approx(3.5)
+        assert curve.volts(0.0) == 3.0
+        assert curve.volts(1.0) == 4.0
+
+    def test_clamping(self):
+        curve = OcvCurve([(0.0, 3.0), (1.0, 4.0)])
+        assert curve.volts(-0.2) == 3.0
+        assert curve.volts(1.7) == 4.0
+
+    def test_liion_shape(self):
+        assert LIION_OCV.volts(1.0) > LIION_OCV.volts(0.5) > LIION_OCV.min_volts
+
+    @pytest.mark.parametrize(
+        "points",
+        [
+            [(0.0, 3.0)],                       # too few
+            [(0.1, 3.0), (1.0, 4.0)],           # doesn't cover 0
+            [(0.0, 3.0), (0.5, 2.0), (1.0, 4.0)],  # non-monotone volts
+            [(0.0, -1.0), (1.0, 4.0)],          # non-positive volts
+        ],
+    )
+    def test_invalid_curves(self, points):
+        with pytest.raises(BatteryError):
+            OcvCurve(points)
+
+
+class TestVoltageAwareBattery:
+    def test_sag_shortens_lifetime(self):
+        plain = KiBaM(PARAMS)
+        assert wrapped().time_to_death(100.0) < plain.time_to_death(100.0)
+
+    def test_ideal_regulator_at_nominal_voltage_is_transparent(self):
+        flat = OcvCurve([(0.0, 4.0), (1.0, 4.0)])
+        ideal = VoltageAwareBattery(
+            KiBaM(PARAMS), ocv=flat, nominal_volts=4.0, efficiency=1.0
+        )
+        plain = KiBaM(PARAMS)
+        assert ideal.time_to_death(100.0) == pytest.approx(
+            plain.time_to_death(100.0), rel=1e-6
+        )
+
+    def test_lower_efficiency_costs_more(self):
+        good = wrapped(efficiency=0.95)
+        bad = wrapped(efficiency=0.75)
+        assert bad.time_to_death(100.0) < good.time_to_death(100.0)
+
+    def test_draw_to_predicted_death_is_safe(self):
+        cell = wrapped()
+        ttd = cell.time_to_death(120.0)
+        cell.draw(120.0, ttd)  # must not raise
+        assert cell.is_dead
+
+    def test_cell_delivers_more_than_load(self):
+        cell = wrapped()
+        cell.draw(100.0, 1800.0)
+        assert cell.cell_delivered_mah > cell.delivered_mah
+
+    def test_lower_bound_holds(self):
+        cell = wrapped()
+        for current in (20.0, 100.0, 250.0):
+            assert cell.time_to_death_lower_bound(current) <= cell.time_to_death(
+                current
+            ) * (1 + 1e-9)
+
+    def test_scale_grows_as_pack_drains(self):
+        cell = wrapped()
+        early = cell._scale(cell.inner)
+        cell.draw(100.0, 3600.0)
+        late = cell._scale(cell.inner)
+        assert late > early > 1.0
+
+    def test_wraps_any_model(self):
+        linear = VoltageAwareBattery(LinearBattery(300.0))
+        plain = LinearBattery(300.0)
+        assert linear.time_to_death(100.0) < plain.time_to_death(100.0)
+
+    def test_reset(self):
+        cell = wrapped()
+        cell.draw(100.0, 600.0)
+        cell.reset()
+        assert cell.charge_fraction() == pytest.approx(1.0)
+        assert cell.delivered_mah == 0.0
+
+    def test_validation(self):
+        with pytest.raises(BatteryError):
+            wrapped(efficiency=0.0)
+        with pytest.raises(BatteryError):
+            wrapped(efficiency=1.2)
+        with pytest.raises(BatteryError):
+            wrapped(substep_s=0.0)
+
+    def test_zero_current_never_dies(self):
+        assert wrapped().time_to_death(0.0) == float("inf")
+
+    def test_node_integration(self):
+        from repro.hw import ItsyNode, SA1100_TABLE
+        from repro.hw.power import PAPER_POWER_MODEL
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        cell = VoltageAwareBattery(
+            KiBaM(KiBaMParameters(10.0, c=0.3, k_prime_per_hour=1.0))
+        )
+        node = ItsyNode(sim, "n", cell, PAPER_POWER_MODEL, SA1100_TABLE)
+
+        def forever(node):
+            while True:
+                yield from node.compute(1.0, SA1100_TABLE.max)
+                yield from node.idle_for(0.5)
+
+        node.spawn(forever(node))
+        sim.run()
+        assert node.is_dead

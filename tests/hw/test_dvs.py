@@ -1,0 +1,141 @@
+"""SA-1100 DVS table and scaling laws."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasiblePartitionError
+from repro.hw.dvs import SA1100_TABLE, DVSTable, FrequencyLevel
+
+
+class TestPaperTable:
+    def test_eleven_levels(self):
+        assert len(SA1100_TABLE) == 11
+
+    def test_range_matches_paper(self):
+        assert SA1100_TABLE.min.mhz == 59.0
+        assert SA1100_TABLE.max.mhz == 206.4
+
+    def test_fig7_voltages(self):
+        # Spot-check the voltage row of Fig. 7.
+        assert SA1100_TABLE.level_at(59.0).volts == 0.919
+        assert SA1100_TABLE.level_at(103.2).volts == 1.067
+        assert SA1100_TABLE.level_at(206.4).volts == 1.393
+
+    def test_frequencies_strictly_increasing(self):
+        freqs = [lv.mhz for lv in SA1100_TABLE]
+        assert freqs == sorted(freqs)
+        assert len(set(freqs)) == len(freqs)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVSTable([])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVSTable([FrequencyLevel(100, 1.0), FrequencyLevel(50, 0.9)])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVSTable([FrequencyLevel(100, 1.0), FrequencyLevel(100, 1.1)])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVSTable([FrequencyLevel(0.0, 1.0)])
+
+
+class TestLookups:
+    def test_level_at_exact(self):
+        assert SA1100_TABLE.level_at(132.7).mhz == 132.7
+
+    def test_level_at_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SA1100_TABLE.level_at(100.0)
+
+    def test_ceil_rounds_up(self):
+        assert SA1100_TABLE.ceil(95.0).mhz == 103.2
+
+    def test_ceil_exact_match(self):
+        assert SA1100_TABLE.ceil(103.2).mhz == 103.2
+
+    def test_ceil_below_min_clamps(self):
+        # The paper's Node1 requirement (~32 MHz) rounds up to 59.
+        assert SA1100_TABLE.ceil(32.0).mhz == 59.0
+
+    def test_ceil_above_max_infeasible(self):
+        # The paper's scheme 3: ~380 MHz required.
+        with pytest.raises(InfeasiblePartitionError) as err:
+            SA1100_TABLE.ceil(380.0)
+        assert err.value.required_mhz == 380.0
+
+    def test_floor_rounds_down(self):
+        assert SA1100_TABLE.floor(95.0).mhz == 88.5
+
+    def test_floor_below_min_clamps(self):
+        assert SA1100_TABLE.floor(10.0).mhz == 59.0
+
+    def test_step_up_down(self):
+        lv = SA1100_TABLE.level_at(103.2)
+        assert SA1100_TABLE.step_up(lv).mhz == 118.0
+        assert SA1100_TABLE.step_down(lv).mhz == 88.5
+
+    def test_step_clamps_at_ends(self):
+        assert SA1100_TABLE.step_up(SA1100_TABLE.max).mhz == 206.4
+        assert SA1100_TABLE.step_down(SA1100_TABLE.min).mhz == 59.0
+
+
+class TestScalingLaws:
+    def test_linear_time_scaling(self):
+        # §4.3: performance degrades linearly with clock rate.
+        half = SA1100_TABLE.level_at(103.2)
+        assert SA1100_TABLE.scale_time(1.1, half) == pytest.approx(2.2)
+
+    def test_scale_at_max_is_identity(self):
+        assert SA1100_TABLE.scale_time(1.1, SA1100_TABLE.max) == pytest.approx(1.1)
+
+    def test_required_mhz_inverse_of_scale(self):
+        req = SA1100_TABLE.required_mhz(1.1, 2.2)
+        assert req == pytest.approx(103.2)
+
+    def test_required_mhz_zero_work(self):
+        assert SA1100_TABLE.required_mhz(0.0, 0.5) == 0.0
+
+    def test_required_mhz_no_budget(self):
+        assert SA1100_TABLE.required_mhz(1.0, 0.0) == float("inf")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SA1100_TABLE.scale_time(-1.0, SA1100_TABLE.max)
+
+
+class TestSwitchingActivity:
+    def test_quadratic_in_voltage(self):
+        lv = FrequencyLevel(100.0, 2.0)
+        assert lv.switching_activity == pytest.approx(400.0)
+
+    def test_ordering_by_performance(self):
+        assert FrequencyLevel(59.0, 0.919) < FrequencyLevel(73.7, 0.978)
+
+
+class TestSubsampled:
+    def test_keeps_endpoints(self):
+        for step in (2, 3, 5, 10):
+            table = SA1100_TABLE.subsampled(step)
+            assert table.min.mhz == 59.0
+            assert table.max.mhz == 206.4
+
+    def test_step_one_is_identity(self):
+        assert len(SA1100_TABLE.subsampled(1)) == len(SA1100_TABLE)
+
+    def test_counts(self):
+        assert len(SA1100_TABLE.subsampled(2)) == 6   # indices 0,2,...,10
+        assert len(SA1100_TABLE.subsampled(5)) == 3
+        assert len(SA1100_TABLE.subsampled(100)) == 2
+
+    def test_invalid_step(self):
+        with pytest.raises(ConfigurationError):
+            SA1100_TABLE.subsampled(0)
+
+    def test_levels_are_subset(self):
+        sub = SA1100_TABLE.subsampled(3)
+        assert set(sub.levels) <= set(SA1100_TABLE.levels)

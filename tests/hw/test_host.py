@@ -1,0 +1,92 @@
+"""Host hub topology."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.hw.host import HOST_NAME, HostHub
+
+
+class TestTopology:
+    def test_link_is_symmetric_and_cached(self, sim):
+        hub = HostHub(sim, ["n1", "n2"])
+        assert hub.link("n1", "n2") is hub.link("n2", "n1")
+
+    def test_host_links_distinct_per_node(self, sim):
+        hub = HostHub(sim, ["n1", "n2"])
+        assert hub.host_link("n1") is not hub.host_link("n2")
+
+    def test_full_mesh_reachable(self, sim):
+        hub = HostHub(sim, ["n1", "n2", "n3"])
+        for a in ["n1", "n2", "n3", HOST_NAME]:
+            for b in ["n1", "n2", "n3", HOST_NAME]:
+                if a != b:
+                    assert hub.link(a, b) is not None
+
+    def test_all_links_lists_created(self, sim):
+        hub = HostHub(sim, ["n1", "n2"])
+        hub.host_link("n1")
+        hub.link("n1", "n2")
+        assert len(hub.all_links()) == 2
+
+    def test_self_link_rejected(self, sim):
+        hub = HostHub(sim, ["n1"])
+        with pytest.raises(LinkError):
+            hub.link("n1", "n1")
+
+    def test_unknown_actor_rejected(self, sim):
+        hub = HostHub(sim, ["n1"])
+        with pytest.raises(LinkError):
+            hub.link("n1", "ghost")
+
+
+class TestValidation:
+    def test_empty_node_list_rejected(self, sim):
+        with pytest.raises(LinkError):
+            HostHub(sim, [])
+
+    def test_duplicate_names_rejected(self, sim):
+        with pytest.raises(LinkError):
+            HostHub(sim, ["a", "a"])
+
+    def test_host_name_reserved(self, sim):
+        with pytest.raises(LinkError):
+            HostHub(sim, [HOST_NAME])
+
+
+class TestStoreAndForward:
+    def test_internode_timing_doubled(self, sim):
+        hub = HostHub(sim, ["n1", "n2"], store_and_forward=True)
+        inter = hub.link("n1", "n2")
+        direct = hub.host_link("n1")
+        # Two serial hops: double startup, half bandwidth.
+        assert inter.timing.startup_s == pytest.approx(2 * direct.timing.startup_s)
+        assert inter.timing.bandwidth_bps == pytest.approx(
+            direct.timing.bandwidth_bps / 2
+        )
+
+    def test_host_links_unaffected(self, sim):
+        hub = HostHub(sim, ["n1", "n2"], store_and_forward=True)
+        assert hub.host_link("n1").timing.startup_s == pytest.approx(0.09)
+
+    def test_cut_through_default(self, sim):
+        hub = HostHub(sim, ["n1", "n2"])
+        assert hub.link("n1", "n2").timing is hub.timing
+
+
+class TestAccounting:
+    def test_total_bytes_moved(self, sim):
+        hub = HostHub(sim, ["n1", "n2"])
+        link = hub.link("n1", "n2")
+
+        def sender(sim, link):
+            tr = yield link.offer_send("m", 1234, frm="n1")
+            yield tr.done
+
+        def receiver(sim, link):
+            tr = yield link.offer_recv(to="n2")
+            yield tr.done
+
+        sim.process(sender(sim, link))
+        sim.process(receiver(sim, link))
+        sim.run()
+        assert hub.total_bytes_moved() == 1234

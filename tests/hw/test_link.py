@@ -1,0 +1,245 @@
+"""Serial link: timing and rendezvous semantics."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.hw.link import (
+    PAPER_LINK_TIMING,
+    PAPER_LINK_TIMING_JITTERED,
+    SerialLink,
+    TransactionTiming,
+)
+from repro.sim import RngStreams
+
+
+class TestTransactionTiming:
+    @pytest.mark.parametrize(
+        "kb,expected",
+        [(10.1, 1.1), (0.6, 0.15), (7.5, 0.84), (0.1, 0.1)],
+    )
+    def test_fig6_delays(self, kb, expected):
+        """Fig. 6's transfer delays, to the paper's rounding."""
+        assert PAPER_LINK_TIMING.duration(int(kb * 1000)) == pytest.approx(
+            expected, abs=0.015
+        )
+
+    def test_baseline_comm_budget_exact(self):
+        """RECV(10.1 KB) + SEND(0.1 KB) must equal the paper's 1.2 s."""
+        total = PAPER_LINK_TIMING.duration(10_100) + PAPER_LINK_TIMING.duration(100)
+        assert total == pytest.approx(1.2)
+
+    def test_startup_within_paper_range(self):
+        assert 0.05 <= PAPER_LINK_TIMING.startup_s <= 0.10
+
+    def test_zero_payload_costs_startup(self):
+        assert PAPER_LINK_TIMING.duration(0) == pytest.approx(
+            PAPER_LINK_TIMING.startup_s
+        )
+
+    def test_jittered_needs_rng(self):
+        with pytest.raises(LinkError):
+            PAPER_LINK_TIMING_JITTERED.duration(100)
+
+    def test_jitter_within_bounds(self):
+        rng = RngStreams(0).stream("startup")
+        for _ in range(100):
+            d = PAPER_LINK_TIMING_JITTERED.duration(0, rng)
+            assert 0.05 <= d <= 0.10
+
+    def test_validation(self):
+        with pytest.raises(LinkError):
+            TransactionTiming(bandwidth_bps=0)
+        with pytest.raises(LinkError):
+            TransactionTiming(startup_s=-1.0)
+        with pytest.raises(LinkError):
+            TransactionTiming(startup_s=0.01, startup_jitter_s=0.02)
+        with pytest.raises(LinkError):
+            TransactionTiming(corruption_prob=1.0)
+        with pytest.raises(LinkError):
+            PAPER_LINK_TIMING.duration(-5)
+
+
+class TestCorruption:
+    def test_corruption_needs_rng(self):
+        timing = TransactionTiming(corruption_prob=0.1)
+        with pytest.raises(LinkError):
+            timing.duration(100)
+
+    def test_durations_are_attempt_multiples(self):
+        timing = TransactionTiming(corruption_prob=0.4)
+        rng = RngStreams(0).stream("x")
+        attempt = timing.startup_s + 100 * 8 / 80_000
+        for _ in range(100):
+            d = timing.duration(100, rng)
+            assert d / attempt == pytest.approx(round(d / attempt))
+            assert d >= attempt
+
+    def test_expected_duration_includes_retries(self):
+        clean = TransactionTiming()
+        noisy = TransactionTiming(corruption_prob=0.2)
+        assert noisy.nominal_duration(1000) == pytest.approx(
+            clean.nominal_duration(1000) / 0.8
+        )
+
+    def test_mean_matches_expectation(self):
+        timing = TransactionTiming(corruption_prob=0.3)
+        rng = RngStreams(1).stream("x")
+        samples = [timing.duration(1000, rng) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(timing.nominal_duration(1000), rel=0.05)
+
+    def test_zero_probability_is_deterministic(self):
+        timing = TransactionTiming(corruption_prob=0.0)
+        assert timing.duration(1000) == timing.nominal_duration(1000)
+
+
+class TestRendezvous:
+    def test_sender_first(self, sim):
+        link = SerialLink(sim, "a", "b")
+        log = {}
+
+        def sender(sim, link):
+            tr = yield link.offer_send("msg", 800, frm="a")
+            log["send_start"] = sim.now
+            yield tr.done
+            log["send_end"] = sim.now
+
+        def receiver(sim, link):
+            yield sim.timeout(1.0)
+            tr = yield link.offer_recv(to="b")
+            log["recv_start"] = sim.now
+            yield tr.done
+            log["msg"] = tr.message
+
+        sim.process(sender(sim, link))
+        sim.process(receiver(sim, link))
+        sim.run()
+        assert log["send_start"] == log["recv_start"] == 1.0
+        assert log["send_end"] == pytest.approx(1.0 + 0.09 + 800 * 8 / 80_000)
+        assert log["msg"] == "msg"
+
+    def test_receiver_first(self, sim):
+        link = SerialLink(sim, "a", "b")
+        started = []
+
+        def receiver(sim, link):
+            tr = yield link.offer_recv(to="b")
+            started.append(sim.now)
+            yield tr.done
+
+        def sender(sim, link):
+            yield sim.timeout(2.5)
+            tr = yield link.offer_send("m", 0, frm="a")
+            yield tr.done
+
+        sim.process(receiver(sim, link))
+        sim.process(sender(sim, link))
+        sim.run()
+        assert started == [2.5]
+
+    def test_fifo_matching(self, sim):
+        link = SerialLink(sim, "a", "b")
+        got = []
+
+        def sender(sim, link):
+            for i in range(3):
+                tr = yield link.offer_send(i, 0, frm="a")
+                yield tr.done
+
+        def receiver(sim, link):
+            for _ in range(3):
+                tr = yield link.offer_recv(to="b")
+                yield tr.done
+                got.append(tr.message)
+
+        sim.process(sender(sim, link))
+        sim.process(receiver(sim, link))
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_full_duplex_directions_independent(self, sim):
+        link = SerialLink(sim, "a", "b")
+        log = []
+
+        def forward(sim, link):
+            tr = yield link.offer_send("data", 8000, frm="a")
+            yield tr.done
+            log.append(("fwd", sim.now))
+
+        def fwd_recv(sim, link):
+            tr = yield link.offer_recv(to="b")
+            yield tr.done
+
+        def backward(sim, link):
+            tr = yield link.offer_send("ack", 0, frm="b")
+            yield tr.done
+            log.append(("bwd", sim.now))
+
+        def bwd_recv(sim, link):
+            tr = yield link.offer_recv(to="a")
+            yield tr.done
+
+        for proc in (forward, fwd_recv, backward, bwd_recv):
+            sim.process(proc(sim, link))
+        sim.run()
+        # The 0-byte ack is not queued behind the 8 KB data transfer.
+        times = dict(log)
+        assert times["bwd"] < times["fwd"]
+
+    def test_cancel_pending_offer(self, sim):
+        link = SerialLink(sim, "a", "b")
+        grant = link.offer_send("m", 100, frm="a")
+        assert link.cancel(grant)
+        matched = []
+
+        def receiver(sim, link):
+            tr = yield link.offer_recv(to="b")
+            matched.append(tr)
+
+        sim.process(receiver(sim, link))
+        sim.run()
+        assert matched == []  # cancelled send never matches
+
+    def test_cancel_matched_offer_returns_false(self, sim):
+        link = SerialLink(sim, "a", "b")
+        grant = link.offer_send("m", 100, frm="a")
+        link.offer_recv(to="b")
+        sim.run()
+        assert not link.cancel(grant)
+
+    def test_diagnostics_counters(self, sim):
+        link = SerialLink(sim, "a", "b")
+
+        def sender(sim, link):
+            tr = yield link.offer_send("m", 700, frm="a")
+            yield tr.done
+
+        def receiver(sim, link):
+            tr = yield link.offer_recv(to="b")
+            yield tr.done
+
+        sim.process(sender(sim, link))
+        sim.process(receiver(sim, link))
+        sim.run()
+        assert link.transfer_count["a"] == 1
+        assert link.bytes_moved["a"] == 700
+        assert link.transfer_count["b"] == 0
+
+    def test_endpoint_validation(self, sim):
+        link = SerialLink(sim, "a", "b")
+        with pytest.raises(LinkError):
+            link.offer_send("m", 0, frm="c")
+        with pytest.raises(LinkError):
+            link.offer_recv(to="nope")
+        with pytest.raises(LinkError):
+            SerialLink(sim, "a", "a")
+
+    def test_peer_of(self, sim):
+        link = SerialLink(sim, "a", "b")
+        assert link.peer_of("a") == "b"
+        assert link.peer_of("b") == "a"
+
+    def test_pending_sends_counter(self, sim):
+        link = SerialLink(sim, "a", "b")
+        link.offer_send("m", 0, frm="a")
+        assert link.pending_sends("a") == 1

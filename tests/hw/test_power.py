@@ -1,0 +1,121 @@
+"""Fig. 7 power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.power import (
+    PAPER_POWER_MODEL,
+    CurrentCurve,
+    PowerMode,
+    PowerModel,
+)
+
+LO = SA1100_TABLE.level_at(59.0)
+MID = SA1100_TABLE.level_at(103.2)
+HI = SA1100_TABLE.level_at(206.4)
+
+
+class TestCurrentCurve:
+    def test_through_hits_anchors(self):
+        curve = CurrentCurve.through((LO, 40.0), (HI, 110.0))
+        assert curve.current_ma(LO) == pytest.approx(40.0)
+        assert curve.current_ma(HI) == pytest.approx(110.0)
+
+    def test_monotone_in_activity(self):
+        curve = CurrentCurve.through((LO, 40.0), (HI, 110.0))
+        currents = [curve.current_ma(lv) for lv in SA1100_TABLE]
+        assert currents == sorted(currents)
+
+    def test_identical_anchors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CurrentCurve.through((LO, 40.0), (LO, 50.0))
+
+
+class TestPaperAnchors:
+    """Every current the paper quotes must come out of the model."""
+
+    def test_comm_40ma_at_59(self):
+        assert PAPER_POWER_MODEL.peak_current_ma(
+            PowerMode.COMMUNICATION, LO
+        ) == pytest.approx(40.0)
+
+    def test_comm_110ma_at_206(self):
+        assert PAPER_POWER_MODEL.peak_current_ma(
+            PowerMode.COMMUNICATION, HI
+        ) == pytest.approx(110.0)
+
+    def test_comm_55ma_at_103(self):
+        # §6.5 quotes ~55 mA; the f*V^2 interpolation gives 53.5.
+        assert PAPER_POWER_MODEL.peak_current_ma(
+            PowerMode.COMMUNICATION, MID
+        ) == pytest.approx(55.0, abs=2.0)
+
+    def test_comp_130ma_at_206(self):
+        assert PAPER_POWER_MODEL.peak_current_ma(
+            PowerMode.COMPUTATION, HI
+        ) == pytest.approx(130.0)
+
+    def test_idle_30ma_at_59(self):
+        assert PAPER_POWER_MODEL.peak_current_ma(
+            PowerMode.IDLE, LO
+        ) == pytest.approx(30.0)
+
+    def test_curves_span_quoted_range(self):
+        # §4.4: "the three curves range from 30 mA to 130 mA".
+        rows = PAPER_POWER_MODEL.figure7_rows()
+        lows = min(r["idle_ma"] for r in rows)
+        highs = max(r["computation_ma"] for r in rows)
+        assert lows == pytest.approx(30.0, abs=0.5)
+        assert highs == pytest.approx(130.0, abs=0.5)
+
+    def test_computation_dominates_everywhere(self):
+        # §4.4: "the computation always dominates the power consumption".
+        for row in PAPER_POWER_MODEL.figure7_rows():
+            assert row["computation_ma"] > row["communication_ma"] > row["idle_ma"]
+
+
+class TestEffectiveIOCurrent:
+    def test_between_idle_and_peak(self):
+        for lv in SA1100_TABLE:
+            idle = PAPER_POWER_MODEL.current_ma(PowerMode.IDLE, lv)
+            eff = PAPER_POWER_MODEL.current_ma(PowerMode.COMMUNICATION, lv)
+            peak = PAPER_POWER_MODEL.peak_current_ma(PowerMode.COMMUNICATION, lv)
+            assert idle <= eff <= peak
+
+    def test_io_activity_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_POWER_MODEL.replace(io_activity=1.5)
+
+    def test_activity_one_is_peak(self):
+        pm = PAPER_POWER_MODEL.replace(io_activity=1.0)
+        assert pm.current_ma(PowerMode.COMMUNICATION, HI) == pytest.approx(
+            pm.peak_current_ma(PowerMode.COMMUNICATION, HI)
+        )
+
+    def test_activity_zero_is_idle(self):
+        pm = PAPER_POWER_MODEL.replace(io_activity=0.0)
+        assert pm.current_ma(PowerMode.COMMUNICATION, HI) == pytest.approx(
+            pm.current_ma(PowerMode.IDLE, HI)
+        )
+
+
+class TestDeadMode:
+    def test_dead_draws_nothing(self):
+        assert PAPER_POWER_MODEL.current_ma(PowerMode.DEAD, HI) == 0.0
+        assert PAPER_POWER_MODEL.peak_current_ma(PowerMode.DEAD, HI) == 0.0
+
+
+class TestFigure7Rows:
+    def test_one_row_per_level(self):
+        assert len(PAPER_POWER_MODEL.figure7_rows()) == len(SA1100_TABLE)
+
+    def test_rows_carry_voltages(self):
+        rows = PAPER_POWER_MODEL.figure7_rows()
+        assert rows[0]["volts"] == 0.919
+        assert rows[-1]["volts"] == 1.393
+
+    def test_replace_keeps_others(self):
+        pm = PAPER_POWER_MODEL.replace(io_activity=0.5)
+        assert pm.io_activity == 0.5
+        assert pm.peak_current_ma(PowerMode.COMPUTATION, HI) == pytest.approx(130.0)

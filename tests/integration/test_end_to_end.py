@@ -1,0 +1,126 @@
+"""End-to-end workflow: real ATR -> measured profile -> simulated pipeline.
+
+Exercises the whole public API the way a downstream user would: run the
+actual recognizer, derive a task profile from it, partition that
+profile, pick operating points, and simulate the resulting distributed
+system on batteries.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ATRPipeline,
+    DVSDuringIOPolicy,
+    PAPER_LINK_TIMING,
+    Partition,
+    PipelineConfig,
+    PipelineEngine,
+    SA1100_TABLE,
+    SceneSpec,
+    SlowestFeasiblePolicy,
+    analyze_partitions,
+    generate_scene,
+    measure_profile,
+    select_best,
+)
+from repro.pipeline.schedule import plan_node
+from tests.conftest import tiny_battery_factory
+
+
+class TestMeasuredProfileWorkflow:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return measure_profile(repeats=1, itsy_total_seconds=1.1)
+
+    def test_profile_partitionable(self, profile):
+        analyses = analyze_partitions(
+            profile, 2, PAPER_LINK_TIMING, 2.3, SA1100_TABLE
+        )
+        assert analyses
+        # At least the all-light partitions must be feasible at D=2.3
+        # if the single-node case is (payloads may differ from paper).
+        feasible = [a for a in analyses if a.feasible]
+        if feasible:
+            best = select_best(analyses)
+            assert best.feasible
+
+    def test_simulation_runs_on_measured_profile(self, profile):
+        partition = Partition(profile)
+        plans = [
+            plan_node(a, PAPER_LINK_TIMING, 4.0, SA1100_TABLE)
+            for a in partition.assignments
+        ]
+        roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+            plans, SA1100_TABLE
+        )
+        config = PipelineConfig(
+            partition=partition,
+            roles=roles,
+            node_names=("node1",),
+            battery_factory=tiny_battery_factory,
+            deadline_s=4.0,
+            max_frames=5,
+            monitor_interval_s=None,
+        )
+        result = PipelineEngine(config).run()
+        assert result.frames_completed == 5
+
+
+class TestMeasuredWorkloadTrace:
+    def test_recognizer_cost_trace_drives_the_pipeline(self):
+        """Full bridge: per-frame recognition cost (from actual ROI
+        counts on generated scenes) becomes a TraceWorkload the
+        simulated pipeline replays."""
+        import numpy as np
+
+        from repro.apps.atr.blocks import detect_targets
+        from repro.pipeline.engine import PipelineEngine
+        from repro.pipeline.workload import TraceWorkload
+        from tests.pipeline.test_engine import make_config
+
+        rng = np.random.default_rng(31)
+        spec = SceneSpec(size=64, n_targets=1, clutter_sigma=0.3)
+        # Correlation work scales with the ROIs the detector emits:
+        # an empty frame skips the FFT blocks (~0.42 of the chain).
+        scales = []
+        for _ in range(24):
+            scene = generate_scene(spec, rng)
+            n_rois = len(detect_targets(scene.image, max_regions=2))
+            scales.append(0.58 + 0.42 * min(n_rois, 2))
+        assert len(set(scales)) > 1, "trace should actually vary"
+
+        cfg = make_config(cuts=(1,), max_frames=len(scales))
+        cfg.workload = TraceWorkload(scales, wrap=True)
+        cfg.adaptive_workload_dvs = True
+        result = PipelineEngine(cfg).run()
+        assert result.frames_completed == len(scales)
+        # Adaptive DVS absorbs the measured variation without misses.
+        assert result.late_results == 0
+
+    def test_trace_replay_is_deterministic(self):
+        from repro.pipeline.engine import PipelineEngine
+        from repro.pipeline.workload import TraceWorkload
+        from tests.pipeline.test_engine import make_config
+
+        def run():
+            cfg = make_config(cuts=(1,), max_frames=12)
+            cfg.workload = TraceWorkload([0.8, 1.0, 1.2])
+            return PipelineEngine(cfg).run()
+
+        assert run().result_times_s == run().result_times_s
+
+
+class TestRecognitionQuality:
+    def test_recognizer_works_on_stream_of_frames(self):
+        """Sustained recognition over a frame stream (the host's view)."""
+        rng = np.random.default_rng(123)
+        pipe = ATRPipeline()
+        spec = SceneSpec(size=64, n_targets=1, clutter_sigma=0.3)
+        correct = 0
+        for frame_id in range(20):
+            scene = generate_scene(spec, rng)
+            result = pipe.run(scene, frame_id=frame_id)
+            assert result.frame_id == frame_id
+            correct += pipe.score_against_truth(scene, result)
+        assert correct / 20 >= 0.75

@@ -1,0 +1,92 @@
+"""Scripted failures: the recovery protocol under fault injection.
+
+Battery exhaustion always kills the heavy node first; ``fail_at`` lets
+tests kill any node at any instant — mid-transfer, mid-PROC, during the
+pipeline fill — and check the §5.4 protocol copes.
+"""
+
+import pytest
+
+from repro.core.policies import DVSDuringIOPolicy, PinnedLevelsPolicy
+from repro.errors import SimulationError
+from repro.hw import SA1100_TABLE
+from repro.hw.power import PAPER_POWER_MODEL
+from repro.pipeline.engine import PipelineEngine
+from repro.sim import Simulator
+from tests.conftest import tiny_battery_factory
+from tests.pipeline.test_engine import make_config
+
+D = 2.3
+
+
+def recovery_engine(**kwargs):
+    cfg = make_config(
+        cuts=(1,),
+        policy=DVSDuringIOPolicy(PinnedLevelsPolicy([73.7, 118.0])),
+        recovery=True,
+        **kwargs,
+    )
+    return PipelineEngine(cfg)
+
+
+class TestFailAt:
+    def test_past_failure_rejected(self, sim, tiny_battery):
+        from repro.hw import ItsyNode
+
+        node = ItsyNode(sim, "n", tiny_battery, PAPER_POWER_MODEL, SA1100_TABLE)
+        sim.timeout(5.0)
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            node.fail_at(1.0)
+
+    def test_forced_death_fires_event(self, sim, tiny_battery):
+        from repro.hw import ItsyNode
+
+        node = ItsyNode(sim, "n", tiny_battery, PAPER_POWER_MODEL, SA1100_TABLE)
+        node.fail_at(3.0)
+        sim.run(until=10.0)
+        assert node.is_dead
+        assert node.death_time_s == pytest.approx(3.0)
+        assert node.died.processed
+
+    def test_double_failure_harmless(self, sim, tiny_battery):
+        from repro.hw import ItsyNode
+
+        node = ItsyNode(sim, "n", tiny_battery, PAPER_POWER_MODEL, SA1100_TABLE)
+        node.fail_at(3.0)
+        node.fail_at(4.0)
+        sim.run(until=10.0)
+        assert node.death_time_s == pytest.approx(3.0)
+
+
+class TestInjectedFailuresDuringRecovery:
+    @pytest.mark.parametrize("fail_time", [5.0, 23.5, 24.6, 100.1])
+    def test_node2_killed_at_arbitrary_instant(self, fail_time):
+        """Wherever node2 dies — waiting, mid-PROC, mid-transfer — node1
+        detects the loss and carries the whole chain on."""
+        engine = recovery_engine()
+        engine.nodes["node2"].fail_at(fail_time)
+        result = engine.run()
+        assert result.migrations
+        mig_time, survivor = result.migrations[0]
+        assert survivor == "node1"
+        # Detection needs at most the protocol timeout plus one frame.
+        assert mig_time <= fail_time + 6.9 + D + 1.0
+        assert result.last_result_s > fail_time
+
+    def test_node1_killed_early(self):
+        """Killing the front node during the fill still hands the host
+        connection to node2."""
+        engine = recovery_engine()
+        engine.nodes["node1"].fail_at(1.0)
+        result = engine.run()
+        assert result.migrations
+        assert result.migrations[0][1] == "node2"
+        assert result.frames_completed > 10
+
+    def test_without_recovery_injected_failure_stalls(self):
+        engine = PipelineEngine(make_config(cuts=(1,)))
+        engine.nodes["node2"].fail_at(30.0)
+        result = engine.run()
+        assert result.end_reason == "stall"
+        assert result.frames_completed <= 30.0 / D + 2

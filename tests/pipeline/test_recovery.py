@@ -1,0 +1,52 @@
+"""Recovery protocol configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.recovery import RecoveryConfig
+
+
+class TestRecoveryConfig:
+    def test_defaults_valid(self):
+        cfg = RecoveryConfig()
+        assert cfg.detect_timeout_s == pytest.approx(3 * 2.3)
+
+    def test_ack_duration_is_startup_dominated(self):
+        cfg = RecoveryConfig(ack_payload_bytes=0)
+        # A 0-byte ack costs exactly one transaction startup — the
+        # paper's "separate transaction, typically 50-100 ms".
+        assert cfg.ack_duration_s(PAPER_LINK_TIMING) == pytest.approx(0.09)
+
+    def test_ack_payload_adds_wire_time(self):
+        cfg = RecoveryConfig(ack_payload_bytes=100)
+        assert cfg.ack_duration_s(PAPER_LINK_TIMING) == pytest.approx(
+            0.09 + 100 * 8 / 80_000
+        )
+
+    def test_per_frame_overhead_scales_with_transactions(self):
+        cfg = RecoveryConfig()
+        one = cfg.per_frame_overhead_s(PAPER_LINK_TIMING, 1)
+        two = cfg.per_frame_overhead_s(PAPER_LINK_TIMING, 2)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_transactions_zero_overhead(self):
+        assert RecoveryConfig().per_frame_overhead_s(PAPER_LINK_TIMING, 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryConfig(ack_payload_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            RecoveryConfig(detect_timeout_s=0.0)
+        cfg = RecoveryConfig()
+        with pytest.raises(ConfigurationError):
+            cfg.per_frame_overhead_s(PAPER_LINK_TIMING, -1)
+
+    def test_migrated_levels_optional(self):
+        cfg = RecoveryConfig(
+            migrated_comp_level=SA1100_TABLE.max,
+            migrated_io_level=SA1100_TABLE.min,
+        )
+        assert cfg.migrated_comp_level.mhz == 206.4
+        assert cfg.migrated_io_level.mhz == 59.0

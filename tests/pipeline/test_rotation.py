@@ -1,0 +1,78 @@
+"""Rotation schedule arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.rotation import RotationController
+
+
+class TestValidation:
+    def test_period_must_cover_depth(self):
+        with pytest.raises(ConfigurationError):
+            RotationController(period=1, n_stages=2)
+        with pytest.raises(ConfigurationError):
+            RotationController(period=2, n_stages=3)
+
+    def test_single_stage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RotationController(period=10, n_stages=1)
+
+    def test_negative_reconfig_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RotationController(period=10, n_stages=2, reconfig_seconds=-1.0)
+
+
+class TestSchedule:
+    def test_role0_rotates_at_period_boundaries(self):
+        ctl = RotationController(period=100, n_stages=2)
+        assert not ctl.is_rotation_frame(0, 0)
+        assert ctl.is_rotation_frame(99, 0)
+        assert not ctl.is_rotation_frame(100, 0)
+        assert ctl.is_rotation_frame(199, 0)
+
+    def test_deeper_roles_lag_by_depth(self):
+        ctl = RotationController(period=100, n_stages=3)
+        # Event k anchors at f_k = 100k - 1 for role 0; role r acts on f_k - r.
+        assert ctl.is_rotation_frame(99, 0)
+        assert ctl.is_rotation_frame(98, 1)
+        assert ctl.is_rotation_frame(97, 2)
+
+    def test_exactly_one_role_rotates_per_frame_window(self):
+        ctl = RotationController(period=10, n_stages=2)
+        for k in range(1, 5):
+            f = 10 * k - 1
+            assert ctl.is_rotation_frame(f, 0)
+            assert ctl.is_rotation_frame(f - 1, 1)
+
+    def test_negative_frame_rejected(self):
+        ctl = RotationController(period=10, n_stages=2)
+        with pytest.raises(ConfigurationError):
+            ctl.is_rotation_frame(-1, 0)
+
+
+class TestHolderArithmetic:
+    def test_last_node_rotates_to_front(self):
+        """§5.5: "the last node is rotated to the front of the pipeline"."""
+        ctl = RotationController(period=100, n_stages=3)
+        assert ctl.role0_holder_index(0) == 0
+        assert ctl.role0_holder_index(100) == 2   # last node now first
+        assert ctl.role0_holder_index(200) == 1
+        assert ctl.role0_holder_index(300) == 0   # full cycle
+
+    def test_role_of_node_inverse(self):
+        ctl = RotationController(period=100, n_stages=3)
+        for frame in (0, 100, 200, 500):
+            holder = ctl.role0_holder_index(frame)
+            assert ctl.role_of_node(holder, frame) == 0
+
+    def test_roles_cover_all_stages(self):
+        ctl = RotationController(period=100, n_stages=4)
+        for frame in (0, 100, 300):
+            roles = {ctl.role_of_node(i, frame) for i in range(4)}
+            assert roles == {0, 1, 2, 3}
+
+    def test_epoch_of_frame(self):
+        ctl = RotationController(period=100, n_stages=2)
+        assert ctl.epoch_of_frame(0) == 0
+        assert ctl.epoch_of_frame(99) == 0
+        assert ctl.epoch_of_frame(100) == 1

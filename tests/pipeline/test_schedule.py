@@ -1,0 +1,125 @@
+"""Static frame schedules and required-frequency arithmetic (Fig. 8)."""
+
+import pytest
+
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.errors import DeadlineMissError, InfeasiblePartitionError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.schedule import plan_node, required_frequency_mhz
+from repro.pipeline.tasks import Partition
+
+D = 2.3
+
+
+class TestPaperScheme1:
+    """The headline Fig. 8 row: 59 / 103.2 MHz."""
+
+    def test_node1_level(self):
+        p = Partition(PAPER_PROFILE, [1])
+        plan = plan_node(p.stage(0), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        assert plan.level.mhz == 59.0
+
+    def test_node2_level(self):
+        p = Partition(PAPER_PROFILE, [1])
+        plan = plan_node(p.stage(1), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        assert plan.level.mhz == 103.2
+
+    def test_schedules_fit_deadline(self):
+        p = Partition(PAPER_PROFILE, [1])
+        for stage in p.assignments:
+            plan = plan_node(stage, PAPER_LINK_TIMING, D, SA1100_TABLE)
+            assert plan.schedule.feasible
+            assert plan.schedule.busy_s <= D + 1e-9
+
+
+class TestPaperScheme3Infeasible:
+    def test_node1_requires_more_than_max(self):
+        p = Partition(PAPER_PROFILE, [3])
+        req = required_frequency_mhz(p.stage(0), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        assert req > 206.4
+        # The paper quotes ~380 MHz; our normalized profile gives ~357.
+        assert req == pytest.approx(380.0, rel=0.1)
+
+    def test_plan_raises(self):
+        p = Partition(PAPER_PROFILE, [3])
+        with pytest.raises(InfeasiblePartitionError):
+            plan_node(p.stage(0), PAPER_LINK_TIMING, D, SA1100_TABLE)
+
+
+class TestBaseline:
+    def test_single_node_needs_max_level(self):
+        p = Partition(PAPER_PROFILE)
+        plan = plan_node(p.stage(0), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        assert plan.level.mhz == 206.4
+        # The baseline is exactly tight: 1.1 + 1.1 + 0.1 = 2.3.
+        assert plan.schedule.slack_s == pytest.approx(0.0, abs=1e-9)
+
+
+class TestOverheadAndPinning:
+    def test_overhead_shrinks_budget(self):
+        p = Partition(PAPER_PROFILE, [1])
+        base = required_frequency_mhz(p.stage(1), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        with_acks = required_frequency_mhz(
+            p.stage(1), PAPER_LINK_TIMING, D, SA1100_TABLE, overhead_s=0.18
+        )
+        assert with_acks > base
+
+    def test_paper_2b_node2_level_derivable(self):
+        """With two ack transactions, Node2's requirement rounds to 118 MHz
+        — the operating point the paper measured for experiment (2B)."""
+        p = Partition(PAPER_PROFILE, [1])
+        overhead = 2 * PAPER_LINK_TIMING.duration(0)
+        plan = plan_node(
+            p.stage(1), PAPER_LINK_TIMING, D, SA1100_TABLE, overhead_s=overhead
+        )
+        assert plan.level.mhz == 118.0
+
+    def test_pinned_level_validated(self):
+        p = Partition(PAPER_PROFILE, [1])
+        # Pinning a too-slow level for Node2 must fail loudly.
+        with pytest.raises(DeadlineMissError):
+            plan_node(
+                p.stage(1),
+                PAPER_LINK_TIMING,
+                D,
+                SA1100_TABLE,
+                level=SA1100_TABLE.level_at(59.0),
+            )
+
+    def test_pinned_level_accepted_when_feasible(self):
+        p = Partition(PAPER_PROFILE, [1])
+        plan = plan_node(
+            p.stage(1),
+            PAPER_LINK_TIMING,
+            D,
+            SA1100_TABLE,
+            level=SA1100_TABLE.level_at(118.0),
+        )
+        assert plan.level.mhz == 118.0
+        assert plan.schedule.slack_s > 0
+
+    def test_comm_only_overload_infeasible(self):
+        p = Partition(PAPER_PROFILE)
+        with pytest.raises(InfeasiblePartitionError):
+            plan_node(p.stage(0), PAPER_LINK_TIMING, 1.0, SA1100_TABLE)
+
+
+class TestFrameScheduleProperties:
+    def test_busy_plus_slack_is_deadline(self):
+        p = Partition(PAPER_PROFILE, [1])
+        plan = plan_node(p.stage(0), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        s = plan.schedule
+        assert s.busy_s + s.slack_s == pytest.approx(D)
+
+    def test_comm_time_matches_link_model(self):
+        p = Partition(PAPER_PROFILE, [1])
+        plan = plan_node(p.stage(0), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        expected = PAPER_LINK_TIMING.duration(10_100) + PAPER_LINK_TIMING.duration(600)
+        assert plan.schedule.comm_s == pytest.approx(expected)
+
+    def test_required_mhz_recorded(self):
+        p = Partition(PAPER_PROFILE, [1])
+        plan = plan_node(p.stage(0), PAPER_LINK_TIMING, D, SA1100_TABLE)
+        # Node1's continuous requirement is ~32 MHz (rounds up to 59).
+        assert plan.required_mhz == pytest.approx(32.0, abs=3.0)

@@ -1,0 +1,103 @@
+"""Partitions of the block chain."""
+
+import pytest
+
+from repro.apps.atr.profile import PAPER_PROFILE
+from repro.errors import ConfigurationError
+from repro.pipeline.tasks import Partition, enumerate_partitions
+from repro.units import kb_to_bytes
+
+
+class TestPartition:
+    def test_single_node_partition(self):
+        p = Partition(PAPER_PROFILE)
+        assert p.n_stages == 1
+        a = p.stage(0)
+        assert a.recv_bytes == kb_to_bytes(10.1)
+        assert a.send_bytes == kb_to_bytes(0.1)
+        assert a.proc_seconds_at_max == pytest.approx(1.1)
+
+    def test_scheme1_accounting_matches_fig8(self):
+        """Scheme 1: payloads 10.7 KB / 0.7 KB per Fig. 8."""
+        p = Partition(PAPER_PROFILE, [1])
+        n1, n2 = p.assignments
+        assert n1.comm_payload_bytes == kb_to_bytes(10.7)
+        assert n2.comm_payload_bytes == kb_to_bytes(0.7)
+
+    def test_scheme2_accounting_matches_fig8(self):
+        p = Partition(PAPER_PROFILE, [2])
+        n1, n2 = p.assignments
+        assert n1.comm_payload_bytes == kb_to_bytes(17.6)
+        assert n2.comm_payload_bytes == kb_to_bytes(7.6)
+
+    def test_scheme3_accounting_matches_fig8(self):
+        p = Partition(PAPER_PROFILE, [3])
+        n1, n2 = p.assignments
+        assert n1.comm_payload_bytes == kb_to_bytes(17.6)
+        assert n2.comm_payload_bytes == kb_to_bytes(7.6)
+
+    def test_stages_cover_chain_exactly(self):
+        p = Partition(PAPER_PROFILE, [1, 3])
+        ranges = [(a.block_start, a.block_stop) for a in p.assignments]
+        assert ranges == [(0, 1), (1, 3), (3, 4)]
+
+    def test_work_conserved_across_stages(self):
+        p = Partition(PAPER_PROFILE, [2])
+        total = sum(a.proc_seconds_at_max for a in p.assignments)
+        assert total == pytest.approx(PAPER_PROFILE.total_seconds_at_max)
+
+    def test_internal_payloads_chain(self):
+        p = Partition(PAPER_PROFILE, [1])
+        assert p.stage(0).send_bytes == p.stage(1).recv_bytes
+
+    def test_describe(self):
+        p = Partition(PAPER_PROFILE, [1])
+        assert p.describe() == "(target_detection) (fft + ifft + compute_distance)"
+
+    @pytest.mark.parametrize("cuts", [[0], [4], [2, 2], [3, 1]])
+    def test_invalid_cuts_rejected(self, cuts):
+        with pytest.raises(ConfigurationError):
+            Partition(PAPER_PROFILE, cuts)
+
+    def test_stage_index_validated(self):
+        p = Partition(PAPER_PROFILE, [1])
+        with pytest.raises(ConfigurationError):
+            p.stage(2)
+
+
+class TestMerged:
+    def test_merge_all_equals_single_node(self):
+        p = Partition(PAPER_PROFILE, [1])
+        merged = p.merged(0, 2)
+        single = Partition(PAPER_PROFILE).stage(0)
+        assert merged.proc_seconds_at_max == pytest.approx(single.proc_seconds_at_max)
+        assert merged.recv_bytes == single.recv_bytes
+        assert merged.send_bytes == single.send_bytes
+
+    def test_merge_subrange(self):
+        p = Partition(PAPER_PROFILE, [1, 2])
+        merged = p.merged(1, 3)
+        assert merged.block_names == ("fft", "ifft", "compute_distance")
+
+    def test_invalid_merge_rejected(self):
+        p = Partition(PAPER_PROFILE, [1])
+        with pytest.raises(ConfigurationError):
+            p.merged(1, 1)
+
+
+class TestEnumeration:
+    def test_two_way_yields_three_schemes(self):
+        """The paper's Fig. 8 enumerates exactly three 2-node schemes."""
+        assert len(enumerate_partitions(PAPER_PROFILE, 2)) == 3
+
+    def test_counts_are_binomial(self):
+        # C(3, k-1) contiguous partitions of a 4-block chain.
+        assert len(enumerate_partitions(PAPER_PROFILE, 1)) == 1
+        assert len(enumerate_partitions(PAPER_PROFILE, 3)) == 3
+        assert len(enumerate_partitions(PAPER_PROFILE, 4)) == 1
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_partitions(PAPER_PROFILE, 0)
+        with pytest.raises(ConfigurationError):
+            enumerate_partitions(PAPER_PROFILE, 5)

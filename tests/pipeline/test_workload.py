@@ -1,0 +1,160 @@
+"""Variable workload models and adaptive per-frame DVS."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import DVSDuringIOPolicy, SlowestFeasiblePolicy
+from repro.errors import ConfigurationError
+from repro.pipeline.engine import PipelineConfig, PipelineEngine, RoleConfig
+from repro.pipeline.workload import (
+    BurstyWorkload,
+    ConstantWorkload,
+    TraceWorkload,
+    UniformWorkload,
+)
+from tests.conftest import tiny_battery_factory
+from tests.pipeline.test_engine import make_config
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModels:
+    def test_constant(self, rng):
+        model = ConstantWorkload(1.2)
+        assert model.scale_for(0, rng) == 1.2
+        assert model.scale_for(99, rng) == 1.2
+
+    def test_uniform_bounds(self, rng):
+        model = UniformWorkload(0.5, 1.5)
+        scales = [model.scale_for(i, rng) for i in range(200)]
+        assert all(0.5 <= s <= 1.5 for s in scales)
+        assert max(scales) - min(scales) > 0.5  # actually varies
+
+    def test_bursty_alternates(self, rng):
+        model = BurstyWorkload(
+            calm_scale=0.8, burst_scale=1.4, burst_prob=0.2, burst_length=3
+        )
+        scales = [model.scale_for(i, rng) for i in range(300)]
+        assert set(scales) == {0.8, 1.4}
+        # Bursts come in runs of exactly burst_length.
+        runs, current = [], 0
+        for s in scales:
+            if s == 1.4:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs
+        assert all(r % 3 == 0 for r in runs)  # back-to-back bursts merge
+
+    def test_trace_replays_and_wraps(self, rng):
+        model = TraceWorkload([1.0, 1.2, 0.8])
+        assert [model.scale_for(i, rng) for i in range(6)] == [
+            1.0, 1.2, 0.8, 1.0, 1.2, 0.8,
+        ]
+
+    def test_trace_hold_mode(self, rng):
+        model = TraceWorkload([1.0, 1.3], wrap=False)
+        assert model.scale_for(5, rng) == 1.3
+
+    def test_trace_describe(self, rng):
+        assert "Trace(2" in TraceWorkload([1.0, 1.1]).describe()
+
+    @pytest.mark.parametrize(
+        "ctor",
+        [
+            lambda: ConstantWorkload(0.0),
+            lambda: UniformWorkload(0.0, 1.0),
+            lambda: UniformWorkload(1.5, 1.0),
+            lambda: BurstyWorkload(burst_prob=1.5),
+            lambda: BurstyWorkload(burst_length=0),
+            lambda: TraceWorkload([]),
+            lambda: TraceWorkload([1.0, -0.5]),
+        ],
+    )
+    def test_validation(self, ctor):
+        with pytest.raises(ConfigurationError):
+            ctor()
+
+    def test_describe_labels(self, rng):
+        assert "Uniform" in UniformWorkload().describe()
+        assert "Bursty" in BurstyWorkload().describe()
+
+
+class TestEngineIntegration:
+    def test_constant_above_one_makes_results_late(self):
+        """A uniformly heavier workload than planned runs late every frame."""
+        cfg = make_config(cuts=(1,), max_frames=20)
+        cfg.workload = ConstantWorkload(1.3)
+        result = PipelineEngine(cfg).run()
+        assert result.frames_completed == 20
+        assert result.late_results > 0
+
+    def test_light_workload_never_late(self):
+        cfg = make_config(cuts=(1,), max_frames=20)
+        cfg.workload = ConstantWorkload(0.8)
+        result = PipelineEngine(cfg).run()
+        assert result.late_results == 0
+
+    def test_workload_draws_reproducible(self):
+        def run(seed):
+            cfg = make_config(cuts=(1,), max_frames=60)
+            cfg.workload = UniformWorkload(0.7, 1.3)
+            cfg.seed = seed
+            return PipelineEngine(cfg).run()
+
+        a, b = run(5), run(5)
+        assert a.late_results == b.late_results
+        assert a.result_times_s == b.result_times_s
+
+    def test_adaptive_dvs_requires_budgets(self):
+        cfg = make_config(cuts=(1,), max_frames=5)
+        stripped = tuple(
+            RoleConfig(rc.assignment, rc.comp_level, rc.io_level)
+            for rc in cfg.roles
+        )
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(
+                partition=cfg.partition,
+                roles=stripped,
+                node_names=cfg.node_names,
+                battery_factory=tiny_battery_factory,
+                adaptive_workload_dvs=True,
+            )
+
+    def test_adaptive_dvs_reduces_lateness_under_bursts(self):
+        def run(adaptive):
+            cfg = make_config(
+                cuts=(1,),
+                policy=DVSDuringIOPolicy(SlowestFeasiblePolicy()),
+                max_frames=150,
+            )
+            cfg.workload = BurstyWorkload(
+                calm_scale=0.9, burst_scale=1.25, burst_prob=0.1, burst_length=4
+            )
+            cfg.adaptive_workload_dvs = adaptive
+            cfg.seed = 11
+            return PipelineEngine(cfg).run()
+
+        static = run(False)
+        adaptive = run(True)
+        assert adaptive.late_results < static.late_results
+        assert adaptive.max_lateness_s <= static.max_lateness_s + 1e-9
+
+    def test_adaptive_dvs_saves_energy_on_light_frames(self):
+        """With a calm workload, adaptive DVS clocks down and spends less."""
+
+        def run(adaptive):
+            cfg = make_config(cuts=(), max_frames=60)
+            cfg.workload = ConstantWorkload(0.6)
+            cfg.adaptive_workload_dvs = adaptive
+            return PipelineEngine(cfg).run()
+
+        static = run(False)
+        adaptive = run(True)
+        assert (
+            adaptive.delivered_mah["node1"] < static.delivered_mah["node1"]
+        )

@@ -1,0 +1,132 @@
+"""Property-based tests on battery invariants (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.hw.battery import KiBaM, KiBaMParameters, LinearBattery, PeukertBattery
+from repro.units import mah_to_mas
+
+
+params_strategy = st.builds(
+    KiBaMParameters,
+    capacity_mah=st.floats(10.0, 5000.0),
+    c=st.floats(0.05, 0.95),
+    k_prime_per_hour=st.floats(0.05, 20.0),
+)
+
+current_strategy = st.floats(0.0, 500.0)
+duration_strategy = st.floats(0.0, 3600.0)
+
+
+class TestKiBaMProperties:
+    @given(params=params_strategy, current=current_strategy, dt=duration_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_conservation(self, params, current, dt):
+        """y1 + y2 == capacity - I*t whenever the draw is legal."""
+        cell = KiBaM(params)
+        if cell.time_to_death(current) < dt:
+            assume(False)
+        cell.draw(current, dt)
+        expected = mah_to_mas(params.capacity_mah) - current * dt
+        total = cell.available_mas + cell.bound_mas
+        assert total == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+    @given(params=params_strategy, current=current_strategy, dt=duration_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_wells_never_negative(self, params, current, dt):
+        cell = KiBaM(params)
+        if cell.time_to_death(current) < dt:
+            assume(False)
+        cell.draw(current, dt)
+        assert cell.available_mas >= 0.0
+        assert cell.bound_mas >= -1e-9
+
+    @given(params=params_strategy, current=st.floats(1.0, 500.0))
+    @settings(max_examples=100, deadline=None)
+    def test_death_prediction_consistent(self, params, current):
+        """Stepping exactly to the predicted death leaves y1 ~ 0."""
+        cell = KiBaM(params)
+        ttd = cell.time_to_death(current)
+        assume(ttd < 1e9)
+        y1, _ = cell.preview(current, ttd)
+        assert abs(y1) < max(1e-6 * mah_to_mas(params.capacity_mah), 1e-3)
+
+    @given(params=params_strategy, current=st.floats(1.0, 500.0))
+    @settings(max_examples=100, deadline=None)
+    def test_lower_bound_property(self, params, current):
+        cell = KiBaM(params)
+        lb = cell.time_to_death_lower_bound(current)
+        assert lb <= cell.time_to_death(current) * (1 + 1e-9)
+
+    @given(
+        params=params_strategy,
+        current=st.floats(1.0, 300.0),
+        split=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_step_composition(self, params, current, split):
+        """Drawing in two legs equals one combined leg (semigroup)."""
+        cell_a, cell_b = KiBaM(params), KiBaM(params)
+        total_dt = min(600.0, cell_a.time_to_death(current) * 0.5)
+        assume(total_dt > 1e-6)
+        cell_a.draw(current, total_dt)
+        cell_b.draw(current, total_dt * split)
+        cell_b.draw(current, total_dt * (1.0 - split))
+        assert cell_a.available_mas == pytest.approx(
+            cell_b.available_mas, rel=1e-9, abs=1e-6
+        )
+
+    @given(params=params_strategy, current=st.floats(1.0, 300.0))
+    @settings(max_examples=60, deadline=None)
+    def test_rest_monotonically_recovers(self, params, current):
+        cell = KiBaM(params)
+        dt = min(300.0, cell.time_to_death(current) * 0.5)
+        assume(dt > 1e-6)
+        cell.draw(current, dt)
+        previous = cell.available_mas
+        for _ in range(5):
+            cell.draw(0.0, 60.0)
+            assert cell.available_mas >= previous - 1e-9
+            previous = cell.available_mas
+
+    @given(
+        params=params_strategy,
+        lo=st.floats(1.0, 100.0),
+        delta=st.floats(1.0, 200.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lifetime_monotone_in_current(self, params, lo, delta):
+        cell = KiBaM(params)
+        assert cell.time_to_death(lo + delta) <= cell.time_to_death(lo)
+
+
+class TestCrossModelProperties:
+    @given(capacity=st.floats(10.0, 1000.0), current=st.floats(1.0, 300.0))
+    @settings(max_examples=60, deadline=None)
+    def test_linear_is_upper_bound_on_kibam_life(self, capacity, current):
+        """An ideal battery always outlasts a KiBaM cell of equal capacity."""
+        ideal = LinearBattery(capacity)
+        kibam = KiBaM(KiBaMParameters(capacity, 0.3, 1.0))
+        assert kibam.time_to_death(current) <= ideal.time_to_death(current) * (
+            1 + 1e-9
+        )
+
+    @given(
+        capacity=st.floats(10.0, 1000.0),
+        current=st.floats(1.0, 300.0),
+        exponent=st.floats(1.0, 1.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_peukert_above_reference_shortens_life(self, capacity, current, exponent):
+        ref = 60.0
+        ideal = LinearBattery(capacity)
+        peukert = PeukertBattery(capacity, reference_ma=ref, exponent=exponent)
+        if current >= ref:
+            assert peukert.time_to_death(current) <= ideal.time_to_death(current) * (
+                1 + 1e-9
+            )
+        else:
+            assert peukert.time_to_death(current) >= ideal.time_to_death(current) * (
+                1 - 1e-9
+            )

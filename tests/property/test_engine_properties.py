@@ -1,0 +1,80 @@
+"""Property-based tests on the pipeline engine.
+
+Random (feasible) task profiles and partitions must all satisfy the
+paper's structural contract: the pipeline delivers every requested
+frame, exactly one per frame delay, with per-node schedules that never
+exceed D.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.apps.atr.profile import BlockProfile, TaskProfile
+from repro.core.policies import DVSDuringIOPolicy, SlowestFeasiblePolicy
+from repro.errors import InfeasiblePartitionError
+from repro.hw.battery import LinearBattery
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.engine import PipelineConfig, PipelineEngine
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import enumerate_partitions
+
+
+profiles = st.builds(
+    TaskProfile,
+    blocks=st.lists(
+        st.builds(
+            BlockProfile,
+            name=st.sampled_from(["a", "b", "c", "d"]),
+            seconds_at_max=st.floats(0.05, 0.5),
+            output_bytes=st.integers(50, 8000),
+        ),
+        min_size=2,
+        max_size=4,
+    ).map(tuple),
+    input_bytes=st.integers(500, 12_000),
+)
+
+
+@given(profile=profiles, deadline=st.floats(2.0, 6.0), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_every_feasible_partition_holds_the_throughput_contract(
+    profile, deadline, data
+):
+    n = data.draw(st.integers(1, len(profile.blocks)), label="stages")
+    partition = data.draw(
+        st.sampled_from(enumerate_partitions(profile, n)), label="partition"
+    )
+    try:
+        plans = [
+            plan_node(a, PAPER_LINK_TIMING, deadline, SA1100_TABLE)
+            for a in partition.assignments
+        ]
+    except InfeasiblePartitionError:
+        assume(False)
+        return
+    roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+        plans, SA1100_TABLE
+    )
+    config = PipelineConfig(
+        partition=partition,
+        roles=roles,
+        node_names=tuple(f"n{i}" for i in range(n)),
+        battery_factory=lambda: LinearBattery(10_000.0),  # effectively infinite
+        deadline_s=deadline,
+        max_frames=6,
+        monitor_interval_s=None,
+    )
+    result = PipelineEngine(config).run()
+
+    # Contract 1: all requested frames delivered.
+    assert result.frames_completed == 6
+    # Contract 2: one result per frame delay, exactly, once flowing.
+    assert result.mean_result_period_s() == pytest.approx(deadline, rel=1e-6)
+    assert result.late_results == 0
+    # Contract 3: the first result needs at least one frame of latency
+    # per stage's busy time and at most the paper's N*D bound.
+    assert result.result_times_s[0] <= n * deadline + 1e-9
+    # Contract 4: nobody died on a 10 Ah cell in 6 frames.
+    assert result.death_times_s == {}

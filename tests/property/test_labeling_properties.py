@@ -1,0 +1,52 @@
+"""Property-based tests on the ATR connected-component labeling."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.atr.blocks import label_components
+
+
+masks = arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(1, 16), st.integers(1, 16)),
+)
+
+
+class TestLabelingProperties:
+    @given(mask=masks)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scipy(self, mask):
+        from scipy import ndimage
+
+        ours_labels, ours_n = label_components(mask)
+        theirs_labels, theirs_n = ndimage.label(mask)
+        assert ours_n == theirs_n
+        # Same partition up to label permutation: pixels share our label
+        # iff they share scipy's label.
+        assert (ours_labels > 0).sum() == (theirs_labels > 0).sum()
+        if ours_n:
+            mapping = {}
+            for ours, theirs in zip(ours_labels.flat, theirs_labels.flat):
+                if ours == 0:
+                    assert theirs == 0
+                    continue
+                assert mapping.setdefault(ours, theirs) == theirs
+
+    @given(mask=masks)
+    @settings(max_examples=100, deadline=None)
+    def test_background_unlabeled_foreground_labeled(self, mask):
+        labels, n = label_components(mask)
+        assert ((labels > 0) == mask).all()
+        if mask.any():
+            assert n >= 1
+            assert set(np.unique(labels[mask])) == set(range(1, n + 1))
+
+    @given(mask=masks)
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent_under_transpose(self, mask):
+        """4-connectivity is symmetric: component count is transpose-invariant."""
+        _, n_a = label_components(mask)
+        _, n_b = label_components(mask.T)
+        assert n_a == n_b

@@ -1,0 +1,103 @@
+"""Property-based tests on partitions and schedules."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.apps.atr.profile import BlockProfile, TaskProfile
+from repro.errors import InfeasiblePartitionError
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition, enumerate_partitions
+
+
+profiles = st.builds(
+    TaskProfile,
+    blocks=st.lists(
+        st.builds(
+            BlockProfile,
+            name=st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+            seconds_at_max=st.floats(0.01, 0.6),
+            output_bytes=st.integers(0, 20_000),
+        ),
+        min_size=1,
+        max_size=6,
+    ).map(tuple),
+    input_bytes=st.integers(0, 20_000),
+)
+
+
+class TestPartitionProperties:
+    @given(profile=profiles, data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_work_and_payload_conservation(self, profile, data):
+        n = data.draw(st.integers(1, len(profile.blocks)))
+        for partition in enumerate_partitions(profile, n):
+            total = sum(a.proc_seconds_at_max for a in partition.assignments)
+            assert total == pytest.approx(profile.total_seconds_at_max)
+            # Chain property: consecutive stages agree on the payload.
+            for a, b in zip(partition.assignments, partition.assignments[1:]):
+                assert a.send_bytes == b.recv_bytes
+            # Boundary payloads match the profile ends.
+            assert partition.assignments[0].recv_bytes == profile.input_bytes
+            assert partition.assignments[-1].send_bytes == profile.output_bytes
+
+    @given(profile=profiles)
+    @settings(max_examples=100, deadline=None)
+    def test_enumeration_count_is_binomial(self, profile):
+        import math
+
+        n_blocks = len(profile.blocks)
+        for n in range(1, n_blocks + 1):
+            expected = math.comb(n_blocks - 1, n - 1)
+            assert len(enumerate_partitions(profile, n)) == expected
+
+    @given(profile=profiles, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_merged_equals_span(self, profile, data):
+        n = data.draw(st.integers(1, len(profile.blocks)))
+        partition = data.draw(st.sampled_from(enumerate_partitions(profile, n)))
+        lo = data.draw(st.integers(0, n - 1))
+        hi = data.draw(st.integers(lo + 1, n))
+        merged = partition.merged(lo, hi)
+        expected_work = sum(
+            a.proc_seconds_at_max for a in partition.assignments[lo:hi]
+        )
+        assert merged.proc_seconds_at_max == pytest.approx(expected_work)
+        assert merged.recv_bytes == partition.assignments[lo].recv_bytes
+        assert merged.send_bytes == partition.assignments[hi - 1].send_bytes
+
+
+class TestScheduleProperties:
+    @given(profile=profiles, deadline=st.floats(0.5, 10.0), data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_plans_meet_deadline_or_raise(self, profile, deadline, data):
+        n = data.draw(st.integers(1, len(profile.blocks)))
+        partition = data.draw(st.sampled_from(enumerate_partitions(profile, n)))
+        for assignment in partition.assignments:
+            try:
+                plan = plan_node(
+                    assignment, PAPER_LINK_TIMING, deadline, SA1100_TABLE
+                )
+            except InfeasiblePartitionError:
+                continue
+            assert plan.schedule.busy_s <= deadline + 1e-9
+            assert plan.level in SA1100_TABLE.levels
+
+    @given(profile=profiles, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_chosen_level_is_slowest_feasible(self, profile, data):
+        """One DVS step down must break the deadline (minimality)."""
+        deadline = data.draw(st.floats(1.0, 8.0))
+        assignment = Partition(profile).stage(0)
+        try:
+            plan = plan_node(assignment, PAPER_LINK_TIMING, deadline, SA1100_TABLE)
+        except InfeasiblePartitionError:
+            assume(False)
+        if plan.level is SA1100_TABLE.min:
+            return
+        lower = SA1100_TABLE.step_down(plan.level)
+        slower_proc = SA1100_TABLE.scale_time(assignment.proc_seconds_at_max, lower)
+        busy = plan.schedule.comm_s + slower_proc
+        assert busy > deadline - 1e-9

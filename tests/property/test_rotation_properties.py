@@ -1,0 +1,71 @@
+"""Property-based tests on the rotation schedule arithmetic."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pipeline.rotation import RotationController
+
+
+depth = st.integers(2, 6)
+
+
+@st.composite
+def controllers(draw):
+    n = draw(depth)
+    period = draw(st.integers(n, 60))
+    return RotationController(period=period, n_stages=n)
+
+
+class TestRotationProperties:
+    @given(ctl=controllers(), frame=st.integers(0, 10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_roles_form_a_permutation(self, ctl, frame):
+        roles = [ctl.role_of_node(i, frame) for i in range(ctl.n_stages)]
+        assert sorted(roles) == list(range(ctl.n_stages))
+
+    @given(ctl=controllers(), frame=st.integers(0, 10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_role0_holder_inverse_of_role_of_node(self, ctl, frame):
+        holder = ctl.role0_holder_index(frame)
+        assert ctl.role_of_node(holder, frame) == 0
+
+    @given(ctl=controllers())
+    @settings(max_examples=100, deadline=None)
+    def test_full_cycle_after_n_epochs(self, ctl):
+        first = ctl.role0_holder_index(0)
+        after_cycle = ctl.role0_holder_index(ctl.period * ctl.n_stages)
+        assert first == after_cycle == 0
+
+    @given(ctl=controllers(), epoch=st.integers(0, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_last_node_rotates_to_front(self, ctl, epoch):
+        """§5.5's rule: the role-0 holder walks backwards through the
+        physical node list, one step per rotation."""
+        before = ctl.role0_holder_index(epoch * ctl.period)
+        after = ctl.role0_holder_index((epoch + 1) * ctl.period)
+        assert after == (before - 1) % ctl.n_stages
+
+    @given(ctl=controllers(), role=st.integers(0, 5), k=st.integers(1, 20))
+    @settings(max_examples=200, deadline=None)
+    def test_rotation_frames_are_periodic(self, ctl, role, k):
+        role = role % ctl.n_stages
+        f = k * ctl.period - 1 - role
+        if f >= 0:
+            assert ctl.is_rotation_frame(f, role)
+        # And the frames in between are not rotation frames.
+        for offset in range(1, min(ctl.period - 1, 4)):
+            g = f + offset
+            if g >= 0 and offset != 0:
+                assert not ctl.is_rotation_frame(g, role) or offset % ctl.period == 0
+
+    @given(ctl=controllers(), window=st.integers(0, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_exactly_one_rotation_frame_per_role_per_period(self, ctl, window):
+        start = window * ctl.period
+        for role in range(ctl.n_stages):
+            hits = [
+                f
+                for f in range(start, start + ctl.period)
+                if ctl.is_rotation_frame(f, role)
+            ]
+            assert len(hits) == 1

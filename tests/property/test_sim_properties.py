@@ -1,0 +1,106 @@
+"""Property-based tests on the simulation kernel."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Channel, Simulator
+
+
+class TestClockProperties:
+    @given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_time_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def body(sim, delays):
+            for d in delays:
+                yield sim.timeout(d)
+                observed.append(sim.now)
+
+        sim.process(body(sim, delays))
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_final_time_is_sum(self, delays):
+        sim = Simulator()
+
+        def body(sim, delays):
+            for d in delays:
+                yield sim.timeout(d)
+
+        sim.process(body(sim, delays))
+        sim.run()
+        assert abs(sim.now - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+    @given(
+        delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20),
+        seed_order=st.permutations(list(range(5))),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_replay(self, delays, seed_order):
+        def run_once():
+            sim = Simulator()
+            log = []
+
+            def worker(sim, tag, ds):
+                for d in ds:
+                    yield sim.timeout(d)
+                    log.append((tag, sim.now))
+
+            for tag in seed_order:
+                sim.process(worker(sim, tag, delays))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestChannelProperties:
+    @given(items=st.lists(st.integers(), min_size=0, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_fifo_preserves_sequence(self, items):
+        sim = Simulator()
+        ch = Channel(sim)
+        received = []
+
+        def producer(sim, ch, items):
+            for item in items:
+                yield ch.put(item)
+
+        def consumer(sim, ch, n):
+            for _ in range(n):
+                received.append((yield ch.get()))
+
+        sim.process(producer(sim, ch, items))
+        sim.process(consumer(sim, ch, len(items)))
+        sim.run()
+        assert received == items
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=30),
+        capacity=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_channel_never_overflows(self, items, capacity):
+        sim = Simulator()
+        ch = Channel(sim, capacity=capacity)
+        max_seen = []
+
+        def producer(sim, ch, items):
+            for item in items:
+                yield ch.put(item)
+                max_seen.append(len(ch))
+
+        def consumer(sim, ch, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+                yield ch.get()
+
+        sim.process(producer(sim, ch, items))
+        sim.process(consumer(sim, ch, len(items)))
+        sim.run()
+        assert all(n <= capacity for n in max_seen)

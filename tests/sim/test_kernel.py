@@ -1,0 +1,97 @@
+"""Simulator clock, run modes, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def collector(sim, delays, log):
+    for d in delays:
+        yield sim.timeout(d)
+        log.append(sim.now)
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_advances_with_events(self, sim):
+        log = []
+        sim.process(collector(sim, [1.0, 2.0], log))
+        sim.run()
+        assert log == [1.0, 3.0]
+
+    def test_peek_empty(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_shows_next(self, sim):
+        sim.timeout(4.5)
+        assert sim.peek() == 4.5
+
+    def test_step_on_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+
+class TestRunModes:
+    def test_run_until_time_advances_clock_exactly(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_time_excludes_later_events(self, sim):
+        log = []
+        sim.process(collector(sim, [1.0, 100.0], log))
+        sim.run(until=5.0)
+        assert log == [1.0]
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=2.0)
+
+    def test_run_until_event(self, sim):
+        target = sim.timeout(3.0)
+        sim.timeout(10.0)
+        sim.run(until=target)
+        assert sim.now == 3.0
+
+    def test_run_until_event_never_fires_raises(self, sim):
+        pending = sim.event()  # never triggered
+        sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=pending)
+
+    def test_events_processed_counter(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestDeterminism:
+    def test_same_timestamp_fifo_order(self, sim):
+        order = []
+        for tag in "abc":
+            ev = sim.timeout(1.0, tag)
+            ev.add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_replay_identical(self):
+        def trace_run():
+            s = Simulator()
+            log = []
+            s.process(collector(s, [0.5] * 10, log))
+            s.process(collector(s, [0.3] * 10, log))
+            s.run()
+            return log
+
+        assert trace_run() == trace_run()
+
+    def test_schedule_into_past_rejected(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            sim.schedule(ev, delay=-0.1)

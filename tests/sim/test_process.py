@@ -1,0 +1,152 @@
+"""Process coroutines: completion, composition, interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Interrupt, Simulator
+
+
+class TestBasics:
+    def test_process_returns_value(self, sim):
+        def body(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(body(sim))
+        sim.run()
+        assert p.value == "done"
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_is_alive_tracks_state(self, sim):
+        def body(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(body(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def body(sim):
+            yield 42
+
+        p = sim.process(body(sim))
+        sim.run()
+        assert not p.ok
+        assert isinstance(p.exception, SimulationError)
+
+    def test_exception_propagates_to_process_event(self, sim):
+        def body(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        p = sim.process(body(sim))
+        sim.run()
+        assert isinstance(p.exception, ValueError)
+
+    def test_yield_event_from_other_sim_fails(self, sim):
+        other = Simulator()
+
+        def body(sim):
+            yield other.timeout(1.0)
+
+        p = sim.process(body(sim))
+        sim.run()
+        assert not p.ok
+
+
+class TestComposition:
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(2.0)
+            return 21
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return value * 2
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == 42
+
+    def test_yield_from_subgenerator(self, sim):
+        def sub(sim):
+            yield sim.timeout(1.0)
+            return "sub"
+
+        def body(sim):
+            res = yield from sub(sim)
+            return res + "-top"
+
+        p = sim.process(body(sim))
+        sim.run()
+        assert p.value == "sub-top"
+
+    def test_failed_event_raises_inside_process(self, sim):
+        bad = sim.event()
+
+        def body(sim):
+            try:
+                yield bad
+            except RuntimeError:
+                return "caught"
+
+        p = sim.process(body(sim))
+        bad.fail(RuntimeError("x"))
+        sim.run()
+        assert p.value == "caught"
+
+
+class TestInterrupt:
+    def test_interrupt_delivered_as_exception(self, sim):
+        def body(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause)
+
+        p = sim.process(body(sim))
+        sim.timeout(1.0).add_callback(lambda _e: p.interrupt("why"))
+        sim.run(until=p)
+        assert p.value == ("interrupted", "why")
+        assert sim.now == 1.0  # resumed immediately, not at the timeout
+
+    def test_unhandled_interrupt_ends_process_with_cause(self, sim):
+        def body(sim):
+            yield sim.timeout(100.0)
+
+        p = sim.process(body(sim))
+        sim.timeout(1.0).add_callback(lambda _e: p.interrupt("cause"))
+        sim.run()
+        assert p.ok
+        assert p.value == "cause"
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def body(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(body(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_detaches_from_event(self, sim):
+        """The originally-awaited event firing later must not resume a
+        process that already handled an interrupt and moved on."""
+        long = sim.timeout(5.0, "late")
+        resumed_with = []
+
+        def body(sim):
+            try:
+                value = yield long
+            except Interrupt:
+                value = yield sim.timeout(10.0, "after-interrupt")
+            resumed_with.append(value)
+
+        p = sim.process(body(sim))
+        sim.timeout(1.0).add_callback(lambda _e: p.interrupt())
+        sim.run()
+        assert resumed_with == ["after-interrupt"]

@@ -1,0 +1,163 @@
+"""Channels and counting resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Resource
+
+
+class TestChannel:
+    def test_put_then_get(self, sim):
+        ch = Channel(sim)
+        got = []
+
+        def consumer(sim, ch):
+            item = yield ch.get()
+            got.append(item)
+
+        sim.process(consumer(sim, ch))
+        ch.put("x")
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self, sim):
+        ch = Channel(sim)
+        times = []
+
+        def consumer(sim, ch):
+            yield ch.get()
+            times.append(sim.now)
+
+        def producer(sim, ch):
+            yield sim.timeout(3.0)
+            yield ch.put("late")
+
+        sim.process(consumer(sim, ch))
+        sim.process(producer(sim, ch))
+        sim.run()
+        assert times == [3.0]
+
+    def test_fifo_order(self, sim):
+        ch = Channel(sim)
+        for i in range(5):
+            ch.put(i)
+        got = []
+
+        def consumer(sim, ch):
+            for _ in range(5):
+                got.append((yield ch.get()))
+
+        sim.process(consumer(sim, ch))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_len_counts_queued(self, sim):
+        ch = Channel(sim)
+        ch.put(1)
+        ch.put(2)
+        assert len(ch) == 2
+
+    def test_try_get(self, sim):
+        ch = Channel(sim)
+        assert ch.try_get() == (False, None)
+        ch.put("a")
+        assert ch.try_get() == (True, "a")
+
+    def test_bounded_put_blocks(self, sim):
+        ch = Channel(sim, capacity=1)
+        done = []
+
+        def producer(sim, ch):
+            yield ch.put("a")
+            yield ch.put("b")  # blocks until a consumer frees space
+            done.append(sim.now)
+
+        def consumer(sim, ch):
+            yield sim.timeout(5.0)
+            yield ch.get()
+
+        sim.process(producer(sim, ch))
+        sim.process(consumer(sim, ch))
+        sim.run()
+        assert done == [5.0]
+        assert len(ch) == 1  # "b" made it in
+
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Channel(sim, capacity=0)
+
+    def test_waiting_getters_counted(self, sim):
+        ch = Channel(sim)
+
+        def consumer(sim, ch):
+            yield ch.get()
+
+        sim.process(consumer(sim, ch))
+        sim.run()
+        assert ch.waiting_getters == 1
+
+
+class TestResource:
+    def test_request_release(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(sim, res, tag, hold):
+            yield res.request()
+            order.append(("in", tag, sim.now))
+            yield sim.timeout(hold)
+            res.release()
+            order.append(("out", tag, sim.now))
+
+        sim.process(user(sim, res, "a", 2.0))
+        sim.process(user(sim, res, "b", 1.0))
+        sim.run()
+        assert order == [
+            ("in", "a", 0.0),
+            ("out", "a", 2.0),
+            ("in", "b", 2.0),
+            ("out", "b", 3.0),
+        ]
+
+    def test_capacity_allows_concurrency(self, sim):
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def user(sim, res):
+            yield res.request()
+            active.append(1)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.pop()
+            res.release()
+
+        for _ in range(4):
+            sim.process(user(sim, res))
+        sim.run()
+        assert max(peak) == 2
+
+    def test_release_without_request_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_queued_counter(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder(sim, res):
+            yield res.request()
+            yield sim.timeout(100.0)
+
+        def waiter(sim, res):
+            yield res.request()
+
+        sim.process(holder(sim, res))
+        sim.process(waiter(sim, res))
+        sim.run(until=1.0)
+        assert res.in_use == 1
+        assert res.queued == 1
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)

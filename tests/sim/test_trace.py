@@ -1,0 +1,61 @@
+"""Trace recording."""
+
+import pytest
+
+from repro.sim import Segment, TraceRecorder
+
+
+@pytest.fixture
+def trace():
+    t = TraceRecorder()
+    t.add("n1", 0.0, 1.0, "recv", frequency_mhz=59.0, current_ma=30.0)
+    t.add("n1", 1.0, 2.0, "proc", frequency_mhz=206.4, current_ma=130.0)
+    t.add("n2", 0.5, 1.5, "idle", frequency_mhz=59.0, current_ma=30.0)
+    return t
+
+
+class TestSegment:
+    def test_duration(self):
+        seg = Segment("a", 1.0, 3.5, "proc")
+        assert seg.duration == 2.5
+
+    def test_charge(self):
+        seg = Segment("a", 0.0, 2.0, "proc", current_ma=100.0)
+        assert seg.charge_mas == 200.0
+
+
+class TestRecorder:
+    def test_actors_in_first_seen_order(self, trace):
+        assert trace.actors == ["n1", "n2"]
+
+    def test_segments_per_actor(self, trace):
+        assert len(trace.segments("n1")) == 2
+        assert len(trace.segments("n2")) == 1
+
+    def test_unknown_actor_empty(self, trace):
+        assert trace.segments("nope") == []
+
+    def test_total_charge(self, trace):
+        assert trace.total_charge_mas("n1") == pytest.approx(30.0 + 130.0)
+
+    def test_busy_time_filters_activities(self, trace):
+        assert trace.busy_time("n1", {"proc"}) == 1.0
+        assert trace.busy_time("n1", {"recv", "proc"}) == 2.0
+
+    def test_disabled_recorder_ignores(self):
+        t = TraceRecorder(enabled=False)
+        t.add("a", 0.0, 1.0, "proc")
+        assert t.actors == []
+
+    def test_horizon_truncates(self):
+        t = TraceRecorder(horizon=10.0)
+        t.add("a", 5.0, 6.0, "proc")
+        t.add("a", 11.0, 12.0, "proc")  # past horizon, dropped
+        assert len(t.segments("a")) == 1
+
+    def test_clear(self, trace):
+        trace.clear()
+        assert trace.actors == []
+
+    def test_all_segments(self, trace):
+        assert len(trace.all_segments()) == 3

@@ -1,0 +1,58 @@
+"""Public API surface: stability of the top-level namespace."""
+
+import inspect
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_version_matches_package_metadata(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_every_public_item_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert undocumented == []
+
+    def test_key_entry_points_are_callable(self):
+        for name in (
+            "run_experiment",
+            "run_paper_suite",
+            "calibrate_battery",
+            "analyze_partitions",
+            "yds_schedule",
+            "generate_scene",
+            "measure_profile",
+        ):
+            assert callable(getattr(repro, name))
+
+    def test_paper_constants_present(self):
+        assert len(repro.SA1100_TABLE) == 11
+        assert repro.PAPER_PROFILE.total_seconds_at_max == 1.1
+        assert len(repro.PAPER_EXPERIMENTS) == 8
+
+    def test_module_docstrings_everywhere(self):
+        """Every repro module ships a module docstring."""
+        import pathlib
+        import importlib
+
+        root = pathlib.Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root.parent)
+            module_name = str(rel.with_suffix("")).replace("/", ".")
+            if module_name.endswith(".__init__"):
+                module_name = module_name[: -len(".__init__")]
+            if module_name.endswith("__main__"):
+                continue
+            module = importlib.import_module(module_name)
+            assert (module.__doc__ or "").strip(), f"{module_name} lacks a docstring"

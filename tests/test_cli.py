@@ -1,0 +1,98 @@
+"""CLI behaviour (invoked in-process via main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for cmd in ("run", "suite", "figures", "partition", "trace", "calibrate"):
+            args = parser.parse_args(
+                [cmd] + (["fig7"] if cmd == "figures" else [])
+                + (["1"] if cmd == "trace" else [])
+            )
+            assert args.command == cmd
+
+
+class TestFigures:
+    @pytest.mark.parametrize("figure", ["fig6", "fig7", "fig8"])
+    def test_static_figures_render(self, figure, capsys):
+        assert main(["figures", figure]) == 0
+        out = capsys.readouterr().out
+        assert "Fig." in out
+
+    def test_export_csv(self, tmp_path, capsys):
+        target = tmp_path / "fig7.csv"
+        assert main(["figures", "fig7", "--export", str(target)]) == 0
+        assert target.read_text().startswith("freq_mhz")
+
+
+class TestPartition:
+    def test_default_analysis(self, capsys):
+        assert main(["partition"]) == 0
+        out = capsys.readouterr().out
+        assert "selected (energy criterion)" in out
+        assert "target_detection" in out
+
+    def test_infeasible_deadline_reported(self, capsys):
+        assert main(["partition", "--deadline", "1.3"]) == 0
+        assert "no feasible scheme" in capsys.readouterr().out
+
+    def test_bandwidth_option(self, capsys):
+        assert main(["partition", "--bandwidth-kbps", "1000"]) == 0
+        assert "1000 Kbps" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_renders_gantt(self, capsys):
+        assert main(["trace", "2", "--frames", "4", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "node1" in out and "node2" in out
+        assert "P=proc" in out
+
+    def test_unknown_label(self, capsys):
+        assert main(["trace", "9Z"]) == 2
+
+    def test_no_io_experiment_rejected(self, capsys):
+        assert main(["trace", "0A"]) == 2
+
+
+class TestRun:
+    def test_unknown_label_exit_code(self, capsys):
+        assert main(["run", "9Z"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_fast_run_prints_metrics(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        code = main(["run", "1", "--fast", "--export", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment results" in out
+        assert "quarter-capacity" in out
+        assert target.exists()
+
+
+class TestOptimize:
+    def test_ranks_design_space(self, capsys):
+        assert main(["optimize", "--fast", "--stages", "2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "design space" in out
+        assert "rotation" in out
+
+    def test_objective_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize", "--objective", "vibes"])
+
+
+class TestCalibrate:
+    def test_reports_residuals(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted parameters" in out
+        assert "worst |error|" in out

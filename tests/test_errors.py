@@ -1,0 +1,45 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SimulationError,
+    errors.ScheduleError,
+    errors.DeadlineMissError,
+    errors.InfeasiblePartitionError,
+    errors.BatteryError,
+    errors.LinkError,
+    errors.CalibrationError,
+    errors.ConfigurationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_deadline_miss_is_schedule_error():
+    assert issubclass(errors.DeadlineMissError, errors.ScheduleError)
+
+
+def test_deadline_miss_carries_context():
+    err = errors.DeadlineMissError("node2", required=2.5, deadline=2.3)
+    assert err.node == "node2"
+    assert err.required == 2.5
+    assert err.deadline == 2.3
+    assert "node2" in str(err)
+    assert "2.300" in str(err)
+
+
+def test_infeasible_partition_carries_required_mhz():
+    err = errors.InfeasiblePartitionError("too fast", required_mhz=380.0)
+    assert err.required_mhz == 380.0
+
+
+def test_repro_error_catchable_as_single_clause():
+    with pytest.raises(errors.ReproError):
+        raise errors.LinkError("boom")

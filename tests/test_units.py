@@ -1,0 +1,56 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_hours_to_seconds(self):
+        assert units.hours_to_seconds(2.0) == 7200.0
+
+    def test_seconds_to_hours(self):
+        assert units.seconds_to_hours(5400.0) == 1.5
+
+    def test_roundtrip(self):
+        assert units.seconds_to_hours(units.hours_to_seconds(3.7)) == pytest.approx(3.7)
+
+
+class TestChargeConversions:
+    def test_mah_to_mas(self):
+        assert units.mah_to_mas(1.0) == 3600.0
+
+    def test_mas_to_mah(self):
+        assert units.mas_to_mah(7200.0) == 2.0
+
+    def test_roundtrip(self):
+        assert units.mas_to_mah(units.mah_to_mas(123.4)) == pytest.approx(123.4)
+
+
+class TestDataConversions:
+    def test_kb_is_decimal(self):
+        # The paper's payloads are decimal KB (consistent with 80 Kbps).
+        assert units.kb_to_bytes(10.1) == 10_100
+
+    def test_kb_roundtrip(self):
+        assert units.bytes_to_kb(units.kb_to_bytes(7.5)) == pytest.approx(7.5)
+
+    def test_kbps(self):
+        assert units.kbps_to_bps(80.0) == 80_000.0
+
+
+class TestTransferSeconds:
+    def test_fig6_input_frame(self):
+        # 10.1 KB at 80 Kbps: 1.01 s of wire time.
+        assert units.transfer_seconds(10_100, 80_000) == pytest.approx(1.01)
+
+    def test_zero_payload(self):
+        assert units.transfer_seconds(0, 80_000) == 0.0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(-1, 80_000)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(100, 0)

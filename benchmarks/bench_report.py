@@ -1,0 +1,162 @@
+"""Standalone substrate benchmark report.
+
+Measures the hot paths that dominate paper-suite wall-clock — kernel
+event dispatch, KiBaM stepping, link transactions, ATR recognition —
+plus the end-to-end eight-experiment suite, and writes the numbers to
+``BENCH_substrate.json`` so substrate regressions show up in review.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_report.py            # full report
+    PYTHONPATH=src python benchmarks/bench_report.py --quick    # skip the suite
+
+Unlike ``benchmarks/test_perf_substrate.py`` (pytest-benchmark
+variants of the same micro-benchmarks), this script needs no plugins
+and produces a single committed artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.apps.atr import ATRPipeline, SceneSpec, generate_scene
+from repro.core.experiments import run_paper_suite
+from repro.hw.battery import KiBaM
+from repro.hw.battery.kibam import PAPER_KIBAM_PARAMETERS
+from repro.hw.link import SerialLink
+from repro.sim import Simulator
+
+
+def best_of(fn, repeats: int = 3) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_kernel(n: int = 100_000) -> dict:
+    def run_events():
+        sim = Simulator()
+
+        def ping(sim, n):
+            for _ in range(n):
+                yield sim.timeout(1.0)
+
+        sim.process(ping(sim, n))
+        sim.run()
+        return sim.events_processed
+
+    secs, events = best_of(run_events)
+    return {"events": events, "events_per_s": round(events / secs)}
+
+
+def bench_kibam(n: int = 50_000) -> dict:
+    def steps():
+        cell = KiBaM(PAPER_KIBAM_PARAMETERS)
+        for _ in range(n):
+            cell.draw(50.0, 0.5)
+            cell.draw(0.0, 0.5)
+        return cell.delivered_mah
+
+    secs, _ = best_of(steps)
+    return {"steps": 2 * n, "steps_per_s": round(2 * n / secs)}
+
+
+def bench_link(n: int = 10_000) -> dict:
+    def transactions():
+        sim = Simulator()
+        link = SerialLink(sim, "a", "b")
+
+        def sender(sim, link, n):
+            for i in range(n):
+                tr = yield link.offer_send(i, 600, frm="a")
+                yield tr.done
+
+        def receiver(sim, link, n):
+            for _ in range(n):
+                tr = yield link.offer_recv(to="b")
+                yield tr.done
+
+        sim.process(sender(sim, link, n))
+        sim.process(receiver(sim, link, n))
+        sim.run()
+        return link.transfer_count["a"]
+
+    secs, count = best_of(transactions)
+    return {"transactions": count, "transactions_per_s": round(count / secs)}
+
+
+def bench_atr(frames: int = 20) -> dict:
+    rng = np.random.default_rng(0)
+    pipe = ATRPipeline()
+    scenes = [generate_scene(SceneSpec(size=64), rng) for _ in range(frames)]
+
+    def recognize():
+        return [pipe.run(s, i) for i, s in enumerate(scenes)]
+
+    secs, _ = best_of(recognize)
+    return {"frames": frames, "frames_per_s": round(frames / secs, 1)}
+
+
+def bench_suite() -> dict:
+    t0 = time.perf_counter()
+    runs = run_paper_suite()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": round(wall, 2),
+        "experiments": {
+            label: {
+                "t_hours": round(run.t_hours, 4),
+                "frames": run.frames,
+                "events": run.pipeline.events_processed if run.pipeline else None,
+            }
+            for label, run in runs.items()
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="micro-benchmarks only; skip the full paper suite",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_substrate.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernel_event_dispatch": bench_kernel(),
+        "kibam_fused_draw": bench_kibam(),
+        "link_transactions": bench_link(),
+        "atr_recognition": bench_atr(),
+    }
+    if not args.quick:
+        report["paper_suite_serial"] = bench_suite()
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    json.dump(report, sys.stdout, indent=2)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

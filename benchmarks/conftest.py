@@ -8,6 +8,7 @@ benchmark that reports on it.
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
@@ -54,5 +55,11 @@ def print_block(title: str, body: str) -> None:
 
 @pytest.fixture(scope="session")
 def paper_runs():
-    """All eight paper experiments, run to battery exhaustion."""
-    return run_paper_suite()
+    """All eight paper experiments, run to battery exhaustion.
+
+    Set ``REPRO_BENCH_JOBS=N`` to fan the suite out over N worker
+    processes; results are bit-identical to the serial run. Caching is
+    deliberately off so benchmarks always measure real compute.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return run_paper_suite(jobs=jobs)

@@ -131,21 +131,35 @@ def _perturbed(
     return battery, power
 
 
+def _scenario_job(
+    task: tuple[str, KiBaMParameters, PowerModel]
+) -> ScenarioOutcome:
+    """Worker entry point for parallel sweeps (module-level: picklable)."""
+    label, battery, power = task
+    return evaluate_scenario(label, battery, power)
+
+
 def sensitivity_sweep(
     rel_changes: t.Sequence[float] = (-0.10, 0.10),
+    jobs: int = 1,
 ) -> list[ScenarioOutcome]:
     """One-at-a-time perturbation of every calibrated parameter.
 
     Returns the nominal scenario first, then one outcome per
-    (parameter, change) pair.
+    (parameter, change) pair. ``jobs > 1`` fans the scenarios over
+    worker processes (each scenario is an independent analytical
+    prediction, so ordering and results are identical to serial).
     """
-    outcomes = [
-        evaluate_scenario("nominal", PAPER_KIBAM_PARAMETERS, PAPER_POWER_MODEL)
+    tasks: list[tuple[str, KiBaMParameters, PowerModel]] = [
+        ("nominal", PAPER_KIBAM_PARAMETERS, PAPER_POWER_MODEL)
     ]
     for parameter in PARAMETERS:
         for change in rel_changes:
             battery, power = _perturbed(parameter, 1.0 + change)
-            outcomes.append(
-                evaluate_scenario(f"{parameter} {change:+.0%}", battery, power)
-            )
-    return outcomes
+            tasks.append((f"{parameter} {change:+.0%}", battery, power))
+    if jobs <= 1:
+        return [_scenario_job(task) for task in tasks]
+
+    from repro.exec import SweepExecutor
+
+    return SweepExecutor(jobs=jobs).map(_scenario_job, tasks)

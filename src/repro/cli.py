@@ -57,6 +57,38 @@ def _battery_factory(fast: bool) -> t.Callable[[], KiBaM]:
     return _fast_battery if fast else PAPER_BATTERY
 
 
+def _sweep_kwargs(args: argparse.Namespace) -> dict[str, t.Any]:
+    """jobs/cache settings for run_paper_suite from CLI flags."""
+    cache: t.Any = None
+    if not getattr(args, "no_cache", False):
+        from repro.exec import ResultCache
+
+        cache = ResultCache()
+    return {"jobs": getattr(args, "jobs", 1), "cache": cache}
+
+
+def _print_pipeline_diagnostics(runs: dict[str, t.Any]) -> None:
+    """Substrate counters for the pipeline runs (suite output)."""
+    rows = []
+    for label in runs:
+        p = runs[label].pipeline
+        if p is None:
+            continue
+        rows.append(
+            {
+                "label": label,
+                "events": p.events_processed,
+                "link_tx": p.total_link_transactions,
+                "link_MB": p.total_link_bytes / 1e6,
+                "stalls": sum(p.stage_stalls.values()),
+                "level_switches": sum(p.level_switches.values()),
+            }
+        )
+    if rows:
+        print()
+        print(format_table(rows, float_fmt=".1f", title="pipeline diagnostics"))
+
+
 # ---------------------------------------------------------------------------
 # subcommands
 # ---------------------------------------------------------------------------
@@ -68,7 +100,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment labels: {unknown}", file=sys.stderr)
         print(f"available: {', '.join(PAPER_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    runs = run_paper_suite(labels, battery_factory=_battery_factory(args.fast))
+    sweep = _sweep_kwargs(args)
+    runs = run_paper_suite(
+        labels, battery_factory=_battery_factory(args.fast), **sweep
+    )
     rows = []
     for m in summarize_runs(runs):
         paper = runs[m.label].spec.paper
@@ -79,6 +114,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows, title="experiment results"))
+    _print_pipeline_diagnostics(runs)
+    cache = sweep["cache"]
+    if cache is not None and (cache.hits or cache.misses):
+        print(f"\ncache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"under {cache.root} (disable with --no-cache)")
     if args.fast:
         print("\n(quarter-capacity cells: lifetimes scale down and "
               "normalized ratios compress)")
@@ -107,7 +147,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             print(f"\nwrote {write_rows(list(fig.rows), args.export)}")
         return 0
     if which == "fig10":
-        runs = run_paper_suite(battery_factory=_battery_factory(args.fast))
+        runs = run_paper_suite(
+            battery_factory=_battery_factory(args.fast), **_sweep_kwargs(args)
+        )
         fig = figure10_results(runs)
         print(fig.text)
         if args.export:
@@ -278,19 +320,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--export", metavar="PATH",
                        help="write rows to a .csv or .json file")
 
+    def add_sweep(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan experiments over N worker processes "
+                            "(bit-identical to serial; default 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="recompute instead of reading .repro-cache")
+
     p_run = sub.add_parser("run", help="run paper experiments by label")
     p_run.add_argument("labels", nargs="*", metavar="LABEL",
                        help=f"any of: {', '.join(PAPER_EXPERIMENTS)}")
     add_common(p_run)
+    add_sweep(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="run all eight experiments")
     add_common(p_suite)
+    add_sweep(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
     p_fig.add_argument("figure", choices=["fig6", "fig7", "fig8", "fig10"])
     add_common(p_fig)
+    add_sweep(p_fig)
     p_fig.set_defaults(func=_cmd_figures)
 
     p_part = sub.add_parser("partition", help="partitioning analysis (Fig. 8)")

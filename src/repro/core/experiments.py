@@ -357,16 +357,155 @@ def run_experiment(
     )
 
 
+def _run_payload(run: ExperimentRun) -> dict[str, t.Any]:
+    """JSON-serializable payload for a cacheable run (no monitors/trace)."""
+    payload: dict[str, t.Any] = {
+        "frames": run.frames,
+        "t_hours": run.t_hours,
+        "death_times_s": dict(run.death_times_s),
+        "pipeline": None,
+    }
+    p = run.pipeline
+    if p is not None:
+        payload["pipeline"] = {
+            "frames_completed": p.frames_completed,
+            "result_times_s": list(p.result_times_s),
+            "end_time_s": p.end_time_s,
+            "end_reason": p.end_reason,
+            "death_times_s": dict(p.death_times_s),
+            "delivered_mah": dict(p.delivered_mah),
+            "migrations": [[when, name] for when, name in p.migrations],
+            "last_result_s": p.last_result_s,
+            "late_results": p.late_results,
+            "max_lateness_s": p.max_lateness_s,
+            "frames_processed": dict(p.frames_processed),
+            "level_switches": dict(p.level_switches),
+            "link_transactions": dict(p.link_transactions),
+            "link_bytes": dict(p.link_bytes),
+            "stage_stalls": dict(p.stage_stalls),
+            "events_processed": p.events_processed,
+        }
+    return payload
+
+
+def _run_from_payload(spec: ExperimentSpec, payload: dict[str, t.Any]) -> ExperimentRun:
+    """Rebuild a run from :func:`_run_payload` output."""
+    pipeline = None
+    pd = payload["pipeline"]
+    if pd is not None:
+        pipeline = PipelineResult(
+            frames_completed=pd["frames_completed"],
+            result_times_s=list(pd["result_times_s"]),
+            end_time_s=pd["end_time_s"],
+            end_reason=pd["end_reason"],
+            death_times_s=dict(pd["death_times_s"]),
+            delivered_mah=dict(pd["delivered_mah"]),
+            migrations=[(when, name) for when, name in pd["migrations"]],
+            monitors={},
+            trace=None,
+            last_result_s=pd["last_result_s"],
+            late_results=pd["late_results"],
+            max_lateness_s=pd["max_lateness_s"],
+            frames_processed=dict(pd["frames_processed"]),
+            level_switches=dict(pd["level_switches"]),
+            link_transactions=dict(pd["link_transactions"]),
+            link_bytes=dict(pd["link_bytes"]),
+            stage_stalls=dict(pd["stage_stalls"]),
+            events_processed=pd["events_processed"],
+        )
+    return ExperimentRun(
+        spec=spec,
+        frames=payload["frames"],
+        t_hours=payload["t_hours"],
+        death_times_s=dict(payload["death_times_s"]),
+        pipeline=pipeline,
+    )
+
+
+def _suite_job(task: tuple[str, dict[str, t.Any]]) -> ExperimentRun:
+    """Worker entry point for parallel suites (module-level: picklable)."""
+    label, kwargs = task
+    return run_experiment(PAPER_EXPERIMENTS[label], **kwargs)
+
+
+def _experiment_key_parts(spec: ExperimentSpec, kwargs: dict[str, t.Any]) -> tuple:
+    """The full effective configuration of one run_experiment call.
+
+    Defaults are applied through the signature, so an explicit
+    ``seed=0`` and an omitted seed hash identically.
+    """
+    import inspect
+
+    bound = inspect.signature(run_experiment).bind(spec, **kwargs)
+    bound.apply_defaults()
+    arguments = dict(bound.arguments)
+    arguments.pop("spec")
+    arguments.pop("trace", None)  # uncacheable runs never get here
+    return (spec, sorted(arguments.items()))
+
+
 def run_paper_suite(
     labels: t.Sequence[str] | None = None,
+    jobs: int = 1,
+    cache: t.Any = None,
     **kwargs: t.Any,
 ) -> dict[str, ExperimentRun]:
-    """Run several paper experiments; kwargs pass through to run_experiment."""
+    """Run several paper experiments; kwargs pass through to run_experiment.
+
+    Parameters
+    ----------
+    labels:
+        Experiment labels (default: all eight).
+    jobs:
+        Worker processes to fan the experiments over. ``1`` (default)
+        runs serially in-process; parallel results are bit-identical to
+        serial because every experiment seeds its own randomness from
+        its spec. A shared ``trace`` forces serial execution (worker
+        processes cannot append to the caller's recorder).
+    cache:
+        ``None`` (default) disables caching; ``True`` uses a
+        :class:`repro.exec.ResultCache` at ``.repro-cache``; or pass a
+        configured :class:`~repro.exec.ResultCache`. Only runs without
+        ``trace``/``monitor_interval_s`` are cached (those carry
+        unserializable recorders); cached entries are keyed by the full
+        configuration, so any parameter change is a miss.
+    """
     labels = list(labels) if labels is not None else list(PAPER_EXPERIMENTS)
     unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
     if unknown:
         raise ConfigurationError(f"unknown experiment labels: {unknown}")
-    return {lb: run_experiment(PAPER_EXPERIMENTS[lb], **kwargs) for lb in labels}
+    if jobs <= 1 and not cache:
+        return {lb: run_experiment(PAPER_EXPERIMENTS[lb], **kwargs) for lb in labels}
+
+    from repro.exec import ResultCache, SweepExecutor
+
+    if cache is True:
+        cache = ResultCache()
+    if kwargs.get("trace") is not None:
+        jobs = 1
+    cacheable = (
+        kwargs.get("trace") is None and kwargs.get("monitor_interval_s") is None
+    )
+    keys = None
+    if cache and cacheable:
+        keys = [
+            cache.key_for(
+                "run_experiment",
+                _experiment_key_parts(PAPER_EXPERIMENTS[lb], kwargs),
+            )
+            for lb in labels
+        ]
+    executor = SweepExecutor(jobs=jobs, cache=cache or None)
+    runs = executor.map(
+        _suite_job,
+        [(lb, kwargs) for lb in labels],
+        keys=keys,
+        encode=_run_payload,
+        decode=lambda task, payload: _run_from_payload(
+            PAPER_EXPERIMENTS[task[0]], payload
+        ),
+    )
+    return dict(zip(labels, runs))
 
 
 def summarize_runs(runs: dict[str, ExperimentRun]) -> list[ExperimentMetrics]:

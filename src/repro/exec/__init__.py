@@ -1,0 +1,27 @@
+"""Sweep execution: parallel fan-out plus content-addressed caching.
+
+The suite and sensitivity sweeps are embarrassingly parallel — each
+experiment is an independent deterministic simulation — and heavily
+repeated across figure regeneration, ablations, and tests. This
+package provides the two pieces that exploit that:
+
+- :class:`SweepExecutor` — maps a function over work items across
+  worker processes with deterministic, input-ordered results;
+- :class:`ResultCache` — a content-addressed JSON store keyed by a
+  stable hash of the full experiment configuration plus a code-version
+  salt, so a repeated configuration is read back instead of re-run.
+
+See ``docs/TUTORIAL.md`` ("Running sweeps fast") for usage.
+"""
+
+from repro.exec.cache import CACHE_SALT, ResultCache, canonical, stable_key
+from repro.exec.executor import SweepExecutor, SweepStats
+
+__all__ = [
+    "CACHE_SALT",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepStats",
+    "canonical",
+    "stable_key",
+]

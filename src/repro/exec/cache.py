@@ -1,0 +1,209 @@
+"""Content-addressed result caching for experiment sweeps.
+
+A cache key is a SHA-256 digest of a *canonical encoding* of whatever
+configuration objects produced a result — experiment specs, policies,
+power models, plain kwargs — plus a code-version salt. Two runs with
+identical configuration hash to the same key; any change to the
+configuration (or to the salt, bumped when simulation semantics change)
+produces a different key and therefore a miss. Values are JSON
+payloads stored one-file-per-key under a cache directory, so the cache
+is transparent, diffable, and safe to delete at any time.
+
+The encoding is intentionally *structural*: dataclasses encode as
+their type plus field values, generic objects as their type plus public
+attributes, functions and classes by qualified name. Anything the
+encoder does not understand raises — silently mis-keying a cache entry
+is the one failure mode a result cache must never have.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+import typing as t
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CACHE_SALT", "canonical", "stable_key", "ResultCache"]
+
+#: Bumped whenever a change alters simulation results without altering
+#: any configuration object (kernel semantics, battery integration,
+#: protocol fixes). Stale entries then miss instead of lying.
+CACHE_SALT = "substrate-1"
+
+_PRIMITIVES = (str, int, bool, type(None))
+
+
+def canonical(obj: t.Any) -> t.Any:
+    """Encode ``obj`` as a JSON-stable structure for hashing.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``obj`` (or anything it contains) has no canonical form.
+    """
+    if isinstance(obj, _PRIMITIVES):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; json.dumps floats do too,
+        # but being explicit keeps the key independent of json details.
+        return ["f", repr(obj)]
+    if isinstance(obj, enum.Enum):
+        return ["enum", f"{type(obj).__module__}.{type(obj).__qualname__}", obj.name]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonical(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        items = sorted(
+            (canonical(item) for item in obj),
+            key=lambda e: json.dumps(e, sort_keys=True),
+        )
+        return ["set", items]
+    if isinstance(obj, dict):
+        pairs = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return ["map", pairs]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = [
+            [f.name, canonical(getattr(obj, f.name))]
+            for f in dataclasses.fields(obj)
+        ]
+        return ["dc", f"{type(obj).__module__}.{type(obj).__qualname__}", fields]
+    if isinstance(obj, type) or callable(obj):
+        module = getattr(obj, "__module__", None)
+        qualname = getattr(obj, "__qualname__", None)
+        if module is None or qualname is None or "<locals>" in qualname:
+            raise ConfigurationError(
+                f"cannot canonically encode {obj!r}: only module-level "
+                "functions and classes have a stable identity"
+            )
+        return ["fn", f"{module}.{qualname}"]
+    # Generic object: type identity + public attribute state. Private
+    # (underscore) attributes are derived caches by this codebase's
+    # convention and must not leak into the key.
+    state: dict[str, t.Any] = {}
+    if hasattr(obj, "__dict__"):
+        state.update(obj.__dict__)
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if hasattr(obj, slot):
+                state.setdefault(slot, getattr(obj, slot))
+    if not state and not hasattr(obj, "__dict__"):
+        raise ConfigurationError(f"cannot canonically encode {obj!r}")
+    public = [
+        [name, canonical(value)]
+        for name, value in sorted(state.items())
+        if not name.startswith("_")
+    ]
+    return ["obj", f"{type(obj).__module__}.{type(obj).__qualname__}", public]
+
+
+def stable_key(*parts: t.Any, salt: str = "") -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    encoded = json.dumps(
+        [salt, [canonical(p) for p in parts]],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One-file-per-key JSON store under a cache directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily). Default ``.repro-cache`` in
+        the current working directory.
+    salt:
+        Extra key material mixed into every key. Defaults to the
+        package version plus :data:`CACHE_SALT`, so upgrading the code
+        or bumping the salt invalidates every prior entry without
+        touching the files.
+
+    Notes
+    -----
+    The cache is *tolerant*: a corrupted, truncated, or unreadable
+    entry behaves as a miss (and is removed when possible), never as an
+    error — a cache must only ever trade time, not correctness.
+    """
+
+    def __init__(self, root: str | os.PathLike = ".repro-cache", salt: str | None = None):
+        if salt is None:
+            import repro
+
+            salt = f"{repro.__version__}/{CACHE_SALT}"
+        self.root = pathlib.Path(root)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------
+    def key_for(self, *parts: t.Any) -> str:
+        """Stable key for a configuration, mixed with this cache's salt."""
+        return stable_key(*parts, salt=self.salt)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Where ``key``'s payload lives (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- store ----------------------------------------------------------
+    def get(self, key: str) -> t.Any | None:
+        """The payload stored under ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            # Corrupted entry: drop it and recompute.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: t.Any) -> None:
+        """Store ``payload`` (JSON-serializable) under ``key``.
+
+        The write is atomic (temp file + rename), so a killed process
+        can truncate at most its own temp file, never a live entry.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full disk degrades to "no cache", silently.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultCache {self.root} hits={self.hits} misses={self.misses}>"

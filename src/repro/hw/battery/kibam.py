@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import typing as t
 
 from scipy.optimize import brentq
 
@@ -108,6 +109,11 @@ class KiBaM(Battery):
     #: paper currents it corresponds to well under a microsecond of load.
     DEATH_EPS_MAS = 1e-5
 
+    #: Cap on the per-duration factor cache (the engine's duty cycles
+    #: repeat a small set of segment lengths; anything past this is a
+    #: pathological workload and we just start over).
+    _FACTOR_CACHE_MAX = 4096
+
     def __init__(self, params: KiBaMParameters):
         super().__init__(params.capacity_mah)
         self.params = params
@@ -115,6 +121,10 @@ class KiBaM(Battery):
         self._y1 = params.c * total
         self._y2 = (1.0 - params.c) * total
         self._dead = False
+        # dt -> (ex, one_minus_ex, r): the duration-dependent factors of
+        # the closed form, computed exactly as _step computes them so the
+        # fast path below is bit-identical to reference stepping.
+        self._factors: dict[float, tuple[float, float, float]] = {}
 
     # -- state inspection -------------------------------------------------
     @property
@@ -151,12 +161,166 @@ class KiBaM(Battery):
         ny2 = y2 * ex + y0 * (1.0 - c) * one_minus_ex - current_ma * (1.0 - c) * r
         return ny1, ny2
 
+    def _dt_factors(self, dt_s: float) -> tuple[float, float, float]:
+        """The duration-dependent closed-form factors, memoized per dt.
+
+        Duty-cycled loads repeat the same handful of segment lengths
+        hundreds of thousands of times; caching ``(e^-x, 1-e^-x, r)``
+        removes the ``exp`` from the hot path. Values are computed with
+        exactly the expressions :meth:`_step` uses (including the
+        small-x series switch), so cached and uncached steps agree bit
+        for bit.
+        """
+        cached = self._factors.get(dt_s)
+        if cached is not None:
+            return cached
+        kp = self.params.k_prime_per_second
+        x = kp * dt_s
+        ex = math.exp(-x)
+        if x < 1e-6:
+            r = (x * x / 2.0 - x * x * x / 6.0) / kp
+            one_minus_ex = x - x * x / 2.0 + x * x * x / 6.0
+        else:
+            r = (x - 1.0 + ex) / kp
+            one_minus_ex = 1.0 - ex
+        if len(self._factors) >= self._FACTOR_CACHE_MAX:
+            self._factors.clear()
+        self._factors[dt_s] = factors = (ex, one_minus_ex, r)
+        return factors
+
+    def draw(self, current_ma: float, dt_s: float) -> None:
+        """Fused fast path of :meth:`Battery.draw` for the common case.
+
+        Far from death the available well provably survives the step
+        (it drains no faster than ``I``), so the generic safety dance —
+        ``time_to_death_lower_bound`` then possibly the exact root
+        solve — and the death latch are skipped, and the closed form is
+        evaluated inline with cached per-duration factors. Arithmetic
+        (expression order and the small-x series) is identical to
+        :meth:`_step`, so fast and reference stepping produce bit-equal
+        states. Near death, delegates to the careful base-class path.
+        """
+        y1 = self._y1
+        if (
+            self._dead
+            or current_ma < 0
+            or dt_s <= 0
+            or current_ma * dt_s >= y1 - self.DEATH_EPS_MAS - 1e-9
+        ):
+            super().draw(current_ma, dt_s)
+            return
+        ex, one_minus_ex, r = self._dt_factors(dt_s)
+        kp = self.params.k_prime_per_second
+        c = self.params.c
+        y2 = self._y2
+        y0 = y1 + y2
+        self._y1 = y1 * ex + (y0 * kp * c - current_ma) * one_minus_ex / kp - current_ma * c * r
+        self._y2 = y2 * ex + y0 * (1.0 - c) * one_minus_ex - current_ma * (1.0 - c) * r
+        self._delivered_mas += current_ma * dt_s
+
     def preview(self, current_ma: float, dt_s: float) -> tuple[float, float]:
         """The (y1, y2) state after a constant-current step, without
         mutating the cell. Fast path for duty-cycle sweeps."""
         if current_ma < 0 or dt_s < 0:
             raise BatteryError("preview needs non-negative current and duration")
         return self._step(self._y1, self._y2, current_ma, dt_s)
+
+    # -- multi-step fast path -------------------------------------------
+    def cycle_map(
+        self, cycle: t.Sequence[tuple[float, float]]
+    ) -> tuple[tuple[float, float, float, float, float, float], float]:
+        """The affine map one duty cycle applies to the ``(y1, y2)`` state.
+
+        For each constant-current segment the closed form is affine in
+        the state, ``state' = M(dt) state + I * v(dt)``, so a whole
+        piecewise-constant cycle composes into a single affine map
+        ``(A, b)``. Returns ``((a11, a12, a21, a22, b1, b2), drain)``
+        where ``drain`` is the total charge the cycle draws in mA*s.
+        Charge conservation makes ``A`` column-stochastic, so its
+        powers are numerically stable.
+        """
+        kp = self.params.k_prime_per_second
+        c = self.params.c
+        a11, a12, a21, a22 = 1.0, 0.0, 0.0, 1.0
+        b1 = b2 = 0.0
+        drain = 0.0
+        for current_ma, dt_s in cycle:
+            if current_ma < 0 or dt_s < 0:
+                raise BatteryError("cycle needs non-negative currents and durations")
+            ex, om, r = self._dt_factors(dt_s)
+            # Segment map: y1' = y1 (ex + c om) + y2 (c om) - I (om/kp + c r)
+            #              y2' = y1 ((1-c) om) + y2 (ex + (1-c) om) - I (1-c) r
+            m11 = ex + c * om
+            m12 = c * om
+            m21 = (1.0 - c) * om
+            m22 = ex + (1.0 - c) * om
+            s1 = -current_ma * (om / kp + c * r)
+            s2 = -current_ma * (1.0 - c) * r
+            # Compose: new = M . (A state + b) + s
+            a11, a12, a21, a22, b1, b2 = (
+                m11 * a11 + m12 * a21,
+                m11 * a12 + m12 * a22,
+                m21 * a11 + m22 * a21,
+                m21 * a12 + m22 * a22,
+                m11 * b1 + m12 * b2 + s1,
+                m21 * b1 + m22 * b2 + s2,
+            )
+            drain += current_ma * dt_s
+        return (a11, a12, a21, a22, b1, b2), drain
+
+    def advance_cycles(
+        self, cycle: t.Sequence[tuple[float, float]], n_cycles: int
+    ) -> None:
+        """Advance ``n_cycles`` repetitions of a duty cycle analytically.
+
+        One O(log n) affine-map power replaces ``n * len(cycle)``
+        individual draws — this is what makes lifetime prediction over
+        tens of thousands of frame cycles cheap. The caller must
+        guarantee the cell survives every intermediate instant; the
+        available well drains no faster than the cycle's total charge,
+        so ``available_mas > (n_cycles + 1) * drain`` is a sufficient
+        margin (see :func:`repro.core.calibration.predicted_lifetime_hours`).
+        """
+        if n_cycles < 0:
+            raise BatteryError(f"cycle count must be >= 0, got {n_cycles}")
+        if n_cycles == 0 or not cycle:
+            return
+        if self._dead:
+            raise BatteryError("cannot advance a dead cell")
+        (a11, a12, a21, a22, b1, b2), drain = self.cycle_map(cycle)
+        if self._y1 - n_cycles * drain <= self.DEATH_EPS_MAS:
+            raise BatteryError(
+                f"advance_cycles({n_cycles}) may cross death; "
+                "leave at least one cycle's drain of margin"
+            )
+        # Binary power of the affine map: (A, b)^2 = (A A, A b + b).
+        r11, r12, r21, r22 = 1.0, 0.0, 0.0, 1.0
+        c1 = c2 = 0.0
+        n = n_cycles
+        while n:
+            if n & 1:
+                r11, r12, r21, r22, c1, c2 = (
+                    r11 * a11 + r12 * a21,
+                    r11 * a12 + r12 * a22,
+                    r21 * a11 + r22 * a21,
+                    r21 * a12 + r22 * a22,
+                    r11 * b1 + r12 * b2 + c1,
+                    r21 * b1 + r22 * b2 + c2,
+                )
+            n >>= 1
+            if n:
+                a11, a12, a21, a22, b1, b2 = (
+                    a11 * a11 + a12 * a21,
+                    a11 * a12 + a12 * a22,
+                    a21 * a11 + a22 * a21,
+                    a21 * a12 + a22 * a22,
+                    a11 * b1 + a12 * b2 + b1,
+                    a21 * b1 + a22 * b2 + b2,
+                )
+        y1, y2 = self._y1, self._y2
+        self._y1 = r11 * y1 + r12 * y2 + c1
+        self._y2 = r21 * y1 + r22 * y2 + c2
+        self._delivered_mas += n_cycles * drain
 
     def _advance(self, current_ma: float, dt_s: float) -> None:
         self._y1, self._y2 = self._step(self._y1, self._y2, current_ma, dt_s)

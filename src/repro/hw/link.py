@@ -29,6 +29,7 @@ recovery protocol) does not contend with forward data.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import typing as t
 
@@ -210,8 +211,14 @@ class SerialLink:
         self.timing = timing
         self.rng = rng
         # Per-direction rendezvous queues, keyed by the *sending* endpoint.
-        self._sends: dict[str, list[_Offer]] = {a: [], b: []}
-        self._recvs: dict[str, list[_Offer]] = {a: [], b: []}
+        self._sends: dict[str, collections.deque[_Offer]] = {
+            a: collections.deque(),
+            b: collections.deque(),
+        }
+        self._recvs: dict[str, collections.deque[_Offer]] = {
+            a: collections.deque(),
+            b: collections.deque(),
+        }
         #: Completed-transfer count per direction (diagnostics).
         self.transfer_count: dict[str, int] = {a: 0, b: 0}
         #: Total payload bytes moved per direction (diagnostics).
@@ -273,20 +280,23 @@ class SerialLink:
         if name not in (self.a, self.b):
             raise LinkError(f"{name!r} is not an endpoint of link {self.a!r}<->{self.b!r}")
 
-    def _pop_live(self, queue: list[_Offer]) -> _Offer | None:
-        while queue:
-            offer = queue.pop(0)
-            if not offer.cancelled:
-                return offer
-        return None
-
     def _try_match(self, direction: str) -> None:
-        """Match the oldest live send with the oldest live recv, if both exist."""
+        """Match the oldest live send with the oldest live recv, if both exist.
+
+        Cancelled offers are discarded lazily as they surface at the
+        head of their queue, so matching is O(1) amortized per offer
+        rather than a full scan per attempt.
+        """
         sends, recvs = self._sends[direction], self._recvs[direction]
-        while any(not o.cancelled for o in sends) and any(not o.cancelled for o in recvs):
-            send = self._pop_live(sends)
-            recv = self._pop_live(recvs)
-            assert send is not None and recv is not None
+        while sends and recvs:
+            if sends[0].cancelled:
+                sends.popleft()
+                continue
+            if recvs[0].cancelled:
+                recvs.popleft()
+                continue
+            send = sends.popleft()
+            recv = recvs.popleft()
             duration = self.timing.duration(send.payload_bytes, self.rng)
             transfer = Transfer(
                 message=send.message,

@@ -92,7 +92,10 @@ class ItsyNode:
         #: Fires (once) with a :class:`NodeDead` when the battery dies.
         self.died: Event = sim.event()
         self.death_time_s: float | None = None
-        self._death_generation = 0
+        # Earliest pending death-timer target (absolute sim time); inf
+        # when no timer is outstanding. See _schedule_death_timer.
+        self._armed_at = float("inf")
+        self._current_cache: dict[tuple[PowerMode, FrequencyLevel], float] = {}
         self._attached: list[Process] = []
         self._open_offers: list[tuple[SerialLink, Event]] = []
         #: Completed frames this node has fully processed (diagnostics).
@@ -100,6 +103,11 @@ class ItsyNode:
         #: DVS level changes performed (the paper treats them as free;
         #: the switch-cost ablation uses this to quantify that choice).
         self.level_switches = 0
+        #: Rendezvous the node had to *wait* for (the link partner was
+        #: not yet ready when this side offered). A perfectly balanced
+        #: pipeline stalls only at the frame cadence; growing stalls
+        #: indicate an upstream/downstream imbalance.
+        self.io_stalls = 0
 
         self._schedule_death_timer()
 
@@ -140,16 +148,22 @@ class ItsyNode:
             raise SimulationError(f"node {self.name!r} is dead; cannot set state")
         if level is None:
             level = self.level
-        if level not in self.dvs_table.levels:
-            raise ConfigurationError(f"{level} is not in this node's DVS table")
-        self._close_segment()
-        if level is not self.level:
+        elif level is not self.level:
+            # Membership is only worth checking for a genuinely new
+            # level object: the current one was validated when set.
+            if level not in self.dvs_table.levels:
+                raise ConfigurationError(f"{level} is not in this node's DVS table")
             self.level_switches += 1
+        self._close_segment()
         self.mode = mode
         self.level = level
         self.activity = activity if activity is not None else str(mode)
         self._detail = detail
-        self._current_ma = self.power_model.current_ma(mode, level)
+        key = (mode, level)
+        current = self._current_cache.get(key)
+        if current is None:
+            current = self._current_cache[key] = self.power_model.current_ma(mode, level)
+        self._current_ma = current
         self._schedule_death_timer()
 
     def _close_segment(self) -> None:
@@ -176,32 +190,49 @@ class ItsyNode:
     def _schedule_death_timer(self) -> None:
         """Arm a one-shot callback no later than battery exhaustion.
 
-        Uses the battery's cheap lower bound; the exact (root-solved)
-        death time is computed only when the bound expires with the
-        same draw still in effect, so steady operation far from death
-        costs no root solves.
+        Timers are *lazy*: one is armed only when the new draw could
+        kill the node before the earliest already-pending timer fires
+        (``_armed_at``). State changes far from death therefore cost no
+        timer events at all — a timer that fires early simply re-checks
+        the battery under the then-current draw and re-arms. Safety
+        invariant: whenever the node can die, some pending timer fires
+        at or before ``_segment_start + time_to_death_lower_bound()``,
+        which never exceeds the true death instant.
         """
-        self._death_generation += 1
-        generation = self._death_generation
         bound = self.battery.time_to_death_lower_bound(self._current_ma)
         if bound == float("inf"):
             return
-        self._arm_death_timer(generation, bound)
+        target = self._segment_start + bound
+        if target >= self._armed_at:
+            return  # a pending timer already fires soon enough
+        self._arm_death_timer(target)
 
-    def _arm_death_timer(self, generation: int, delay_s: float) -> None:
-        timer = self.sim.timeout(max(0.0, delay_s))
-        timer.add_callback(lambda _event: self._on_death_timer(generation))
+    def _arm_death_timer(self, target: float) -> None:
+        self._armed_at = target
+        timer = self.sim.timeout(max(0.0, target - self.sim.now))
+        timer.add_callback(lambda _event: self._on_death_timer(target))
 
-    def _on_death_timer(self, generation: int) -> None:
-        if generation != self._death_generation or self.is_dead:
-            return  # draw changed since this timer was armed
+    def _on_death_timer(self, armed_for: float) -> None:
+        if armed_for == self._armed_at:
+            self._armed_at = float("inf")
+        if self.is_dead:
+            return
         # Battery state is lazily integrated: it is current as of
-        # _segment_start, so the exact death instant for the ongoing
-        # constant draw is _segment_start + time_to_death().
+        # _segment_start. Re-check the cheap bound first — a lazily
+        # armed timer often fires early because the draw dropped after
+        # it was armed — and root-solve only when the bound says death
+        # is due under the present draw.
+        bound = self.battery.time_to_death_lower_bound(self._current_ma)
+        target = self._segment_start + bound
+        if target > self.sim.now + 1e-9:
+            if target < self._armed_at:
+                self._arm_death_timer(target)
+            return
         exact = self.battery.time_to_death(self._current_ma)
         death_at = self._segment_start + exact
         if death_at > self.sim.now + 1e-9:
-            self._arm_death_timer(generation, death_at - self.sim.now)
+            if death_at < self._armed_at:
+                self._arm_death_timer(death_at)
             return
         self._die()
 
@@ -227,7 +258,6 @@ class ItsyNode:
         self.activity = "dead"
         self._current_ma = 0.0
         self.death_time_s = self.sim.now
-        self._death_generation += 1
         # Withdraw pending link offers so live peers cannot rendezvous
         # with a corpse.
         for link, offer in self._open_offers:
@@ -274,6 +304,8 @@ class ItsyNode:
         :class:`~repro.hw.link.Transfer`.
         """
         self._open_offers.append((link, grant))
+        if not grant.triggered:
+            self.io_stalls += 1
         self.set_state(PowerMode.IDLE, self.level, "wait", detail)
         try:
             transfer: Transfer = yield grant
@@ -304,6 +336,8 @@ class ItsyNode:
         protocol is built on.
         """
         self._open_offers.append((link, grant))
+        if not grant.triggered:
+            self.io_stalls += 1
         self.set_state(PowerMode.IDLE, self.level, "wait", detail)
         timer = self.sim.timeout(timeout_s)
         try:

@@ -284,6 +284,24 @@ class PipelineResult:
     frames_processed: dict[str, int] = dataclasses.field(default_factory=dict)
     #: DVS level switches each node performed.
     level_switches: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Completed serial transactions per link direction ("a->b").
+    link_transactions: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Payload bytes moved per link direction ("a->b").
+    link_bytes: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Rendezvous each node had to wait for (see ItsyNode.io_stalls).
+    stage_stalls: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Kernel events dispatched over the whole run (simulation cost).
+    events_processed: int = 0
+
+    @property
+    def total_link_transactions(self) -> int:
+        """Completed transactions summed over every link direction."""
+        return sum(self.link_transactions.values())
+
+    @property
+    def total_link_bytes(self) -> int:
+        """Payload bytes summed over every link direction."""
+        return sum(self.link_bytes.values())
 
     @property
     def first_death_s(self) -> float | None:
@@ -439,6 +457,13 @@ class PipelineEngine:
         delivered = {
             name: node.battery.delivered_mah for name, node in self.nodes.items()
         }
+        link_transactions: dict[str, int] = {}
+        link_bytes: dict[str, int] = {}
+        for link in self.hub.all_links():
+            for sender in (link.a, link.b):
+                key = f"{sender}->{link.peer_of(sender)}"
+                link_transactions[key] = link.transfer_count[sender]
+                link_bytes[key] = link.bytes_moved[sender]
         return PipelineResult(
             frames_completed=self.results_count,
             result_times_s=list(self.result_times),
@@ -458,6 +483,12 @@ class PipelineEngine:
             level_switches={
                 name: node.level_switches for name, node in self.nodes.items()
             },
+            link_transactions=link_transactions,
+            link_bytes=link_bytes,
+            stage_stalls={
+                name: node.io_stalls for name, node in self.nodes.items()
+            },
+            events_processed=self.sim.events_processed,
         )
 
     def _finish(self, reason: str) -> None:

@@ -35,7 +35,14 @@ class Event:
     exceptions are mutually exclusive: :meth:`succeed` sets a value,
     :meth:`fail` sets an exception that will be raised inside every
     waiting process.
+
+    Events are the unit currency of the kernel — a paper-scale run
+    allocates hundreds of thousands — so the hierarchy uses
+    ``__slots__`` throughout to keep instances small and attribute
+    access cheap.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -132,6 +139,8 @@ class Timeout(Event):
     simulated seconds.
     """
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: t.Any = None):
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")
@@ -143,6 +152,8 @@ class Timeout(Event):
 
 class _Condition(Event):
     """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: t.Sequence[Event]):
         super().__init__(sim)
@@ -184,6 +195,8 @@ class AnyOf(_Condition):
     A failed constituent fails the condition.
     """
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if self.triggered:
             return
@@ -199,6 +212,8 @@ class AllOf(_Condition):
     The value is a dict mapping all events to their values. A failed
     constituent fails the condition immediately.
     """
+
+    __slots__ = ()
 
     def _observe(self, event: Event) -> None:
         if self.triggered:

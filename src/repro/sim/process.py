@@ -50,6 +50,8 @@ class Process(Event):
         Optional label used in ``repr`` and error messages.
     """
 
+    __slots__ = ("generator", "name", "_waiting_on")
+
     def __init__(self, sim: "Simulator", generator: t.Generator, name: str | None = None):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(

@@ -1,0 +1,120 @@
+"""ResultCache: keys, round-trips, invalidation, corruption tolerance."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.experiments import PAPER_EXPERIMENTS
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, canonical, stable_key
+from repro.hw.battery.kibam import PAPER_BATTERY
+from repro.hw.power import PAPER_POWER_MODEL, PowerMode
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        spec = PAPER_EXPERIMENTS["2B"]
+        assert stable_key(spec, salt="s") == stable_key(spec, salt="s")
+
+    def test_differs_across_specs(self):
+        keys = {stable_key(spec) for spec in PAPER_EXPERIMENTS.values()}
+        assert len(keys) == len(PAPER_EXPERIMENTS)
+
+    def test_salt_changes_key(self):
+        spec = PAPER_EXPERIMENTS["1"]
+        assert stable_key(spec, salt="a") != stable_key(spec, salt="b")
+
+    def test_field_change_changes_key(self):
+        spec = PAPER_EXPERIMENTS["1"]
+        changed = dataclasses.replace(spec, deadline_s=2.4)
+        assert stable_key(spec) != stable_key(changed)
+
+    def test_kwargs_change_changes_key(self):
+        assert stable_key({"seed": 0}) != stable_key({"seed": 1})
+
+    def test_dict_order_irrelevant(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_int_float_distinguished(self):
+        assert stable_key(1) != stable_key(1.0)
+
+
+class TestCanonical:
+    def test_json_serializable(self):
+        for spec in PAPER_EXPERIMENTS.values():
+            json.dumps(canonical(spec))
+
+    def test_handles_enums_and_objects(self):
+        encoded = json.dumps(canonical(PAPER_POWER_MODEL))
+        assert "io_activity" in encoded
+        assert PowerMode.IDLE.name in encoded
+
+    def test_function_by_qualname(self):
+        assert canonical(PAPER_BATTERY) == ["fn", "repro.hw.battery.kibam.PAPER_BATTERY"]
+
+    def test_rejects_lambdas(self):
+        with pytest.raises(ConfigurationError):
+            canonical(lambda: None)
+
+    def test_private_attributes_ignored(self):
+        class Thing:
+            def __init__(self):
+                self.value = 1
+                self._derived = object()  # would not encode
+
+        assert canonical(Thing())[2] == [["value", 1]]
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        key = cache.key_for("config")
+        assert cache.get(key) is None
+        cache.put(key, {"answer": 42})
+        assert cache.get(key) == {"answer": 42}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_salt_invalidates(self, tmp_path):
+        old = ResultCache(root=tmp_path, salt="v1")
+        old.put(old.key_for("config"), {"stale": True})
+        new = ResultCache(root=tmp_path, salt="v2")
+        assert new.get(new.key_for("config")) is None
+
+    def test_spec_invalidates(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        spec = PAPER_EXPERIMENTS["1"]
+        cache.put(cache.key_for(spec), {"t": 6.1})
+        changed = dataclasses.replace(spec, deadline_s=9.9)
+        assert cache.get(cache.key_for(changed)) is None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        key = cache.key_for("config")
+        cache.put(key, {"good": 1})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        # And the corrupted file was removed, so a re-put works cleanly.
+        cache.put(key, {"good": 2})
+        assert cache.get(key) == {"good": 2}
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        key = cache.key_for("config")
+        cache.put(key, {"payload": list(range(100))})
+        full = cache.path_for(key).read_text(encoding="utf-8")
+        cache.path_for(key).write_text(full[: len(full) // 2], encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        for i in range(3):
+            cache.put(cache.key_for(i), i)
+        assert cache.clear() == 3
+        assert cache.get(cache.key_for(0)) is None
+
+    def test_default_salt_includes_version(self):
+        import repro
+
+        cache = ResultCache(root="unused")
+        assert repro.__version__ in cache.salt

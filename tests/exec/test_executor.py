@@ -1,0 +1,62 @@
+"""SweepExecutor: ordering, parallel/serial equivalence, cache wiring."""
+
+import pytest
+
+from repro.exec import ResultCache, SweepExecutor
+
+
+def square(x: int) -> int:
+    """Module-level so worker processes can unpickle it."""
+    return x * x
+
+
+def test_serial_map_order():
+    ex = SweepExecutor(jobs=1)
+    assert ex.map(square, [3, 1, 2]) == [9, 1, 4]
+    assert ex.stats.executed == 3
+    assert ex.stats.cache_hits == 0
+
+
+def test_parallel_matches_serial():
+    items = list(range(12))
+    serial = SweepExecutor(jobs=1).map(square, items)
+    parallel = SweepExecutor(jobs=2).map(square, items)
+    assert serial == parallel
+
+
+def test_cache_short_circuits(tmp_path):
+    cache = ResultCache(root=tmp_path, salt="s")
+    ex = SweepExecutor(jobs=1, cache=cache)
+    items = [2, 3, 4]
+    keys = [cache.key_for(i) for i in items]
+    first = ex.map(square, items, keys=keys,
+                   encode=lambda r: r, decode=lambda item, payload: payload)
+    assert ex.stats.executed == 3
+    second = ex.map(square, items, keys=keys,
+                    encode=lambda r: r, decode=lambda item, payload: payload)
+    assert second == first == [4, 9, 16]
+    assert ex.stats.executed == 0
+    assert ex.stats.cache_hits == 3
+
+
+def test_none_key_never_cached(tmp_path):
+    cache = ResultCache(root=tmp_path, salt="s")
+    ex = SweepExecutor(jobs=1, cache=cache)
+    keys = [cache.key_for(1), None]
+    ex.map(square, [1, 2], keys=keys,
+           encode=lambda r: r, decode=lambda item, payload: payload)
+    ex.map(square, [1, 2], keys=keys,
+           encode=lambda r: r, decode=lambda item, payload: payload)
+    assert ex.stats.cache_hits == 1
+    assert ex.stats.executed == 1
+
+
+def test_keys_require_codecs():
+    ex = SweepExecutor(jobs=1, cache=ResultCache(root="unused", salt="s"))
+    with pytest.raises(ValueError):
+        ex.map(square, [1], keys=["k"])
+
+
+def test_jobs_floor():
+    assert SweepExecutor(jobs=0).jobs == 1
+    assert SweepExecutor(jobs=-3).jobs == 1

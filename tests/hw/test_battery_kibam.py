@@ -196,3 +196,106 @@ class TestPaperParameters:
         cell = KiBaM(PAPER_KIBAM_PARAMETERS)
         # Continuous full-speed compute (130 mA) must last ~3.4 h.
         assert cell.time_to_death(130.0) / 3600.0 == pytest.approx(3.4, abs=0.1)
+
+
+class TestFastPath:
+    """The fused draw() and advance_cycles() against reference stepping."""
+
+    CYCLE = [(130.0, 1.1), (45.0, 1.2), (30.0, 0.7)]
+
+    def test_draw_bit_identical_to_step(self):
+        cell = KiBaM(PARAMS)
+        steps = 0
+        while True:
+            done = False
+            for current, dt in self.CYCLE:
+                if cell.time_to_death_lower_bound(current) <= dt * 3:
+                    done = True
+                    break
+                expected = cell.preview(current, dt)
+                cell.draw(current, dt)
+                assert (cell.available_mas, cell.bound_mas) == expected
+                steps += 1
+            if done:
+                break
+        assert steps > 100  # the loop actually exercised the fast path
+
+    def test_delivered_mah_matches_reference_full_discharge(self):
+        from repro.hw.battery.base import Battery
+
+        def discharge(cell, step):
+            """Run the duty cycle to death, truncating the last segment."""
+            while not cell.is_dead:
+                for current, dt in self.CYCLE:
+                    ttd = cell.time_to_death(current)
+                    step(cell, current, min(dt, ttd))
+                    if cell.is_dead:
+                        return
+
+        fast = KiBaM(PARAMS)
+        discharge(fast, KiBaM.draw)        # fused fast path
+        ref = KiBaM(PARAMS)
+        discharge(ref, Battery.draw)       # generic reference path
+        assert ref.delivered_mah > 0
+        rel = abs(fast.delivered_mah - ref.delivered_mah) / ref.delivered_mah
+        assert rel < 1e-3  # acceptance: < 0.1 % over a full discharge
+
+    def test_advance_cycles_matches_sequential_draws(self):
+        jumped = KiBaM(PARAMS)
+        walked = KiBaM(PARAMS)
+        n = 200
+        jumped.advance_cycles(self.CYCLE, n)
+        for _ in range(n):
+            for current, dt in self.CYCLE:
+                walked.draw(current, dt)
+        assert jumped.available_mas == pytest.approx(walked.available_mas, rel=1e-9)
+        assert jumped.bound_mas == pytest.approx(walked.bound_mas, rel=1e-9)
+        assert jumped.delivered_mah == pytest.approx(walked.delivered_mah, rel=1e-12)
+
+    def test_advance_cycles_rejects_unsafe_jump(self):
+        cell = KiBaM(PARAMS)
+        drain = sum(i * dt for i, dt in self.CYCLE)
+        too_many = int(cell.available_mas / drain) + 1
+        with pytest.raises(BatteryError):
+            cell.advance_cycles(self.CYCLE, too_many)
+
+    def test_advance_cycles_rejects_negative_and_dead(self):
+        cell = KiBaM(PARAMS)
+        with pytest.raises(BatteryError):
+            cell.advance_cycles(self.CYCLE, -1)
+        cell.draw(1000.0, cell.time_to_death(1000.0))  # kill it
+        assert cell.is_dead
+        with pytest.raises(BatteryError):
+            cell.advance_cycles(self.CYCLE, 1)
+
+    def test_advance_zero_cycles_noop(self):
+        cell = KiBaM(PARAMS)
+        before = (cell.available_mas, cell.bound_mas, cell.delivered_mah)
+        cell.advance_cycles(self.CYCLE, 0)
+        cell.advance_cycles([], 5)
+        assert (cell.available_mas, cell.bound_mas, cell.delivered_mah) == before
+
+    def test_cycle_map_drain_and_conservation(self):
+        cell = KiBaM(PARAMS)
+        (a11, a12, a21, a22, _, _), drain = cell.cycle_map(self.CYCLE)
+        assert drain == pytest.approx(sum(i * dt for i, dt in self.CYCLE))
+        # Charge conservation: with zero current the map's columns sum
+        # to 1 (whatever leaves one well enters the other).
+        (z11, z12, z21, z22, zb1, zb2), zdrain = cell.cycle_map(
+            [(0.0, dt) for _, dt in self.CYCLE]
+        )
+        assert zdrain == 0.0
+        assert zb1 == zb2 == 0.0
+        assert z11 + z21 == pytest.approx(1.0)
+        assert z12 + z22 == pytest.approx(1.0)
+
+    def test_cycle_map_rejects_negative(self):
+        cell = KiBaM(PARAMS)
+        with pytest.raises(BatteryError):
+            cell.cycle_map([(-1.0, 1.0)])
+
+    def test_factor_cache_bounded(self):
+        cell = KiBaM(PARAMS)
+        for i in range(KiBaM._FACTOR_CACHE_MAX + 10):
+            cell._dt_factors(1.0 + i * 1e-7)
+        assert len(cell._factors) <= KiBaM._FACTOR_CACHE_MAX

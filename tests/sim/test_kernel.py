@@ -95,3 +95,62 @@ class TestDeterminism:
         ev = sim.event()
         with pytest.raises(SimulationError):
             sim.schedule(ev, delay=-0.1)
+
+
+class TestRunUntilHorizonEdges:
+    """Pin the horizon semantics the inlined run loops must preserve."""
+
+    def test_event_exactly_at_horizon_processed(self, sim):
+        ev = sim.timeout(5.0)
+        sim.run(until=5.0)
+        assert ev.processed
+        assert sim.now == 5.0
+
+    def test_horizon_equal_to_now_processes_due_events(self, sim):
+        sim.run(until=5.0)
+        ev = sim.timeout(0.0)
+        sim.run(until=5.0)
+        assert ev.processed
+        assert sim.now == 5.0
+
+    def test_horizon_equal_to_now_with_empty_queue_is_noop(self, sim):
+        sim.run(until=5.0)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_event_spawned_at_horizon_during_run_processed(self, sim):
+        log = []
+
+        def spawner(sim):
+            yield sim.timeout(5.0)
+            ev = sim.timeout(0.0)
+            ev.add_callback(lambda e: log.append(sim.now))
+            yield ev
+
+        sim.process(spawner(sim))
+        sim.run(until=5.0)
+        assert log == [5.0]
+
+    def test_run_matches_step_by_step(self):
+        def build():
+            s = Simulator()
+            log = []
+            s.process(collector(s, [0.5, 0.5, 1.0], log))
+            s.process(collector(s, [1.0, 1.0], log))
+            return s, log
+
+        stepped, log_a = build()
+        while stepped.peek() <= 2.0:
+            stepped.step()
+        ran, log_b = build()
+        ran.run(until=2.0)
+        assert log_a == log_b
+        assert stepped.events_processed == ran.events_processed
+
+    def test_counter_includes_inlined_dispatch(self, sim):
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run(until=1.5)
+        assert sim.events_processed == 1
+        sim.run()
+        assert sim.events_processed == 2

@@ -110,6 +110,50 @@ def bench_atr(frames: int = 20) -> dict:
     return {"frames": frames, "frames_per_s": round(frames / secs, 1)}
 
 
+def bench_atr_batch(frames: int = 200) -> dict:
+    rng = np.random.default_rng(0)
+    pipe = ATRPipeline()
+    scenes = [generate_scene(SceneSpec(size=64), rng) for _ in range(frames)]
+
+    secs, _ = best_of(lambda: pipe.run_batch(scenes))
+    return {"frames": frames, "frames_per_s": round(frames / secs, 1)}
+
+
+def bench_atr_labeling(size: int = 256, reps: int = 50) -> dict:
+    from repro.apps.atr.blocks import label_components
+
+    rng = np.random.default_rng(1)
+    scene = generate_scene(SceneSpec(size=size, n_targets=4), rng)
+    mask = scene.image > scene.image.mean() + 1.5 * scene.image.std()
+
+    def run():
+        n = 0
+        for _ in range(reps):
+            _, n = label_components(mask)
+        return n
+
+    secs, components = best_of(run)
+    return {
+        "mask": f"{size}x{size}",
+        "components": components,
+        "labelings_per_s": round(reps / secs, 1),
+    }
+
+
+def bench_atr_correlate(frames: int = 20) -> dict:
+    from repro.apps.atr.blocks import detect_targets, fft_correlate, ifft_peaks
+
+    rng = np.random.default_rng(2)
+    scenes = [generate_scene(SceneSpec(size=64), rng) for _ in range(frames)]
+    rois = [roi for s in scenes for roi in detect_targets(s.image, max_regions=1)]
+
+    def run():
+        return ifft_peaks(fft_correlate(rois))
+
+    secs, peaks = best_of(run)
+    return {"rois": len(rois), "rois_per_s": round(len(peaks) / secs, 1)}
+
+
 def bench_suite() -> dict:
     t0 = time.perf_counter()
     runs = run_paper_suite()
@@ -125,6 +169,37 @@ def bench_suite() -> dict:
             for label, run in runs.items()
         },
     }
+
+
+def _carry_history(output: Path) -> list[dict]:
+    """Prior reports' headline numbers, so the trajectory stays visible.
+
+    Reads the existing report (if any), condenses its scalar metrics,
+    and appends them to whatever history it already carried.
+    """
+    try:
+        old = json.loads(output.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    condensed = {"version": old.get("version")}
+    for key in (
+        "kernel_event_dispatch",
+        "kibam_fused_draw",
+        "link_transactions",
+        "atr_recognition",
+        "atr_recognition_batch",
+        "atr_labeling",
+        "atr_correlate",
+    ):
+        if key in old:
+            condensed[key] = {
+                k: v for k, v in old[key].items() if not isinstance(v, dict)
+            }
+    if "paper_suite_serial" in old:
+        condensed["paper_suite_serial"] = {
+            "wall_s": old["paper_suite_serial"].get("wall_s")
+        }
+    return list(old.get("history", [])) + [condensed]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -148,9 +223,13 @@ def main(argv: list[str] | None = None) -> int:
         "kibam_fused_draw": bench_kibam(),
         "link_transactions": bench_link(),
         "atr_recognition": bench_atr(),
+        "atr_recognition_batch": bench_atr_batch(),
+        "atr_labeling": bench_atr_labeling(),
+        "atr_correlate": bench_atr_correlate(),
     }
     if not args.quick:
         report["paper_suite_serial"] = bench_suite()
+    report["history"] = _carry_history(args.output)
 
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     json.dump(report, sys.stdout, indent=2)

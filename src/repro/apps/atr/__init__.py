@@ -25,6 +25,9 @@ from repro.apps.atr.blocks import (
     detect_targets,
     fft_correlate,
     ifft_peaks,
+    label_components,
+    label_components_reference,
+    template_bank_spectra,
 )
 from repro.apps.atr.image import SceneSpec, generate_scene
 from repro.apps.atr.matching import MultiScaleATR, TemplateVariant, expand_bank
@@ -48,6 +51,9 @@ __all__ = [
     "fft_correlate",
     "ifft_peaks",
     "compute_distances",
+    "label_components",
+    "label_components_reference",
+    "template_bank_spectra",
     "ATRPipeline",
     "ATRResult",
     "Detection",

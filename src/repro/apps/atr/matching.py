@@ -21,7 +21,12 @@ import typing as t
 
 import numpy as np
 
-from repro.apps.atr.blocks import RegionOfInterest, detect_targets
+from repro.apps.atr.blocks import (
+    RegionOfInterest,
+    _pad_size,
+    detect_targets,
+    template_bank_spectra,
+)
 from repro.apps.atr.image import FOCAL_PIXELS, Scene
 from repro.apps.atr.templates import TEMPLATE_BANK, Template
 
@@ -62,10 +67,22 @@ class TemplateVariant:
         return int(max(ys.max() - ys.min(), xs.max() - xs.min()) + 1)
 
     def normalized(self) -> np.ndarray:
-        """Zero-mean, unit-energy mask for correlation scoring."""
+        """Zero-mean, unit-energy mask for correlation scoring.
+
+        Memoized and returned read-only, like
+        :meth:`repro.apps.atr.templates.Template.normalized`, so the
+        shared template-spectrum cache can key variants by identity.
+        """
+        cached = self.__dict__.get("_normalized")
+        if cached is not None:
+            return cached
         m = self.mask - self.mask.mean()
         energy = float(np.sqrt((m * m).sum()))
-        return m / energy if energy else m
+        if energy:
+            m = m / energy
+        m.setflags(write=False)
+        object.__setattr__(self, "_normalized", m)
+        return m
 
 
 def _rescale(mask: np.ndarray, scale: float) -> np.ndarray:
@@ -104,19 +121,24 @@ def expand_bank(
 def match_region(
     roi: RegionOfInterest, variants: t.Sequence[TemplateVariant]
 ) -> tuple[TemplateVariant, float]:
-    """Best variant for one ROI by FFT cross-correlation peak."""
+    """Best variant for one ROI by FFT cross-correlation peak.
+
+    The variant spectra come from the shared template-spectrum cache
+    (:func:`repro.apps.atr.blocks.template_bank_spectra`), so repeat
+    frames transform only the ROI patch; all V correlation surfaces are
+    inverted in one batched ``irfft2``.
+    """
+    bank = tuple(variants)
+    if not bank:
+        raise ValueError("match_region needs at least one template variant")
     patch = roi.patch - roi.patch.mean()
-    n = 1 << (max(patch.shape) * 2 - 1).bit_length()
+    n = _pad_size(patch.shape)
     f_patch = np.fft.rfft2(patch, s=(n, n))
-    best: tuple[TemplateVariant, float] | None = None
-    for variant in variants:
-        f_tmpl = np.fft.rfft2(variant.normalized(), s=(n, n))
-        surface = np.fft.irfft2(f_patch * np.conj(f_tmpl), s=(n, n))
-        peak = float(surface.max())
-        if best is None or peak > best[1]:
-            best = (variant, peak)
-    assert best is not None
-    return best
+    conj_bank = template_bank_spectra(bank, n)
+    surfaces = np.fft.irfft2(f_patch[None, :, :] * conj_bank, s=(n, n))
+    peaks = surfaces.reshape(len(bank), -1).max(axis=1)
+    best = int(np.argmax(peaks))
+    return bank[best], float(peaks[best])
 
 
 class MultiScaleATR:

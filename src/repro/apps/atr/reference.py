@@ -105,14 +105,9 @@ class ATRPipeline:
         return compute_distances(peaks, self.templates)
 
     # -- end to end -------------------------------------------------------
-    def run(self, scene: Scene | np.ndarray, frame_id: int = 0) -> ATRResult:
-        """Process one frame through all four blocks."""
-        image = scene.image if isinstance(scene, Scene) else scene
-        regions = self.stage_detect(image)
-        spectra = self.stage_fft(regions)
-        peaks = self.stage_ifft(spectra)
-        records = self.stage_distance(peaks)
-        detections = tuple(
+    @staticmethod
+    def _detections(records: t.Sequence[dict[str, t.Any]]) -> tuple[Detection, ...]:
+        return tuple(
             Detection(
                 template=r["template"],
                 score=r["score"],
@@ -122,7 +117,48 @@ class ATRPipeline:
             )
             for r in records
         )
-        return ATRResult(frame_id=frame_id, detections=detections)
+
+    def run(self, scene: Scene | np.ndarray, frame_id: int = 0) -> ATRResult:
+        """Process one frame through all four blocks."""
+        image = scene.image if isinstance(scene, Scene) else scene
+        regions = self.stage_detect(image)
+        spectra = self.stage_fft(regions)
+        peaks = self.stage_ifft(spectra)
+        records = self.stage_distance(peaks)
+        return ATRResult(frame_id=frame_id, detections=self._detections(records))
+
+    def run_batch(
+        self,
+        scenes: t.Sequence[Scene | np.ndarray],
+        start_frame_id: int = 0,
+    ) -> list[ATRResult]:
+        """Process many frames, vectorizing the FFT/IFFT blocks across all.
+
+        Semantically identical to calling :meth:`run` on each scene with
+        frame ids ``start_frame_id + i`` — same detections, same block
+        boundaries — but every ROI of every frame goes through the FFT
+        and IFFT blocks in single stacked transforms, so per-call numpy
+        overhead is amortized over the whole batch. Frames whose
+        detection stage finds no ROI simply contribute nothing to the
+        batched stages and come back with empty detections.
+        """
+        images = [s.image if isinstance(s, Scene) else s for s in scenes]
+        regions_per_frame = [self.stage_detect(image) for image in images]
+        flat_regions = [roi for regions in regions_per_frame for roi in regions]
+        peaks = self.stage_ifft(self.stage_fft(flat_regions))
+        results: list[ATRResult] = []
+        offset = 0
+        for i, regions in enumerate(regions_per_frame):
+            frame_peaks = peaks[offset : offset + len(regions)]
+            offset += len(regions)
+            records = self.stage_distance(frame_peaks)
+            results.append(
+                ATRResult(
+                    frame_id=start_frame_id + i,
+                    detections=self._detections(records),
+                )
+            )
+        return results
 
     def score_against_truth(self, scene: Scene, result: ATRResult, tolerance_px: int = 12) -> float:
         """Fraction of ground-truth targets matched by template *and* position."""

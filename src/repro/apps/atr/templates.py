@@ -51,12 +51,22 @@ class Template:
         return int(max(ys.max() - ys.min(), xs.max() - xs.min()) + 1)
 
     def normalized(self) -> np.ndarray:
-        """Zero-mean, unit-energy mask for correlation scoring."""
+        """Zero-mean, unit-energy mask for correlation scoring.
+
+        Memoized: the array is computed once per template and returned
+        read-only thereafter, so the FFT block's template-spectrum cache
+        (and any other repeat caller) never redoes the normalization.
+        """
+        cached = self.__dict__.get("_normalized")
+        if cached is not None:
+            return cached
         m = self.mask - self.mask.mean()
         energy = float(np.sqrt((m * m).sum()))
-        if energy == 0.0:
-            return m
-        return m / energy
+        if energy != 0.0:
+            m = m / energy
+        m.setflags(write=False)
+        object.__setattr__(self, "_normalized", m)
+        return m
 
 
 def _tank_mask(size: int = 16) -> np.ndarray:

@@ -162,6 +162,19 @@ class ATRTracker:
         self._tracks = still_alive
         return list(self._tracks)
 
+    def update_many(self, results: t.Iterable[ATRResult]) -> list[Track]:
+        """Fold a sequence of frame results in order; returns live tracks.
+
+        Convenience for consuming
+        :meth:`~repro.apps.atr.reference.ATRPipeline.run_batch` output:
+        equivalent to calling :meth:`update` per result and keeping the
+        last return value.
+        """
+        tracks = self.live_tracks
+        for result in results:
+            tracks = self.update(result)
+        return tracks
+
     # -- queries -----------------------------------------------------------
     @property
     def live_tracks(self) -> list[Track]:

@@ -10,6 +10,7 @@ Exposes the reproduction as a set of subcommands::
     python -m repro trace 2 --frames 6 # timing diagram (Figs. 2/3/9)
     python -m repro report -o out.md   # everything into one document
     python -m repro calibrate          # re-run the model calibration
+    python -m repro profile --frames 8 # time the real ATR blocks (Fig. 6)
 
 All output is plain text; ``--csv``/``--json`` export structured rows.
 ``--fast`` swaps in quarter-capacity cells for quick demos (ratios
@@ -275,6 +276,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.apps.atr.profile import PAPER_PROFILE, measure_profile
+
+    profile = measure_profile(
+        repeats=args.repeats, frames=args.frames, seed=args.seed
+    )
+    paper = {b.name: b for b in PAPER_PROFILE.blocks}
+    rows = [
+        {
+            "block": b.name,
+            "itsy_s": round(b.seconds_at_max, 4),
+            "share_pct": round(
+                100.0 * b.seconds_at_max / profile.total_seconds_at_max, 1
+            ),
+            "paper_s": round(paper[b.name].seconds_at_max, 4)
+            if b.name in paper
+            else None,
+            "output_bytes": b.output_bytes,
+        }
+        for b in profile.blocks
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"measured ATR profile, {args.frames} frame(s) x "
+                f"{args.repeats} repeat(s), renormalized to "
+                f"{profile.total_seconds_at_max:.2f} s Itsy total"
+            ),
+        )
+    )
+    print(f"\ninput frame: {profile.input_bytes} bytes")
+    print(
+        "(relative weights differ from Fig. 6: numpy's FFT is far better\n"
+        " optimized relative to detection than the Itsy's code was)"
+    )
+    if args.export:
+        print(f"\nwrote {write_rows(rows, args.export)}")
+    return 0
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.core.calibration import calibrate_battery
 
@@ -381,6 +423,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--fast", action="store_true",
                           help="quarter-capacity batteries (quick demo)")
     p_report.set_defaults(func=_cmd_report)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="time the real ATR blocks and derive a Fig. 6-style profile",
+    )
+    p_prof.add_argument("--frames", type=int, default=1, metavar="N",
+                        help="scenes per timing batch (default 1; more "
+                             "frames measure steady-state batched kernels)")
+    p_prof.add_argument("--repeats", type=int, default=5, metavar="R",
+                        help="timing repeats per stage, median taken "
+                             "(default 5)")
+    p_prof.add_argument("--seed", type=int, default=0,
+                        help="scene-generation seed (default 0)")
+    p_prof.add_argument("--export", metavar="PATH",
+                        help="write rows to a .csv or .json file")
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_cal = sub.add_parser("calibrate", help="re-run the battery calibration")
     p_cal.add_argument("--from-scratch", action="store_true",

@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 
 from repro.apps.atr.blocks import (
+    TEMPLATE_SPECTRUM_CACHE,
     compute_distances,
     detect_targets,
     fft_correlate,
     ifft_peaks,
     label_components,
+    label_components_reference,
+    template_bank_spectra,
 )
 from repro.apps.atr.image import SceneSpec, generate_scene
 from repro.apps.atr.templates import TEMPLATE_BANK
@@ -74,6 +77,93 @@ class TestLabeling:
     def test_non_2d_rejected(self):
         with pytest.raises(ValueError):
             label_components(np.zeros(5, dtype=bool))
+
+
+class TestLabelingReference:
+    def test_reference_agrees_on_random_masks(self):
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            mask = rng.random((24, 24)) > rng.uniform(0.3, 0.8)
+            fast_labels, fast_n = label_components(mask)
+            ref_labels, ref_n = label_components_reference(mask)
+            assert fast_n == ref_n
+            assert np.array_equal(fast_labels, ref_labels)
+
+    def test_reference_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            label_components_reference(np.zeros(5, dtype=bool))
+
+
+class TestSpectrumCache:
+    def test_cached_spectra_bit_identical_across_sizes(self):
+        """Cache contents must equal a fresh per-template transform exactly."""
+        for n in (32, 64, 128):
+            cached = template_bank_spectra(TEMPLATE_BANK, n)
+            assert cached.shape == (len(TEMPLATE_BANK), n, n // 2 + 1)
+            for ti, template in enumerate(TEMPLATE_BANK):
+                fresh = np.conj(np.fft.rfft2(template.normalized(), s=(n, n)))
+                assert np.array_equal(cached[ti], fresh)
+
+    def test_repeat_calls_hit_and_return_same_array(self):
+        TEMPLATE_SPECTRUM_CACHE.clear()
+        first = template_bank_spectra(TEMPLATE_BANK, 64)
+        misses = TEMPLATE_SPECTRUM_CACHE.misses
+        second = template_bank_spectra(TEMPLATE_BANK, 64)
+        assert second is first
+        assert TEMPLATE_SPECTRUM_CACHE.misses == misses
+        assert TEMPLATE_SPECTRUM_CACHE.hits >= 1
+
+    def test_cached_spectra_are_read_only(self):
+        stack = template_bank_spectra(TEMPLATE_BANK, 32)
+        with pytest.raises(ValueError):
+            stack[0, 0, 0] = 0.0
+
+    def test_products_match_uncached_formula(self, scene):
+        """fft_correlate output equals the direct convolution-theorem product."""
+        rois = detect_targets(scene.image)
+        spectra = fft_correlate(rois)
+        for roi, spectrum in zip(rois, spectra):
+            n = spectrum.fft_size
+            f_patch = np.fft.rfft2(roi.patch - roi.patch.mean(), s=(n, n))
+            for template in TEMPLATE_BANK:
+                f_tmpl = np.fft.rfft2(template.normalized(), s=(n, n))
+                expected = f_patch * np.conj(f_tmpl)
+                np.testing.assert_allclose(
+                    spectrum.spectra[template.name], expected, rtol=1e-12, atol=1e-12
+                )
+
+    def test_stacked_field_matches_dict(self, scene):
+        spectra = fft_correlate(detect_targets(scene.image))
+        for spectrum in spectra:
+            assert spectrum.stacked is not None
+            for ti, name in enumerate(spectrum.spectra):
+                assert np.array_equal(spectrum.stacked[ti], spectrum.spectra[name])
+
+
+class TestBatchedBlocks:
+    def test_many_rois_equal_one_at_a_time(self):
+        """Batched FFT/IFFT over many ROIs == running each ROI alone."""
+        rng = np.random.default_rng(23)
+        rois = []
+        for _ in range(8):
+            scene = generate_scene(SceneSpec(size=64, n_targets=2), rng)
+            rois.extend(detect_targets(scene.image, max_regions=4))
+        assert len(rois) >= 8
+        batched = ifft_peaks(fft_correlate(rois))
+        for roi, batch_peaks in zip(rois, batched):
+            alone = ifft_peaks(fft_correlate([roi]))[0]
+            assert alone.peaks == batch_peaks.peaks
+
+    def test_compute_distances_vector_path_matches_scalar(self):
+        rng = np.random.default_rng(29)
+        rois = []
+        for _ in range(6):
+            scene = generate_scene(SceneSpec(size=64, n_targets=1), rng)
+            rois.extend(detect_targets(scene.image))
+        peak_sets = ifft_peaks(fft_correlate(rois))
+        batched = compute_distances(peak_sets)
+        scalar = [r for ps in peak_sets for r in compute_distances([ps])]
+        assert batched == scalar
 
 
 class TestDetect:

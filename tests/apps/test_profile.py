@@ -128,3 +128,16 @@ class TestMeasuredProfile:
         profile = measure_profile(repeats=1)
         assert profile.input_bytes > 0
         assert all(b.output_bytes > 0 for b in profile.blocks)
+
+    def test_measure_profile_batched_frames(self):
+        profile = measure_profile(repeats=1, frames=3)
+        assert profile.names == PAPER_PROFILE.names
+        assert profile.total_seconds_at_max == pytest.approx(1.1)
+        assert profile.input_bytes > 0
+        assert all(b.output_bytes > 0 for b in profile.blocks)
+
+    def test_measure_profile_rejects_zero_frames(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            measure_profile(repeats=1, frames=0)

@@ -44,6 +44,54 @@ class TestEndToEnd:
         assert len(pipe.run(scene).detections) <= 1
 
 
+class TestRunBatch:
+    def test_matches_per_frame_run(self, pipeline):
+        rng = np.random.default_rng(7)
+        scenes = [
+            generate_scene(SceneSpec(size=64, n_targets=2), rng) for _ in range(6)
+        ]
+        batch = pipeline.run_batch(scenes)
+        singles = [pipeline.run(s, i) for i, s in enumerate(scenes)]
+        assert [r.frame_id for r in batch] == [r.frame_id for r in singles]
+        for batched, single in zip(batch, singles):
+            assert batched.detections == single.detections
+
+    def test_matches_run_with_multiple_regions(self):
+        pipe = ATRPipeline(max_regions=3)
+        rng = np.random.default_rng(11)
+        scenes = [
+            generate_scene(SceneSpec(size=96, n_targets=3), rng) for _ in range(5)
+        ]
+        batch = pipe.run_batch(scenes)
+        for i, scene in enumerate(scenes):
+            assert batch[i].detections == pipe.run(scene, i).detections
+
+    def test_empty_roi_frame_path(self, pipeline):
+        rng = np.random.default_rng(13)
+        scenes = [
+            generate_scene(SceneSpec(size=64), rng),
+            np.zeros((64, 64)),  # no ROIs: skips the FFT/IFFT stages
+            generate_scene(SceneSpec(size=64), rng),
+        ]
+        batch = pipeline.run_batch(scenes)
+        assert len(batch) == 3
+        assert batch[1].detections == ()
+        for i, scene in enumerate(scenes):
+            assert batch[i].detections == pipeline.run(scene, i).detections
+
+    def test_all_frames_empty(self, pipeline):
+        batch = pipeline.run_batch([np.zeros((64, 64)), np.zeros((64, 64))])
+        assert [r.detections for r in batch] == [(), ()]
+
+    def test_empty_scene_list(self, pipeline):
+        assert pipeline.run_batch([]) == []
+
+    def test_start_frame_id(self, pipeline):
+        scenes = [generate_scene(SceneSpec(), np.random.default_rng(2))]
+        batch = pipeline.run_batch(scenes, start_frame_id=40)
+        assert batch[0].frame_id == 40
+
+
 class TestScoring:
     def test_empty_scene_empty_result_is_perfect(self, pipeline):
         scene = generate_scene(SceneSpec(n_targets=0), np.random.default_rng(0))

@@ -104,6 +104,23 @@ class TestMultiTarget:
         assert confirmed[0].template == "tank"
 
 
+class TestUpdateMany:
+    def test_equivalent_to_sequential_updates(self):
+        results = [frame(i, det("tank", 10 + i, 10)) for i in range(6)]
+        one = ATRTracker(gate_px=10)
+        for result in results:
+            one.update(result)
+        many = ATRTracker(gate_px=10)
+        live = many.update_many(results)
+        assert len(live) == len(one.live_tracks) == 1
+        assert live[0].hits == one.live_tracks[0].hits == 6
+
+    def test_empty_iterable_returns_current_tracks(self):
+        tracker = ATRTracker()
+        tracker.update(frame(0, det("tank", 5, 5)))
+        assert len(tracker.update_many([])) == 1
+
+
 class TestEndToEndWithRecognizer:
     def test_tracks_synthetic_target_through_scenes(self):
         """Recognizer detections over a static scene form one stable track."""

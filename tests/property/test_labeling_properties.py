@@ -5,7 +5,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis.extra.numpy import arrays
 
-from repro.apps.atr.blocks import label_components
+from repro.apps.atr.blocks import label_components, label_components_reference
 
 
 masks = arrays(
@@ -50,3 +50,30 @@ class TestLabelingProperties:
         _, n_a = label_components(mask)
         _, n_b = label_components(mask.T)
         assert n_a == n_b
+
+    @given(mask=masks)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_implementation(self, mask):
+        """The run-length fast path reproduces the retained per-pixel oracle.
+
+        Both number components in raster order of their first pixel, so
+        agreement is exact — stronger than the label-permutation
+        invariance the contract requires.
+        """
+        fast_labels, fast_n = label_components(mask)
+        ref_labels, ref_n = label_components_reference(mask)
+        assert fast_n == ref_n
+        assert np.array_equal(fast_labels, ref_labels)
+
+    @given(mask=masks)
+    @settings(max_examples=100, deadline=None)
+    def test_partition_matches_reference(self, mask):
+        """Permutation-invariant check: same pixels grouped together."""
+        fast_labels, _ = label_components(mask)
+        ref_labels, _ = label_components_reference(mask)
+        mapping = {}
+        for fast, ref in zip(fast_labels.flat, ref_labels.flat):
+            if fast == 0:
+                assert ref == 0
+                continue
+            assert mapping.setdefault(fast, ref) == ref

@@ -12,7 +12,9 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for cmd in ("run", "suite", "figures", "partition", "trace", "calibrate"):
+        for cmd in (
+            "run", "suite", "figures", "partition", "trace", "calibrate", "profile",
+        ):
             args = parser.parse_args(
                 [cmd] + (["fig7"] if cmd == "figures" else [])
                 + (["1"] if cmd == "trace" else [])
@@ -88,6 +90,30 @@ class TestOptimize:
     def test_objective_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["optimize", "--objective", "vibes"])
+
+
+class TestProfile:
+    def test_prints_measured_blocks(self, capsys):
+        assert main(["profile", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "measured ATR profile" in out
+        assert "target_detection" in out
+        assert "compute_distance" in out
+
+    def test_frames_flag(self, capsys):
+        assert main(["profile", "--frames", "3", "--repeats", "1"]) == 0
+        assert "3 frame(s)" in capsys.readouterr().out
+
+    def test_export_csv(self, tmp_path, capsys):
+        target = tmp_path / "profile.csv"
+        assert main(
+            ["profile", "--repeats", "1", "--export", str(target)]
+        ) == 0
+        assert target.read_text().startswith("block")
+
+    def test_invalid_frames_is_clean_error(self, capsys):
+        assert main(["profile", "--frames", "0", "--repeats", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCalibrate:

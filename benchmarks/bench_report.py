@@ -2,7 +2,9 @@
 
 Measures the hot paths that dominate paper-suite wall-clock — kernel
 event dispatch, KiBaM stepping, link transactions, ATR recognition —
-plus the end-to-end eight-experiment suite, and writes the numbers to
+plus telemetry overheads (raw event-emit throughput, null-sink and
+full-instrumentation cost on a short run) and the end-to-end
+eight-experiment suite, and writes the numbers to
 ``BENCH_substrate.json`` so substrate regressions show up in review.
 
 Run from the repo root::
@@ -154,6 +156,43 @@ def bench_atr_correlate(frames: int = 20) -> dict:
     return {"rois": len(rois), "rois_per_s": round(len(peaks) / secs, 1)}
 
 
+def bench_obs(frames: int = 40, emits: int = 200_000) -> dict:
+    """Telemetry layer: raw emit throughput plus whole-run overheads."""
+    from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+    from repro.obs import EventLog, Telemetry
+
+    def emit_loop():
+        log = EventLog()
+        for i in range(emits):
+            log.emit("bench.tick", float(i), "bench", i=i)
+        return len(log)
+
+    secs, recorded = best_of(emit_loop)
+
+    spec = PAPER_EXPERIMENTS["2A"]
+    base, _ = best_of(lambda: run_experiment(spec, max_frames=frames))
+    null_sink, _ = best_of(
+        lambda: run_experiment(
+            spec, max_frames=frames, telemetry=Telemetry(events=False)
+        )
+    )
+    full, run = best_of(
+        lambda: run_experiment(spec, max_frames=frames, telemetry=True)
+    )
+    obs = run.obs
+    return {
+        "event_emits_per_s": round(recorded / secs),
+        "null_sink_overhead_pct": round((null_sink / base - 1.0) * 100, 2),
+        "full_telemetry_overhead_pct": round((full / base - 1.0) * 100, 2),
+        "instrumented_run": {
+            "frames": frames,
+            "events": len(obs.events),
+            "event_kinds": len(obs.events.counts_by_kind()),
+            "metric_rows": len(obs.metrics.as_rows()),
+        },
+    }
+
+
 def bench_suite() -> dict:
     t0 = time.perf_counter()
     runs = run_paper_suite()
@@ -190,6 +229,7 @@ def _carry_history(output: Path) -> list[dict]:
         "atr_recognition_batch",
         "atr_labeling",
         "atr_correlate",
+        "obs",
     ):
         if key in old:
             condensed[key] = {
@@ -226,6 +266,7 @@ def main(argv: list[str] | None = None) -> int:
         "atr_recognition_batch": bench_atr_batch(),
         "atr_labeling": bench_atr_labeling(),
         "atr_correlate": bench_atr_correlate(),
+        "obs": bench_obs(),
     }
     if not args.quick:
         report["paper_suite_serial"] = bench_suite()

@@ -8,6 +8,8 @@ Exposes the reproduction as a set of subcommands::
     python -m repro partition          # partitioning analysis (Fig. 8)
     python -m repro optimize           # rank the whole design space
     python -m repro trace 2 --frames 6 # timing diagram (Figs. 2/3/9)
+    python -m repro trace 2 --export chrome -o out.json  # Perfetto trace
+    python -m repro metrics 1A 2A      # telemetry metrics per experiment
     python -m repro report -o out.md   # everything into one document
     python -m repro calibrate          # re-run the model calibration
     python -m repro profile --frames 8 # time the real ATR blocks (Fig. 6)
@@ -41,7 +43,6 @@ from repro.core.experiments import (
 from repro.errors import ReproError
 from repro.hw.battery import KiBaM
 from repro.hw.battery.kibam import PAPER_BATTERY, PAPER_KIBAM_PARAMETERS
-from repro.sim import TraceRecorder
 
 __all__ = ["main", "build_parser"]
 
@@ -209,16 +210,103 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         # A paper-period rotation would need >100 frames to show; use a
         # short period so the transition is visible in a small trace.
         spec = dataclasses.replace(spec, rotation_period=max(2, args.frames // 3))
-    trace = TraceRecorder()
-    run_experiment(spec, trace=trace, max_frames=args.frames)
-    print(
-        render_gantt(
-            trace,
-            end_s=args.frames * spec.deadline_s,
-            width=args.width,
-            deadline_s=spec.deadline_s,
-        )
+    run = run_experiment(
+        spec,
+        trace=True,
+        telemetry=True,
+        max_frames=args.frames,
+        monitor_interval_s=spec.deadline_s if args.export else None,
     )
+    trace = run.trace
+    assert trace is not None and run.obs is not None
+    if not args.export:
+        print(
+            render_gantt(
+                trace,
+                end_s=args.frames * spec.deadline_s,
+                width=args.width,
+                deadline_s=spec.deadline_s,
+            )
+        )
+        return 0
+
+    from repro.obs import export as obs_export
+
+    monitors = run.pipeline.monitors if run.pipeline is not None else {}
+    out = args.output or f"trace_{label}.{_EXPORT_SUFFIX[args.export]}"
+    if args.export == "chrome":
+        path = obs_export.write_chrome_trace(
+            out,
+            trace=trace,
+            events=run.obs.events,
+            spans=run.obs.spans,
+            monitors=monitors,
+            label=f"repro {label}",
+        )
+    elif args.export == "jsonl":
+        path = obs_export.write_jsonl(
+            out,
+            trace=trace,
+            monitors=monitors,
+            events=run.obs.events,
+            spans=run.obs.spans,
+            metrics=run.obs.metrics,
+        )
+    else:  # csv
+        path = write_rows(obs_export.segments_to_rows(trace), out)
+    n_events = len(run.obs.events.records)
+    print(f"wrote {path} ({len(trace.all_segments())} segments, "
+          f"{n_events} events)")
+    return 0
+
+
+_EXPORT_SUFFIX = {"chrome": "json", "jsonl": "jsonl", "csv": "csv"}
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
+    from repro.obs import export as obs_export
+
+    labels = args.labels or ["1", "1A", "2", "2A"]
+    unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment labels: {unknown}", file=sys.stderr)
+        print(f"available: {', '.join(PAPER_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    sweep = _sweep_kwargs(args)
+    runs = run_paper_suite(
+        labels,
+        battery_factory=_battery_factory(args.fast),
+        telemetry=True,
+        max_frames=args.frames,
+        **sweep,
+    )
+    for label in labels:
+        obs = runs[label].obs
+        assert obs is not None
+        rows = [{"label": label, **row} for row in obs.metrics.as_rows()]
+        print(format_table(rows, title=f"experiment {label} metrics"))
+        print()
+    if len(labels) > 1:
+        # Merge the per-run registries in label order: counter and
+        # histogram merges are commutative sums over fixed buckets, so
+        # the merged registry is deterministic regardless of --jobs or
+        # cache hits.
+        merged = MetricsRegistry()
+        for label in labels:
+            merged.merge(runs[label].obs.metrics)  # type: ignore[union-attr]
+        print(format_table(merged.as_rows(), title="all experiments (merged)"))
+        print()
+    if args.export:
+        all_rows = []
+        for label in labels:
+            obs = runs[label].obs
+            assert obs is not None
+            all_rows.extend(
+                {"label": label, **row}
+                for row in obs_export.metrics_to_rows(obs.metrics)
+            )
+        print(f"wrote {write_rows(all_rows, args.export)}")
     return 0
 
 
@@ -397,11 +485,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_part)
     p_part.set_defaults(func=_cmd_partition)
 
-    p_trace = sub.add_parser("trace", help="render a timing diagram")
+    p_trace = sub.add_parser(
+        "trace", help="render a timing diagram or export a run's telemetry"
+    )
     p_trace.add_argument("label", help="experiment label (e.g. 1, 2, 2C)")
     p_trace.add_argument("--frames", type=int, default=6)
     p_trace.add_argument("--width", type=int, default=100)
+    p_trace.add_argument("--export", choices=["chrome", "jsonl", "csv"],
+                         help="instead of the ASCII gantt, export the "
+                              "run: 'chrome' writes a chrome://tracing/"
+                              "Perfetto-loadable trace-event JSON, "
+                              "'jsonl' the full telemetry bundle, 'csv' "
+                              "the trace segments")
+    p_trace.add_argument("-o", "--output", metavar="PATH",
+                         help="output file (default trace_<label>.<ext>)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run experiments with telemetry and print metrics"
+    )
+    p_metrics.add_argument("labels", nargs="*", metavar="LABEL",
+                           help=f"any of: {', '.join(PAPER_EXPERIMENTS)} "
+                                "(default: 1 1A 2 2A)")
+    p_metrics.add_argument("--frames", type=int, default=None, metavar="N",
+                           help="truncate each run after N frames "
+                                "(default: run to battery death)")
+    add_common(p_metrics)
+    add_sweep(p_metrics)
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_opt = sub.add_parser(
         "optimize", help="rank every configuration in the design space"

@@ -28,6 +28,8 @@ from __future__ import annotations
 import dataclasses
 import typing as t
 
+import warnings
+
 from repro.apps.atr.profile import PAPER_PROFILE, TaskProfile
 from repro.core.metrics import ExperimentMetrics
 from repro.core.policies import (
@@ -38,7 +40,7 @@ from repro.core.policies import (
     SlowestFeasiblePolicy,
 )
 from repro.errors import ConfigurationError
-from repro.hw.battery import Battery, PAPER_BATTERY
+from repro.hw.battery import Battery, BatteryMonitor, PAPER_BATTERY
 from repro.hw.dvs import SA1100_TABLE, DVSTable
 from repro.hw.link import PAPER_LINK_TIMING, TransactionTiming
 from repro.hw.node import ItsyNode
@@ -46,6 +48,7 @@ from repro.hw.power import PAPER_POWER_MODEL, PowerModel
 from repro.pipeline.engine import PipelineConfig, PipelineEngine, PipelineResult
 from repro.pipeline.recovery import RecoveryConfig
 from repro.pipeline.rotation import RotationController
+from repro.obs import Telemetry
 from repro.pipeline.schedule import plan_node
 from repro.pipeline.tasks import Partition
 from repro.sim import Simulator, TraceRecorder
@@ -135,6 +138,12 @@ class ExperimentRun:
         Per-node battery death times.
     pipeline:
         The raw engine result for pipeline runs (None for no-I/O runs).
+    trace:
+        The run's trace recorder (per-run when ``trace=True`` was
+        requested, the caller's when one was passed in).
+    obs:
+        The run's telemetry bundle (events + metrics + spans) when
+        telemetry was requested.
     """
 
     spec: ExperimentSpec
@@ -142,6 +151,8 @@ class ExperimentRun:
     t_hours: float
     death_times_s: dict[str, float]
     pipeline: PipelineResult | None = None
+    trace: TraceRecorder | None = None
+    obs: Telemetry | None = None
 
     def metrics(self, baseline_hours: float | None = None) -> ExperimentMetrics:
         """The Fig. 10 metrics row (Rnorm needs the baseline lifetime)."""
@@ -236,13 +247,15 @@ def _run_no_io(
     power_model: PowerModel,
     table: DVSTable,
     trace: TraceRecorder | None,
+    obs: Telemetry | None = None,
 ) -> ExperimentRun:
     """§6.1: compute frames back to back from local storage until death."""
     if spec.no_io_level_mhz is None:
         raise ConfigurationError(f"experiment {spec.label}: no_io_level_mhz required")
-    sim = Simulator()
+    log = obs.events if obs is not None else None
+    sim = Simulator(obs=log)
     battery = battery_factory()
-    node = ItsyNode(sim, "node1", battery, power_model, table, trace=trace)
+    node = ItsyNode(sim, "node1", battery, power_model, table, trace=trace, obs=log)
     level = table.level_at(spec.no_io_level_mhz)
     proc_s = spec.profile.total_seconds_at_max
 
@@ -254,12 +267,23 @@ def _run_no_io(
     node.spawn(loop(node))
     sim.run()
     assert node.death_time_s is not None
+    if obs is not None:
+        m = obs.metrics
+        m.counter("frames.completed").inc(node.frames_processed)
+        m.counter("kernel.events").inc(sim.events_processed)
+        m.gauge("sim.end_time_s").set(sim.now)
+        m.gauge("node.delivered_mah.node1").set(battery.delivered_mah)
+        if obs.events:
+            for kind, n in obs.events.counts_by_kind().items():
+                m.counter(f"events.{kind}").inc(n)
     return ExperimentRun(
         spec=spec,
         frames=node.frames_processed,
         t_hours=seconds_to_hours(node.death_time_s),
         death_times_s={"node1": node.death_time_s},
         pipeline=None,
+        trace=trace,
+        obs=obs,
     )
 
 
@@ -269,22 +293,44 @@ def run_experiment(
     power_model: PowerModel = PAPER_POWER_MODEL,
     table: DVSTable = SA1100_TABLE,
     timing: TransactionTiming = PAPER_LINK_TIMING,
-    trace: TraceRecorder | None = None,
+    trace: TraceRecorder | bool | None = None,
     max_frames: int | None = None,
     monitor_interval_s: float | None = None,
     store_and_forward: bool = False,
     rotation_reconfig_s: float = 0.0,
     seed: int = 0,
+    telemetry: bool | Telemetry = False,
 ) -> ExperimentRun:
     """Execute one experiment spec on the simulated testbed.
 
     Parameters mirror the hardware substitutions: pass a different
     ``battery_factory`` (linear, Peukert) or ``power_model`` for the
     ablation studies; ``max_frames`` truncates the run (used when only
-    a schedule trace is needed); ``trace`` records timing diagrams.
+    a schedule trace is needed).
+
+    ``trace=True`` records timing diagrams into a fresh per-run
+    :class:`TraceRecorder` (picklable and cacheable; preferred over
+    passing a shared recorder instance). ``telemetry=True`` attaches a
+    fresh :class:`repro.obs.Telemetry` bundle: structured events,
+    the metrics registry, and span profiling, all returned on
+    ``ExperimentRun.obs``.
     """
+    recorder: TraceRecorder | None
+    if trace is True:
+        recorder = TraceRecorder()
+    elif trace is False:
+        recorder = None
+    else:
+        recorder = trace
+    obs: Telemetry | None
+    if telemetry is True:
+        obs = Telemetry()
+    elif telemetry is False:
+        obs = None
+    else:
+        obs = telemetry
     if not spec.io_enabled:
-        return _run_no_io(spec, battery_factory, power_model, table, trace)
+        return _run_no_io(spec, battery_factory, power_model, table, recorder, obs)
     if spec.policy is None:
         raise ConfigurationError(f"experiment {spec.label}: a policy is required")
 
@@ -334,8 +380,9 @@ def run_experiment(
         rotation=rotation,
         recovery=recovery,
         max_frames=max_frames,
-        trace=trace,
+        trace=recorder,
         monitor_interval_s=monitor_interval_s,
+        obs=obs,
         store_and_forward=store_and_forward,
         seed=seed,
     )
@@ -354,16 +401,25 @@ def run_experiment(
         t_hours=t_hours,
         death_times_s=result.death_times_s,
         pipeline=result,
+        trace=recorder,
+        obs=obs,
     )
 
 
 def _run_payload(run: ExperimentRun) -> dict[str, t.Any]:
-    """JSON-serializable payload for a cacheable run (no monitors/trace)."""
+    """JSON-serializable payload for a cacheable run.
+
+    Per-run trace recorders, battery monitors, and telemetry bundles
+    all round-trip through their ``as_dict``/``from_dict`` forms, so
+    traced and monitored runs cache and parallelize like any other.
+    """
     payload: dict[str, t.Any] = {
         "frames": run.frames,
         "t_hours": run.t_hours,
         "death_times_s": dict(run.death_times_s),
         "pipeline": None,
+        "trace": run.trace.as_dict() if run.trace is not None else None,
+        "obs": run.obs.as_dict() if run.obs is not None else None,
     }
     p = run.pipeline
     if p is not None:
@@ -384,15 +440,28 @@ def _run_payload(run: ExperimentRun) -> dict[str, t.Any]:
             "link_bytes": dict(p.link_bytes),
             "stage_stalls": dict(p.stage_stalls),
             "events_processed": p.events_processed,
+            "monitors": {
+                name: mon.as_dict() for name, mon in sorted(p.monitors.items())
+            },
         }
     return payload
 
 
 def _run_from_payload(spec: ExperimentSpec, payload: dict[str, t.Any]) -> ExperimentRun:
     """Rebuild a run from :func:`_run_payload` output."""
+    trace = None
+    if payload.get("trace") is not None:
+        trace = TraceRecorder.from_dict(payload["trace"])
+    obs = None
+    if payload.get("obs") is not None:
+        obs = Telemetry.from_dict(payload["obs"])
     pipeline = None
     pd = payload["pipeline"]
     if pd is not None:
+        monitors = {
+            name: BatteryMonitor.from_dict(md)
+            for name, md in (pd.get("monitors") or {}).items()
+        }
         pipeline = PipelineResult(
             frames_completed=pd["frames_completed"],
             result_times_s=list(pd["result_times_s"]),
@@ -401,8 +470,9 @@ def _run_from_payload(spec: ExperimentSpec, payload: dict[str, t.Any]) -> Experi
             death_times_s=dict(pd["death_times_s"]),
             delivered_mah=dict(pd["delivered_mah"]),
             migrations=[(when, name) for when, name in pd["migrations"]],
-            monitors={},
-            trace=None,
+            monitors=monitors,
+            trace=trace,
+            obs=obs,
             last_result_s=pd["last_result_s"],
             late_results=pd["late_results"],
             max_lateness_s=pd["max_lateness_s"],
@@ -419,6 +489,8 @@ def _run_from_payload(spec: ExperimentSpec, payload: dict[str, t.Any]) -> Experi
         t_hours=payload["t_hours"],
         death_times_s=dict(payload["death_times_s"]),
         pipeline=pipeline,
+        trace=trace,
+        obs=obs,
     )
 
 
@@ -440,7 +512,10 @@ def _experiment_key_parts(spec: ExperimentSpec, kwargs: dict[str, t.Any]) -> tup
     bound.apply_defaults()
     arguments = dict(bound.arguments)
     arguments.pop("spec")
-    arguments.pop("trace", None)  # uncacheable runs never get here
+    # Bool requests for per-run recorders are part of the configuration
+    # (they change the payload shape); shared instances never get here.
+    arguments["trace"] = bool(arguments.get("trace"))
+    arguments["telemetry"] = bool(arguments.get("telemetry"))
     return (spec, sorted(arguments.items()))
 
 
@@ -460,20 +535,41 @@ def run_paper_suite(
         Worker processes to fan the experiments over. ``1`` (default)
         runs serially in-process; parallel results are bit-identical to
         serial because every experiment seeds its own randomness from
-        its spec. A shared ``trace`` forces serial execution (worker
-        processes cannot append to the caller's recorder).
+        its spec. ``trace=True``/``telemetry=True`` build per-run
+        recorders inside each worker and parallelize normally.
     cache:
         ``None`` (default) disables caching; ``True`` uses a
         :class:`repro.exec.ResultCache` at ``.repro-cache``; or pass a
-        configured :class:`~repro.exec.ResultCache`. Only runs without
-        ``trace``/``monitor_interval_s`` are cached (those carry
-        unserializable recorders); cached entries are keyed by the full
-        configuration, so any parameter change is a miss.
+        configured :class:`~repro.exec.ResultCache`. Traced, monitored,
+        and telemetry-carrying runs are cached too — their recorders
+        round-trip through the payload. The only uncached path is a
+        *shared* ``TraceRecorder``/``Telemetry`` instance passed in by
+        the caller (deprecated: it forces serial execution because
+        worker processes cannot append to the caller's object). Cached
+        entries are keyed by the full configuration, so any parameter
+        change is a miss.
     """
     labels = list(labels) if labels is not None else list(PAPER_EXPERIMENTS)
     unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
     if unknown:
         raise ConfigurationError(f"unknown experiment labels: {unknown}")
+
+    trace = kwargs.get("trace")
+    telemetry = kwargs.get("telemetry")
+    shared_recorder = not isinstance(trace, (bool, type(None))) or not isinstance(
+        telemetry, (bool, type(None))
+    )
+    if shared_recorder:
+        warnings.warn(
+            "passing a shared TraceRecorder/Telemetry instance to "
+            "run_paper_suite forces serial, uncached execution; use "
+            "trace=True / telemetry=True for per-run recorders that "
+            "parallelize and cache",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        jobs = 1
+
     if jobs <= 1 and not cache:
         return {lb: run_experiment(PAPER_EXPERIMENTS[lb], **kwargs) for lb in labels}
 
@@ -481,11 +577,7 @@ def run_paper_suite(
 
     if cache is True:
         cache = ResultCache()
-    if kwargs.get("trace") is not None:
-        jobs = 1
-    cacheable = (
-        kwargs.get("trace") is None and kwargs.get("monitor_interval_s") is None
-    )
+    cacheable = not shared_recorder
     keys = None
     if cache and cacheable:
         keys = [

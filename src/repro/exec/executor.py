@@ -54,6 +54,13 @@ class SweepExecutor:
     cache:
         Optional :class:`ResultCache`. Only items given a key are
         cached; see :meth:`map`.
+    obs:
+        Optional :class:`repro.obs.Telemetry` bundle. Each
+        :meth:`map` call is recorded as a ``sweep.map`` span and the
+        registry accumulates ``sweep.items`` / ``sweep.executed`` /
+        ``sweep.cache_hits`` counters, so sweeps aggregate per-run
+        accounting deterministically across worker processes (the
+        counters are derived from input order, never from scheduling).
 
     Examples
     --------
@@ -62,9 +69,15 @@ class SweepExecutor:
     [2, 3, 5]
     """
 
-    def __init__(self, jobs: int = 1, cache: ResultCache | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        obs: t.Any = None,
+    ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.obs = obs
         self.stats = SweepStats()
 
     def map(
@@ -102,6 +115,20 @@ class SweepExecutor:
         """
         if keys is not None and (encode is None or decode is None):
             raise ValueError("cache keys require encode and decode functions")
+        if self.obs is not None:
+            with self.obs.span("sweep.map", items=len(items), jobs=self.jobs):
+                return self._map(fn, items, keys=keys, encode=encode, decode=decode)
+        return self._map(fn, items, keys=keys, encode=encode, decode=decode)
+
+    def _map(
+        self,
+        fn: t.Callable[[T], R],
+        items: t.Sequence[T],
+        *,
+        keys: t.Sequence[str | None] | None = None,
+        encode: t.Callable[[R], t.Any] | None = None,
+        decode: t.Callable[[T, t.Any], R] | None = None,
+    ) -> list[R]:
         started = time.perf_counter()
         n = len(items)
         results: list[t.Any] = [None] * n
@@ -141,4 +168,9 @@ class SweepExecutor:
             jobs=self.jobs,
             wall_s=time.perf_counter() - started,
         )
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.counter("sweep.items").inc(n)
+            m.counter("sweep.executed").inc(len(pending))
+            m.counter("sweep.cache_hits").inc(n - len(pending))
         return results

@@ -38,6 +38,26 @@ class BatterySample:
     current_ma: float
     mode: str
 
+    def as_dict(self) -> dict[str, t.Any]:
+        """JSON-stable dict form; :meth:`from_dict` reloads it
+        bit-identically (floats round-trip through ``repr``)."""
+        return {
+            "time_s": self.time_s,
+            "charge_fraction": self.charge_fraction,
+            "current_ma": self.current_ma,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "BatterySample":
+        """Rebuild a sample from :meth:`as_dict` output."""
+        return cls(
+            time_s=payload["time_s"],
+            charge_fraction=payload["charge_fraction"],
+            current_ma=payload["current_ma"],
+            mode=payload["mode"],
+        )
+
 
 class BatteryMonitor:
     """Records samples and per-mode charge for one battery.
@@ -45,16 +65,30 @@ class BatteryMonitor:
     Parameters
     ----------
     battery:
-        The cell being observed.
+        The cell being observed. ``None`` for a monitor rebuilt from
+        serialized samples (:meth:`from_dict`): the recorded telemetry
+        is fully usable but :meth:`observe` needs a live cell.
     sample_interval_s:
         Minimum spacing between stored samples; draws arriving faster
         update accumulators but do not append samples. ``0`` stores
         every draw.
+    obs:
+        Optional event bus; each *stored* sample also publishes a
+        ``battery.draw`` event (throttled at the sampling interval, so
+        the bus sees telemetry-rate traffic, not per-segment traffic).
     """
 
-    def __init__(self, battery: Battery, sample_interval_s: float = 60.0):
+    def __init__(
+        self,
+        battery: Battery | None,
+        sample_interval_s: float = 60.0,
+        name: str = "",
+        obs: t.Any = None,
+    ):
         self.battery = battery
         self.sample_interval_s = sample_interval_s
+        self.name = name
+        self.obs = obs
         self.samples: list[BatterySample] = []
         self.charge_by_mode_mas: dict[str, float] = {}
         self.time_by_mode_s: dict[str, float] = {}
@@ -67,15 +101,26 @@ class BatteryMonitor:
         )
         self.time_by_mode_s[mode] = self.time_by_mode_s.get(mode, 0.0) + dt_s
         if time_s - self._last_sample_time >= self.sample_interval_s:
+            assert self.battery is not None, "reloaded monitors cannot observe"
+            fraction = self.battery.charge_fraction()
             self.samples.append(
                 BatterySample(
                     time_s=time_s,
-                    charge_fraction=self.battery.charge_fraction(),
+                    charge_fraction=fraction,
                     current_ma=current_ma,
                     mode=mode,
                 )
             )
             self._last_sample_time = time_s
+            if self.obs:
+                self.obs.emit(
+                    "battery.draw",
+                    time_s,
+                    self.name,
+                    charge_fraction=fraction,
+                    current_ma=current_ma,
+                    mode=mode,
+                )
 
     @property
     def total_charge_mas(self) -> float:
@@ -92,3 +137,36 @@ class BatteryMonitor:
     def discharge_curve(self) -> list[tuple[float, float]]:
         """(time_s, charge_fraction) pairs for plotting."""
         return [(s.time_s, s.charge_fraction) for s in self.samples]
+
+    # -- serialization -----------------------------------------------------
+    def as_dict(self) -> dict[str, t.Any]:
+        """JSON payload (samples + accumulators) for caches and workers."""
+        return {
+            "sample_interval_s": self.sample_interval_s,
+            "name": self.name,
+            "samples": [s.as_dict() for s in self.samples],
+            "charge_by_mode_mas": dict(self.charge_by_mode_mas),
+            "time_by_mode_s": dict(self.time_by_mode_s),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "BatteryMonitor":
+        """Rebuild a (battery-less) monitor from :meth:`as_dict` output.
+
+        The reload is bit-identical for every recorded quantity; only
+        the live :attr:`battery` handle is absent, so the monitor is
+        read-only.
+        """
+        monitor = cls(
+            battery=None,
+            sample_interval_s=payload.get("sample_interval_s", 60.0),
+            name=payload.get("name", ""),
+        )
+        monitor.samples = [
+            BatterySample.from_dict(s) for s in payload.get("samples", [])
+        ]
+        monitor.charge_by_mode_mas = dict(payload.get("charge_by_mode_mas", {}))
+        monitor.time_by_mode_s = dict(payload.get("time_by_mode_s", {}))
+        if monitor.samples:
+            monitor._last_sample_time = monitor.samples[-1].time_s
+        return monitor

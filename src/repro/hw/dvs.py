@@ -44,6 +44,10 @@ class FrequencyLevel:
         """
         return self.mhz * self.volts * self.volts
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-stable form for telemetry records and exports."""
+        return {"mhz": self.mhz, "volts": self.volts}
+
     def __str__(self) -> str:
         return f"{self.mhz:g} MHz @ {self.volts:g} V"
 

@@ -68,6 +68,9 @@ class HostHub:
         (node->host plus host->node) instead of cut-through forwarding.
     rng:
         RNG stream for startup jitter.
+    obs:
+        Optional telemetry event bus handed to every lazily created
+        link (see :class:`~repro.hw.link.SerialLink`).
     """
 
     def __init__(
@@ -77,6 +80,7 @@ class HostHub:
         timing: TransactionTiming = PAPER_LINK_TIMING,
         store_and_forward: bool = False,
         rng: np.random.Generator | None = None,
+        obs: t.Any = None,
     ):
         if not node_names:
             raise LinkError("at least one node is required")
@@ -89,6 +93,7 @@ class HostHub:
         self.timing = timing
         self.store_and_forward = store_and_forward
         self.rng = rng
+        self.obs = obs
         self._links: dict[frozenset[str], SerialLink] = {}
 
         self._inter_timing = (
@@ -110,7 +115,9 @@ class HostHub:
         key = frozenset((a, b))
         if key not in self._links:
             timing = self.timing if HOST_NAME in key else self._inter_timing
-            self._links[key] = SerialLink(self.sim, a, b, timing, self.rng)
+            self._links[key] = SerialLink(
+                self.sim, a, b, timing, self.rng, obs=self.obs
+            )
         return self._links[key]
 
     def host_link(self, node: str) -> SerialLink:

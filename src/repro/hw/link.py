@@ -202,6 +202,7 @@ class SerialLink:
         b: str,
         timing: TransactionTiming = PAPER_LINK_TIMING,
         rng: np.random.Generator | None = None,
+        obs: t.Any = None,
     ):
         if a == b:
             raise LinkError(f"link endpoints must differ, got {a!r} twice")
@@ -210,6 +211,9 @@ class SerialLink:
         self.b = b
         self.timing = timing
         self.rng = rng
+        #: Optional telemetry event bus; every matched rendezvous
+        #: publishes one ``link.xfer`` record.
+        self.obs = obs
         # Per-direction rendezvous queues, keyed by the *sending* endpoint.
         self._sends: dict[str, collections.deque[_Offer]] = {
             a: collections.deque(),
@@ -310,3 +314,12 @@ class SerialLink:
             transfer.done.succeed(transfer, delay=duration)
             self.transfer_count[direction] += 1
             self.bytes_moved[direction] += send.payload_bytes
+            if self.obs:
+                self.obs.emit(
+                    "link.xfer",
+                    self.sim.now,
+                    direction,
+                    to=self.b if direction == self.a else self.a,
+                    bytes=send.payload_bytes,
+                    duration_s=duration,
+                )

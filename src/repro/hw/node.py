@@ -62,6 +62,10 @@ class ItsyNode:
         Optional trace recorder (Figs. 2/3/9).
     monitor:
         Optional battery telemetry.
+    obs:
+        Optional telemetry event bus; the node publishes ``dvs.switch``
+        (level changes), ``link.stall`` (blocked rendezvous) and
+        ``battery.dead`` records.
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class ItsyNode:
         dvs_table: DVSTable,
         trace: TraceRecorder | None = None,
         monitor: BatteryMonitor | None = None,
+        obs: t.Any = None,
     ):
         self.sim = sim
         self.name = name
@@ -81,6 +86,7 @@ class ItsyNode:
         self.dvs_table = dvs_table
         self.trace = trace
         self.monitor = monitor
+        self.obs = obs
 
         self.mode = PowerMode.IDLE
         self.level: FrequencyLevel = dvs_table.min
@@ -154,6 +160,15 @@ class ItsyNode:
             if level not in self.dvs_table.levels:
                 raise ConfigurationError(f"{level} is not in this node's DVS table")
             self.level_switches += 1
+            if self.obs:
+                self.obs.emit(
+                    "dvs.switch",
+                    self.sim.now,
+                    self.name,
+                    from_mhz=self.level.mhz,
+                    to_mhz=level.mhz,
+                    mode=str(mode),
+                )
         self._close_segment()
         self.mode = mode
         self.level = level
@@ -263,6 +278,13 @@ class ItsyNode:
         for link, offer in self._open_offers:
             link.cancel(offer)
         self._open_offers.clear()
+        if self.obs:
+            self.obs.emit(
+                "battery.dead",
+                self.sim.now,
+                self.name,
+                delivered_mah=self.battery.delivered_mah,
+            )
         cause = NodeDead(self.name, self.sim.now)
         self.died.succeed(cause)
         for process in self._attached:
@@ -306,6 +328,10 @@ class ItsyNode:
         self._open_offers.append((link, grant))
         if not grant.triggered:
             self.io_stalls += 1
+            if self.obs:
+                self.obs.emit(
+                    "link.stall", self.sim.now, self.name, activity=activity
+                )
         self.set_state(PowerMode.IDLE, self.level, "wait", detail)
         try:
             transfer: Transfer = yield grant
@@ -338,6 +364,10 @@ class ItsyNode:
         self._open_offers.append((link, grant))
         if not grant.triggered:
             self.io_stalls += 1
+            if self.obs:
+                self.obs.emit(
+                    "link.stall", self.sim.now, self.name, activity=activity
+                )
         self.set_state(PowerMode.IDLE, self.level, "wait", detail)
         timer = self.sim.timeout(timeout_s)
         try:

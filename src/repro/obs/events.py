@@ -1,0 +1,195 @@
+"""The structured event bus: typed telemetry records with a null sink.
+
+The paper's entire evidence chain is instrumentation — Itsy's on-board
+power monitor plus the timing/power traces of Figs. 2, 3, 7 and 9.
+:class:`EventLog` is the machine-readable generalization: every layer
+of the testbed (sim kernel, links, nodes, pipeline protocols) publishes
+:class:`TelemetryEvent` records into one ordered log, timestamped in
+*simulated* seconds so identical seeds produce identical logs.
+
+Null-sink contract
+------------------
+Emitters guard every publication with ``if obs:`` — a disabled log (or
+``None``) is falsy, so the cost of leaving instrumentation wired into a
+hot loop is one truthiness check. The tier-1 overhead test pins this
+to <5% of the wall time of a short experiment.
+
+Event kinds are dotted strings, namespaced by layer:
+
+=====================  ====================================================
+kind                   emitted by
+=====================  ====================================================
+``kernel.run``         :class:`repro.sim.kernel.Simulator` (run loop exit)
+``kernel.process``     :class:`repro.sim.kernel.Simulator` (process start)
+``link.xfer``          :class:`repro.hw.link.SerialLink` (rendezvous match)
+``link.stall``         :class:`repro.hw.node.ItsyNode` (blocked rendezvous)
+``dvs.switch``         :class:`repro.hw.node.ItsyNode` (level change)
+``battery.draw``       :class:`repro.hw.battery.monitor.BatteryMonitor`
+``battery.dead``       :class:`repro.hw.node.ItsyNode`
+``frame.emit``         :class:`repro.pipeline.engine.PipelineEngine`
+``frame.result``       :class:`repro.pipeline.engine.PipelineEngine`
+``recovery.migrate``   :class:`repro.pipeline.engine.PipelineEngine`
+``rotation.reconfig``  :class:`repro.pipeline.engine.PipelineEngine`
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+__all__ = ["TelemetryEvent", "EventLog", "NULL_LOG"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """One structured telemetry record.
+
+    Attributes
+    ----------
+    kind:
+        Dotted event type (``"link.xfer"``, ``"dvs.switch"``, ...).
+    ts:
+        Simulated time of the event in seconds.
+    actor:
+        Name of the node/link/process the event belongs to ("" if none).
+    data:
+        JSON-serializable details (payload sizes, levels, frame ids...).
+    """
+
+    kind: str
+    ts: float
+    actor: str = ""
+    data: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, t.Any]:
+        """JSON-stable dict form (see :func:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "ts": self.ts,
+            "actor": self.actor,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "TelemetryEvent":
+        """Rebuild an event from :meth:`as_dict` output (bit-identical)."""
+        return cls(
+            kind=payload["kind"],
+            ts=payload["ts"],
+            actor=payload.get("actor", ""),
+            data=dict(payload.get("data", {})),
+        )
+
+
+class EventLog:
+    """Ordered, bounded collection of :class:`TelemetryEvent` records.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` makes the log a null sink: it is falsy and
+        :meth:`emit` is a no-op, so wired-in instrumentation costs one
+        branch per site.
+    max_events:
+        Hard cap on stored records; further emissions are counted in
+        :attr:`dropped` instead of stored, bounding memory on very long
+        runs.
+
+    Notes
+    -----
+    Truthiness is the null-sink check: ``bool(log)`` is ``enabled``, so
+    emitters write ``if obs: obs.emit(...)`` and pay nothing when
+    telemetry is off. The log records *simulated* time only — no
+    wall-clock field exists — which is what makes event logs comparable
+    across ``--jobs 1`` and ``--jobs 4`` runs.
+    """
+
+    __slots__ = ("enabled", "max_events", "records", "dropped")
+
+    def __init__(self, enabled: bool = True, max_events: int = 1_000_000):
+        self.enabled = enabled
+        self.max_events = max_events
+        self.records: list[TelemetryEvent] = []
+        self.dropped = 0
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> t.Iterator[TelemetryEvent]:
+        return iter(self.records)
+
+    def emit(self, kind: str, ts: float, actor: str = "", **data: t.Any) -> None:
+        """Publish one event (no-op when disabled; counted when full)."""
+        if not self.enabled:
+            return
+        if len(self.records) >= self.max_events:
+            self.dropped += 1
+            return
+        self.records.append(TelemetryEvent(kind=kind, ts=ts, actor=actor, data=data))
+
+    def record(self, event: TelemetryEvent) -> None:
+        """Publish an already-built event (same gating as :meth:`emit`)."""
+        if not self.enabled:
+            return
+        if len(self.records) >= self.max_events:
+            self.dropped += 1
+            return
+        self.records.append(event)
+
+    # -- queries ---------------------------------------------------------
+    def of_kind(self, kind: str) -> list[TelemetryEvent]:
+        """All records with exactly this kind."""
+        return [e for e in self.records if e.kind == kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """kind -> number of records, sorted by kind (deterministic)."""
+        counts: dict[str, int] = {}
+        for event in self.records:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def actors(self) -> list[str]:
+        """Distinct actors in first-seen order (excluding "")."""
+        seen: dict[str, None] = {}
+        for event in self.records:
+            if event.actor and event.actor not in seen:
+                seen[event.actor] = None
+        return list(seen)
+
+    def clear(self) -> None:
+        """Drop all records (the cap and enabled flag are unchanged)."""
+        self.records.clear()
+        self.dropped = 0
+
+    # -- serialization ---------------------------------------------------
+    def as_dict(self) -> dict[str, t.Any]:
+        """JSON payload that :meth:`from_dict` restores bit-identically."""
+        return {
+            "enabled": self.enabled,
+            "max_events": self.max_events,
+            "dropped": self.dropped,
+            "records": [e.as_dict() for e in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "EventLog":
+        """Rebuild a log (records included) from :meth:`as_dict` output."""
+        log = cls(
+            enabled=payload.get("enabled", True),
+            max_events=payload.get("max_events", 1_000_000),
+        )
+        log.records = [TelemetryEvent.from_dict(r) for r in payload.get("records", [])]
+        log.dropped = payload.get("dropped", 0)
+        return log
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<EventLog {state} n={len(self.records)} dropped={self.dropped}>"
+
+
+#: Shared always-off log for call sites that want an object, not None.
+NULL_LOG = EventLog(enabled=False, max_events=0)

@@ -1,0 +1,311 @@
+"""Telemetry exporters: JSONL, CSV rows, and Chrome trace-event JSON.
+
+Three machine-readable views of the same run:
+
+- **JSONL** — one tagged JSON object per line (``{"type": "segment",
+  ...}``), covering trace segments, battery samples, events, spans and
+  the metrics registry. :func:`read_jsonl` reloads the file into the
+  original typed objects *bit-identically* (Python's ``json`` emits
+  shortest round-tripping float literals, so every ``float`` survives).
+- **CSV rows** — flat dict rows for :func:`repro.analysis.export.write_rows`.
+- **Chrome trace-event format** — loadable in ``chrome://tracing`` and
+  Perfetto. Nodes render as tracks (one ``tid`` per actor) under the
+  "simulation" process; activity segments and profiling spans become
+  duration slices, telemetry events become instants, and battery
+  samples become counter tracks, reproducing the paper's Fig. 2/3/9
+  timing-vs-power view interactively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing as t
+
+from repro.hw.battery.monitor import BatteryMonitor, BatterySample
+from repro.obs.events import EventLog, TelemetryEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+from repro.sim.trace import Segment, TraceRecorder
+
+__all__ = [
+    "TelemetryBundle",
+    "write_jsonl",
+    "read_jsonl",
+    "segments_to_rows",
+    "metrics_to_rows",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+@dataclasses.dataclass
+class TelemetryBundle:
+    """Typed contents of one JSONL telemetry file.
+
+    Attributes
+    ----------
+    segments:
+        Activity-trace segments, in file order.
+    samples:
+        node name -> battery samples, in file order.
+    events:
+        Structured telemetry events, in file order.
+    spans:
+        Profiling spans, in file order.
+    metrics:
+        The metrics registry, if one was written.
+    """
+
+    segments: list[Segment] = dataclasses.field(default_factory=list)
+    samples: dict[str, list[BatterySample]] = dataclasses.field(default_factory=dict)
+    events: list[TelemetryEvent] = dataclasses.field(default_factory=list)
+    spans: list[SpanRecord] = dataclasses.field(default_factory=list)
+    metrics: MetricsRegistry | None = None
+
+
+def _jsonl_records(
+    trace: TraceRecorder | None,
+    monitors: t.Mapping[str, BatteryMonitor] | None,
+    events: EventLog | None,
+    spans: t.Sequence[SpanRecord] | None,
+    metrics: MetricsRegistry | None,
+) -> t.Iterator[dict[str, t.Any]]:
+    if trace is not None:
+        for segment in trace.all_segments():
+            yield {"type": "segment", **segment.as_dict()}
+    if monitors:
+        for node in monitors:
+            for sample in monitors[node].samples:
+                yield {"type": "battery_sample", "node": node, **sample.as_dict()}
+    if events is not None:
+        for event in events.records:
+            yield {"type": "event", **event.as_dict()}
+    if spans:
+        for span in spans:
+            yield {"type": "span", **span.as_dict()}
+    if metrics is not None:
+        yield {"type": "metrics", **metrics.as_dict()}
+
+
+def write_jsonl(
+    path: str | pathlib.Path,
+    *,
+    trace: TraceRecorder | None = None,
+    monitors: t.Mapping[str, BatteryMonitor] | None = None,
+    events: EventLog | None = None,
+    spans: t.Sequence[SpanRecord] | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> pathlib.Path:
+    """Write any subset of a run's telemetry as tagged JSONL lines."""
+    path = pathlib.Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in _jsonl_records(trace, monitors, events, spans, metrics):
+            fh.write(json.dumps(record, separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def read_jsonl(path: str | pathlib.Path) -> TelemetryBundle:
+    """Reload a :func:`write_jsonl` file into typed objects.
+
+    Raises
+    ------
+    ValueError
+        On an unknown record type — a silent skip would hide data loss.
+    """
+    bundle = TelemetryBundle()
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if kind == "segment":
+                bundle.segments.append(Segment.from_dict(record))
+            elif kind == "battery_sample":
+                node = record.pop("node")
+                bundle.samples.setdefault(node, []).append(
+                    BatterySample.from_dict(record)
+                )
+            elif kind == "event":
+                bundle.events.append(TelemetryEvent.from_dict(record))
+            elif kind == "span":
+                bundle.spans.append(SpanRecord.from_dict(record))
+            elif kind == "metrics":
+                bundle.metrics = MetricsRegistry.from_dict(record)
+            else:
+                raise ValueError(f"unknown telemetry record type: {kind!r}")
+    return bundle
+
+
+# ---------------------------------------------------------------------------
+# flat rows (for CSV via repro.analysis.export.write_rows)
+# ---------------------------------------------------------------------------
+
+def segments_to_rows(trace: TraceRecorder) -> list[dict[str, t.Any]]:
+    """Trace segments as flat dict rows (actor, start, end, activity...)."""
+    return [segment.as_dict() for segment in trace.all_segments()]
+
+
+def metrics_to_rows(metrics: MetricsRegistry) -> list[dict[str, t.Any]]:
+    """Registry contents as flat table rows (sorted, deterministic)."""
+    return metrics.as_rows()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+# ---------------------------------------------------------------------------
+
+def _track_ids(
+    trace: TraceRecorder | None, events: EventLog | None
+) -> dict[str, int]:
+    """actor -> tid, first-seen order across trace then events."""
+    tids: dict[str, int] = {}
+    if trace is not None:
+        for actor in trace.actors:
+            tids.setdefault(actor, len(tids))
+    if events is not None:
+        for actor in events.actors():
+            tids.setdefault(actor, len(tids))
+    return tids
+
+
+def chrome_trace(
+    *,
+    trace: TraceRecorder | None = None,
+    events: EventLog | None = None,
+    spans: t.Sequence[SpanRecord] | None = None,
+    monitors: t.Mapping[str, BatteryMonitor] | None = None,
+    label: str = "repro",
+) -> dict[str, t.Any]:
+    """Build a Chrome trace-event JSON object from run telemetry.
+
+    Process 0 ("simulation") holds one track per actor: activity
+    segments as complete ("X") slices, telemetry events as instants
+    ("i"), battery state-of-charge as counter ("C") series. Process 1
+    ("profiling") holds wall-clock spans, rebased so the earliest span
+    starts at t=0.
+    """
+    out: list[dict[str, t.Any]] = []
+    tids = _track_ids(trace, events)
+
+    out.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"{label} simulation"},
+        }
+    )
+    for actor, tid in tids.items():
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": actor},
+            }
+        )
+
+    if trace is not None:
+        for segment in trace.all_segments():
+            out.append(
+                {
+                    "name": segment.activity,
+                    "cat": "activity",
+                    "ph": "X",
+                    "ts": segment.start * _US,
+                    "dur": segment.duration * _US,
+                    "pid": 0,
+                    "tid": tids[segment.actor],
+                    "args": {
+                        "frequency_mhz": segment.frequency_mhz,
+                        "current_ma": segment.current_ma,
+                        "detail": segment.detail,
+                    },
+                }
+            )
+
+    if events is not None:
+        for event in events.records:
+            out.append(
+                {
+                    "name": event.kind,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.ts * _US,
+                    "pid": 0,
+                    "tid": tids.get(event.actor, 0),
+                    "args": dict(event.data),
+                }
+            )
+
+    if monitors:
+        for node in sorted(monitors):
+            for sample in monitors[node].samples:
+                out.append(
+                    {
+                        "name": f"charge {node}",
+                        "cat": "battery",
+                        "ph": "C",
+                        "ts": sample.time_s * _US,
+                        "pid": 0,
+                        "tid": tids.get(node, 0),
+                        "args": {"fraction": sample.charge_fraction},
+                    }
+                )
+
+    if spans:
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": f"{label} profiling"},
+            }
+        )
+        epoch = min(span.start_s for span in spans)
+        for span in spans:
+            out.append(
+                {
+                    "name": span.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": (span.start_s - epoch) * _US,
+                    "dur": span.duration_s * _US,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": dict(span.tags),
+                }
+            )
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path,
+    *,
+    trace: TraceRecorder | None = None,
+    events: EventLog | None = None,
+    spans: t.Sequence[SpanRecord] | None = None,
+    monitors: t.Mapping[str, BatteryMonitor] | None = None,
+    label: str = "repro",
+) -> pathlib.Path:
+    """Write :func:`chrome_trace` output as a ``chrome://tracing`` file."""
+    path = pathlib.Path(path)
+    payload = chrome_trace(
+        trace=trace, events=events, spans=spans, monitors=monitors, label=label
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, separators=(",", ":"))
+        fh.write("\n")
+    return path

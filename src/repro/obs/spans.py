@@ -1,0 +1,111 @@
+"""Span-based profiling: timed regions feeding latency histograms.
+
+A span is a named wall-clock interval::
+
+    with obs.span("fft", frame=i):
+        pipeline.stage_fft(regions)
+
+On exit the span's duration lands in the metrics histogram
+``span.<name>`` and the completed :class:`SpanRecord` is appended to
+the telemetry's span list, from which the Chrome-trace exporter renders
+profiling slices. Spans measure *wall* time (they profile real code —
+ATR blocks, sweep stages), which is why span records live apart from
+the :class:`~repro.obs.events.EventLog`: event logs are sim-time only
+and deterministic; spans are honest measurements and are not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SpanRecord", "Span"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed timed region.
+
+    Attributes
+    ----------
+    name:
+        Span label (block or stage name: ``"fft"``, ``"sweep.map"``...).
+    start_s, end_s:
+        Wall-clock bounds from :func:`time.perf_counter` (a monotonic
+        clock with an arbitrary epoch — durations are meaningful,
+        absolute values only order spans within one process).
+    tags:
+        JSON-serializable annotations (frame id, item index...).
+    """
+
+    name: str
+    start_s: float
+    end_s: float
+    tags: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> dict[str, t.Any]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "SpanRecord":
+        return cls(
+            name=payload["name"],
+            start_s=payload["start_s"],
+            end_s=payload["end_s"],
+            tags=dict(payload.get("tags", {})),
+        )
+
+
+class Span:
+    """Context manager timing one region (see module docstring).
+
+    Built by :meth:`repro.obs.Telemetry.span`; not usually constructed
+    directly. A span with neither a sink list nor a registry (telemetry
+    disabled) skips even the clock reads.
+    """
+
+    __slots__ = ("name", "tags", "_sink", "_metrics", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        tags: dict[str, t.Any],
+        sink: list[SpanRecord] | None,
+        metrics: "MetricsRegistry | None",
+    ):
+        self.name = name
+        self.tags = tags
+        self._sink = sink
+        self._metrics = metrics
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        if self._sink is not None or self._metrics is not None:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: t.Any) -> None:
+        if self._sink is None and self._metrics is None:
+            return
+        end = time.perf_counter()
+        if self._sink is not None:
+            self._sink.append(
+                SpanRecord(
+                    name=self.name, start_s=self._start, end_s=end, tags=self.tags
+                )
+            )
+        if self._metrics is not None:
+            self._metrics.histogram(f"span.{self.name}").observe(end - self._start)

@@ -39,6 +39,9 @@ from repro.pipeline.schedule import plan_node
 from repro.pipeline.tasks import NodeAssignment, Partition
 from repro.sim import Event, Simulator, TraceRecorder
 
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Telemetry
+
 __all__ = ["Frame", "RoleConfig", "PipelineConfig", "PipelineEngine", "PipelineResult"]
 
 
@@ -166,6 +169,12 @@ class PipelineConfig:
     horizon_s: float = 100 * 24 * 3600.0
     trace: TraceRecorder | None = None
     monitor_interval_s: float | None = 300.0
+    #: Optional telemetry sink (see :mod:`repro.obs`). When set, the
+    #: engine publishes structured events (link.xfer, dvs.switch,
+    #: frame.emit/result, rotation.reconfig, recovery.migrate, ...)
+    #: into ``obs.events`` and fills ``obs.metrics`` at the end of the
+    #: run. Disabled telemetry costs one branch per emit site.
+    obs: "Telemetry | None" = None
     store_and_forward: bool = False
     validate_schedules: bool = True
     seed: int = 0
@@ -270,6 +279,9 @@ class PipelineResult:
     migrations: list[tuple[float, str]]
     monitors: dict[str, BatteryMonitor]
     trace: TraceRecorder | None
+    #: Telemetry bundle (events + metrics + spans) if the run was
+    #: configured with one.
+    obs: "Telemetry | None" = None
     #: Delivery time of the final result. Stored separately because
     #: ``result_times_s`` keeps only a bounded sample of timestamps.
     last_result_s: float | None = None
@@ -325,7 +337,10 @@ class PipelineEngine:
 
     def __init__(self, config: PipelineConfig, sim: Simulator | None = None):
         self.config = config
-        self.sim = sim or Simulator()
+        # The event bus every emitter publishes into; None when the run
+        # is untraced so emit sites stay a single falsy branch.
+        self._log = config.obs.events if config.obs is not None else None
+        self.sim = sim or Simulator(obs=self._log)
         self._validate()
 
         rng = None
@@ -339,6 +354,7 @@ class PipelineEngine:
             timing=config.timing,
             store_and_forward=config.store_and_forward,
             rng=rng,
+            obs=self._log,
         )
         self.monitors: dict[str, BatteryMonitor] = {}
         self.nodes: dict[str, ItsyNode] = {}
@@ -346,7 +362,9 @@ class PipelineEngine:
             battery = config.battery_factory()
             monitor = None
             if config.monitor_interval_s is not None:
-                monitor = BatteryMonitor(battery, config.monitor_interval_s)
+                monitor = BatteryMonitor(
+                    battery, config.monitor_interval_s, name=name, obs=self._log
+                )
                 self.monitors[name] = monitor
             self.nodes[name] = ItsyNode(
                 self.sim,
@@ -356,6 +374,7 @@ class PipelineEngine:
                 config.dvs_table,
                 trace=config.trace,
                 monitor=monitor,
+                obs=self._log,
             )
 
         self.done: Event = self.sim.event()
@@ -464,6 +483,8 @@ class PipelineEngine:
                 key = f"{sender}->{link.peer_of(sender)}"
                 link_transactions[key] = link.transfer_count[sender]
                 link_bytes[key] = link.bytes_moved[sender]
+        if cfg.obs is not None:
+            self._fill_metrics(cfg, link_transactions, link_bytes)
         return PipelineResult(
             frames_completed=self.results_count,
             result_times_s=list(self.result_times),
@@ -474,6 +495,7 @@ class PipelineEngine:
             migrations=list(self.migrations),
             monitors=dict(self.monitors),
             trace=cfg.trace,
+            obs=cfg.obs,
             last_result_s=self._last_progress if self.results_count else None,
             late_results=self.late_results,
             max_lateness_s=self.max_lateness_s,
@@ -490,6 +512,37 @@ class PipelineEngine:
             },
             events_processed=self.sim.events_processed,
         )
+
+    def _fill_metrics(
+        self,
+        cfg: PipelineConfig,
+        link_transactions: dict[str, int],
+        link_bytes: dict[str, int],
+    ) -> None:
+        """Absorb the run's loose counters into the metrics registry.
+
+        Everything here is derived from simulated state, so the values
+        are deterministic for a given (spec, seed) regardless of how
+        many worker processes or cache hits produced them.
+        """
+        m = cfg.obs.metrics  # type: ignore[union-attr]
+        m.counter("frames.completed").inc(self.results_count)
+        m.counter("frames.late").inc(self.late_results)
+        m.counter("recovery.migrations").inc(len(self.migrations))
+        m.counter("kernel.events").inc(self.sim.events_processed)
+        m.gauge("frames.max_lateness_s").set(self.max_lateness_s)
+        m.gauge("sim.end_time_s").set(self.sim.now)
+        for name, node in sorted(self.nodes.items()):
+            m.counter(f"node.frames.{name}").inc(node.frames_processed)
+            m.counter(f"node.stalls.{name}").inc(node.io_stalls)
+            m.counter(f"node.level_switches.{name}").inc(node.level_switches)
+            m.gauge(f"node.delivered_mah.{name}").set(node.battery.delivered_mah)
+        for key in sorted(link_transactions):
+            m.counter(f"link.transactions.{key}").inc(link_transactions[key])
+            m.counter(f"link.bytes.{key}").inc(link_bytes[key])
+        if cfg.obs.events:  # type: ignore[union-attr]
+            for kind, n in cfg.obs.events.counts_by_kind().items():  # type: ignore[union-attr]
+                m.counter(f"events.{kind}").inc(n)
 
     def _finish(self, reason: str) -> None:
         if not self.done.triggered:
@@ -536,6 +589,15 @@ class PipelineEngine:
                             "send",
                             detail=f"frame {frame.id} -> {target}",
                         )
+                    if self._log:
+                        self._log.emit(
+                            "frame.emit",
+                            self.sim.now,
+                            HOST_NAME,
+                            frame=frame.id,
+                            to=target,
+                            scale=frame.scale,
+                        )
                     break
                 # Stage 0 moved while we were offering: withdraw, retry.
                 link.cancel(grant)
@@ -571,11 +633,24 @@ class PipelineEngine:
         # ahead of schedule) and to hiccups (a failure migration delays
         # only the frames actually in flight, not every later one).
         contract = len(self.config.roles) * self.config.deadline_s
-        lateness = (self.sim.now - frame.emitted_s) - contract
+        latency = self.sim.now - frame.emitted_s
+        lateness = latency - contract
         if lateness > self.max_lateness_s:
             self.max_lateness_s = lateness
         if lateness > self.config.lateness_tolerance_s:
             self.late_results += 1
+        obs = self.config.obs
+        if obs is not None:
+            if obs.events:
+                obs.events.emit(
+                    "frame.result",
+                    self.sim.now,
+                    HOST_NAME,
+                    frame=frame.id,
+                    latency_s=latency,
+                    late=lateness > self.config.lateness_tolerance_s,
+                )
+            obs.metrics.histogram("frame.latency_s").observe(latency)
         self._prev_result_s = self.sim.now
         if len(self.result_times) < self.keep_result_times:
             self.result_times.append(self.sim.now)
@@ -717,6 +792,13 @@ class PipelineEngine:
                 role += 1
                 rolecfg = cfg.roles[role]
                 assignment = rolecfg.assignment
+                if self._log:
+                    self._log.emit(
+                        "rotation.reconfig",
+                        self.sim.now,
+                        node.name,
+                        **cfg.rotation.reconfig_event(frame.id, role - 1, role),
+                    )
                 if cfg.rotation.reconfig_seconds > 0:
                     yield from node.reconfigure(
                         cfg.rotation.reconfig_seconds, f"-> role {role}"
@@ -779,6 +861,13 @@ class PipelineEngine:
                 and cfg.rotation.is_rotation_frame(frame.id, role)
             ):
                 role = 0
+                if self._log:
+                    self._log.emit(
+                        "rotation.reconfig",
+                        self.sim.now,
+                        node.name,
+                        **cfg.rotation.reconfig_event(frame.id, n_stages - 1, 0),
+                    )
                 if cfg.rotation.reconfig_seconds > 0:
                     yield from node.reconfigure(
                         cfg.rotation.reconfig_seconds, "-> role 0"
@@ -818,6 +907,14 @@ class PipelineEngine:
     def _migrate(self, node: ItsyNode) -> t.Generator:
         """Absorb the dead neighbour's share and take over the pipeline."""
         self.migrations.append((self.sim.now, node.name))
+        rec = self.config.recovery
+        if self._log and rec is not None:
+            self._log.emit(
+                "recovery.migrate",
+                self.sim.now,
+                node.name,
+                **rec.migration_event(node.name),
+            )
         self._set_stage0(node.name)
         # Reconfiguration: load the full-chain code. Charged like a
         # rotation reconfiguration; one frame delay is a conservative

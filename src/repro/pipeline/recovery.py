@@ -75,3 +75,17 @@ class RecoveryConfig:
         if n_acked_transactions < 0:
             raise ConfigurationError("transaction count must be non-negative")
         return n_acked_transactions * self.ack_duration_s(timing)
+
+    # -- telemetry --------------------------------------------------------
+    def migration_event(self, survivor: str) -> dict:
+        """Payload of a ``recovery.migrate`` telemetry event."""
+        return {
+            "survivor": survivor,
+            "detect_timeout_s": self.detect_timeout_s,
+            "comp_mhz": self.migrated_comp_level.mhz
+            if self.migrated_comp_level
+            else None,
+            "io_mhz": self.migrated_io_level.mhz
+            if self.migrated_io_level
+            else None,
+        }

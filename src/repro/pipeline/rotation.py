@@ -17,6 +17,7 @@ on local knowledge, exactly as the paper's protocol requires.
 from __future__ import annotations
 
 import dataclasses
+import typing as t
 
 from repro.errors import ConfigurationError
 
@@ -90,3 +91,16 @@ class RotationController:
         """Role held by physical node ``node_index`` in the epoch of ``frame_id``."""
         e = frame_id // self.period
         return (node_index + e) % self.n_stages
+
+    # -- telemetry --------------------------------------------------------
+    def reconfig_event(
+        self, frame_id: int, from_role: int, to_role: int
+    ) -> dict[str, t.Any]:
+        """Payload of a ``rotation.reconfig`` telemetry event."""
+        return {
+            "frame": frame_id,
+            "from_role": from_role,
+            "to_role": to_role,
+            "epoch": self.epoch_of_frame(frame_id),
+            "reconfig_s": self.reconfig_seconds,
+        }

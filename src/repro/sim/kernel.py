@@ -35,11 +35,17 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self):
+    def __init__(self, obs: t.Any = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._event_count = 0
+        #: Optional telemetry event bus (anything with ``emit``; falsy
+        #: when disabled). The kernel publishes coarse scheduling
+        #: records — process starts and run-loop exits — never
+        #: per-event records, so instrumentation cannot dominate
+        #: dispatch.
+        self.obs = obs
 
     # -- clock -------------------------------------------------------------
     @property
@@ -77,7 +83,12 @@ class Simulator:
         """
         from repro.sim.process import Process
 
-        return Process(self, generator, name=name)
+        process = Process(self, generator, name=name)
+        if self.obs:
+            self.obs.emit(
+                "kernel.process", self._now, process.name or "", queued=len(self._heap)
+            )
+        return process
 
     # -- scheduling ------------------------------------------------------
     def schedule(self, event: Event, *, delay: float = 0.0) -> None:
@@ -175,6 +186,15 @@ class Simulator:
             self._now = horizon
         finally:
             self._event_count += count
+            if self.obs:
+                self.obs.emit(
+                    "kernel.run",
+                    self._now,
+                    "",
+                    events=count,
+                    total_events=self._event_count,
+                    queued=len(heap),
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now:.6g} queued={len(self._heap)}>"

@@ -55,6 +55,32 @@ class Segment:
         """Charge drawn over the segment, in mA*s."""
         return self.current_ma * self.duration
 
+    def as_dict(self) -> dict[str, t.Any]:
+        """JSON-stable dict form; :meth:`from_dict` reloads it
+        bit-identically (floats round-trip through ``repr``)."""
+        return {
+            "actor": self.actor,
+            "start": self.start,
+            "end": self.end,
+            "activity": self.activity,
+            "frequency_mhz": self.frequency_mhz,
+            "current_ma": self.current_ma,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "Segment":
+        """Rebuild a segment from :meth:`as_dict` output."""
+        return cls(
+            actor=payload["actor"],
+            start=payload["start"],
+            end=payload["end"],
+            activity=payload["activity"],
+            frequency_mhz=payload.get("frequency_mhz", 0.0),
+            current_ma=payload.get("current_ma", 0.0),
+            detail=payload.get("detail", ""),
+        )
+
 
 class TraceRecorder:
     """Collects :class:`Segment` objects per actor.
@@ -134,3 +160,27 @@ class TraceRecorder:
     def clear(self) -> None:
         """Drop all recorded segments."""
         self._segments.clear()
+
+    # -- serialization -----------------------------------------------------
+    def as_dict(self) -> dict[str, t.Any]:
+        """JSON payload (config + segments) for caches and workers."""
+        return {
+            "enabled": self.enabled,
+            "horizon": self.horizon,
+            "segments": [s.as_dict() for s in self.all_segments()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: t.Mapping[str, t.Any]) -> "TraceRecorder":
+        """Rebuild a recorder, segments included, from :meth:`as_dict`.
+
+        The reload is bit-identical: segment order (actor-first-seen,
+        then time) and every float survive the JSON round trip.
+        """
+        recorder = cls(
+            enabled=payload.get("enabled", True), horizon=payload.get("horizon")
+        )
+        for segment_payload in payload.get("segments", []):
+            segment = Segment.from_dict(segment_payload)
+            recorder._segments.setdefault(segment.actor, []).append(segment)
+        return recorder

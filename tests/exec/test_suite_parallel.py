@@ -64,15 +64,44 @@ def test_explicit_default_seed_hits_cache(tmp_path):
     assert cache.hits == 1
 
 
-def test_monitored_runs_not_cached(tmp_path):
+def test_monitored_runs_are_cached(tmp_path):
+    """Monitors round-trip through the payload, so monitored runs cache."""
     cache = ResultCache(root=tmp_path, salt="s")
     kwargs = dict(battery_factory=tiny_battery_factory, cache=cache,
                   max_frames=5, monitor_interval_s=60.0)
     first = run_paper_suite(["1"], **kwargs)
     second = run_paper_suite(["1"], **kwargs)
-    assert cache.hits == 0 and cache.misses == 0
-    # Monitors survive because the run was executed, not decoded.
-    assert first["1"].pipeline.monitors and second["1"].pipeline.monitors
+    assert cache.misses == 1 and cache.hits == 1
+    mon1 = first["1"].pipeline.monitors["node1"]
+    mon2 = second["1"].pipeline.monitors["node1"]
+    assert mon1.as_dict() == mon2.as_dict()
+    # The decoded monitor carries no live battery; its telemetry does.
+    assert mon2.battery is None and mon2.samples
+
+
+def test_traced_runs_are_cached_and_parallel(tmp_path):
+    """trace=True no longer forces serial, uncached execution."""
+    cache = ResultCache(root=tmp_path, salt="s")
+    kwargs = dict(battery_factory=tiny_battery_factory, cache=cache,
+                  max_frames=5, trace=True, jobs=2)
+    first = run_paper_suite(LABELS, **kwargs)
+    second = run_paper_suite(LABELS, **kwargs)
+    assert cache.misses == len(LABELS) and cache.hits == len(LABELS)
+    for label in LABELS:
+        t1, t2 = first[label].trace, second[label].trace
+        assert t1 is not None and t2 is not None
+        assert t1.as_dict() == t2.as_dict()
+        assert t1.all_segments()  # the recorder actually recorded
+
+
+def test_shared_recorder_instance_deprecated():
+    from repro.sim import TraceRecorder
+
+    shared = TraceRecorder()
+    with pytest.deprecated_call():
+        run_paper_suite(["1"], battery_factory=tiny_battery_factory,
+                        max_frames=3, trace=shared, jobs=2)
+    assert shared.all_segments()  # still fills the caller's recorder
 
 
 def test_unknown_label_rejected():

@@ -1,0 +1,89 @@
+"""Minimal Chrome trace-event schema check.
+
+Validates the subset of the trace-event format the exporter emits,
+enough to guarantee chrome://tracing / Perfetto will load the file.
+Used by the exporter tests and by the CI smoke job::
+
+    python tests/obs/chrome_schema.py out.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import typing as t
+
+_REQUIRED = {"name", "ph", "pid", "tid"}
+_KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def validate_chrome_trace(payload: dict[str, t.Any]) -> list[str]:
+    """Return a list of violations (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents must be a non-empty list"]
+    names_by_pid: dict[int, set[str]] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = _REQUIRED - ev.keys()
+        if missing:
+            problems.append(f"{where}: missing {sorted(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if ph in {"X", "i", "C"}:
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph == "i" and ev.get("s") not in {"t", "p", "g"}:
+            problems.append(f"{where}: instant needs scope s in t/p/g")
+        if ph == "M" and ev["name"] == "thread_name":
+            names_by_pid.setdefault(ev["pid"], set()).add(
+                ev.get("args", {}).get("name", "")
+            )
+    if not any(names_by_pid.values()):
+        problems.append("no thread_name metadata: tracks would be unnamed")
+    return problems
+
+
+def expect_tracks(payload: dict[str, t.Any], names: t.Iterable[str]) -> list[str]:
+    """Check that every name in ``names`` has a named track (pid 0)."""
+    present = {
+        ev.get("args", {}).get("name")
+        for ev in payload.get("traceEvents", [])
+        if isinstance(ev, dict)
+        and ev.get("ph") == "M"
+        and ev.get("name") == "thread_name"
+        and ev.get("pid") == 0
+    }
+    return [f"missing track for {n!r}" for n in names if n not in present]
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    problems = validate_chrome_trace(payload)
+    for p in problems:
+        print(f"INVALID: {p}", file=sys.stderr)
+    if not problems:
+        n = len(payload["traceEvents"])
+        print(f"{argv[1]}: valid chrome trace ({n} events)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

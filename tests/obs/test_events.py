@@ -1,0 +1,74 @@
+"""EventLog: null-sink semantics, bounded capacity, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_LOG, EventLog, TelemetryEvent
+
+
+class TestTelemetryEvent:
+    def test_round_trip(self):
+        ev = TelemetryEvent("link.xfer", 1.25, "node1", {"bytes": 7500})
+        assert TelemetryEvent.from_dict(ev.as_dict()) == ev
+
+    def test_frozen(self):
+        ev = TelemetryEvent("k", 0.0, "a", {})
+        with pytest.raises(AttributeError):
+            ev.kind = "other"  # type: ignore[misc]
+
+
+class TestEventLog:
+    def test_disabled_log_is_falsy_and_records_nothing(self):
+        log = EventLog(enabled=False)
+        assert not log
+        log.emit("link.xfer", 0.0, "node1")
+        assert log.records == []
+
+    def test_null_log_singleton_is_disabled(self):
+        assert not NULL_LOG
+        NULL_LOG.emit("anything", 0.0, "x")
+        assert NULL_LOG.records == []
+
+    def test_enabled_log_is_truthy_and_records(self):
+        log = EventLog()
+        assert log
+        log.emit("dvs.switch", 2.0, "node1", from_mhz=59.0, to_mhz=103.2)
+        assert len(log.records) == 1
+        ev = log.records[0]
+        assert ev.kind == "dvs.switch"
+        assert ev.ts == 2.0
+        assert ev.actor == "node1"
+        assert ev.data == {"from_mhz": 59.0, "to_mhz": 103.2}
+
+    def test_capacity_drops_and_counts(self):
+        log = EventLog(max_events=3)
+        for i in range(5):
+            log.emit("k", float(i), "a")
+        assert len(log.records) == 3
+        assert log.dropped == 2
+
+    def test_of_kind_and_counts(self):
+        log = EventLog()
+        log.emit("a", 0.0, "x")
+        log.emit("b", 1.0, "x")
+        log.emit("a", 2.0, "y")
+        assert [e.ts for e in log.of_kind("a")] == [0.0, 2.0]
+        assert log.counts_by_kind() == {"a": 2, "b": 1}
+        assert log.actors() == ["x", "y"]
+
+    def test_round_trip(self):
+        log = EventLog(max_events=10)
+        log.emit("a", 0.5, "x", n=1)
+        log.emit("b", 1.5, "y", s="t")
+        clone = EventLog.from_dict(log.as_dict())
+        assert clone.records == log.records
+        assert clone.max_events == log.max_events
+        assert bool(clone) == bool(log)
+
+    def test_clear(self):
+        log = EventLog(max_events=1)
+        log.emit("a", 0.0, "x")
+        log.emit("a", 1.0, "x")
+        log.clear()
+        assert log.records == [] and log.dropped == 0

@@ -1,0 +1,151 @@
+"""Exporters: bit-identical JSONL round-trips and Chrome trace validity."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.hw.battery import KiBaM
+from repro.hw.battery.monitor import BatteryMonitor, BatterySample
+from repro.obs import EventLog, MetricsRegistry, SpanRecord
+from repro.obs.export import (
+    chrome_trace,
+    metrics_to_rows,
+    read_jsonl,
+    segments_to_rows,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim.trace import Segment, TraceRecorder
+
+from tests.conftest import TINY_KIBAM
+from tests.obs.chrome_schema import expect_tracks, validate_chrome_trace
+
+
+def _make_trace() -> TraceRecorder:
+    trace = TraceRecorder()
+    # Deliberately awkward floats: must survive JSON bit-identically.
+    trace.add("node1", 0.0, 1.1, "recv", frequency_mhz=59.0,
+              current_ma=32.7185, detail="from host")
+    trace.add("node1", 1.1, 1.0999999999999998 + 0.6, "proc",
+              frequency_mhz=103.2, current_ma=60.93, detail="fft f0")
+    trace.add("node2", 0.3, 2.0 / 3.0, "send", frequency_mhz=59.0,
+              current_ma=32.7185, detail="to host")
+    return trace
+
+
+def _make_monitor() -> BatteryMonitor:
+    mon = BatteryMonitor(KiBaM(TINY_KIBAM), 60.0, name="node1")
+    mon.samples.append(BatterySample(0.0, 1.0, 32.7185, "io"))
+    mon.samples.append(BatterySample(60.0, 0.9913 / 3.0, 60.93, "comp"))
+    return mon
+
+
+class TestJsonlRoundTrip:
+    def test_segments_reload_bit_identical(self, tmp_path):
+        trace = _make_trace()
+        path = write_jsonl(tmp_path / "t.jsonl", trace=trace)
+        bundle = read_jsonl(path)
+        originals = trace.all_segments()
+        assert bundle.segments == originals
+        for a, b in zip(bundle.segments, originals):
+            # Bit-identity, not approximation: exact float equality.
+            assert a.start == b.start and a.end == b.end
+            assert math.copysign(1.0, a.start) == math.copysign(1.0, b.start)
+
+    def test_battery_samples_reload_bit_identical(self, tmp_path):
+        mon = _make_monitor()
+        path = write_jsonl(tmp_path / "b.jsonl", monitors={"node1": mon})
+        bundle = read_jsonl(path)
+        assert bundle.samples == {"node1": list(mon.samples)}
+        reloaded = bundle.samples["node1"][1]
+        assert reloaded.charge_fraction == 0.9913 / 3.0  # exact
+
+    def test_full_bundle_round_trip(self, tmp_path):
+        trace = _make_trace()
+        events = EventLog()
+        events.emit("frame.emit", 0.0, "host", frame=0)
+        events.emit("dvs.switch", 1.1, "node1", from_mhz=59.0, to_mhz=103.2)
+        spans = [SpanRecord("fft", 10.0, 10.25, {"frame": 0})]
+        metrics = MetricsRegistry()
+        metrics.counter("frames.completed").inc(1)
+        metrics.histogram("frame.latency_s").observe(4.6)
+        path = write_jsonl(
+            tmp_path / "all.jsonl",
+            trace=trace,
+            monitors={"node1": _make_monitor()},
+            events=events,
+            spans=spans,
+            metrics=metrics,
+        )
+        bundle = read_jsonl(path)
+        assert bundle.segments == trace.all_segments()
+        assert bundle.events == events.records
+        assert bundle.spans == spans
+        assert bundle.metrics is not None
+        assert bundle.metrics.as_dict() == metrics.as_dict()
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        """JSONL written from reloaded objects equals the original file."""
+        trace = _make_trace()
+        p1 = write_jsonl(tmp_path / "a.jsonl", trace=trace,
+                         monitors={"node1": _make_monitor()})
+        bundle = read_jsonl(p1)
+        clone = TraceRecorder()
+        for seg in bundle.segments:
+            clone._segments.setdefault(seg.actor, []).append(seg)
+        mon2 = BatteryMonitor(None, 60.0, name="node1")
+        mon2.samples.extend(bundle.samples["node1"])
+        p2 = write_jsonl(tmp_path / "b.jsonl", trace=clone,
+                         monitors={"node1": mon2})
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery", "x": 1}\n')
+        with pytest.raises(ValueError, match="mystery"):
+            read_jsonl(path)
+
+
+class TestRows:
+    def test_segments_to_rows(self):
+        rows = segments_to_rows(_make_trace())
+        assert len(rows) == 3
+        assert {"actor", "start", "end", "activity"} <= rows[0].keys()
+
+    def test_metrics_to_rows(self):
+        m = MetricsRegistry()
+        m.counter("a").inc(2)
+        rows = metrics_to_rows(m)
+        assert rows == [{"metric": "a", "kind": "counter", "value": 2}]
+
+
+class TestChromeTrace:
+    def test_schema_valid_with_per_actor_tracks(self, tmp_path):
+        trace = _make_trace()
+        events = EventLog()
+        events.emit("frame.emit", 0.0, "host", frame=0)
+        spans = [SpanRecord("fft", 5.0, 5.5, {})]
+        payload = chrome_trace(
+            trace=trace,
+            events=events,
+            spans=spans,
+            monitors={"node1": _make_monitor()},
+        )
+        assert validate_chrome_trace(payload) == []
+        assert expect_tracks(payload, ["node1", "node2", "host"]) == []
+
+    def test_written_file_parses_and_validates(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", trace=_make_trace())
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_slices_are_microseconds(self):
+        payload = chrome_trace(trace=_make_trace())
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        first = next(e for e in slices if e["args"]["detail"] == "from host")
+        assert first["ts"] == 0.0
+        assert first["dur"] == pytest.approx(1.1e6)

@@ -1,0 +1,139 @@
+"""MetricsRegistry: counter/gauge/histogram behaviour and exact merging."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter("n"), Counter("n")
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_merge_takes_max(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(3.0)
+        b.set(5.0)
+        a.merge(b)
+        assert a.value == 5.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("lat")
+        for v in [0.1, 0.2, 0.4, 0.8]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["min"] == 0.1 and s["max"] == 0.8
+        assert s["mean"] == pytest.approx(0.375)
+
+    def test_percentiles_monotone(self):
+        h = Histogram("lat")
+        for v in [0.001 * i for i in range(1, 200)]:
+            h.observe(v)
+        assert h.percentile(50) <= h.percentile(90) <= h.percentile(99)
+
+    def test_merge_is_exact_and_commutative(self):
+        rng = random.Random(7)
+        values = [rng.uniform(1e-5, 10.0) for _ in range(500)]
+        whole = Histogram("x")
+        for v in values:
+            whole.observe(v)
+        a, b = Histogram("x"), Histogram("x")
+        for i, v in enumerate(values):
+            (a if i % 2 else b).observe(v)
+        ab, ba = Histogram("x"), Histogram("x")
+        ab.merge(a)
+        ab.merge(b)
+        ba.merge(b)
+        ba.merge(a)
+        for merged in (ab, ba):
+            assert merged.count == whole.count
+            assert merged.total == pytest.approx(whole.total)
+            assert merged.buckets == whole.buckets
+            assert merged.min == whole.min and merged.max == whole.max
+
+    def test_merge_rejects_differing_bases(self):
+        with pytest.raises(ValueError):
+            Histogram("x", base=1e-6).merge(Histogram("x", base=1e-3))
+
+    def test_round_trip(self):
+        m = MetricsRegistry()
+        h = m.histogram("x")
+        for v in [0.25, 0.5, 3.0]:
+            h.observe(v)
+        clone = MetricsRegistry.from_dict(m.as_dict()).histogram("x")
+        assert clone.buckets == h.buckets
+        assert clone.count == h.count and clone.total == h.total
+
+
+class TestMetricsRegistry:
+    def test_lazy_accessors_reuse_instances(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+        assert m.gauge("b") is m.gauge("b")
+        assert m.histogram("c") is m.histogram("c")
+
+    def test_merge_shards_equals_single_registry(self):
+        """Per-worker shards aggregate to the serial result exactly."""
+        serial = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(4)]
+        rng = random.Random(13)
+        for i in range(200):
+            shard = shards[i % 4]
+            serial.counter("frames").inc()
+            shard.counter("frames").inc()
+            v = rng.uniform(0.0, 5.0)
+            serial.histogram("lat").observe(v)
+            shard.histogram("lat").observe(v)
+            serial.gauge("peak").set(max(serial.gauge("peak").value or 0.0, v))
+            shard.gauge("peak").set(max(shard.gauge("peak").value or 0.0, v))
+        merged = MetricsRegistry()
+        # Any merge order must agree.
+        for shard in reversed(shards):
+            merged.merge(shard)
+        assert merged.counter("frames").value == serial.counter("frames").value
+        assert merged.histogram("lat").buckets == serial.histogram("lat").buckets
+        assert merged.gauge("peak").value == serial.gauge("peak").value
+
+    def test_round_trip(self):
+        m = MetricsRegistry()
+        m.counter("a").inc(3)
+        m.gauge("b").set(1.5)
+        m.histogram("c").observe(0.75)
+        clone = MetricsRegistry.from_dict(m.as_dict())
+        assert clone.as_dict() == m.as_dict()
+
+    def test_top_histograms_ranked_by_count(self):
+        m = MetricsRegistry()
+        for _ in range(3):
+            m.histogram("busy").observe(1.0)
+        m.histogram("quiet").observe(1.0)
+        names = [h.name for h in m.top_histograms(2)]
+        assert names == ["busy", "quiet"]
+
+    def test_as_rows_sorted_and_typed(self):
+        m = MetricsRegistry()
+        m.counter("z").inc()
+        m.counter("a").inc()
+        m.histogram("h").observe(0.5)
+        rows = m.as_rows()
+        counters = [r["metric"] for r in rows if r["kind"] == "counter"]
+        assert counters == ["a", "z"]
+        hist_rows = [r for r in rows if r["kind"] == "histogram"]
+        assert hist_rows and "n=1" in hist_rows[0]["value"]

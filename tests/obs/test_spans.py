@@ -1,0 +1,62 @@
+"""Span profiling: context-manager timing into sinks and histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, Span, SpanRecord, Telemetry
+
+
+class TestSpanRecord:
+    def test_round_trip_and_duration(self):
+        rec = SpanRecord("fft", 1.0, 1.5, {"frame": 3})
+        assert rec.duration_s == pytest.approx(0.5)
+        assert SpanRecord.from_dict(rec.as_dict()) == rec
+
+
+class TestSpan:
+    def test_records_into_sink_and_histogram(self):
+        sink: list[SpanRecord] = []
+        metrics = MetricsRegistry()
+        with Span("fft", {"frame": 1}, sink, metrics):
+            pass
+        assert len(sink) == 1
+        rec = sink[0]
+        assert rec.name == "fft" and rec.tags == {"frame": 1}
+        assert rec.end_s >= rec.start_s
+        hist = metrics.histogram("span.fft")
+        assert hist.count == 1
+
+    def test_records_even_when_body_raises(self):
+        sink: list[SpanRecord] = []
+        with pytest.raises(RuntimeError):
+            with Span("boom", {}, sink, None):
+                raise RuntimeError("x")
+        assert len(sink) == 1
+
+    def test_no_sinks_is_a_noop(self):
+        with Span("idle", {}, None, None):
+            pass  # must not raise; skips clock reads entirely
+
+
+class TestTelemetryFacade:
+    def test_span_helper_feeds_both_sinks(self):
+        obs = Telemetry()
+        with obs.span("detect", frame=0):
+            pass
+        assert [s.name for s in obs.spans] == ["detect"]
+        assert obs.metrics.histogram("span.detect").count == 1
+
+    def test_emit_delegates_to_event_log(self):
+        obs = Telemetry()
+        obs.emit("frame.emit", 0.0, "host", frame=0)
+        assert obs.events.counts_by_kind() == {"frame.emit": 1}
+
+    def test_round_trip(self):
+        obs = Telemetry()
+        obs.emit("a", 1.0, "x", n=2)
+        with obs.span("fft", frame=1):
+            pass
+        obs.metrics.counter("c").inc(4)
+        clone = Telemetry.from_dict(obs.as_dict())
+        assert clone.as_dict() == obs.as_dict()

@@ -65,6 +65,65 @@ class TestTrace:
         assert main(["trace", "0A"]) == 2
 
 
+class TestTraceExport:
+    def test_chrome_export_is_valid_with_node_tracks(self, tmp_path, capsys):
+        import json
+
+        from tests.obs.chrome_schema import expect_tracks, validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main(["trace", "2", "--frames", "4",
+                     "--export", "chrome", "-o", str(out)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert expect_tracks(payload, ["node1", "node2"]) == []
+
+    def test_jsonl_export_reloads(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "2", "--frames", "4",
+                     "--export", "jsonl", "-o", str(out)]) == 0
+        bundle = read_jsonl(out)
+        assert bundle.segments and bundle.events
+        assert bundle.metrics is not None
+
+    def test_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        assert main(["trace", "2", "--frames", "4",
+                     "--export", "csv", "-o", str(out)]) == 0
+        assert out.read_text().startswith("actor")
+
+
+class TestMetrics:
+    def test_prints_metric_tables(self, capsys):
+        code = main(["metrics", "1A", "--frames", "5", "--fast", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment 1A metrics" in out
+        assert "frames.completed" in out
+        assert "frame.latency_s" in out
+
+    def test_merged_table_for_multiple_labels(self, capsys):
+        code = main(["metrics", "1A", "2", "--frames", "5", "--fast",
+                     "--no-cache"])
+        assert code == 0
+        assert "all experiments (merged)" in capsys.readouterr().out
+
+    def test_unknown_label(self, capsys):
+        assert main(["metrics", "9Z"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_export_rows(self, tmp_path, capsys):
+        out = tmp_path / "metrics.csv"
+        assert main(["metrics", "1A", "--frames", "5", "--fast",
+                     "--no-cache", "--export", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("label") and "counter" in text
+
+
 class TestRun:
     def test_unknown_label_exit_code(self, capsys):
         assert main(["run", "9Z"]) == 2

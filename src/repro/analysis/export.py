@@ -12,8 +12,14 @@ __all__ = ["rows_to_csv", "rows_to_json", "rows_to_latex", "write_rows"]
 
 
 def rows_to_csv(rows: t.Sequence[t.Mapping[str, t.Any]], columns: t.Sequence[str] | None = None) -> str:
-    """Serialize dict rows to CSV text (header included)."""
-    if not rows:
+    """Serialize dict rows to CSV text (header included).
+
+    With explicit ``columns``, zero rows still produce the header line
+    — an exported file from an empty run (e.g. a zero-event telemetry
+    log) stays parseable instead of being empty. Without ``columns``
+    there is nothing to name, so zero rows yield an empty string.
+    """
+    if not rows and columns is None:
         return ""
     columns = list(columns) if columns is not None else list(rows[0].keys())
     buf = io.StringIO()

@@ -10,6 +10,10 @@ Exposes the reproduction as a set of subcommands::
     python -m repro trace 2 --frames 6 # timing diagram (Figs. 2/3/9)
     python -m repro trace 2 --export chrome -o out.json  # Perfetto trace
     python -m repro metrics 1A 2A      # telemetry metrics per experiment
+    python -m repro runs list          # the persistent run registry
+    python -m repro runs diff A B      # per-metric deltas between runs
+    python -m repro check 2B           # invariant monitors over a run
+    python -m repro check --paper      # assert the Fig. 10 ordering
     python -m repro report -o out.md   # everything into one document
     python -m repro calibrate          # re-run the model calibration
     python -m repro profile --frames 8 # time the real ATR blocks (Fig. 6)
@@ -17,12 +21,19 @@ Exposes the reproduction as a set of subcommands::
 All output is plain text; ``--csv``/``--json`` export structured rows.
 ``--fast`` swaps in quarter-capacity cells for quick demos (ratios
 compress a little at reduced scale — see the battery-model ablation).
+
+Experiment-running commands register their outcomes in the run
+registry (``.repro-runs.sqlite``; override with ``--db`` or the
+``REPRO_RUNS_DB`` environment variable, disable with
+``--no-registry``); ``repro runs`` queries it and ``repro runs reset``
+clears it.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import typing as t
 
@@ -59,14 +70,28 @@ def _battery_factory(fast: bool) -> t.Callable[[], KiBaM]:
     return _fast_battery if fast else PAPER_BATTERY
 
 
+def _registry(args: argparse.Namespace) -> t.Any:
+    """The run registry selected by CLI flags (None when disabled)."""
+    if getattr(args, "no_registry", False):
+        return None
+    from repro.obs.store import DEFAULT_DB, RunRegistry
+
+    path = getattr(args, "db", None) or os.environ.get("REPRO_RUNS_DB") or DEFAULT_DB
+    return RunRegistry(path)
+
+
 def _sweep_kwargs(args: argparse.Namespace) -> dict[str, t.Any]:
-    """jobs/cache settings for run_paper_suite from CLI flags."""
+    """jobs/cache/registry settings for run_paper_suite from CLI flags."""
     cache: t.Any = None
     if not getattr(args, "no_cache", False):
         from repro.exec import ResultCache
 
         cache = ResultCache()
-    return {"jobs": getattr(args, "jobs", 1), "cache": cache}
+    return {
+        "jobs": getattr(args, "jobs", 1),
+        "cache": cache,
+        "registry": _registry(args),
+    }
 
 
 def _print_pipeline_diagnostics(runs: dict[str, t.Any]) -> None:
@@ -252,8 +277,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             spans=run.obs.spans,
             metrics=run.obs.metrics,
         )
-    else:  # csv
-        path = write_rows(obs_export.segments_to_rows(trace), out)
+    else:  # csv — explicit columns so a zero-segment run still gets a header
+        path = write_rows(
+            obs_export.segments_to_rows(trace),
+            out,
+            columns=obs_export.SEGMENT_COLUMNS,
+        )
     n_events = len(run.obs.events.records)
     print(f"wrote {path} ({len(trace.all_segments())} segments, "
           f"{n_events} events)")
@@ -306,7 +335,208 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
                 {"label": label, **row}
                 for row in obs_export.metrics_to_rows(obs.metrics)
             )
-        print(f"wrote {write_rows(all_rows, args.export)}")
+        # Explicit columns: an all-empty registry still exports a header.
+        path = write_rows(
+            all_rows, args.export, columns=["label", *obs_export.METRIC_COLUMNS]
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.store import diff_records
+
+    registry = _registry(args)
+    if registry is None:
+        print("registry disabled (--no-registry)", file=sys.stderr)
+        return 2
+
+    if args.runs_command == "list":
+        records = registry.list_runs(label=args.label, limit=args.limit)
+        if not records:
+            print(f"no registered runs in {registry.path}")
+            return 0
+        print(format_table([r.as_row() for r in records],
+                           title=f"run registry ({registry.path})"))
+        return 0
+
+    if args.runs_command == "show":
+        record = registry.get(args.run_id)
+        print(f"run      {record.run_id}")
+        print(f"label    {record.label}")
+        print(f"config   {record.fingerprint}")
+        print(f"version  {record.version}"
+              + (f"  git {record.git_sha[:12]}" if record.git_sha else ""))
+        print(f"events   {record.n_events}"
+              + (f"  digest {record.event_digest[:12]}"
+                 if record.event_digest else ""))
+        print()
+        rows = [
+            {"field": name, "value": value}
+            for name, value in sorted(record.summary.items())
+            if not isinstance(value, dict)
+        ]
+        print(format_table(rows, title="summary"))
+        counters = record.metrics.get("counters", [])
+        if counters:
+            print()
+            print(format_table(
+                [{"counter": c["name"], "value": c["value"]} for c in counters],
+                title="metrics (counters)",
+            ))
+        return 0
+
+    if args.runs_command == "diff":
+        a = registry.get(args.run_a)
+        b = registry.get(args.run_b)
+        rows = diff_records(a, b, threshold_pct=args.threshold)
+        if not args.all:
+            rows = [r for r in rows if r["delta"]]
+        title = (f"{a.label} {a.run_id[:12]} -> {b.label} {b.run_id[:12]} "
+                 f"(threshold {args.threshold:g}%)")
+        if not rows:
+            print(f"no metric deltas: {title}")
+            return 0
+        for row in rows:
+            row["flag"] = "REGRESSION" if row.pop("regression") else ""
+        print(format_table(rows, title=title))
+        regressions = sum(1 for r in rows if r["flag"])
+        if regressions:
+            print(f"\n{regressions} metric(s) moved more than "
+                  f"{args.threshold:g}%")
+            return 1
+        return 0
+
+    if args.runs_command == "reset":
+        removed = registry.reset()
+        print(f"removed {removed} run(s) from {registry.path}")
+        return 0
+
+    print(f"unknown runs subcommand {args.runs_command!r}", file=sys.stderr)
+    return 2
+
+
+def _print_verdicts(verdicts: t.Sequence[t.Any], title: str) -> int:
+    rows = []
+    for v in verdicts:
+        where = ""
+        if v.violating_event is not None:
+            e = v.violating_event
+            where = f"{e.kind}@{e.ts:.1f}s"
+        rows.append(
+            {
+                "check": v.monitor,
+                "verdict": "ok" if v.ok else "FAIL",
+                "detail": v.detail,
+                "evidence": where,
+            }
+        )
+    print(format_table(rows, title=title))
+    return sum(1 for v in verdicts if not v.ok)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.core.experiments import experiment_fingerprint, run_experiment
+    from repro.obs.checks import (
+        check_paper_ordering,
+        paper_monitors,
+        replay,
+        tnorms_from_records,
+    )
+    from repro.obs.store import diff_records
+
+    registry = _registry(args)
+    factory = _battery_factory(args.fast)
+    run_kwargs: dict[str, t.Any] = dict(
+        battery_factory=factory,
+        telemetry=True,
+        monitor_interval_s=60.0,
+    )
+
+    if args.paper:
+        # Assert the Fig. 10 ordering over registered lifetimes for
+        # *this* configuration (fast and full-capacity runs register
+        # under different fingerprints and never mix). Missing labels
+        # are run and registered on the fly.
+        from repro.obs.checks import PAPER_ORDERING
+
+        sweep = _sweep_kwargs(args)
+        labels = list(PAPER_ORDERING)
+        records = {}
+        missing = []
+        for label in labels:
+            fp = experiment_fingerprint(PAPER_EXPERIMENTS[label], run_kwargs)
+            record = (registry.latest(label, fingerprint=fp)
+                      if registry is not None else None)
+            if record is None:
+                missing.append(label)
+            else:
+                records[label] = record
+        if missing:
+            print(f"running unregistered experiments: {', '.join(missing)}")
+            runs = run_paper_suite(missing, **sweep, **run_kwargs)
+            from repro.obs.store import build_run_record
+
+            for label in missing:
+                fp = experiment_fingerprint(PAPER_EXPERIMENTS[label], run_kwargs)
+                records[label] = build_run_record(runs[label], fp)
+        verdicts = check_paper_ordering(tnorms_from_records(records.values()))
+        failures = _print_verdicts(verdicts, "Fig. 10 normalized-lifetime ordering")
+        if failures:
+            print(f"\n{failures} ordering check(s) FAILED")
+            return 1
+        print("\nFig. 10 ordering verified: "
+              + " > ".join(PAPER_ORDERING))
+        return 0
+
+    if args.baseline:
+        if registry is None:
+            print("--baseline needs the registry (drop --no-registry)",
+                  file=sys.stderr)
+            return 2
+        baseline = registry.get(args.baseline)
+        spec = PAPER_EXPERIMENTS[baseline.label]
+        run = run_experiment(spec, registry=registry, **run_kwargs)
+        from repro.obs.store import build_run_record
+
+        fp = experiment_fingerprint(spec, run_kwargs)
+        fresh = build_run_record(run, fp)
+        rows = [r for r in diff_records(baseline, fresh,
+                                        threshold_pct=args.threshold)
+                if r["delta"]]
+        for row in rows:
+            row["flag"] = "REGRESSION" if row.pop("regression") else ""
+        title = (f"{baseline.label}: baseline {baseline.run_id[:12]} vs fresh "
+                 f"run (threshold {args.threshold:g}%)")
+        if rows:
+            print(format_table(rows, title=title))
+        regressions = sum(1 for r in rows if r["flag"])
+        if regressions:
+            print(f"\n{regressions} metric(s) moved more than "
+                  f"{args.threshold:g}% against the baseline")
+            return 1
+        print(f"\nno regressions against baseline {baseline.run_id[:12]}")
+        return 0
+
+    labels = args.labels or ["2", "2A", "2B", "2C"]
+    unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment labels: {unknown}", file=sys.stderr)
+        return 2
+    failures = 0
+    for label in labels:
+        spec = PAPER_EXPERIMENTS[label]
+        run = run_experiment(spec, registry=registry, **run_kwargs)
+        assert run.obs is not None
+        verdicts = replay(run.obs.events, paper_monitors(spec))
+        failures += _print_verdicts(
+            verdicts, f"experiment {label} invariants"
+        )
+        print()
+    if failures:
+        print(f"{failures} invariant check(s) FAILED")
+        return 1
+    print("all invariants held")
     return 0
 
 
@@ -450,12 +680,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--export", metavar="PATH",
                        help="write rows to a .csv or .json file")
 
+    def add_registry(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", metavar="PATH",
+                       help="run-registry database (default "
+                            "$REPRO_RUNS_DB or .repro-runs.sqlite)")
+
     def add_sweep(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="fan experiments over N worker processes "
                             "(bit-identical to serial; default 1)")
         p.add_argument("--no-cache", action="store_true",
                        help="recompute instead of reading .repro-cache")
+        p.add_argument("--no-registry", action="store_true",
+                       help="do not record runs in the run registry")
+        add_registry(p)
 
     p_run = sub.add_parser("run", help="run paper experiments by label")
     p_run.add_argument("labels", nargs="*", metavar="LABEL",
@@ -513,6 +751,59 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_metrics)
     add_sweep(p_metrics)
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_runs = sub.add_parser(
+        "runs", help="query the persistent run registry"
+    )
+    add_registry(p_runs)
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    pr_list = runs_sub.add_parser("list", help="list registered runs")
+    pr_list.add_argument("--label", metavar="LABEL",
+                         help="only runs of one experiment label")
+    pr_list.add_argument("--limit", type=int, default=20, metavar="N",
+                         help="show at most N runs (default 20)")
+    pr_show = runs_sub.add_parser("show", help="one run in full")
+    pr_show.add_argument("run_id", metavar="RUN",
+                         help="run id (any unambiguous prefix)")
+    pr_diff = runs_sub.add_parser(
+        "diff", help="per-metric deltas between two registered runs"
+    )
+    pr_diff.add_argument("run_a", metavar="A", help="baseline run id prefix")
+    pr_diff.add_argument("run_b", metavar="B", help="candidate run id prefix")
+    pr_diff.add_argument("--threshold", type=float, default=0.0,
+                         metavar="PCT",
+                         help="flag metrics moving more than PCT%% "
+                              "(default 0: report only, never fail)")
+    pr_diff.add_argument("--all", action="store_true",
+                         help="include metrics with zero delta")
+    runs_sub.add_parser("reset", help="delete every registered run")
+    p_runs.set_defaults(func=_cmd_runs)
+
+    p_check = sub.add_parser(
+        "check",
+        help="evaluate invariant monitors, or assert the Fig. 10 ordering",
+    )
+    p_check.add_argument("labels", nargs="*", metavar="LABEL",
+                         help="experiments to check (default: 2 2A 2B 2C)")
+    p_check.add_argument("--paper", action="store_true",
+                         help="assert the Fig. 10 normalized-lifetime "
+                              "ordering (2C > 2B > 2A > 2) over registered "
+                              "runs; exits nonzero on violation")
+    p_check.add_argument("--baseline", metavar="RUN",
+                         help="diff a fresh run against a registered "
+                              "baseline; exits nonzero past --threshold")
+    p_check.add_argument("--threshold", type=float, default=5.0,
+                         metavar="PCT",
+                         help="regression threshold for --baseline "
+                              "(default 5%%)")
+    p_check.add_argument("--fast", action="store_true",
+                         help="quarter-capacity batteries (quick demo)")
+    p_check.add_argument("--no-registry", action="store_true",
+                         help="do not record or read registered runs")
+    p_check.add_argument("--jobs", type=int, default=1, metavar="N")
+    p_check.add_argument("--no-cache", action="store_true")
+    add_registry(p_check)
+    p_check.set_defaults(func=_cmd_check)
 
     p_opt = sub.add_parser(
         "optimize", help="rank every configuration in the design space"

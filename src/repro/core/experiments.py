@@ -26,6 +26,7 @@ policies from the frame-delay arithmetic and agree with the paper.
 from __future__ import annotations
 
 import dataclasses
+import os
 import typing as t
 
 import warnings
@@ -62,6 +63,7 @@ __all__ = [
     "run_experiment",
     "run_paper_suite",
     "summarize_runs",
+    "experiment_fingerprint",
 ]
 
 
@@ -252,7 +254,7 @@ def _run_no_io(
     """§6.1: compute frames back to back from local storage until death."""
     if spec.no_io_level_mhz is None:
         raise ConfigurationError(f"experiment {spec.label}: no_io_level_mhz required")
-    log = obs.events if obs is not None else None
+    log = obs.events if obs is not None and obs.events else None
     sim = Simulator(obs=log)
     battery = battery_factory()
     node = ItsyNode(sim, "node1", battery, power_model, table, trace=trace, obs=log)
@@ -300,6 +302,7 @@ def run_experiment(
     rotation_reconfig_s: float = 0.0,
     seed: int = 0,
     telemetry: bool | Telemetry = False,
+    registry: t.Any = None,
 ) -> ExperimentRun:
     """Execute one experiment spec on the simulated testbed.
 
@@ -314,6 +317,12 @@ def run_experiment(
     fresh :class:`repro.obs.Telemetry` bundle: structured events,
     the metrics registry, and span profiling, all returned on
     ``ExperimentRun.obs``.
+
+    ``registry`` (a :class:`repro.obs.RunRegistry` or a database path)
+    persists the outcome as a :class:`repro.obs.RunRecord` keyed by the
+    full effective configuration (see :func:`experiment_fingerprint`);
+    the registry setting itself never affects fingerprints or cache
+    keys.
     """
     recorder: TraceRecorder | None
     if trace is True:
@@ -329,8 +338,24 @@ def run_experiment(
         obs = None
     else:
         obs = telemetry
+    reg_kwargs = dict(
+        battery_factory=battery_factory,
+        power_model=power_model,
+        table=table,
+        timing=timing,
+        trace=trace,
+        max_frames=max_frames,
+        monitor_interval_s=monitor_interval_s,
+        store_and_forward=store_and_forward,
+        rotation_reconfig_s=rotation_reconfig_s,
+        seed=seed,
+        telemetry=telemetry,
+    )
     if not spec.io_enabled:
-        return _run_no_io(spec, battery_factory, power_model, table, recorder, obs)
+        run = _run_no_io(spec, battery_factory, power_model, table, recorder, obs)
+        if registry is not None:
+            _register_run(registry, run, spec, reg_kwargs)
+        return run
     if spec.policy is None:
         raise ConfigurationError(f"experiment {spec.label}: a policy is required")
 
@@ -395,7 +420,7 @@ def run_experiment(
         result.frames_completed * spec.deadline_s
         + (partition.n_stages - 1) * spec.deadline_s
     )
-    return ExperimentRun(
+    run = ExperimentRun(
         spec=spec,
         frames=result.frames_completed,
         t_hours=t_hours,
@@ -404,6 +429,9 @@ def run_experiment(
         trace=recorder,
         obs=obs,
     )
+    if registry is not None:
+        _register_run(registry, run, spec, reg_kwargs)
+    return run
 
 
 def _run_payload(run: ExperimentRun) -> dict[str, t.Any]:
@@ -512,6 +540,9 @@ def _experiment_key_parts(spec: ExperimentSpec, kwargs: dict[str, t.Any]) -> tup
     bound.apply_defaults()
     arguments = dict(bound.arguments)
     arguments.pop("spec")
+    # Where results are *recorded* is not part of what was computed:
+    # registering a run must never change its fingerprint or cache key.
+    arguments.pop("registry", None)
     # Bool requests for per-run recorders are part of the configuration
     # (they change the payload shape); shared instances never get here.
     arguments["trace"] = bool(arguments.get("trace"))
@@ -519,10 +550,44 @@ def _experiment_key_parts(spec: ExperimentSpec, kwargs: dict[str, t.Any]) -> tup
     return (spec, sorted(arguments.items()))
 
 
+def experiment_fingerprint(
+    spec: ExperimentSpec, kwargs: dict[str, t.Any] | None = None
+) -> str:
+    """Digest of one run_experiment configuration, defaults applied.
+
+    This is the registry's notion of "same experiment": two invocations
+    fingerprint identically iff every effective parameter (spec plus
+    keyword arguments, with defaults filled in and per-run recorder
+    requests normalized to booleans) matches. Unlike cache keys it is
+    unsalted — the fingerprint identifies the *configuration*, while
+    code-version provenance is recorded separately on the run record.
+    """
+    from repro.exec.cache import stable_key
+
+    return stable_key(
+        "run_experiment", _experiment_key_parts(spec, dict(kwargs or {}))
+    )
+
+
+def _register_run(
+    registry: t.Any,
+    run: ExperimentRun,
+    spec: ExperimentSpec,
+    kwargs: dict[str, t.Any],
+) -> None:
+    """Persist one run into a registry (accepts a registry or a path)."""
+    from repro.obs.store import RunRegistry
+
+    if isinstance(registry, (str, os.PathLike)):
+        registry = RunRegistry(registry)
+    registry.record_run(run, experiment_fingerprint(spec, kwargs))
+
+
 def run_paper_suite(
     labels: t.Sequence[str] | None = None,
     jobs: int = 1,
     cache: t.Any = None,
+    registry: t.Any = None,
     **kwargs: t.Any,
 ) -> dict[str, ExperimentRun]:
     """Run several paper experiments; kwargs pass through to run_experiment.
@@ -548,6 +613,12 @@ def run_paper_suite(
         worker processes cannot append to the caller's object). Cached
         entries are keyed by the full configuration, so any parameter
         change is a miss.
+    registry:
+        Optional :class:`repro.obs.RunRegistry` (or database path).
+        Every run is registered in label order, always in the parent
+        process, from results that have round-tripped through the
+        worker/cache payload — so serial, parallel, and cache-replayed
+        suites deposit byte-identical registry contents.
     """
     labels = list(labels) if labels is not None else list(PAPER_EXPERIMENTS)
     unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
@@ -571,7 +642,11 @@ def run_paper_suite(
         jobs = 1
 
     if jobs <= 1 and not cache:
-        return {lb: run_experiment(PAPER_EXPERIMENTS[lb], **kwargs) for lb in labels}
+        runs = {lb: run_experiment(PAPER_EXPERIMENTS[lb], **kwargs) for lb in labels}
+        if registry is not None:
+            for lb in labels:
+                _register_run(registry, runs[lb], PAPER_EXPERIMENTS[lb], kwargs)
+        return runs
 
     from repro.exec import ResultCache, SweepExecutor
 
@@ -587,6 +662,11 @@ def run_paper_suite(
             )
             for lb in labels
         ]
+    on_result = None
+    if registry is not None:
+        def on_result(task: tuple[str, dict], run: ExperimentRun) -> None:
+            _register_run(registry, run, PAPER_EXPERIMENTS[task[0]], kwargs)
+
     executor = SweepExecutor(jobs=jobs, cache=cache or None)
     runs = executor.map(
         _suite_job,
@@ -596,6 +676,7 @@ def run_paper_suite(
         decode=lambda task, payload: _run_from_payload(
             PAPER_EXPERIMENTS[task[0]], payload
         ),
+        on_result=on_result,
     )
     return dict(zip(labels, runs))
 

@@ -88,6 +88,7 @@ class SweepExecutor:
         keys: t.Sequence[str | None] | None = None,
         encode: t.Callable[[R], t.Any] | None = None,
         decode: t.Callable[[T, t.Any], R] | None = None,
+        on_result: t.Callable[[T, R], None] | None = None,
     ) -> list[R]:
         """``[fn(item) for item in items]``, parallel and cached.
 
@@ -108,6 +109,13 @@ class SweepExecutor:
             ``(item, payload) -> result`` for loading; receives the
             original item so reconstruction can reuse unserializable
             parts of the input (e.g. the spec object itself).
+        on_result:
+            Optional ``(item, result) -> None`` observer, called once
+            per item **in input order** after all results are settled —
+            for cache hits and executed items alike, always in the
+            parent process. Side effects (e.g. run-registry writes)
+            therefore happen identically for serial, parallel, and
+            cache-replayed executions.
 
         Returns
         -------
@@ -117,8 +125,13 @@ class SweepExecutor:
             raise ValueError("cache keys require encode and decode functions")
         if self.obs is not None:
             with self.obs.span("sweep.map", items=len(items), jobs=self.jobs):
-                return self._map(fn, items, keys=keys, encode=encode, decode=decode)
-        return self._map(fn, items, keys=keys, encode=encode, decode=decode)
+                return self._map(
+                    fn, items, keys=keys, encode=encode, decode=decode,
+                    on_result=on_result,
+                )
+        return self._map(
+            fn, items, keys=keys, encode=encode, decode=decode, on_result=on_result
+        )
 
     def _map(
         self,
@@ -128,6 +141,7 @@ class SweepExecutor:
         keys: t.Sequence[str | None] | None = None,
         encode: t.Callable[[R], t.Any] | None = None,
         decode: t.Callable[[T, t.Any], R] | None = None,
+        on_result: t.Callable[[T, R], None] | None = None,
     ) -> list[R]:
         started = time.perf_counter()
         n = len(items)
@@ -160,6 +174,10 @@ class SweepExecutor:
                     key = keys[i]
                     if key is not None:
                         cache.put(key, encode(results[i]))  # type: ignore[misc]
+
+        if on_result is not None:
+            for i, item in enumerate(items):
+                on_result(item, results[i])
 
         self.stats = SweepStats(
             total=n,

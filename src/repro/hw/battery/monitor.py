@@ -88,7 +88,8 @@ class BatteryMonitor:
         self.battery = battery
         self.sample_interval_s = sample_interval_s
         self.name = name
-        self.obs = obs
+        # Falsy bus -> None: observe() runs once per power-mode segment.
+        self.obs = obs if obs else None
         self.samples: list[BatterySample] = []
         self.charge_by_mode_mas: dict[str, float] = {}
         self.time_by_mode_s: dict[str, float] = {}

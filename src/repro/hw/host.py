@@ -93,7 +93,7 @@ class HostHub:
         self.timing = timing
         self.store_and_forward = store_and_forward
         self.rng = rng
-        self.obs = obs
+        self.obs = obs if obs else None
         self._links: dict[frozenset[str], SerialLink] = {}
 
         self._inter_timing = (

@@ -212,8 +212,9 @@ class SerialLink:
         self.timing = timing
         self.rng = rng
         #: Optional telemetry event bus; every matched rendezvous
-        #: publishes one ``link.xfer`` record.
-        self.obs = obs
+        #: publishes one ``link.xfer`` record. Falsy (disabled) buses
+        #: are normalized to None so the per-rendezvous guard is free.
+        self.obs = obs if obs else None
         # Per-direction rendezvous queues, keyed by the *sending* endpoint.
         self._sends: dict[str, collections.deque[_Offer]] = {
             a: collections.deque(),

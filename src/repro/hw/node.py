@@ -86,7 +86,10 @@ class ItsyNode:
         self.dvs_table = dvs_table
         self.trace = trace
         self.monitor = monitor
-        self.obs = obs
+        # Falsy bus -> None: set_state/transfer guard every emit with
+        # ``if self.obs:`` in the hottest loops of the simulation, and a
+        # None test is free where a disabled EventLog's __bool__ is not.
+        self.obs = obs if obs else None
 
         self.mode = PowerMode.IDLE
         self.level: FrequencyLevel = dvs_table.min

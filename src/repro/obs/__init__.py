@@ -28,6 +28,18 @@ from __future__ import annotations
 
 import typing as t
 
+from repro.obs.checks import (
+    ChargeMonotonicMonitor,
+    FrameDeadlineMonitor,
+    InvariantMonitor,
+    LinkBusyFractionMonitor,
+    RecoveryLatencyMonitor,
+    RotationBalanceMonitor,
+    Verdict,
+    check_paper_ordering,
+    paper_monitors,
+    replay,
+)
 from repro.obs.events import NULL_LOG, EventLog, TelemetryEvent
 from repro.obs.export import (
     TelemetryBundle,
@@ -40,9 +52,24 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import Span, SpanRecord
+from repro.obs.store import RunRecord, RunRegistry, build_run_record, diff_records
 
 __all__ = [
     "Telemetry",
+    "RunRecord",
+    "RunRegistry",
+    "build_run_record",
+    "diff_records",
+    "Verdict",
+    "InvariantMonitor",
+    "FrameDeadlineMonitor",
+    "ChargeMonotonicMonitor",
+    "LinkBusyFractionMonitor",
+    "RotationBalanceMonitor",
+    "RecoveryLatencyMonitor",
+    "replay",
+    "paper_monitors",
+    "check_paper_ordering",
     "EventLog",
     "TelemetryEvent",
     "NULL_LOG",

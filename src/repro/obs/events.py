@@ -100,18 +100,28 @@ class EventLog:
     -----
     Truthiness is the null-sink check: ``bool(log)`` is ``enabled``, so
     emitters write ``if obs: obs.emit(...)`` and pay nothing when
-    telemetry is off. The log records *simulated* time only — no
-    wall-clock field exists — which is what makes event logs comparable
-    across ``--jobs 1`` and ``--jobs 4`` runs.
+    telemetry is off. (Hot-loop emitters normalize a falsy log to
+    ``None`` at construction so the per-emit branch is a C-level
+    ``None`` test, not a Python-level ``__bool__`` call.) The log
+    records *simulated* time only — no wall-clock field exists — which
+    is what makes event logs comparable across ``--jobs 1`` and
+    ``--jobs 4`` runs.
+
+    Streaming subscribers (:meth:`attach`) observe every published
+    event online, *including* events the storage cap drops — a monitor
+    that checks invariants over a very long run must not go blind when
+    the log fills. Taps are live-run machinery: they are not pickled
+    with the log and not part of its serialized form.
     """
 
-    __slots__ = ("enabled", "max_events", "records", "dropped")
+    __slots__ = ("enabled", "max_events", "records", "dropped", "_taps")
 
     def __init__(self, enabled: bool = True, max_events: int = 1_000_000):
         self.enabled = enabled
         self.max_events = max_events
         self.records: list[TelemetryEvent] = []
         self.dropped = 0
+        self._taps: list[t.Any] = []
 
     def __bool__(self) -> bool:
         return self.enabled
@@ -126,19 +136,47 @@ class EventLog:
         """Publish one event (no-op when disabled; counted when full)."""
         if not self.enabled:
             return
-        if len(self.records) >= self.max_events:
+        event = TelemetryEvent(kind=kind, ts=ts, actor=actor, data=data)
+        if len(self.records) < self.max_events:
+            self.records.append(event)
+        else:
             self.dropped += 1
-            return
-        self.records.append(TelemetryEvent(kind=kind, ts=ts, actor=actor, data=data))
+        if self._taps:
+            for tap in self._taps:
+                tap.observe(event)
 
     def record(self, event: TelemetryEvent) -> None:
         """Publish an already-built event (same gating as :meth:`emit`)."""
         if not self.enabled:
             return
-        if len(self.records) >= self.max_events:
+        if len(self.records) < self.max_events:
+            self.records.append(event)
+        else:
             self.dropped += 1
-            return
-        self.records.append(event)
+        if self._taps:
+            for tap in self._taps:
+                tap.observe(event)
+
+    # -- streaming subscribers -------------------------------------------
+    def attach(self, tap: t.Any) -> t.Any:
+        """Subscribe ``tap`` (anything with ``observe(event)``) to the bus.
+
+        Every subsequently published event is forwarded to the tap
+        online, even events the storage cap drops. Returns the tap, so
+        ``monitor = log.attach(FrameDeadlineMonitor(...))`` reads
+        naturally.
+        """
+        if not hasattr(tap, "observe"):
+            raise TypeError(f"tap {tap!r} has no observe(event) method")
+        self._taps.append(tap)
+        return tap
+
+    def detach(self, tap: t.Any) -> None:
+        """Unsubscribe a previously attached tap (no-op if absent)."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     # -- queries ---------------------------------------------------------
     def of_kind(self, kind: str) -> list[TelemetryEvent]:
@@ -185,6 +223,17 @@ class EventLog:
         log.records = [TelemetryEvent.from_dict(r) for r in payload.get("records", [])]
         log.dropped = payload.get("dropped", 0)
         return log
+
+    # -- pickling ---------------------------------------------------------
+    # Taps are live-run subscribers (monitors holding arbitrary state);
+    # a log shipped home from a worker or a cache payload carries only
+    # its records.
+    def __getstate__(self) -> tuple:
+        return (self.enabled, self.max_events, self.records, self.dropped)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.enabled, self.max_events, self.records, self.dropped = state
+        self._taps = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"

@@ -34,7 +34,11 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "segments_to_rows",
+    "events_to_rows",
     "metrics_to_rows",
+    "SEGMENT_COLUMNS",
+    "EVENT_COLUMNS",
+    "METRIC_COLUMNS",
     "chrome_trace",
     "write_chrome_trace",
 ]
@@ -147,13 +151,40 @@ def read_jsonl(path: str | pathlib.Path) -> TelemetryBundle:
 # flat rows (for CSV via repro.analysis.export.write_rows)
 # ---------------------------------------------------------------------------
 
+#: Column orders for the flat-row views below. CSV exporters pass
+#: these explicitly so an *empty* run (zero segments / zero events)
+#: still writes a header-only file rather than an empty one.
+SEGMENT_COLUMNS = (
+    "actor", "start", "end", "activity", "frequency_mhz", "current_ma", "detail",
+)
+EVENT_COLUMNS = ("kind", "ts", "actor", "data")
+METRIC_COLUMNS = ("metric", "kind", "value")
+
+
 def segments_to_rows(trace: TraceRecorder) -> list[dict[str, t.Any]]:
-    """Trace segments as flat dict rows (actor, start, end, activity...)."""
+    """Trace segments as flat dict rows (:data:`SEGMENT_COLUMNS`)."""
     return [segment.as_dict() for segment in trace.all_segments()]
 
 
+def events_to_rows(events: EventLog) -> list[dict[str, t.Any]]:
+    """Telemetry events as flat dict rows (:data:`EVENT_COLUMNS`).
+
+    The per-kind payload is heterogeneous, so it lands in one ``data``
+    column as compact JSON rather than exploding into sparse columns.
+    """
+    return [
+        {
+            "kind": event.kind,
+            "ts": event.ts,
+            "actor": event.actor,
+            "data": json.dumps(event.data, sort_keys=True, separators=(",", ":")),
+        }
+        for event in events.records
+    ]
+
+
 def metrics_to_rows(metrics: MetricsRegistry) -> list[dict[str, t.Any]]:
-    """Registry contents as flat table rows (sorted, deterministic)."""
+    """Registry contents as flat table rows (:data:`METRIC_COLUMNS`)."""
     return metrics.as_rows()
 
 

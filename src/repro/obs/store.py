@@ -1,0 +1,441 @@
+"""The run registry: persistent, queryable records of every experiment.
+
+The paper's evidence is longitudinal — eight configurations compared by
+battery lifetime (Fig. 10) — yet a simulation run's telemetry normally
+evaporates with the process. :class:`RunRegistry` is the persistence
+layer above :mod:`repro.obs`: every ``run_experiment`` /
+``run_paper_suite`` invocation can deposit a :class:`RunRecord`
+(config fingerprint, version/git metadata, metrics snapshot, summary
+scalars, event-log digest) into an SQLite database, from which runs can
+be listed, inspected, and diffed against each other or against paper
+expectations long after the process exited.
+
+Determinism contract
+--------------------
+A record is derived *only* from the run payload — the same data that
+round-trips through worker pickling and the content-addressed result
+cache — never from wall clocks or scheduling. Identical configurations
+therefore produce byte-identical records whether executed serially,
+fanned over worker processes, or replayed from the cache, and
+:attr:`RunRecord.run_id` (a digest over fingerprint + results) makes
+re-registration a no-op instead of a duplicate row.
+
+The registry file defaults to ``.repro-runs.sqlite`` in the working
+directory (override with ``REPRO_RUNS_DB`` or ``--db``); deleting the
+file — or ``repro runs reset`` — clears all history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import sqlite3
+import subprocess
+import typing as t
+
+import repro
+from repro.errors import ConfigurationError
+
+if t.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.experiments import ExperimentRun
+
+__all__ = [
+    "DEFAULT_DB",
+    "RunRecord",
+    "RunRegistry",
+    "build_run_record",
+    "diff_records",
+    "git_revision",
+]
+
+#: Default registry location (overridable via the REPRO_RUNS_DB
+#: environment variable, which the CLI honours).
+DEFAULT_DB = ".repro-runs.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    label        TEXT NOT NULL,
+    fingerprint  TEXT NOT NULL,
+    version      TEXT NOT NULL,
+    git_sha      TEXT,
+    n_events     INTEGER NOT NULL,
+    event_digest TEXT,
+    summary      TEXT NOT NULL,
+    metrics      TEXT NOT NULL,
+    seq          INTEGER NOT NULL
+)
+"""
+
+
+def _canonical_json(payload: t.Any) -> str:
+    """Key-sorted, separator-stable JSON; the hashed/stored form."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def git_revision(cwd: str | os.PathLike | None = None) -> str | None:
+    """The working tree's commit sha, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One registered run.
+
+    Attributes
+    ----------
+    run_id:
+        Content digest over (label, fingerprint, summary, metrics,
+        event_digest) — identical configuration and results hash to the
+        identical id, so replays deduplicate.
+    label:
+        Experiment label ("1A", "2C", ...).
+    fingerprint:
+        Digest of the full effective ``run_experiment`` configuration
+        (defaults applied), independent of jobs/cache settings.
+    version, git_sha:
+        Code provenance (package version; commit sha when available).
+    n_events, event_digest:
+        Size and digest of the structured event log (None/0 when the
+        run carried no telemetry) — enough to *compare* event streams
+        across runs without storing them.
+    summary:
+        Scalar outcomes: lifetime, frames, deadline misses, per-node
+        final charge, end reason...
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+        (``as_dict`` form).
+    """
+
+    run_id: str
+    label: str
+    fingerprint: str
+    version: str
+    git_sha: str | None
+    n_events: int
+    event_digest: str | None
+    summary: dict[str, t.Any]
+    metrics: dict[str, t.Any]
+
+    def as_row(self) -> dict[str, t.Any]:
+        """Flat list-view row (id prefix, label, headline scalars)."""
+        return {
+            "run_id": self.run_id[:12],
+            "label": self.label,
+            "T_hours": self.summary.get("t_hours"),
+            "frames": self.summary.get("frames"),
+            "late": self.summary.get("late_results"),
+            "events": self.n_events,
+            "end": self.summary.get("end_reason"),
+        }
+
+
+def build_run_record(
+    run: "ExperimentRun",
+    fingerprint: str,
+    version: str | None = None,
+    git_sha: str | None = None,
+) -> RunRecord:
+    """Derive the registry record for one executed experiment.
+
+    Every field comes from the run payload (which round-trips through
+    worker pickling and the result cache bit-identically), so serial,
+    parallel, and cache-replayed executions of the same configuration
+    produce the same record.
+    """
+    version = version if version is not None else repro.__version__
+    summary: dict[str, t.Any] = {
+        "label": run.spec.label,
+        "t_hours": run.t_hours,
+        "frames": run.frames,
+        "n_nodes": run.spec.n_nodes,
+        "tnorm_hours": run.t_hours / run.spec.n_nodes,
+        "deadline_s": run.spec.deadline_s,
+        "death_times_s": dict(sorted(run.death_times_s.items())),
+    }
+    p = run.pipeline
+    if p is not None:
+        summary.update(
+            end_reason=p.end_reason,
+            end_time_s=p.end_time_s,
+            late_results=p.late_results,
+            max_lateness_s=p.max_lateness_s,
+            delivered_mah=dict(sorted(p.delivered_mah.items())),
+            migrations=len(p.migrations),
+            level_switches=sum(p.level_switches.values()),
+            stage_stalls=sum(p.stage_stalls.values()),
+            link_transactions=p.total_link_transactions,
+            link_bytes=p.total_link_bytes,
+            events_processed=p.events_processed,
+        )
+    else:
+        summary.update(end_reason="all-dead", late_results=0)
+
+    metrics: dict[str, t.Any] = {}
+    n_events = 0
+    event_digest: str | None = None
+    if run.obs is not None:
+        metrics = run.obs.metrics.as_dict()
+        if run.obs.events:
+            events_json = _canonical_json(run.obs.events.as_dict())
+            event_digest = hashlib.sha256(events_json.encode("utf-8")).hexdigest()
+            n_events = len(run.obs.events)
+
+    run_id = hashlib.sha256(
+        _canonical_json(
+            [run.spec.label, fingerprint, summary, metrics, event_digest]
+        ).encode("utf-8")
+    ).hexdigest()
+    return RunRecord(
+        run_id=run_id,
+        label=run.spec.label,
+        fingerprint=fingerprint,
+        version=version,
+        git_sha=git_sha,
+        n_events=n_events,
+        event_digest=event_digest,
+        summary=summary,
+        metrics=metrics,
+    )
+
+
+class RunRegistry:
+    """SQLite-backed store of :class:`RunRecord` rows.
+
+    Connections are opened per operation, so one registry object can be
+    shared freely and the database can be inspected concurrently with
+    standard SQLite tooling. Records are append-only and keyed by
+    content (``run_id``): re-registering an identical run is a no-op,
+    which is what keeps the registry byte-identical across ``--jobs``
+    settings and cache replays.
+    """
+
+    def __init__(self, path: str | os.PathLike = DEFAULT_DB):
+        self.path = pathlib.Path(path)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path)
+        conn.execute(_SCHEMA)
+        return conn
+
+    # -- writes ----------------------------------------------------------
+    def record(self, record: RunRecord) -> bool:
+        """Persist one record; returns True if it was newly inserted."""
+        with self._connect() as conn:
+            cur = conn.execute("SELECT COALESCE(MAX(seq), 0) + 1 FROM runs")
+            next_seq = cur.fetchone()[0]
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO runs "
+                "(run_id, label, fingerprint, version, git_sha, n_events, "
+                " event_digest, summary, metrics, seq) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.run_id,
+                    record.label,
+                    record.fingerprint,
+                    record.version,
+                    record.git_sha,
+                    record.n_events,
+                    record.event_digest,
+                    _canonical_json(record.summary),
+                    _canonical_json(record.metrics),
+                    next_seq,
+                ),
+            )
+            return cur.rowcount == 1
+
+    def record_run(self, run: "ExperimentRun", fingerprint: str) -> RunRecord:
+        """Build and persist the record for one run; returns it."""
+        record = build_run_record(run, fingerprint, git_sha=git_revision())
+        self.record(record)
+        return record
+
+    def reset(self) -> int:
+        """Delete every registered run; returns the number removed."""
+        if not self.path.exists():
+            return 0
+        with self._connect() as conn:
+            cur = conn.execute("DELETE FROM runs")
+            return cur.rowcount
+
+    # -- reads -----------------------------------------------------------
+    @staticmethod
+    def _from_row(row: tuple) -> RunRecord:
+        (run_id, label, fingerprint, version, git_sha,
+         n_events, event_digest, summary, metrics) = row
+        return RunRecord(
+            run_id=run_id,
+            label=label,
+            fingerprint=fingerprint,
+            version=version,
+            git_sha=git_sha,
+            n_events=n_events,
+            event_digest=event_digest,
+            summary=json.loads(summary),
+            metrics=json.loads(metrics),
+        )
+
+    _COLUMNS = (
+        "run_id, label, fingerprint, version, git_sha, "
+        "n_events, event_digest, summary, metrics"
+    )
+
+    def list_runs(
+        self,
+        label: str | None = None,
+        limit: int | None = None,
+        fingerprint: str | None = None,
+    ) -> list[RunRecord]:
+        """Registered runs, most recent first.
+
+        ``label`` and ``fingerprint`` filter to one experiment and/or
+        one exact configuration (fingerprints distinguish e.g. full
+        from quarter-capacity batteries of the same label).
+        """
+        query = f"SELECT {self._COLUMNS} FROM runs"
+        clauses: list[str] = []
+        params: list[t.Any] = []
+        if label is not None:
+            clauses.append("label = ?")
+            params.append(label)
+        if fingerprint is not None:
+            clauses.append("fingerprint = ?")
+            params.append(fingerprint)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY seq DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        if not self.path.exists():
+            return []
+        with self._connect() as conn:
+            return [self._from_row(r) for r in conn.execute(query, params)]
+
+    def get(self, run_id_prefix: str) -> RunRecord:
+        """The unique record whose id starts with ``run_id_prefix``.
+
+        Raises
+        ------
+        ConfigurationError
+            If no record matches, or the prefix is ambiguous.
+        """
+        if not run_id_prefix:
+            raise ConfigurationError("empty run id")
+        matches: list[RunRecord] = []
+        if self.path.exists():
+            with self._connect() as conn:
+                rows = conn.execute(
+                    f"SELECT {self._COLUMNS} FROM runs "
+                    "WHERE run_id LIKE ? ORDER BY seq",
+                    (run_id_prefix.replace("%", "") + "%",),
+                )
+                matches = [self._from_row(r) for r in rows]
+        if not matches:
+            raise ConfigurationError(f"no registered run matches {run_id_prefix!r}")
+        if len(matches) > 1:
+            ids = ", ".join(m.run_id[:12] for m in matches)
+            raise ConfigurationError(
+                f"run id {run_id_prefix!r} is ambiguous ({ids})"
+            )
+        return matches[0]
+
+    def latest(
+        self, label: str, fingerprint: str | None = None
+    ) -> RunRecord | None:
+        """The most recently registered run of one experiment label."""
+        runs = self.list_runs(label=label, limit=1, fingerprint=fingerprint)
+        return runs[0] if runs else None
+
+    def __len__(self) -> int:
+        if not self.path.exists():
+            return 0
+        with self._connect() as conn:
+            return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def dump_rows(self) -> list[tuple]:
+        """Every row, fully materialized, in insertion order.
+
+        The registry's determinism tests compare these dumps across
+        execution modes; any wall-clock or scheduling leak into the
+        stored content would show up here.
+        """
+        if not self.path.exists():
+            return []
+        with self._connect() as conn:
+            return list(conn.execute("SELECT * FROM runs ORDER BY seq"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunRegistry {self.path} n={len(self)}>"
+
+
+# ---------------------------------------------------------------------------
+# regression diffing
+# ---------------------------------------------------------------------------
+
+def _scalar_items(record: RunRecord) -> dict[str, float]:
+    """Flat name -> numeric value view of a record (summary + metrics)."""
+    out: dict[str, float] = {}
+    for name, value in record.summary.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[name] = float(value)
+    for counter in record.metrics.get("counters", []):
+        out[f"counter:{counter['name']}"] = float(counter["value"])
+    for gauge in record.metrics.get("gauges", []):
+        if gauge["value"] is not None:
+            out[f"gauge:{gauge['name']}"] = float(gauge["value"])
+    return out
+
+
+def diff_records(
+    a: RunRecord,
+    b: RunRecord,
+    threshold_pct: float = 0.0,
+) -> list[dict[str, t.Any]]:
+    """Per-metric deltas between two registered runs.
+
+    Returns one row per scalar present in either record, with absolute
+    and relative deltas; rows whose relative change exceeds
+    ``threshold_pct`` are flagged ``regression`` (direction-agnostic —
+    the caller decides which direction is bad per metric). Rows are
+    name-sorted for deterministic rendering.
+    """
+    va, vb = _scalar_items(a), _scalar_items(b)
+    rows: list[dict[str, t.Any]] = []
+    for name in sorted(set(va) | set(vb)):
+        x, y = va.get(name), vb.get(name)
+        delta = None if x is None or y is None else y - x
+        rel = None
+        if delta is not None and x not in (None, 0.0):
+            rel = 100.0 * delta / abs(x)
+        rows.append(
+            {
+                "metric": name,
+                "a": x,
+                "b": y,
+                "delta": delta,
+                "rel_pct": None if rel is None else round(rel, 3),
+                "regression": (
+                    rel is not None
+                    and threshold_pct > 0
+                    and abs(rel) > threshold_pct
+                ),
+            }
+        )
+    return rows

@@ -338,8 +338,11 @@ class PipelineEngine:
     def __init__(self, config: PipelineConfig, sim: Simulator | None = None):
         self.config = config
         # The event bus every emitter publishes into; None when the run
-        # is untraced so emit sites stay a single falsy branch.
-        self._log = config.obs.events if config.obs is not None else None
+        # is untraced OR the log is a null sink, so emit sites stay a
+        # single C-level None test (a disabled EventLog would cost a
+        # Python-level __bool__ call per guard).
+        log = config.obs.events if config.obs is not None else None
+        self._log = log if log else None
         self.sim = sim or Simulator(obs=self._log)
         self._validate()
 

@@ -44,8 +44,10 @@ class Simulator:
         #: when disabled). The kernel publishes coarse scheduling
         #: records — process starts and run-loop exits — never
         #: per-event records, so instrumentation cannot dominate
-        #: dispatch.
-        self.obs = obs
+        #: dispatch. A falsy bus (a disabled EventLog) is normalized to
+        #: None here so the emit-site guard is a C-level None test
+        #: rather than a Python-level ``__bool__`` call per check.
+        self.obs = obs if obs else None
 
     # -- clock -------------------------------------------------------------
     @property

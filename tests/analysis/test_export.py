@@ -26,6 +26,15 @@ class TestCSV:
     def test_empty(self):
         assert rows_to_csv([]) == ""
 
+    def test_empty_with_columns_keeps_header(self):
+        # A zero-event export must stay a parseable CSV, not vanish.
+        text = rows_to_csv([], columns=["kind", "ts", "actor"])
+        assert text.strip() == "kind,ts,actor"
+
+    def test_write_rows_empty_csv_with_columns(self, tmp_path):
+        path = write_rows([], tmp_path / "empty.csv", columns=["a", "b"])
+        assert path.read_text().strip() == "a,b"
+
 
 class TestJSON:
     def test_roundtrip(self):

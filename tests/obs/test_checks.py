@@ -1,0 +1,361 @@
+"""Invariant monitors: each check passes on a clean synthetic stream
+and fails on the same stream minimally perturbed.
+
+Every monitor gets a pair of tests built from hand-written event
+streams — a deadline miss, a battery charge uptick, a late recovery
+ack, a saturated link, a lost discharge balance — so a verdict flip
+can be attributed to exactly one perturbed event. The end-to-end
+pass-on-real-runs behaviour is covered by the CLI `check` tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.obs import EventLog, Telemetry
+from repro.obs.checks import (
+    PAPER_ORDERING,
+    ChargeMonotonicMonitor,
+    FrameDeadlineMonitor,
+    InvariantMonitor,
+    LinkBusyFractionMonitor,
+    RecoveryLatencyMonitor,
+    RotationBalanceMonitor,
+    check_paper_ordering,
+    paper_monitors,
+    replay,
+)
+
+from tests.conftest import tiny_battery_factory
+
+
+def _log(events):
+    """Build an EventLog from (kind, ts, actor, data) tuples."""
+    log = EventLog()
+    for kind, ts, actor, data in events:
+        log.emit(kind, ts, actor, **data)
+    return log
+
+
+def _verdict(monitor, events):
+    [verdict] = replay(_log(events), [monitor])
+    return verdict
+
+
+# ---------------------------------------------------------------------------
+# frame deadline
+# ---------------------------------------------------------------------------
+
+_FRAMES_OK = [
+    ("frame.result", 4.6, "host", {"frame": 0, "latency_s": 4.2, "late": False}),
+    ("frame.result", 6.9, "host", {"frame": 1, "latency_s": 4.4, "late": False}),
+    ("frame.result", 9.2, "host", {"frame": 2, "latency_s": 4.1, "late": False}),
+]
+
+
+class TestFrameDeadlineMonitor:
+    def test_passes_within_contract(self):
+        verdict = _verdict(FrameDeadlineMonitor(2.3, n_stages=2), _FRAMES_OK)
+        assert verdict.ok
+        assert verdict.events_seen == 3
+        assert verdict.violating_event is None
+
+    def test_fails_on_single_late_frame(self):
+        events = list(_FRAMES_OK)
+        # Perturb one frame past the 2 * 2.3 s contract.
+        events[1] = (
+            "frame.result", 11.9, "host",
+            {"frame": 1, "latency_s": 9.4, "late": True},
+        )
+        verdict = _verdict(FrameDeadlineMonitor(2.3, n_stages=2), events)
+        assert not verdict.ok
+        assert verdict.violations == 1
+        assert verdict.violating_event.data["frame"] == 1
+        assert "9.400s" in verdict.detail
+
+    def test_grace_widens_the_bound(self):
+        events = [
+            ("frame.result", 11.9, "host",
+             {"frame": 1, "latency_s": 9.4, "late": True}),
+        ]
+        strict = _verdict(FrameDeadlineMonitor(2.3, n_stages=2), events)
+        graced = _verdict(
+            FrameDeadlineMonitor(2.3, n_stages=2, grace_s=6.9), list(events)
+        )
+        assert not strict.ok
+        assert graced.ok
+
+    def test_ignores_other_event_kinds(self):
+        verdict = _verdict(
+            FrameDeadlineMonitor(2.3),
+            [("battery.draw", 1.0, "node1", {"charge_fraction": 0.5})],
+        )
+        assert verdict.ok
+        assert verdict.events_seen == 0
+
+
+# ---------------------------------------------------------------------------
+# charge monotonicity
+# ---------------------------------------------------------------------------
+
+_CHARGE_OK = [
+    ("battery.draw", 60.0, "node1", {"charge_fraction": 0.99, "current_ma": 40.0, "mode": "computation"}),
+    ("battery.draw", 60.0, "node2", {"charge_fraction": 0.98, "current_ma": 42.0, "mode": "computation"}),
+    ("battery.draw", 120.0, "node1", {"charge_fraction": 0.97, "current_ma": 40.0, "mode": "idle"}),
+    ("battery.draw", 120.0, "node2", {"charge_fraction": 0.96, "current_ma": 41.0, "mode": "idle"}),
+    ("battery.draw", 180.0, "node1", {"charge_fraction": 0.95, "current_ma": 40.0, "mode": "communication"}),
+]
+
+
+class TestChargeMonotonicMonitor:
+    def test_passes_on_discharge(self):
+        verdict = _verdict(ChargeMonotonicMonitor(), _CHARGE_OK)
+        assert verdict.ok
+        assert "2 nodes" in verdict.detail
+
+    def test_fails_on_charge_uptick(self):
+        events = list(_CHARGE_OK)
+        # node1's third sample rises above its second: a model leak.
+        events[4] = (
+            "battery.draw", 180.0, "node1",
+            {"charge_fraction": 0.975, "current_ma": 40.0, "mode": "idle"},
+        )
+        verdict = _verdict(ChargeMonotonicMonitor(), events)
+        assert not verdict.ok
+        assert verdict.violating_event.ts == 180.0
+        assert "node1" in verdict.detail
+
+    def test_per_node_tracking_no_cross_node_false_positive(self):
+        # node2 (0.98) reporting after node1 (0.97) is NOT an uptick.
+        events = [
+            ("battery.draw", 60.0, "node1", {"charge_fraction": 0.97}),
+            ("battery.draw", 61.0, "node2", {"charge_fraction": 0.98}),
+        ]
+        assert _verdict(ChargeMonotonicMonitor(), events).ok
+
+    def test_tolerance_absorbs_float_noise(self):
+        events = [
+            ("battery.draw", 60.0, "node1", {"charge_fraction": 0.97}),
+            ("battery.draw", 61.0, "node1", {"charge_fraction": 0.97 + 1e-12}),
+        ]
+        assert _verdict(ChargeMonotonicMonitor(), events).ok
+
+
+# ---------------------------------------------------------------------------
+# link busy fraction
+# ---------------------------------------------------------------------------
+
+def _xfers(duration_s, n=20, spacing_s=2.3):
+    return [
+        ("link.xfer", (i + 1) * spacing_s, "node1",
+         {"to": "node2", "bytes": 20000, "duration_s": duration_s})
+        for i in range(n)
+    ]
+
+
+class TestLinkBusyFractionMonitor:
+    def test_passes_at_moderate_utilisation(self):
+        verdict = _verdict(LinkBusyFractionMonitor(), _xfers(duration_s=1.0))
+        assert verdict.ok
+        assert "peak busy fraction" in verdict.detail
+
+    def test_fails_past_the_budget(self):
+        # Transfers longer than their spacing: >100% busy, impossible
+        # on a half-duplex serial link — must be flagged.
+        verdict = _verdict(LinkBusyFractionMonitor(), _xfers(duration_s=2.6))
+        assert not verdict.ok
+        assert "node1" in verdict.detail
+
+    def test_short_streams_are_vacuous(self):
+        # Below the warmup span a single fat transfer proves nothing.
+        verdict = _verdict(
+            LinkBusyFractionMonitor(warmup_s=10.0),
+            [("link.xfer", 2.0, "node1",
+              {"to": "node2", "bytes": 100, "duration_s": 1.9})],
+        )
+        assert verdict.ok
+
+
+# ---------------------------------------------------------------------------
+# rotation discharge balance
+# ---------------------------------------------------------------------------
+
+def _balanced(spread):
+    events = []
+    for i in range(1, 5):
+        t = 60.0 * i
+        base = 1.0 - 0.05 * i
+        events.append(("battery.draw", t, "node1", {"charge_fraction": base}))
+        events.append(
+            ("battery.draw", t, "node2", {"charge_fraction": base - spread})
+        )
+    return events
+
+
+class TestRotationBalanceMonitor:
+    def test_passes_when_balanced(self):
+        verdict = _verdict(
+            RotationBalanceMonitor(tolerance=0.12, n_nodes=2), _balanced(0.02)
+        )
+        assert verdict.ok
+        assert "spread" in verdict.detail
+
+    def test_fails_when_one_node_runs_ahead(self):
+        verdict = _verdict(
+            RotationBalanceMonitor(tolerance=0.12, n_nodes=2), _balanced(0.3)
+        )
+        assert not verdict.ok
+        assert verdict.violating_event.kind == "battery.draw"
+
+    def test_waits_for_every_node_before_judging(self):
+        # Only node1 ever reports: no spread to evaluate, vacuous pass.
+        events = [
+            ("battery.draw", 60.0, "node1", {"charge_fraction": 0.9}),
+            ("battery.draw", 120.0, "node1", {"charge_fraction": 0.2}),
+        ]
+        verdict = _verdict(RotationBalanceMonitor(n_nodes=2), events)
+        assert verdict.ok
+        assert "fewer than two nodes" in verdict.detail
+
+
+# ---------------------------------------------------------------------------
+# recovery detection latency
+# ---------------------------------------------------------------------------
+
+_RECOVERY_OK = [
+    ("battery.dead", 1000.0, "node1", {"delivered_mah": 95.2}),
+    ("recovery.migrate", 1006.9, "node2",
+     {"survivor": "node2", "detect_timeout_s": 6.9}),
+]
+
+
+class TestRecoveryLatencyMonitor:
+    def test_passes_within_the_ack_timeout(self):
+        verdict = _verdict(RecoveryLatencyMonitor(6.9, slack_s=2.3), _RECOVERY_OK)
+        assert verdict.ok
+        assert "1 migrations" in verdict.detail
+
+    def test_fails_on_late_detection(self):
+        events = [
+            _RECOVERY_OK[0],
+            # Ack silence noticed three deadlines too late.
+            ("recovery.migrate", 1016.2, "node2",
+             {"survivor": "node2", "detect_timeout_s": 6.9}),
+        ]
+        verdict = _verdict(RecoveryLatencyMonitor(6.9, slack_s=2.3), events)
+        assert not verdict.ok
+        assert "detection latency" in verdict.detail
+        assert verdict.violating_event.kind == "recovery.migrate"
+
+    def test_fails_on_migration_without_death(self):
+        verdict = _verdict(
+            RecoveryLatencyMonitor(6.9), [_RECOVERY_OK[1]]
+        )
+        assert not verdict.ok
+        assert "no preceding" in verdict.detail
+
+    def test_no_migrations_is_a_vacuous_pass(self):
+        verdict = _verdict(RecoveryLatencyMonitor(6.9), [_RECOVERY_OK[0]])
+        assert verdict.ok
+        assert "no migrations" in verdict.detail
+
+
+# ---------------------------------------------------------------------------
+# streaming vs replay, tap plumbing, verdict shape
+# ---------------------------------------------------------------------------
+
+class TestStreamingEquivalence:
+    def test_attached_monitors_match_replay(self):
+        """A live tap and an offline replay produce identical verdicts."""
+        spec = PAPER_EXPERIMENTS["2B"]
+        obs = Telemetry()
+        live = paper_monitors(spec)
+        for monitor in live:
+            obs.events.attach(monitor)
+        run = run_experiment(
+            spec,
+            battery_factory=tiny_battery_factory,
+            telemetry=obs,
+            monitor_interval_s=60.0,
+        )
+        streamed = [m.verdict().as_dict() for m in live]
+        replayed = [
+            v.as_dict() for v in replay(run.obs.events, paper_monitors(spec))
+        ]
+        assert streamed == replayed
+
+    def test_taps_see_events_dropped_by_the_storage_cap(self):
+        log = EventLog(max_events=2)
+        monitor = ChargeMonotonicMonitor()
+        log.attach(monitor)
+        for i in range(5):
+            log.emit(
+                "battery.draw", 60.0 * (i + 1), "node1",
+                charge_fraction=1.0 - 0.1 * i,
+            )
+        assert len(log) == 2 and log.dropped == 3
+        assert monitor.events_seen == 5
+
+    def test_attach_rejects_non_monitors(self):
+        with pytest.raises(TypeError, match="observe"):
+            EventLog().attach(object())
+
+    def test_detach_stops_the_stream(self):
+        log = EventLog()
+        monitor = ChargeMonotonicMonitor()
+        log.attach(monitor)
+        log.emit("battery.draw", 60.0, "node1", charge_fraction=0.9)
+        log.detach(monitor)
+        log.emit("battery.draw", 120.0, "node1", charge_fraction=0.8)
+        assert monitor.events_seen == 1
+        log.detach(monitor)  # double-detach is harmless
+
+    def test_base_class_requires_observe_implementation(self):
+        class Incomplete(InvariantMonitor):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Incomplete().observe(
+                _log([("x", 0.0, "", {})]).records[0]
+            )
+
+
+class TestPaperMonitors:
+    def test_selected_per_spec(self):
+        names = lambda spec: {m.name for m in paper_monitors(spec)}
+        assert names(PAPER_EXPERIMENTS["2"]) == {
+            "charge-monotonic", "frame-deadline", "link-busy-fraction",
+        }
+        assert "recovery-latency" in names(PAPER_EXPERIMENTS["2B"])
+        assert "rotation-balance" in names(PAPER_EXPERIMENTS["2C"])
+        # No-I/O runs have no pipeline, links, or deadline contract.
+        assert names(PAPER_EXPERIMENTS["0A"]) == {"charge-monotonic"}
+
+    def test_recovery_spec_gets_deadline_grace(self):
+        monitors = {m.name: m for m in paper_monitors(PAPER_EXPERIMENTS["2B"])}
+        spec = PAPER_EXPERIMENTS["2B"]
+        strict = spec.n_nodes * spec.deadline_s
+        assert monitors["frame-deadline"].bound_s > strict + spec.recovery_detect_timeout_s - 1e-9
+
+
+class TestPaperOrdering:
+    _GOOD = {"2C": 9.79, "2B": 8.22, "2A": 7.26, "2": 7.13}
+
+    def test_correct_ordering_passes(self):
+        verdicts = check_paper_ordering(self._GOOD)
+        assert len(verdicts) == len(PAPER_ORDERING) - 1
+        assert all(v.ok for v in verdicts)
+
+    def test_inverted_pair_fails_that_pair_only(self):
+        tnorms = dict(self._GOOD, **{"2B": 7.0})  # drops below 2A
+        verdicts = {v.monitor: v for v in check_paper_ordering(tnorms)}
+        assert verdicts["paper-ordering:2C>2B"].ok
+        assert not verdicts["paper-ordering:2B>2A"].ok
+
+    def test_missing_label_is_reported(self):
+        tnorms = {k: v for k, v in self._GOOD.items() if k != "2A"}
+        verdicts = check_paper_ordering(tnorms)
+        assert len(verdicts) == 1
+        assert not verdicts[0].ok
+        assert "2A" in verdicts[0].detail

@@ -11,7 +11,10 @@ from repro.hw.battery import KiBaM
 from repro.hw.battery.monitor import BatteryMonitor, BatterySample
 from repro.obs import EventLog, MetricsRegistry, SpanRecord
 from repro.obs.export import (
+    EVENT_COLUMNS,
+    SEGMENT_COLUMNS,
     chrome_trace,
+    events_to_rows,
     metrics_to_rows,
     read_jsonl,
     segments_to_rows,
@@ -120,6 +123,27 @@ class TestRows:
         m.counter("a").inc(2)
         rows = metrics_to_rows(m)
         assert rows == [{"metric": "a", "kind": "counter", "value": 2}]
+
+    def test_events_to_rows_flattens_payload_to_json(self):
+        log = EventLog()
+        log.emit("frame.result", 4.6, "host", frame=3, latency_s=4.2)
+        rows = events_to_rows(log)
+        assert len(rows) == 1
+        assert rows[0]["kind"] == "frame.result"
+        assert tuple(rows[0].keys()) == EVENT_COLUMNS
+        assert json.loads(rows[0]["data"]) == {"frame": 3, "latency_s": 4.2}
+
+    def test_empty_log_yields_zero_rows_but_csv_keeps_header(self, tmp_path):
+        """A zero-event run exports a header-only file, not an empty one."""
+        from repro.analysis.export import write_rows
+
+        rows = events_to_rows(EventLog())
+        assert rows == []
+        path = write_rows(rows, tmp_path / "events.csv", columns=EVENT_COLUMNS)
+        assert path.read_text().strip() == ",".join(EVENT_COLUMNS)
+
+    def test_column_constants_match_row_shapes(self):
+        assert tuple(segments_to_rows(_make_trace())[0].keys()) == SEGMENT_COLUMNS
 
 
 class TestChromeTrace:

@@ -5,6 +5,12 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_registry(tmp_path, monkeypatch):
+    """Keep default registry writes out of the working tree."""
+    monkeypatch.setenv("REPRO_RUNS_DB", str(tmp_path / "default-runs.sqlite"))
+
+
 class TestParser:
     def test_requires_subcommand(self, capsys):
         with pytest.raises(SystemExit):
@@ -173,6 +179,161 @@ class TestProfile:
     def test_invalid_frames_is_clean_error(self, capsys):
         assert main(["profile", "--frames", "0", "--repeats", "1"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestRuns:
+    """`repro runs list|show|diff|reset` against a seeded registry."""
+
+    @pytest.fixture(scope="class")
+    def records(self):
+        from repro.core.experiments import (
+            PAPER_EXPERIMENTS,
+            experiment_fingerprint,
+            run_experiment,
+        )
+        from repro.obs import build_run_record
+        from tests.conftest import tiny_battery_factory
+
+        kw = dict(
+            battery_factory=tiny_battery_factory,
+            max_frames=15,
+            telemetry=True,
+            monitor_interval_s=60.0,
+        )
+        out = {}
+        for label in ("2", "2A"):
+            run = run_experiment(PAPER_EXPERIMENTS[label], **kw)
+            out[label] = build_run_record(
+                run, experiment_fingerprint(PAPER_EXPERIMENTS[label], kw)
+            )
+        return out
+
+    @pytest.fixture()
+    def db(self, tmp_path, records):
+        from repro.obs import RunRegistry
+
+        path = tmp_path / "runs.sqlite"
+        registry = RunRegistry(path)
+        for record in records.values():
+            registry.record(record)
+        return str(path)
+
+    def test_list_shows_registered_runs(self, db, capsys):
+        assert main(["runs", "--db", db, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "run registry" in out
+        assert " 2 " in out and " 2A " in out
+
+    def test_list_filters_by_label(self, db, capsys):
+        assert main(["runs", "--db", db, "list", "--label", "2A"]) == 0
+        out = capsys.readouterr().out
+        assert " 2A " in out
+        assert " 2 \n" not in out
+
+    def test_list_empty_registry(self, tmp_path, capsys):
+        db = str(tmp_path / "empty.sqlite")
+        assert main(["runs", "--db", db, "list"]) == 0
+        assert "no registered runs" in capsys.readouterr().out
+
+    def test_show_resolves_prefix(self, db, records, capsys):
+        run_id = records["2A"].run_id
+        assert main(["runs", "--db", db, "show", run_id[:10]]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "label    2A" in out
+        assert "summary" in out
+
+    def test_show_unknown_id_is_clean_error(self, db, capsys):
+        assert main(["runs", "--db", db, "show", "feedface"]) == 1
+        assert "no registered run" in capsys.readouterr().err
+
+    def test_diff_between_policies_prints_nonzero_deltas(
+        self, db, records, capsys
+    ):
+        a, b = records["2"].run_id, records["2A"].run_id
+        assert main(["runs", "--db", db, "diff", a[:12], b[:12]]) == 0
+        out = capsys.readouterr().out
+        assert "counter:events.dvs.switch" in out
+        assert "REGRESSION" not in out  # threshold 0: report only
+
+    def test_diff_threshold_flags_regressions(self, db, records, capsys):
+        a, b = records["2"].run_id, records["2A"].run_id
+        code = main(
+            ["runs", "--db", db, "diff", a[:12], b[:12], "--threshold", "0.5"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "moved more than" in out
+
+    def test_diff_run_against_itself_is_empty(self, db, records, capsys):
+        a = records["2"].run_id
+        assert main(["runs", "--db", db, "diff", a, a]) == 0
+        assert "no metric deltas" in capsys.readouterr().out
+
+    def test_reset_empties_registry(self, db, capsys):
+        assert main(["runs", "--db", db, "reset"]) == 0
+        assert "removed 2 run(s)" in capsys.readouterr().out
+        assert main(["runs", "--db", db, "list"]) == 0
+        assert "no registered runs" in capsys.readouterr().out
+
+
+class TestCheck:
+    """`repro check` invariants, Fig. 10 ordering, and baseline diffs."""
+
+    def test_single_label_invariants_hold(self, tmp_path, capsys):
+        db = str(tmp_path / "runs.sqlite")
+        code = main(["check", "2", "--fast", "--no-cache", "--db", db])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment 2 invariants" in out
+        assert "all invariants held" in out
+        assert "FAIL" not in out
+
+    def test_unknown_label_rejected(self, capsys):
+        assert main(["check", "7Z", "--no-registry"]) == 2
+        assert "unknown experiment labels" in capsys.readouterr().err
+
+    def test_paper_ordering_verifies_and_registers(self, tmp_path, capsys):
+        db = str(tmp_path / "runs.sqlite")
+        args = ["check", "--paper", "--fast", "--no-cache", "--db", db]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "running unregistered experiments" in first
+        assert "Fig. 10 ordering verified: 2C > 2B > 2A > 2" in first
+        # Second invocation finds all four runs already registered.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "running unregistered experiments" not in second
+        assert "Fig. 10 ordering verified" in second
+
+    def test_baseline_regression_detected(self, tmp_path, capsys):
+        from repro.core.experiments import (
+            PAPER_EXPERIMENTS,
+            experiment_fingerprint,
+            run_experiment,
+        )
+        from repro.obs import RunRegistry, build_run_record
+        from tests.conftest import tiny_battery_factory
+
+        # A tiny-battery baseline: a fresh quarter-capacity run of the
+        # same label must diverge far past any reasonable threshold.
+        kw = dict(battery_factory=tiny_battery_factory, telemetry=True,
+                  monitor_interval_s=60.0)
+        run = run_experiment(PAPER_EXPERIMENTS["2"], **kw)
+        record = build_run_record(
+            run, experiment_fingerprint(PAPER_EXPERIMENTS["2"], kw)
+        )
+        db = tmp_path / "runs.sqlite"
+        RunRegistry(db).record(record)
+        code = main(
+            ["check", "--baseline", record.run_id[:12], "--fast",
+             "--no-cache", "--db", str(db)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "against the baseline" in out
 
 
 class TestCalibrate:

@@ -4,7 +4,9 @@ Measures the hot paths that dominate paper-suite wall-clock — kernel
 event dispatch, KiBaM stepping, link transactions, ATR recognition —
 plus telemetry overheads (raw event-emit throughput, null-sink and
 full-instrumentation cost on a short run) and the end-to-end
-eight-experiment suite, and writes the numbers to
+eight-experiment suite in three variants — serial exact, fast-forward
+(``mode="fast"``, with frame/lifetime parity columns against serial),
+and 4-worker parallel — and writes the numbers to
 ``BENCH_substrate.json`` so substrate regressions show up in review.
 
 Run from the repo root::
@@ -193,21 +195,49 @@ def bench_obs(frames: int = 40, emits: int = 200_000) -> dict:
     }
 
 
-def bench_suite() -> dict:
+def bench_suite(mode: str = "exact", jobs: int = 1) -> dict:
     t0 = time.perf_counter()
-    runs = run_paper_suite()
+    runs = run_paper_suite(mode=mode, jobs=jobs)
     wall = time.perf_counter() - t0
-    return {
+    out: dict = {
         "wall_s": round(wall, 2),
         "experiments": {
             label: {
                 "t_hours": round(run.t_hours, 4),
                 "frames": run.frames,
-                "events": run.pipeline.events_processed if run.pipeline else None,
+                # Kernel events actually dispatched — populated for the
+                # single-node no-I/O runs (0A/0B) too, which have no
+                # PipelineResult to carry the count.
+                "events": run.sim_events,
             }
             for label, run in runs.items()
         },
     }
+    if mode == "fast":
+        for label, run in runs.items():
+            if run.pipeline is not None:
+                row = out["experiments"][label]
+                row["ff_jumps"] = run.pipeline.ff_jumps
+                row["ff_frames_skipped"] = run.pipeline.ff_frames_skipped
+    return out
+
+
+def _add_parity(section: dict, serial: dict) -> None:
+    """Annotate a suite section with frame/lifetime parity vs serial."""
+    for label, row in section["experiments"].items():
+        ref = serial["experiments"].get(label)
+        if ref is None:
+            continue
+        row["frames_match_serial"] = row["frames"] == ref["frames"]
+        row["t_hours_rel_err"] = (
+            round(abs(row["t_hours"] - ref["t_hours"]) / ref["t_hours"], 9)
+            if ref["t_hours"]
+            else 0.0
+        )
+    if section["wall_s"]:
+        section["speedup_vs_serial"] = round(
+            serial["wall_s"] / section["wall_s"], 2
+        )
 
 
 def _carry_history(output: Path) -> list[dict]:
@@ -235,10 +265,13 @@ def _carry_history(output: Path) -> list[dict]:
             condensed[key] = {
                 k: v for k, v in old[key].items() if not isinstance(v, dict)
             }
-    if "paper_suite_serial" in old:
-        condensed["paper_suite_serial"] = {
-            "wall_s": old["paper_suite_serial"].get("wall_s")
-        }
+    for key in (
+        "paper_suite_serial",
+        "paper_suite_fastforward",
+        "paper_suite_parallel",
+    ):
+        if key in old:
+            condensed[key] = {"wall_s": old[key].get("wall_s")}
     return list(old.get("history", [])) + [condensed]
 
 
@@ -269,7 +302,14 @@ def main(argv: list[str] | None = None) -> int:
         "obs": bench_obs(),
     }
     if not args.quick:
-        report["paper_suite_serial"] = bench_suite()
+        serial = bench_suite()
+        report["paper_suite_serial"] = serial
+        fastforward = bench_suite(mode="fast")
+        _add_parity(fastforward, serial)
+        report["paper_suite_fastforward"] = fastforward
+        parallel = bench_suite(jobs=4)
+        _add_parity(parallel, serial)
+        report["paper_suite_parallel"] = parallel
     report["history"] = _carry_history(args.output)
 
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")

@@ -22,6 +22,12 @@ All output is plain text; ``--csv``/``--json`` export structured rows.
 ``--fast`` swaps in quarter-capacity cells for quick demos (ratios
 compress a little at reduced scale — see the battery-model ablation).
 
+``run``, ``suite`` and ``check`` fast-forward steady-state epochs by
+default (frame counts match event-exact simulation; lifetimes agree to
+float noise); pass ``--exact`` to simulate every event. The library
+default is the opposite: ``run_experiment`` simulates exactly unless
+``mode="fast"`` is requested.
+
 Experiment-running commands register their outcomes in the run
 registry (``.repro-runs.sqlite``; override with ``--db`` or the
 ``REPRO_RUNS_DB`` environment variable, disable with
@@ -80,6 +86,11 @@ def _registry(args: argparse.Namespace) -> t.Any:
     return RunRegistry(path)
 
 
+def _mode(args: argparse.Namespace) -> str:
+    """Simulation mode from CLI flags: fast-forward unless --exact."""
+    return "exact" if getattr(args, "exact", False) else "fast"
+
+
 def _sweep_kwargs(args: argparse.Namespace) -> dict[str, t.Any]:
     """jobs/cache/registry settings for run_paper_suite from CLI flags."""
     cache: t.Any = None
@@ -129,7 +140,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     sweep = _sweep_kwargs(args)
     runs = run_paper_suite(
-        labels, battery_factory=_battery_factory(args.fast), **sweep
+        labels,
+        battery_factory=_battery_factory(args.fast),
+        mode=_mode(args),
+        **sweep,
     )
     rows = []
     for m in summarize_runs(runs):
@@ -451,6 +465,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         battery_factory=factory,
         telemetry=True,
         monitor_interval_s=60.0,
+        mode=_mode(args),
     )
 
     if args.paper:
@@ -685,6 +700,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run-registry database (default "
                             "$REPRO_RUNS_DB or .repro-runs.sqlite)")
 
+    def add_mode(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--exact", action="store_true",
+                       help="simulate every event (default: fast-forward "
+                            "steady-state epochs analytically; frame "
+                            "counts match exact runs, lifetimes agree "
+                            "to float noise)")
+
     def add_sweep(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="fan experiments over N worker processes "
@@ -700,11 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"any of: {', '.join(PAPER_EXPERIMENTS)}")
     add_common(p_run)
     add_sweep(p_run)
+    add_mode(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="run all eight experiments")
     add_common(p_suite)
     add_sweep(p_suite)
+    add_mode(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
@@ -802,6 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="do not record or read registered runs")
     p_check.add_argument("--jobs", type=int, default=1, metavar="N")
     p_check.add_argument("--no-cache", action="store_true")
+    add_mode(p_check)
     add_registry(p_check)
     p_check.set_defaults(func=_cmd_check)
 

@@ -33,7 +33,7 @@ __all__ = ["CACHE_SALT", "canonical", "stable_key", "ResultCache"]
 #: Bumped whenever a change alters simulation results without altering
 #: any configuration object (kernel semantics, battery integration,
 #: protocol fixes). Stale entries then miss instead of lying.
-CACHE_SALT = "substrate-1"
+CACHE_SALT = "substrate-2"
 
 _PRIMITIVES = (str, int, bool, type(None))
 

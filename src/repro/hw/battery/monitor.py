@@ -113,7 +113,7 @@ class BatteryMonitor:
                 )
             )
             self._last_sample_time = time_s
-            if self.obs:
+            if self.obs is not None:
                 self.obs.emit(
                     "battery.draw",
                     time_s,

@@ -315,7 +315,7 @@ class SerialLink:
             transfer.done.succeed(transfer, delay=duration)
             self.transfer_count[direction] += 1
             self.bytes_moved[direction] += send.payload_bytes
-            if self.obs:
+            if self.obs is not None:
                 self.obs.emit(
                     "link.xfer",
                     self.sim.now,

@@ -20,6 +20,11 @@ from repro.hw.link import SerialLink, Transfer
 from repro.hw.power import PowerMode, PowerModel
 from repro.sim import Event, Process, Simulator, TraceRecorder
 
+#: PowerMode -> display string, precomputed: segment closes and DVS
+#: events need the string form, and enum __str__ is a measurable cost
+#: on the per-segment path.
+_MODE_STR = {m: str(m) for m in PowerMode}
+
 __all__ = ["ItsyNode", "NodeDead"]
 
 
@@ -87,7 +92,7 @@ class ItsyNode:
         self.trace = trace
         self.monitor = monitor
         # Falsy bus -> None: set_state/transfer guard every emit with
-        # ``if self.obs:`` in the hottest loops of the simulation, and a
+        # ``if self.obs is not None:`` in the hottest loops of the simulation, and a
         # None test is free where a disabled EventLog's __bool__ is not.
         self.obs = obs if obs else None
 
@@ -102,8 +107,13 @@ class ItsyNode:
         self.died: Event = sim.event()
         self.death_time_s: float | None = None
         # Earliest pending death-timer target (absolute sim time); inf
-        # when no timer is outstanding. See _schedule_death_timer.
+        # when no timer is outstanding. See _schedule_death_timer. The
+        # timer event itself is kept alongside because identity — not
+        # the armed-for timestamp — must decide whether a firing timer
+        # is the earliest pending one: a fast-forward warp shifts
+        # targets after timers are armed.
         self._armed_at = float("inf")
+        self._armed_timer: Event | None = None
         self._current_cache: dict[tuple[PowerMode, FrequencyLevel], float] = {}
         self._attached: list[Process] = []
         self._open_offers: list[tuple[SerialLink, Event]] = []
@@ -117,6 +127,12 @@ class ItsyNode:
         #: pipeline stalls only at the frame cadence; growing stalls
         #: indicate an upstream/downstream imbalance.
         self.io_stalls = 0
+        #: Fast-forward instrumentation: when a list is installed here
+        #: (see :mod:`repro.sim.fastforward`), every closed segment
+        #: appends ``(current_ma, dt_s, mode)`` so the steady-state
+        #: detector can compare whole duty-cycle windows. None (the
+        #: default) costs one C-level test per segment.
+        self._draw_log: list[tuple[float, float, str]] | None = None
 
         self._schedule_death_timer()
 
@@ -163,19 +179,19 @@ class ItsyNode:
             if level not in self.dvs_table.levels:
                 raise ConfigurationError(f"{level} is not in this node's DVS table")
             self.level_switches += 1
-            if self.obs:
+            if self.obs is not None:
                 self.obs.emit(
                     "dvs.switch",
                     self.sim.now,
                     self.name,
                     from_mhz=self.level.mhz,
                     to_mhz=level.mhz,
-                    mode=str(mode),
+                    mode=_MODE_STR[mode],
                 )
         self._close_segment()
         self.mode = mode
         self.level = level
-        self.activity = activity if activity is not None else str(mode)
+        self.activity = activity if activity is not None else _MODE_STR[mode]
         self._detail = detail
         key = (mode, level)
         current = self._current_cache.get(key)
@@ -190,8 +206,10 @@ class ItsyNode:
         dt = now - self._segment_start
         if dt > 0:
             self.battery.draw(self._current_ma, dt)
+            if self._draw_log is not None:
+                self._draw_log.append((self._current_ma, dt, _MODE_STR[self.mode]))
             if self.monitor is not None:
-                self.monitor.observe(now, self._current_ma, dt, str(self.mode))
+                self.monitor.observe(now, self._current_ma, dt, _MODE_STR[self.mode])
             if self.trace is not None:
                 self.trace.add(
                     self.name,
@@ -203,6 +221,24 @@ class ItsyNode:
                     detail=self._detail,
                 )
         self._segment_start = now
+
+    def warp(self, delta: float) -> None:
+        """Shift this node's absolute-time bookkeeping after a time warp.
+
+        Called by the fast-forward engine *after* the battery has been
+        advanced analytically and :meth:`Simulator.warp` has shifted the
+        clock and the pending schedule (including any outstanding death
+        timers, which move with the heap). The open segment keeps its
+        elapsed portion; ``_armed_at`` tracks its (shifted) timer; and
+        the death timer is re-armed because the drained battery's bound
+        is now much tighter than whatever was pending before the jump —
+        without the re-arm, death inside the first post-jump epoch could
+        be missed.
+        """
+        self._segment_start += delta
+        if self._armed_at != float("inf"):
+            self._armed_at += delta
+        self._schedule_death_timer()
 
     # -- death handling -----------------------------------------------------
     def _schedule_death_timer(self) -> None:
@@ -228,11 +264,13 @@ class ItsyNode:
     def _arm_death_timer(self, target: float) -> None:
         self._armed_at = target
         timer = self.sim.timeout(max(0.0, target - self.sim.now))
-        timer.add_callback(lambda _event: self._on_death_timer(target))
+        self._armed_timer = timer
+        timer.add_callback(self._on_death_timer)
 
-    def _on_death_timer(self, armed_for: float) -> None:
-        if armed_for == self._armed_at:
+    def _on_death_timer(self, event: Event) -> None:
+        if event is self._armed_timer:
             self._armed_at = float("inf")
+            self._armed_timer = None
         if self.is_dead:
             return
         # Battery state is lazily integrated: it is current as of
@@ -281,7 +319,7 @@ class ItsyNode:
         for link, offer in self._open_offers:
             link.cancel(offer)
         self._open_offers.clear()
-        if self.obs:
+        if self.obs is not None:
             self.obs.emit(
                 "battery.dead",
                 self.sim.now,
@@ -331,7 +369,7 @@ class ItsyNode:
         self._open_offers.append((link, grant))
         if not grant.triggered:
             self.io_stalls += 1
-            if self.obs:
+            if self.obs is not None:
                 self.obs.emit(
                     "link.stall", self.sim.now, self.name, activity=activity
                 )
@@ -367,7 +405,7 @@ class ItsyNode:
         self._open_offers.append((link, grant))
         if not grant.triggered:
             self.io_stalls += 1
-            if self.obs:
+            if self.obs is not None:
                 self.obs.emit(
                     "link.stall", self.sim.now, self.name, activity=activity
                 )

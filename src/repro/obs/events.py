@@ -30,7 +30,14 @@ kind                   emitted by
 ``frame.result``       :class:`repro.pipeline.engine.PipelineEngine`
 ``recovery.migrate``   :class:`repro.pipeline.engine.PipelineEngine`
 ``rotation.reconfig``  :class:`repro.pipeline.engine.PipelineEngine`
+``ff.epoch``           :class:`repro.sim.fastforward.FastForwardController`
 =====================  ====================================================
+
+``ff.epoch`` is the coalesced record of one fast-forward jump
+(``mode="fast"`` runs only): the frames, periods, per-node drain, and
+per-sender link busy time that analytic epoch skipping removed from the
+event-by-event stream. Monitors in :mod:`repro.obs.checks` fold these
+back into their counts so verdicts stay well-defined in fast mode.
 """
 
 from __future__ import annotations
@@ -112,22 +119,49 @@ class EventLog:
     that checks invariants over a very long run must not go blind when
     the log fills. Taps are live-run machinery: they are not pickled
     with the log and not part of its serialized form.
+
+    Internally, emissions are buffered as raw field tuples and only
+    materialized into :class:`TelemetryEvent` objects when the log is
+    *read* (``records``, iteration, queries, serialization) — frozen
+    dataclass construction is the single largest cost of full telemetry
+    on a hot run, and most recorded events are never individually
+    inspected. Attaching a tap forces eager construction, since taps
+    must observe real events online.
     """
 
-    __slots__ = ("enabled", "max_events", "records", "dropped", "_taps")
+    __slots__ = ("enabled", "max_events", "_records", "_pending", "dropped", "_taps")
 
     def __init__(self, enabled: bool = True, max_events: int = 1_000_000):
         self.enabled = enabled
         self.max_events = max_events
-        self.records: list[TelemetryEvent] = []
+        self._records: list[TelemetryEvent] = []
+        self._pending: list[tuple[str, float, str, dict[str, t.Any]]] = []
         self.dropped = 0
         self._taps: list[t.Any] = []
+
+    @property
+    def records(self) -> list[TelemetryEvent]:
+        """All stored events, materializing any lazily-buffered ones."""
+        if self._pending:
+            self._flush()
+        return self._records
+
+    @records.setter
+    def records(self, value: list[TelemetryEvent]) -> None:
+        self._records = value
+        self._pending = []
+
+    def _flush(self) -> None:
+        append = self._records.append
+        for kind, ts, actor, data in self._pending:
+            append(TelemetryEvent(kind, ts, actor, data))
+        self._pending.clear()
 
     def __bool__(self) -> bool:
         return self.enabled
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records) + len(self._pending)
 
     def __iter__(self) -> t.Iterator[TelemetryEvent]:
         return iter(self.records)
@@ -136,21 +170,31 @@ class EventLog:
         """Publish one event (no-op when disabled; counted when full)."""
         if not self.enabled:
             return
-        event = TelemetryEvent(kind=kind, ts=ts, actor=actor, data=data)
-        if len(self.records) < self.max_events:
-            self.records.append(event)
+        taps = self._taps
+        if taps:
+            event = TelemetryEvent(kind, ts, actor, data)
+            if len(self._records) + len(self._pending) < self.max_events:
+                if self._pending:
+                    self._flush()
+                self._records.append(event)
+            else:
+                self.dropped += 1
+            for tap in taps:
+                tap.observe(event)
+            return
+        if len(self._records) + len(self._pending) < self.max_events:
+            self._pending.append((kind, ts, actor, data))
         else:
             self.dropped += 1
-        if self._taps:
-            for tap in self._taps:
-                tap.observe(event)
 
     def record(self, event: TelemetryEvent) -> None:
         """Publish an already-built event (same gating as :meth:`emit`)."""
         if not self.enabled:
             return
-        if len(self.records) < self.max_events:
-            self.records.append(event)
+        if len(self._records) + len(self._pending) < self.max_events:
+            if self._pending:
+                self._flush()
+            self._records.append(event)
         else:
             self.dropped += 1
         if self._taps:
@@ -184,23 +228,33 @@ class EventLog:
         return [e for e in self.records if e.kind == kind]
 
     def counts_by_kind(self) -> dict[str, int]:
-        """kind -> number of records, sorted by kind (deterministic)."""
+        """kind -> number of records, sorted by kind (deterministic).
+
+        Reads the lazy buffer directly — summarizing a run must not
+        force every buffered event to materialize.
+        """
         counts: dict[str, int] = {}
-        for event in self.records:
+        for event in self._records:
             counts[event.kind] = counts.get(event.kind, 0) + 1
+        for kind, _ts, _actor, _data in self._pending:
+            counts[kind] = counts.get(kind, 0) + 1
         return dict(sorted(counts.items()))
 
     def actors(self) -> list[str]:
         """Distinct actors in first-seen order (excluding "")."""
         seen: dict[str, None] = {}
-        for event in self.records:
+        for event in self._records:
             if event.actor and event.actor not in seen:
                 seen[event.actor] = None
+        for _kind, _ts, actor, _data in self._pending:
+            if actor and actor not in seen:
+                seen[actor] = None
         return list(seen)
 
     def clear(self) -> None:
         """Drop all records (the cap and enabled flag are unchanged)."""
-        self.records.clear()
+        self._records.clear()
+        self._pending.clear()
         self.dropped = 0
 
     # -- serialization ---------------------------------------------------
@@ -237,7 +291,7 @@ class EventLog:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"
-        return f"<EventLog {state} n={len(self.records)} dropped={self.dropped}>"
+        return f"<EventLog {state} n={len(self)} dropped={self.dropped}>"
 
 
 #: Shared always-off log for call sites that want an object, not None.

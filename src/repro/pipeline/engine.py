@@ -194,6 +194,13 @@ class PipelineConfig:
     sleep_wake_latency_s: float = 0.05
     #: Minimum slack worth sleeping through (shorter windows idle).
     sleep_min_slack_s: float = 0.1
+    #: Skip steady-state epochs analytically (see
+    #: :mod:`repro.sim.fastforward`). Frame counts stay identical to
+    #: exact simulation and lifetimes agree to well under 0.1%; runs
+    #: with stochastic timing or a workload model silently stay exact.
+    #: Incompatible with a trace recorder (skipped epochs have no
+    #: segments to record).
+    fast_forward: bool = False
 
     def __post_init__(self) -> None:
         if self.adaptive_workload_dvs and any(
@@ -239,6 +246,11 @@ class PipelineConfig:
             raise ConfigurationError(
                 "failure recovery is implemented for 2-node pipelines "
                 "(the configuration the paper evaluates)"
+            )
+        if self.fast_forward and self.trace is not None:
+            raise ConfigurationError(
+                "fast-forward coalesces whole epochs into analytic jumps; "
+                "timing traces need exact simulation"
             )
         if self.stall_timeout_s is None:
             self.stall_timeout_s = 20.0 * self.deadline_s
@@ -303,7 +315,15 @@ class PipelineResult:
     #: Rendezvous each node had to wait for (see ItsyNode.io_stalls).
     stage_stalls: dict[str, int] = dataclasses.field(default_factory=dict)
     #: Kernel events dispatched over the whole run (simulation cost).
+    #: In fast-forward mode this is the *actual* dispatch count — the
+    #: honest measure of what the run cost — not what exact simulation
+    #: would have dispatched.
     events_processed: int = 0
+    #: Fast-forward jumps applied (0 in exact mode or when no steady
+    #: state was ever detected).
+    ff_jumps: int = 0
+    #: Frames advanced analytically inside those jumps.
+    ff_frames_skipped: int = 0
 
     @property
     def total_link_transactions(self) -> int:
@@ -343,6 +363,14 @@ class PipelineEngine:
         # Python-level __bool__ call per guard).
         log = config.obs.events if config.obs is not None else None
         self._log = log if log else None
+        # Per-result latency histogram, resolved once: the registry
+        # lookup is a dict get, but on the per-frame hot path even that
+        # is measurable telemetry overhead.
+        self._latency_hist = (
+            config.obs.metrics.histogram("frame.latency_s")
+            if config.obs is not None
+            else None
+        )
         self.sim = sim or Simulator(obs=self._log)
         self._validate()
 
@@ -392,6 +420,18 @@ class PipelineEngine:
         self.migrations: list[tuple[float, str]] = []
         self._stage0_holder: str | None = config.node_names[0]
         self._stage0_changed: Event = self.sim.event()
+        # Source state lives on the engine (not in _source's locals) so
+        # a fast-forward jump can advance the emission grid and frame
+        # numbering along with the clock.
+        self._frame_seq = 0
+        self._next_emit = 0.0
+        # Frames currently in flight, by id: a jump must shift their
+        # emission timestamps or every post-jump delivery would look
+        # epochs late. Only maintained in fast mode.
+        self._live_frames: dict[int, Frame] | None = (
+            {} if config.fast_forward else None
+        )
+        self._ff = None
 
     # -- validation -------------------------------------------------------
     def _validate(self) -> None:
@@ -462,6 +502,12 @@ class PipelineEngine:
     def run(self) -> PipelineResult:
         """Execute the experiment and collect the result."""
         cfg = self.config
+        if cfg.fast_forward:
+            from repro.sim.fastforward import FastForwardController
+
+            ff = FastForwardController(self)
+            if ff.install():
+                self._ff = ff
         self.sim.process(self._source(), name="host-source")
         for name in cfg.node_names:
             self.sim.process(self._sink_loop(name), name=f"host-sink-{name}")
@@ -514,6 +560,10 @@ class PipelineEngine:
                 name: node.io_stalls for name, node in self.nodes.items()
             },
             events_processed=self.sim.events_processed,
+            ff_jumps=self._ff.jumps if self._ff is not None else 0,
+            ff_frames_skipped=(
+                self._ff.frames_skipped if self._ff is not None else 0
+            ),
         )
 
     def _fill_metrics(
@@ -557,20 +607,20 @@ class PipelineEngine:
         """Emit one frame every D to the current role-0 holder."""
         cfg = self.config
         input_bytes = cfg.partition.profile.input_bytes
-        frame_id = 0
-        next_emit = 0.0
         workload_rng = None
         if cfg.workload is not None:
             from repro.sim import RngStreams
 
             workload_rng = RngStreams(cfg.seed).stream("workload")
         while True:
-            if self.sim.now < next_emit:
-                yield self.sim.timeout(next_emit - self.sim.now)
+            if self.sim.now < self._next_emit:
+                yield self.sim.timeout(self._next_emit - self.sim.now)
             scale = 1.0
             if cfg.workload is not None:
-                scale = cfg.workload.scale_for(frame_id, workload_rng)
-            frame = Frame(id=frame_id, emitted_s=self.sim.now, scale=scale)
+                scale = cfg.workload.scale_for(self._frame_seq, workload_rng)
+            frame = Frame(id=self._frame_seq, emitted_s=self.sim.now, scale=scale)
+            if self._live_frames is not None:
+                self._live_frames[frame.id] = frame
             while True:
                 target = self._stage0_holder
                 if target is None or self.nodes[target].is_dead:
@@ -604,8 +654,8 @@ class PipelineEngine:
                     break
                 # Stage 0 moved while we were offering: withdraw, retry.
                 link.cancel(grant)
-            frame_id += 1
-            next_emit += cfg.deadline_s
+            self._frame_seq += 1
+            self._next_emit += cfg.deadline_s
 
     def _sink_loop(self, node_name: str) -> t.Generator:
         """Accept final results arriving on one node's serial port."""
@@ -627,6 +677,8 @@ class PipelineEngine:
     def _record_result(self, frame: Frame) -> None:
         self.results_count += 1
         self._last_progress = self.sim.now
+        if self._live_frames is not None:
+            self._live_frames.pop(frame.id, None)
         if self._first_result_s is None:
             self._first_result_s = self.sim.now
         # The per-frame latency contract implied by §3/§4.5: a frame
@@ -642,10 +694,9 @@ class PipelineEngine:
             self.max_lateness_s = lateness
         if lateness > self.config.lateness_tolerance_s:
             self.late_results += 1
-        obs = self.config.obs
-        if obs is not None:
-            if obs.events:
-                obs.events.emit(
+        if self._latency_hist is not None:
+            if self._log is not None:
+                self._log.emit(
                     "frame.result",
                     self.sim.now,
                     HOST_NAME,
@@ -653,7 +704,7 @@ class PipelineEngine:
                     latency_s=latency,
                     late=lateness > self.config.lateness_tolerance_s,
                 )
-            obs.metrics.histogram("frame.latency_s").observe(latency)
+            self._latency_hist.observe(latency)
         self._prev_result_s = self.sim.now
         if len(self.result_times) < self.keep_result_times:
             self.result_times.append(self.sim.now)
@@ -662,6 +713,12 @@ class PipelineEngine:
             and self.results_count >= self.config.max_frames
         ):
             self._finish("max-frames")
+        elif self._ff is not None and not self.done.triggered:
+            # Fast-forward hook: a delivery is the cleanest phase point
+            # to anchor periodicity detection (and, when two windows
+            # match, to warp from — the draw logs and battery states
+            # are exactly aligned here by construction).
+            self._ff.on_result()
 
     def _watchdog(self) -> t.Generator:
         """End the run on death-of-all, stall, or horizon."""

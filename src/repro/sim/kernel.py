@@ -86,7 +86,7 @@ class Simulator:
         from repro.sim.process import Process
 
         process = Process(self, generator, name=name)
-        if self.obs:
+        if self.obs is not None:
             self.obs.emit(
                 "kernel.process", self._now, process.name or "", queued=len(self._heap)
             )
@@ -99,6 +99,25 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def warp(self, delta: float) -> None:
+        """Advance the clock by ``delta``, dragging every pending event along.
+
+        The fast-forward engine (:mod:`repro.sim.fastforward`) uses this
+        to skip whole steady-state epochs: after batteries and counters
+        have been advanced analytically, the pending schedule is shifted
+        rigidly into the future. A uniform shift preserves both the heap
+        invariant and same-timestamp tie order (sequence numbers are
+        untouched), so the simulation resumes exactly as if the skipped
+        interval had been played out — provided the caller really did
+        account for everything that would have happened in it.
+        """
+        if delta < 0:
+            raise SimulationError(f"cannot warp backwards (delta={delta})")
+        self._now += delta
+        heap = self._heap
+        for i, (when, seq, event) in enumerate(heap):
+            heap[i] = (when + delta, seq, event)
 
     # -- run loop ----------------------------------------------------------
     def peek(self) -> float:
@@ -188,7 +207,7 @@ class Simulator:
             self._now = horizon
         finally:
             self._event_count += count
-            if self.obs:
+            if self.obs is not None:
                 self.obs.emit(
                     "kernel.run",
                     self._now,

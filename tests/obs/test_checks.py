@@ -178,6 +178,60 @@ class TestLinkBusyFractionMonitor:
 
 
 # ---------------------------------------------------------------------------
+# fast-forward epochs (mode="fast" coalesced records)
+# ---------------------------------------------------------------------------
+
+def _epoch(ts, frames, link_busy_s, t0=None):
+    return (
+        "ff.epoch", ts, "host",
+        {
+            "frames": frames, "periods": frames, "period_s": 2.3,
+            "t0": ts - frames * 2.3 if t0 is None else t0, "t1": ts,
+            "late": 0, "drained_mah": {}, "link_busy_s": link_busy_s,
+        },
+    )
+
+
+class TestMonitorsAcceptEpochs:
+    """ff.epoch events fold into the monitors instead of blinding them."""
+
+    def test_deadline_monitor_counts_skipped_frames(self):
+        monitor = FrameDeadlineMonitor(2.3, n_stages=2)
+        verdict = _verdict(monitor, _FRAMES_OK + [_epoch(239.2, 100, {})])
+        assert verdict.ok
+        assert monitor.frames == len(_FRAMES_OK) + 100
+        assert "103 frames" in verdict.detail
+
+    def test_deadline_monitor_never_flags_an_epoch(self):
+        # An epoch spans far longer than any per-frame bound; it must
+        # contribute to coverage, not be mistaken for a late frame.
+        verdict = _verdict(FrameDeadlineMonitor(2.3), [_epoch(230.0, 100, {})])
+        assert verdict.ok
+
+    def test_link_busy_merges_epoch_busy_time(self):
+        # 20 exact transfers at 1.0 s / 2.3 s spacing, then an epoch
+        # whose coalesced busy time keeps the same moderate fraction.
+        stream = _xfers(duration_s=1.0) + [_epoch(276.0, 100, {"node1": 100.0})]
+        verdict = _verdict(LinkBusyFractionMonitor(), stream)
+        assert verdict.ok
+
+    def test_link_busy_epoch_saturation_still_fails(self):
+        # The epoch claims more busy seconds than its span: the merged
+        # fraction crosses 1.0 and the monitor must still flag it.
+        stream = _xfers(duration_s=1.0) + [_epoch(276.0, 100, {"node1": 260.0})]
+        verdict = _verdict(LinkBusyFractionMonitor(), stream)
+        assert not verdict.ok
+        assert "node1" in verdict.detail
+
+    def test_epoch_only_stream_uses_t0_for_the_span(self):
+        verdict = _verdict(
+            LinkBusyFractionMonitor(),
+            [_epoch(230.0, 100, {"node1": 100.0}, t0=0.0)],
+        )
+        assert verdict.ok
+
+
+# ---------------------------------------------------------------------------
 # rotation discharge balance
 # ---------------------------------------------------------------------------
 

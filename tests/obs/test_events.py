@@ -72,3 +72,82 @@ class TestEventLog:
         log.emit("a", 1.0, "x")
         log.clear()
         assert log.records == [] and log.dropped == 0
+
+
+class TestLazyMaterialization:
+    """Emissions buffer as raw tuples until the log is actually read."""
+
+    def test_emit_defers_event_construction(self):
+        log = EventLog()
+        log.emit("a", 0.0, "x", n=1)
+        assert log._records == []  # nothing materialized yet
+        assert len(log) == 1
+
+    def test_reading_records_materializes_in_order(self):
+        log = EventLog()
+        log.emit("a", 0.0, "x")
+        log.emit("b", 1.0, "y", n=2)
+        records = log.records
+        assert [type(e) for e in records] == [TelemetryEvent, TelemetryEvent]
+        assert [(e.kind, e.ts, e.actor) for e in records] == [
+            ("a", 0.0, "x"),
+            ("b", 1.0, "y"),
+        ]
+        assert records[1].data == {"n": 2}
+
+    def test_summaries_do_not_force_materialization(self):
+        log = EventLog()
+        log.emit("a", 0.0, "x")
+        log.emit("b", 1.0, "y")
+        log.emit("a", 2.0, "x")
+        assert log.counts_by_kind() == {"a": 2, "b": 1}
+        assert log.actors() == ["x", "y"]
+        assert len(log) == 3
+        assert log._records == []  # still raw tuples
+
+    def test_mixed_buffered_and_materialized_reads_stay_ordered(self):
+        log = EventLog()
+        log.emit("a", 0.0, "x")
+        _ = log.records  # flush
+        log.emit("b", 1.0, "y")
+        assert [e.kind for e in log] == ["a", "b"]
+        assert log.counts_by_kind() == {"a": 1, "b": 1}
+
+    def test_capacity_counts_buffered_events(self):
+        log = EventLog(max_events=2)
+        for i in range(4):
+            log.emit("k", float(i), "a")
+        assert len(log) == 2
+        assert log.dropped == 2
+
+    def test_record_flushes_before_appending(self):
+        log = EventLog()
+        log.emit("a", 0.0, "x")
+        log.record(TelemetryEvent("b", 1.0, "y"))
+        assert [e.kind for e in log.records] == ["a", "b"]
+
+    def test_taps_observe_real_events_online(self):
+        class Tap:
+            def __init__(self):
+                self.seen = []
+
+            def observe(self, event):
+                self.seen.append(event)
+
+        log = EventLog()
+        log.emit("a", 0.0, "x")  # buffered before the tap attaches
+        tap = log.attach(Tap())
+        log.emit("b", 1.0, "y", n=3)
+        assert len(tap.seen) == 1
+        assert isinstance(tap.seen[0], TelemetryEvent)
+        assert tap.seen[0].data == {"n": 3}
+        assert [e.kind for e in log.records] == ["a", "b"]
+
+    def test_serialization_flushes_the_buffer(self):
+        import pickle
+
+        log = EventLog()
+        log.emit("a", 0.5, "x", n=1)
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.records == log.records
+        assert EventLog.from_dict(log.as_dict()).records == log.records

@@ -1,0 +1,217 @@
+"""Steady-state epoch fast-forward: exact-vs-fast equivalence.
+
+Tier-1 tests run the paper experiments on the tiny 25 mAh battery so
+both modes finish in well under a second each; the contract checked is
+the one the engine promises — identical frame counts, lifetimes within
+0.1%, counters advanced arithmetically to the same totals — plus the
+gating rules (stochastic timing never jumps, tracing refuses fast
+mode) and the cache/registry aliasing guarantees. The full-scale
+eight-experiment identity run is tier2 (``-m tier2``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import (
+    PAPER_EXPERIMENTS,
+    experiment_fingerprint,
+    run_experiment,
+    run_paper_suite,
+)
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.hw.link import TransactionTiming
+
+from tests.conftest import tiny_battery_factory
+
+TINY = dict(battery_factory=tiny_battery_factory)
+
+
+def _pair(label: str, **kwargs):
+    """One spec run in both modes on the tiny battery."""
+    spec = PAPER_EXPERIMENTS[label]
+    exact = run_experiment(spec, mode="exact", **TINY, **kwargs)
+    fast = run_experiment(spec, mode="fast", **TINY, **kwargs)
+    return exact, fast
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), 1e-12)
+
+
+class TestNoIOEquivalence:
+    """§6.1 runs: the degenerate one-segment cycle, jumped analytically."""
+
+    @pytest.mark.parametrize("label", ["0A", "0B"])
+    def test_frames_identical_and_lifetime_close(self, label):
+        exact, fast = _pair(label)
+        assert fast.frames == exact.frames
+        assert _rel(fast.t_hours, exact.t_hours) < 1e-3
+
+    def test_fast_dispatches_far_fewer_events(self):
+        exact, fast = _pair("0A")
+        assert fast.sim_events < exact.sim_events / 10
+
+    def test_ff_epoch_event_records_the_jump(self):
+        run = run_experiment(
+            PAPER_EXPERIMENTS["0A"], mode="fast", telemetry=True, **TINY
+        )
+        epochs = run.obs.events.of_kind("ff.epoch")
+        assert len(epochs) == 1
+        (e,) = epochs
+        assert e.data["frames"] == e.data["periods"] > 0
+        assert e.data["t1"] - e.data["t0"] == pytest.approx(
+            e.data["periods"] * e.data["period_s"]
+        )
+
+
+class TestPipelineEquivalence:
+    """Pipelined runs: detection, jump, re-sync through every §5 variant."""
+
+    @pytest.mark.parametrize("label", ["1", "1A", "2", "2A", "2B", "2C"])
+    def test_frames_identical_and_lifetime_close(self, label):
+        exact, fast = _pair(label)
+        assert fast.frames == exact.frames
+        assert _rel(fast.t_hours, exact.t_hours) < 1e-3
+        for name, t_exact in exact.death_times_s.items():
+            assert _rel(fast.death_times_s[name], t_exact) < 1e-3
+
+    def test_jumps_actually_happen(self):
+        _, fast = _pair("2")
+        assert fast.pipeline.ff_jumps >= 1
+        assert fast.pipeline.ff_frames_skipped > 0
+        assert fast.pipeline.ff_frames_skipped < fast.frames
+
+    def test_exact_mode_never_jumps(self):
+        exact, _ = _pair("2")
+        assert exact.pipeline.ff_jumps == 0
+        assert exact.pipeline.ff_frames_skipped == 0
+
+    def test_counters_match_exact(self):
+        """Arithmetic counter bumps land on the event-exact totals."""
+        exact = run_experiment(
+            PAPER_EXPERIMENTS["2"], mode="exact", telemetry=True, **TINY
+        )
+        fast = run_experiment(
+            PAPER_EXPERIMENTS["2"], mode="fast", telemetry=True, **TINY
+        )
+        for key in ("frames.completed",):
+            assert fast.obs.metrics.counter(key).value == pytest.approx(
+                exact.obs.metrics.counter(key).value
+            )
+
+    def test_rotation_period_folds_into_detection(self):
+        """Rotation widens the candidate period to one full role cycle.
+
+        The tiny battery dies inside 2C's first 100-frame rotation
+        epoch, so a shorter rotation period is substituted to get
+        several complete role cycles — and therefore jumps — into the
+        run while still comparing both modes on equal footing.
+        """
+        import dataclasses
+
+        spec = dataclasses.replace(PAPER_EXPERIMENTS["2C"], rotation_period=5)
+        exact = run_experiment(spec, mode="exact", **TINY)
+        fast = run_experiment(spec, mode="fast", **TINY)
+        assert fast.frames == exact.frames
+        assert _rel(fast.t_hours, exact.t_hours) < 1e-3
+        assert fast.pipeline.ff_jumps >= 1
+
+
+class TestGating:
+    def test_stochastic_timing_never_jumps(self):
+        """Jittered startups must gate fast-forward off entirely."""
+        timing = TransactionTiming(startup_jitter_s=0.01)
+        spec = PAPER_EXPERIMENTS["2"]
+        fast = run_experiment(
+            spec, mode="fast", timing=timing, max_frames=40, **TINY
+        )
+        exact = run_experiment(
+            spec, mode="exact", timing=timing, max_frames=40, **TINY
+        )
+        assert fast.pipeline.ff_jumps == 0
+        assert fast.frames == exact.frames
+        assert fast.t_hours == exact.t_hours
+
+    def test_trace_requires_exact_mode(self):
+        with pytest.raises(ConfigurationError, match="trace"):
+            run_experiment(PAPER_EXPERIMENTS["2"], mode="fast", trace=True, **TINY)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            run_experiment(PAPER_EXPERIMENTS["2"], mode="warp", **TINY)
+
+
+class TestModeKeys:
+    """Fast and exact results must never alias in caches or registries."""
+
+    def test_fingerprints_distinguish_modes(self):
+        spec = PAPER_EXPERIMENTS["2"]
+        fp_exact = experiment_fingerprint(spec, {"mode": "exact"})
+        fp_fast = experiment_fingerprint(spec, {"mode": "fast"})
+        assert fp_exact != fp_fast
+
+    def test_default_mode_fingerprints_as_exact(self):
+        spec = PAPER_EXPERIMENTS["2"]
+        assert experiment_fingerprint(spec, {}) == experiment_fingerprint(
+            spec, {"mode": "exact"}
+        )
+
+    def test_cache_keeps_modes_separate(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        kw = dict(cache=cache, **TINY)
+        fast = run_paper_suite(["2"], mode="fast", **kw)["2"]
+        assert fast.pipeline.ff_jumps >= 1
+        # Same cache, exact mode: must be a miss, not the fast payload.
+        exact = run_paper_suite(["2"], mode="exact", **kw)["2"]
+        assert exact.pipeline.ff_jumps == 0
+        assert cache.hits == 0
+
+    def test_cached_fast_run_round_trips_ff_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        kw = dict(cache=cache, mode="fast", **TINY)
+        first = run_paper_suite(["2"], **kw)["2"]
+        again = run_paper_suite(["2"], **kw)["2"]
+        assert cache.hits == 1
+        assert again.frames == first.frames
+        assert again.sim_events == first.sim_events
+        assert again.pipeline.ff_jumps == first.pipeline.ff_jumps
+        assert again.pipeline.ff_frames_skipped == first.pipeline.ff_frames_skipped
+
+
+@pytest.mark.tier2
+class TestFullScaleIdentity:
+    """The acceptance contract on the real 1400 mAh battery.
+
+    Slow (tens of seconds): selected with ``-m tier2``, exercised by
+    the CI perf-smoke job rather than the default test run.
+    """
+
+    @pytest.fixture(scope="class")
+    def suites(self):
+        exact = run_paper_suite(mode="exact")
+        fast = run_paper_suite(mode="fast")
+        return exact, fast
+
+    def test_frame_counts_identical_all_labels(self, suites):
+        exact, fast = suites
+        assert {k: r.frames for k, r in fast.items()} == {
+            k: r.frames for k, r in exact.items()
+        }
+
+    def test_lifetimes_within_a_tenth_percent(self, suites):
+        exact, fast = suites
+        for label, run in fast.items():
+            assert _rel(run.t_hours, exact[label].t_hours) < 1e-3, label
+
+    def test_fig10_ordering_holds_in_fast_mode(self, suites):
+        _, fast = suites
+        t = {k: r.t_hours for k, r in fast.items()}
+        assert t["2C"] > t["2B"] > t["2A"] > t["2"]
+
+    @pytest.mark.parametrize("extra", [[], ["--exact"]])
+    def test_check_paper_green_in_both_modes(self, extra):
+        from repro.cli import main
+
+        assert main(["check", "--paper", *extra]) == 0

@@ -158,6 +158,30 @@ def bench_atr_correlate(frames: int = 20) -> dict:
     return {"rois": len(rois), "rois_per_s": round(len(peaks) / secs, 1)}
 
 
+def bench_batch_sweep(grid: int = 10) -> dict:
+    """The tentpole number: a grid**4-config sensitivity sweep through
+    the structure-of-arrays cohort stepper, single core, no cache."""
+    from repro.batch.sweep import BatchSweepSpec, batch_sweep, verify_sample
+
+    spec = BatchSweepSpec(grid=grid, rel_span=0.10)
+    result = batch_sweep(spec, jobs=1, cache=None)
+    stats = result.stats
+    report = verify_sample(result, sample=8)
+    return {
+        "configs": stats.configs,
+        "cells": stats.cells,
+        "wall_s": round(stats.wall_s, 2),
+        "configs_per_sec": round(stats.configs_per_sec, 1),
+        "epochs": stats.epochs,
+        "root_solves": stats.root_solves,
+        "scalar_spot_check": {
+            "checked": report.checked,
+            "frames_identical": report.frames_identical,
+            "max_lifetime_rel_err": report.max_rel_err,
+        },
+    }
+
+
 def bench_obs(frames: int = 40, emits: int = 200_000) -> dict:
     """Telemetry layer: raw emit throughput plus whole-run overheads."""
     from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
@@ -240,11 +264,17 @@ def _add_parity(section: dict, serial: dict) -> None:
         )
 
 
+#: Most recent prior reports kept in the ``history`` list. Without a
+#: cap the committed artifact grows by one entry per bench run forever.
+_HISTORY_MAX = 20
+
+
 def _carry_history(output: Path) -> list[dict]:
     """Prior reports' headline numbers, so the trajectory stays visible.
 
     Reads the existing report (if any), condenses its scalar metrics,
-    and appends them to whatever history it already carried.
+    and appends them to whatever history it already carried, keeping
+    only the last :data:`_HISTORY_MAX` entries.
     """
     try:
         old = json.loads(output.read_text(encoding="utf-8"))
@@ -260,6 +290,7 @@ def _carry_history(output: Path) -> list[dict]:
         "atr_labeling",
         "atr_correlate",
         "obs",
+        "batch_sweep",
     ):
         if key in old:
             condensed[key] = {
@@ -272,7 +303,7 @@ def _carry_history(output: Path) -> list[dict]:
     ):
         if key in old:
             condensed[key] = {"wall_s": old[key].get("wall_s")}
-    return list(old.get("history", [])) + [condensed]
+    return (list(old.get("history", [])) + [condensed])[-_HISTORY_MAX:]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -300,6 +331,7 @@ def main(argv: list[str] | None = None) -> int:
         "atr_labeling": bench_atr_labeling(),
         "atr_correlate": bench_atr_correlate(),
         "obs": bench_obs(),
+        "batch_sweep": bench_batch_sweep(grid=4 if args.quick else 10),
     }
     if not args.quick:
         serial = bench_suite()

@@ -1,0 +1,155 @@
+"""Vector step kernels for the non-KiBaM chemistries.
+
+The ablation batteries (linear / Peukert / Rakhmatov) are not yet
+wired into a cohort stepper; these kernels are the ground layer for
+that work — each one advances a whole *column* of cells through one
+constant-current step, and the property tests in
+``tests/batch/test_chemistries.py`` pin them elementwise against the
+scalar models' ``preview``/``draw`` as the equivalence oracle.
+
+Exactness contract (established empirically on this platform, and
+enforced by the tests):
+
+- **linear** — pure float64 ``+ - * /``; numpy and Python agree on
+  every bit, so :func:`linear_step` is *bit-identical* to the scalar
+  model.
+- **Rakhmatov** — the scalar model already computes its decay with
+  ``np.exp``, and numpy's ``exp`` is shape-invariant (an array call
+  agrees bitwise with per-element scalar calls), so
+  :func:`rakhmatov_step` is *bit-identical* too.
+- **Peukert** — the rate law ``I * (I / I_ref) ** (p - 1)`` involves
+  ``pow``, where numpy's vectorized kernel and Python's scalar ``**``
+  disagree by ~1 ULP on a few percent of inputs. The default
+  (``exact=True``) computes the rate factor elementwise with Python
+  scalar semantics — bit-identical, and still cheap because the
+  surrounding arithmetic stays vectorized. ``exact=False`` uses
+  numpy's ``**`` throughout: fully vectorized, equal to the scalar
+  model only within documented float-noise bounds (relative error
+  ``<= 4e-16``, i.e. a couple of ULPs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BatteryError
+
+__all__ = [
+    "PEUKERT_VECTOR_RTOL",
+    "linear_step",
+    "peukert_rates",
+    "peukert_step",
+    "rakhmatov_decay_rates",
+    "rakhmatov_step",
+]
+
+#: Bound on ``|vector - scalar| / scalar`` for the ``exact=False``
+#: Peukert rate path (numpy ``**`` vs Python ``**``: ~2 ULPs).
+PEUKERT_VECTOR_RTOL = 4e-16
+
+
+def _column(name: str, values: np.ndarray) -> np.ndarray:
+    out = np.asarray(values, dtype=np.float64)
+    if out.ndim != 1:
+        raise BatteryError(f"{name} must be a 1-D column, got shape {out.shape}")
+    if (out < 0).any():
+        raise BatteryError(f"{name} must be non-negative")
+    return out
+
+
+def linear_step(
+    remaining_mas: np.ndarray, currents_ma: np.ndarray, dt_s: np.ndarray
+) -> np.ndarray:
+    """``LinearBattery.preview`` over a column of cells.
+
+    Bit-identical to the scalar model (no clamp — death handling is the
+    caller's, exactly like ``preview``).
+    """
+    remaining = np.asarray(remaining_mas, dtype=np.float64)
+    currents = _column("currents_ma", currents_ma)
+    dt = _column("dt_s", dt_s)
+    return remaining - currents * dt
+
+
+def peukert_rates(
+    currents_ma: np.ndarray,
+    reference_ma: float,
+    exponent: float,
+    exact: bool = True,
+) -> np.ndarray:
+    """``PeukertBattery.effective_rate`` over a column of currents.
+
+    ``exact=True`` evaluates the ``pow`` with Python scalar semantics
+    (bit-identical to the scalar model); ``exact=False`` stays fully
+    vectorized and agrees within :data:`PEUKERT_VECTOR_RTOL`.
+    """
+    if reference_ma <= 0:
+        raise BatteryError(f"reference current must be positive: {reference_ma}")
+    if exponent < 1.0:
+        raise BatteryError(f"Peukert exponent must be >= 1: {exponent}")
+    currents = _column("currents_ma", currents_ma)
+    if exact:
+        p = exponent - 1.0
+        return np.array(
+            [
+                0.0 if i == 0.0 else i * (i / reference_ma) ** p
+                for i in currents.tolist()
+            ]
+        )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rates = currents * (currents / reference_ma) ** (exponent - 1.0)
+    return np.where(currents == 0.0, 0.0, rates)
+
+
+def peukert_step(
+    remaining_effective_mas: np.ndarray,
+    currents_ma: np.ndarray,
+    dt_s: np.ndarray,
+    reference_ma: float,
+    exponent: float,
+    exact: bool = True,
+) -> np.ndarray:
+    """``PeukertBattery.preview`` over a column of cells."""
+    remaining = np.asarray(remaining_effective_mas, dtype=np.float64)
+    dt = _column("dt_s", dt_s)
+    rates = peukert_rates(currents_ma, reference_ma, exponent, exact=exact)
+    return remaining - rates * dt
+
+
+def rakhmatov_decay_rates(beta_per_sqrt_s: float, n_terms: int) -> np.ndarray:
+    """Per-harmonic decay rates, exactly as the scalar model builds them."""
+    if beta_per_sqrt_s <= 0:
+        raise BatteryError(f"beta must be positive: {beta_per_sqrt_s}")
+    if n_terms < 1:
+        raise BatteryError(f"need at least one series term: {n_terms}")
+    return np.array(
+        [beta_per_sqrt_s**2 * m**2 for m in range(1, n_terms + 1)]
+    )
+
+
+def rakhmatov_step(
+    s_mas: np.ndarray,
+    a_mas: np.ndarray,
+    currents_ma: np.ndarray,
+    dt_s: np.ndarray,
+    rates: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``RakhmatovBattery._advance`` over a column of cells.
+
+    ``s_mas`` is ``(n, m)`` — one row of diffusion harmonics per cell;
+    returns ``(s_next, a_next, sigma_next)``. Bit-identical to the
+    scalar model: both paths evaluate the decay with ``np.exp`` and the
+    update in the same association order.
+    """
+    s = np.asarray(s_mas, dtype=np.float64)
+    if s.ndim != 2:
+        raise BatteryError(f"s_mas must be (n, m), got shape {s.shape}")
+    a = np.asarray(a_mas, dtype=np.float64)
+    currents = _column("currents_ma", currents_ma)[:, None]
+    dt = _column("dt_s", dt_s)[:, None]
+    rates = np.asarray(rates, dtype=np.float64)[None, :]
+    decay = np.exp(-rates * dt)
+    s_next = s * decay + currents * (1.0 - decay) / rates
+    a_next = a + (currents * dt)[:, 0]
+    sigma_next = a_next + 2.0 * s_next.sum(axis=1)
+    return s_next, a_next, sigma_next

@@ -1,0 +1,636 @@
+"""Batched sensitivity sweeps: 10k configs through one cohort.
+
+A sweep *point* perturbs the calibrated constants (KiBaM capacity /
+``c`` / ``k'``, the power model's ``io_activity``) by per-axis factors;
+evaluating a point means predicting the paper's three key lifetimes —
+baseline, partitioned first death, ideal rotation — which reduces to
+four battery cells per point, each repeating a fixed duty cycle. The
+batch path packs every cell of every point into one
+:class:`~repro.batch.kibam.KiBaMCohort` and lets the
+:class:`~repro.batch.stepper.CohortStepper` drive them all at once.
+
+Because the role structure (and therefore every segment *duration*) is
+config-independent, only currents and battery constants vary across the
+cohort: per-point currents follow the same affine
+``idle + w * (peak - idle)`` expression the scalar
+:meth:`~repro.hw.power.PowerModel.current_ma` evaluates, so batch and
+scalar sweeps agree bit for bit (see ``tests/batch/``).
+
+:func:`batch_sweep` chunks the point list through
+:class:`~repro.exec.SweepExecutor`, so cohort batching composes with
+process parallelism and the content-addressed
+:class:`~repro.exec.cache.ResultCache`; each chunk ships its telemetry
+home inside the payload, cache hits included, keeping folded telemetry
+deterministic across serial / parallel / replayed runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+import time
+import typing as t
+
+import numpy as np
+
+from repro.analysis.sensitivity import PARAMETERS, ScenarioOutcome
+from repro.apps.atr.profile import PAPER_PROFILE, TaskProfile
+from repro.batch.kibam import CohortCell, KiBaMCohort
+from repro.batch.stepper import CohortStepper
+from repro.core.policies import BaselinePolicy, DVSDuringIOPolicy, SlowestFeasiblePolicy
+from repro.core.prediction import role_duty_cycle
+from repro.errors import CalibrationError, ConfigurationError
+from repro.exec import SweepExecutor
+from repro.exec.cache import ResultCache
+from repro.hw.battery.kibam import (
+    KiBaM,
+    KiBaMParameters,
+    PAPER_KIBAM_PARAMETERS,
+    lifetime_seconds,
+)
+from repro.hw.dvs import SA1100_TABLE
+from repro.hw.link import PAPER_LINK_TIMING, TransactionTiming
+from repro.hw.power import PAPER_POWER_MODEL, PowerModel
+from repro.obs import Telemetry
+from repro.pipeline.schedule import plan_node
+from repro.pipeline.tasks import Partition
+from repro.units import SECONDS_PER_HOUR
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "SweepPoint",
+    "BatchSweepSpec",
+    "BatchScenarioResult",
+    "BatchStats",
+    "BatchSweepResult",
+    "VerifyReport",
+    "scenario_segments",
+    "evaluate_tasks_batch",
+    "evaluate_points_batch",
+    "task_reference_scalar",
+    "point_reference_scalar",
+    "batch_sweep",
+    "verify_sample",
+]
+
+#: The four cells a sensitivity scenario discharges, in cohort order.
+SCENARIO_KINDS = ("baseline", "stage0", "stage1", "rotation")
+
+#: Short axis names used in generated grid labels, aligned with
+#: :data:`repro.analysis.sensitivity.PARAMETERS`.
+_SHORT = {"capacity": "cap", "c": "c", "k_prime": "kp", "io_activity": "io"}
+
+#: One scenario task: (label, battery parameters, power model) — the
+#: same triple :func:`repro.analysis.sensitivity.evaluate_scenario` takes.
+Task = tuple[str, KiBaMParameters, PowerModel]
+
+
+# ---------------------------------------------------------------------------
+# sweep points
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One sweep config: per-axis perturbation factors.
+
+    ``factors`` aligns with :data:`~repro.analysis.sensitivity.PARAMETERS`
+    (capacity, c, k_prime, io_activity); a factor of 1.0 leaves that
+    axis at its calibrated value.
+    """
+
+    label: str
+    factors: tuple[float, float, float, float]
+
+    def task(self) -> Task:
+        """Resolve to the calibrated constants with factors applied.
+
+        Mirrors :func:`repro.analysis.sensitivity._perturbed` expression
+        for expression (including the ``c``/``io_activity`` clamps), so
+        a single-axis point resolves to exactly what the one-at-a-time
+        scalar sweep evaluates.
+        """
+        battery = PAPER_KIBAM_PARAMETERS
+        power = PAPER_POWER_MODEL
+        cap_f, c_f, kp_f, io_f = self.factors
+        battery = dataclasses.replace(
+            battery,
+            capacity_mah=battery.capacity_mah * cap_f,
+            c=min(0.95, battery.c * c_f),
+            k_prime_per_hour=battery.k_prime_per_hour * kp_f,
+        )
+        power = power.replace(io_activity=min(1.0, power.io_activity * io_f))
+        return (self.label, battery, power)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSweepSpec:
+    """What to sweep: axes, span, and grid resolution.
+
+    ``mode="grid"`` takes the full cross product (``grid ** len(parameters)``
+    configs — ``grid=10`` over all four axes is the 10k-config sweep);
+    ``mode="one_at_a_time"`` perturbs each axis separately around the
+    nominal point, like the classic sensitivity sweep.
+    """
+
+    grid: int = 3
+    rel_span: float = 0.10
+    mode: str = "grid"
+    parameters: tuple[str, ...] = PARAMETERS
+    deadline_s: float = 2.3
+    max_hours: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.grid < 1:
+            raise ConfigurationError(f"grid must be >= 1, got {self.grid}")
+        if not 0.0 < self.rel_span < 1.0:
+            raise ConfigurationError(
+                f"rel_span must be in (0, 1), got {self.rel_span}"
+            )
+        if self.mode not in ("grid", "one_at_a_time"):
+            raise ConfigurationError(f"unknown sweep mode {self.mode!r}")
+        unknown = [p for p in self.parameters if p not in PARAMETERS]
+        if unknown or not self.parameters:
+            raise ConfigurationError(
+                f"parameters must be a non-empty subset of {PARAMETERS}, "
+                f"got {self.parameters}"
+            )
+
+    def axis_factors(self) -> tuple[float, ...]:
+        """Evenly spaced factors spanning ``1 ± rel_span``."""
+        if self.grid == 1:
+            return (1.0,)
+        lo = 1.0 - self.rel_span
+        step = 2.0 * self.rel_span / (self.grid - 1)
+        return tuple(lo + step * i for i in range(self.grid))
+
+    def points(self) -> tuple[SweepPoint, ...]:
+        """The sweep's configs, in deterministic enumeration order."""
+        factors = self.axis_factors()
+        if self.mode == "one_at_a_time":
+            points = [SweepPoint("nominal", (1.0, 1.0, 1.0, 1.0))]
+            for parameter in self.parameters:
+                for f in factors:
+                    if f == 1.0:
+                        continue
+                    axis = tuple(
+                        f if p == parameter else 1.0 for p in PARAMETERS
+                    )
+                    points.append(
+                        SweepPoint(f"{parameter} {f - 1.0:+.0%}", axis)
+                    )
+            return tuple(points)
+        axes = [factors if p in self.parameters else (1.0,) for p in PARAMETERS]
+        points = []
+        for combo in itertools.product(*axes):
+            label = " ".join(
+                f"{_SHORT[p]}{(f - 1.0) * 100.0:+.3g}%"
+                for p, f in zip(PARAMETERS, combo)
+                if p in self.parameters
+            )
+            points.append(SweepPoint(label, combo))
+        return tuple(points)
+
+
+# ---------------------------------------------------------------------------
+# scenario structure (config-independent)
+# ---------------------------------------------------------------------------
+
+def scenario_segments(
+    profile: TaskProfile = PAPER_PROFILE,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    deadline_s: float = 2.3,
+) -> tuple[tuple, ...]:
+    """The four duty-cycle segment tuples a scenario discharges.
+
+    Hoists the role structure out of the per-config loop: partitioning,
+    plans, and DVS policy depend only on the profile / timing /
+    deadline, never on the battery or ``io_activity``, so all configs
+    share these segments and differ only in currents. Mirrors
+    :func:`repro.analysis.sensitivity.evaluate_scenario` exactly —
+    baseline from the single-node :class:`BaselinePolicy` role, the
+    scheme-1 pair under DVS-during-I/O, and rotation as the pair's
+    concatenated cycles (:func:`predict_rotation_lifetime_hours`).
+    """
+    table = SA1100_TABLE
+    single = Partition(profile)
+    single_plans = [plan_node(single.stage(0), timing, deadline_s, table)]
+    single_roles = BaselinePolicy().role_configs(single_plans, table)
+    pair = Partition(profile, (1,))
+    pair_plans = [plan_node(a, timing, deadline_s, table) for a in pair.assignments]
+    pair_roles = DVSDuringIOPolicy(SlowestFeasiblePolicy()).role_configs(
+        pair_plans, table
+    )
+    baseline = role_duty_cycle(single_roles[0], timing, deadline_s)
+    stages = [role_duty_cycle(role, timing, deadline_s) for role in pair_roles]
+    rotation: list = []
+    for cycle in stages:
+        rotation.extend(cycle)
+    return (baseline, stages[0], stages[1], tuple(rotation))
+
+
+def _task_cycles(
+    task: Task,
+    segments4: tuple[tuple, ...],
+    memo: dict[t.Any, tuple[tuple[tuple[float, float], ...], ...]],
+) -> tuple[tuple[tuple[float, float], ...], ...]:
+    """The four ``(current, dt)`` cycles for one task's power model.
+
+    Currents are memoized per power-model identity: sweep points share
+    curve objects (only ``io_activity`` varies), so a 10k-point grid
+    computes each distinct current set once.
+    """
+    _, _, power = task
+    key = (
+        power.io_activity,
+        power.sleep_ma,
+        id(power.table),
+        tuple(id(curve) for curve in power.curves.values()),
+    )
+    got = memo.get(key)
+    if got is not None:
+        return got
+    table = SA1100_TABLE
+    cycles = tuple(
+        tuple(
+            (power.current_ma(seg.mode, table.level_at(seg.level_mhz)), seg.duration_s)
+            for seg in segments
+        )
+        for segments in segments4
+    )
+    memo[key] = cycles
+    return cycles
+
+
+# ---------------------------------------------------------------------------
+# batch evaluation
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class BatchScenarioResult:
+    """Outcomes plus the identity oracle for one cohort evaluation."""
+
+    outcomes: tuple[ScenarioOutcome, ...]
+    #: Completed duty cycles per (config, cell kind) — compare against
+    #: the scalar reference for frame-count identity.
+    cycles: tuple[tuple[int, int, int, int], ...]
+    epochs: int
+    root_solves: int
+
+
+def evaluate_tasks_batch(
+    tasks: t.Sequence[Task],
+    profile: TaskProfile = PAPER_PROFILE,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    deadline_s: float = 2.3,
+    max_hours: float = 400.0,
+    obs: t.Any = None,
+) -> BatchScenarioResult:
+    """Evaluate many sensitivity scenarios in one cohort pass.
+
+    The batch twin of mapping
+    :func:`~repro.analysis.sensitivity.evaluate_scenario` over
+    ``tasks`` — same outcomes, bit for bit, at cohort speed.
+    """
+    if not tasks:
+        return BatchScenarioResult((), (), 0, 0)
+    segments4 = scenario_segments(profile, timing, deadline_s)
+    memo: dict[t.Any, tuple] = {}
+    cells: list[CohortCell] = []
+    for task in tasks:
+        _, battery, _ = task
+        for cycle in _task_cycles(task, segments4, memo):
+            cells.append(CohortCell(battery, cycle))
+    cohort = KiBaMCohort(cells)
+    result = CohortStepper(cohort, max_hours * SECONDS_PER_HOUR, obs=obs).run()
+    if np.isinf(result.death_s).any():
+        row = int(np.flatnonzero(np.isinf(result.death_s))[0])
+        raise CalibrationError(
+            f"{tasks[row // 4][0]} ({SCENARIO_KINDS[row % 4]}): no death "
+            f"within {max_hours} h (current too low for this parameterization)"
+        )
+    hours = result.death_s / SECONDS_PER_HOUR
+    outcomes = []
+    cycle_counts = []
+    for i, (label, _, _) in enumerate(tasks):
+        base, s0, s1, rot = (float(h) for h in hours[4 * i : 4 * i + 4])
+        outcomes.append(
+            ScenarioOutcome(
+                label=label,
+                baseline_h=base,
+                partitioned_norm_h=min(s0, s1) / 2.0,
+                rotating_norm_h=rot / 2.0,
+            )
+        )
+        cycle_counts.append(tuple(int(c) for c in result.cycles[4 * i : 4 * i + 4]))
+    return BatchScenarioResult(
+        outcomes=tuple(outcomes),
+        cycles=tuple(cycle_counts),
+        epochs=result.epochs,
+        root_solves=result.root_solves,
+    )
+
+
+def evaluate_points_batch(
+    points: t.Sequence[SweepPoint],
+    profile: TaskProfile = PAPER_PROFILE,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    deadline_s: float = 2.3,
+    max_hours: float = 400.0,
+    obs: t.Any = None,
+) -> BatchScenarioResult:
+    """:func:`evaluate_tasks_batch` over resolved sweep points."""
+    return evaluate_tasks_batch(
+        [point.task() for point in points],
+        profile=profile,
+        timing=timing,
+        deadline_s=deadline_s,
+        max_hours=max_hours,
+        obs=obs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# scalar reference twin
+# ---------------------------------------------------------------------------
+
+def task_reference_scalar(
+    task: Task,
+    profile: TaskProfile = PAPER_PROFILE,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    deadline_s: float = 2.3,
+    max_hours: float = 400.0,
+) -> tuple[ScenarioOutcome, tuple[int, int, int, int]]:
+    """The scalar twin of one batched scenario: outcome + cycle counts.
+
+    Runs the shared reference loop
+    (:func:`repro.hw.battery.kibam.lifetime_seconds`) over the same
+    four cycles the cohort packs, so spot checks can assert both
+    lifetime equality and frame-count identity. The outcome also equals
+    :func:`~repro.analysis.sensitivity.evaluate_scenario` bit for bit
+    (the production path; asserted in tests).
+    """
+    label, battery, _ = task
+    segments4 = scenario_segments(profile, timing, deadline_s)
+    cycles4 = _task_cycles(task, segments4, {})
+    deaths = []
+    counts = []
+    for cycle in cycles4:
+        death_s, count = lifetime_seconds(
+            KiBaM(battery), cycle, max_hours * SECONDS_PER_HOUR
+        )
+        if not math.isfinite(death_s):
+            raise CalibrationError(
+                f"{label}: no death within {max_hours} h "
+                "(current too low for this parameterization)"
+            )
+        deaths.append(death_s / SECONDS_PER_HOUR)
+        counts.append(count)
+    outcome = ScenarioOutcome(
+        label=label,
+        baseline_h=deaths[0],
+        partitioned_norm_h=min(deaths[1], deaths[2]) / 2.0,
+        rotating_norm_h=deaths[3] / 2.0,
+    )
+    return outcome, (counts[0], counts[1], counts[2], counts[3])
+
+
+def point_reference_scalar(
+    point: SweepPoint,
+    profile: TaskProfile = PAPER_PROFILE,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    deadline_s: float = 2.3,
+    max_hours: float = 400.0,
+) -> tuple[ScenarioOutcome, tuple[int, int, int, int]]:
+    """:func:`task_reference_scalar` for a resolved sweep point."""
+    return task_reference_scalar(
+        point.task(),
+        profile=profile,
+        timing=timing,
+        deadline_s=deadline_s,
+        max_hours=max_hours,
+    )
+
+
+# ---------------------------------------------------------------------------
+# chunked sweep through the executor
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class BatchStats:
+    """Accounting for one :func:`batch_sweep` call."""
+
+    configs: int
+    cells: int
+    chunks: int
+    executed: int
+    cache_hits: int
+    epochs: int
+    root_solves: int
+    wall_s: float
+
+    @property
+    def configs_per_sec(self) -> float:
+        """Throughput over the whole call (cache hits included)."""
+        return self.configs / self.wall_s if self.wall_s > 0 else float("inf")
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSweepResult:
+    """Everything one batched sweep produced."""
+
+    spec: BatchSweepSpec
+    points: tuple[SweepPoint, ...]
+    outcomes: tuple[ScenarioOutcome, ...]
+    cycles: tuple[tuple[int, int, int, int], ...]
+    stats: BatchStats
+
+    def summary(self) -> dict[str, t.Any]:
+        """JSON-stable headline numbers (registry / CLI / bench)."""
+        holds = sum(1 for o in self.outcomes if o.ordering_holds)
+        part = [o.partitioning_rnorm for o in self.outcomes]
+        rot = [o.rotation_rnorm for o in self.outcomes]
+        return {
+            "configs": self.stats.configs,
+            "ordering_holds": holds,
+            "ordering_fraction": holds / max(1, len(self.outcomes)),
+            "partitioning_rnorm_min": min(part),
+            "partitioning_rnorm_max": max(part),
+            "rotation_rnorm_min": min(rot),
+            "rotation_rnorm_max": max(rot),
+            "frames": int(sum(sum(c) for c in self.cycles)),
+        }
+
+
+def _chunk_job(item: tuple) -> dict[str, t.Any]:
+    """Worker entry point: evaluate one chunk of points (picklable)."""
+    points, profile, timing, deadline_s, max_hours, events = item
+    obs = Telemetry(events=events)
+    result = evaluate_points_batch(
+        points,
+        profile=profile if profile is not None else PAPER_PROFILE,
+        timing=timing if timing is not None else PAPER_LINK_TIMING,
+        deadline_s=deadline_s,
+        max_hours=max_hours,
+        obs=obs,
+    )
+    return {
+        "outcomes": [
+            [o.label, o.baseline_h, o.partitioned_norm_h, o.rotating_norm_h]
+            for o in result.outcomes
+        ],
+        "cycles": [list(c) for c in result.cycles],
+        "epochs": result.epochs,
+        "root_solves": result.root_solves,
+        "obs": obs.as_dict(),
+    }
+
+
+def batch_sweep(
+    spec: BatchSweepSpec,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    chunk_size: int = 2048,
+    obs: t.Any = None,
+    events: bool = False,
+    profile: TaskProfile | None = None,
+    timing: TransactionTiming | None = None,
+) -> BatchSweepResult:
+    """Run a whole sweep spec through chunked cohorts.
+
+    Chunks of ``chunk_size`` points become :class:`SweepExecutor` work
+    items, so ``jobs > 1`` fans cohorts over processes and a
+    :class:`ResultCache` short-circuits repeated chunks — results are
+    bit-identical across serial, parallel, and cache-replayed runs.
+    Telemetry (``batch.epoch`` events when ``events=True``, ``batch.*``
+    counters always) rides home inside each chunk payload and is folded
+    into ``obs`` in input order.
+    """
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    points = spec.points()
+    started = time.perf_counter()
+    items = [
+        (
+            points[i : i + chunk_size],
+            profile,
+            timing,
+            spec.deadline_s,
+            spec.max_hours,
+            events,
+        )
+        for i in range(0, len(points), chunk_size)
+    ]
+    keys = None
+    if cache is not None:
+        keys = [cache.key_for("batch_sweep", "v1", item) for item in items]
+    executor = SweepExecutor(jobs=jobs, cache=cache, obs=obs)
+    payloads = executor.map(
+        _chunk_job,
+        items,
+        keys=keys,
+        encode=lambda payload: payload,
+        decode=lambda item, payload: payload,
+    )
+    outcomes: list[ScenarioOutcome] = []
+    cycles: list[tuple[int, int, int, int]] = []
+    epochs = 0
+    root_solves = 0
+    for payload in payloads:
+        for label, base, part, rot in payload["outcomes"]:
+            outcomes.append(ScenarioOutcome(label, base, part, rot))
+        cycles.extend(tuple(int(c) for c in row) for row in payload["cycles"])
+        epochs += int(payload["epochs"])
+        root_solves += int(payload["root_solves"])
+        if obs is not None and payload.get("obs") is not None:
+            child = Telemetry.from_dict(payload["obs"])
+            for event in child.events.records:
+                obs.events.record(event)
+            obs.metrics.merge(child.metrics)
+    wall_s = time.perf_counter() - started
+    stats = BatchStats(
+        configs=len(points),
+        cells=len(points) * len(SCENARIO_KINDS),
+        chunks=len(items),
+        executed=executor.stats.executed,
+        cache_hits=executor.stats.cache_hits,
+        epochs=epochs,
+        root_solves=root_solves,
+        wall_s=wall_s,
+    )
+    return BatchSweepResult(
+        spec=spec,
+        points=points,
+        outcomes=tuple(outcomes),
+        cycles=tuple(cycles),
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# scalar-vs-vector spot checks
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of a scalar-vs-vector spot check."""
+
+    checked: int
+    frames_identical: bool
+    max_rel_err: float
+    mismatches: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Frames identical and lifetimes within float noise (1e-9)."""
+        return self.frames_identical and self.max_rel_err <= 1e-9
+
+
+def verify_sample(
+    result: BatchSweepResult,
+    sample: int = 8,
+    profile: TaskProfile | None = None,
+    timing: TransactionTiming | None = None,
+) -> VerifyReport:
+    """Re-run a deterministic sample of configs through the scalar path.
+
+    Asserts the acceptance contract: per-cell completed-cycle counts
+    (frame counts) identical, lifetimes within float noise. In practice
+    the batch path is bit-identical, so ``max_rel_err`` is 0.0.
+    """
+    n = len(result.points)
+    k = max(1, min(sample, n))
+    indices = sorted({round(i * (n - 1) / max(1, k - 1)) for i in range(k)})
+    max_rel = 0.0
+    frames_ok = True
+    mismatches: list[str] = []
+    for i in indices:
+        point = result.points[i]
+        outcome, counts = point_reference_scalar(
+            point,
+            profile=profile if profile is not None else PAPER_PROFILE,
+            timing=timing if timing is not None else PAPER_LINK_TIMING,
+            deadline_s=result.spec.deadline_s,
+            max_hours=result.spec.max_hours,
+        )
+        got = result.outcomes[i]
+        for field in ("baseline_h", "partitioned_norm_h", "rotating_norm_h"):
+            a = getattr(got, field)
+            b = getattr(outcome, field)
+            rel = abs(a - b) / max(abs(b), 1e-300)
+            max_rel = max(max_rel, rel)
+            if rel > 1e-9:
+                mismatches.append(
+                    f"{point.label}: {field} batch={a!r} scalar={b!r}"
+                )
+        if result.cycles[i] != counts:
+            frames_ok = False
+            mismatches.append(
+                f"{point.label}: frames batch={result.cycles[i]} scalar={counts}"
+            )
+    return VerifyReport(
+        checked=len(indices),
+        frames_identical=frames_ok,
+        max_rel_err=max_rel,
+        mismatches=tuple(mismatches),
+    )

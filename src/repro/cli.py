@@ -7,6 +7,7 @@ Exposes the reproduction as a set of subcommands::
     python -m repro figures fig8       # regenerate a paper figure
     python -m repro partition          # partitioning analysis (Fig. 8)
     python -m repro optimize           # rank the whole design space
+    python -m repro sweep --batch --grid 10   # 10k-config batched sweep
     python -m repro trace 2 --frames 6 # timing diagram (Figs. 2/3/9)
     python -m repro trace 2 --export chrome -o out.json  # Perfetto trace
     python -m repro metrics 1A 2A      # telemetry metrics per experiment
@@ -366,12 +367,16 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         return 2
 
     if args.runs_command == "list":
-        records = registry.list_runs(label=args.label, limit=args.limit)
+        records = registry.list_runs(
+            label=args.label, limit=args.limit, offset=args.offset
+        )
         if not records:
             print(f"no registered runs in {registry.path}")
             return 0
-        print(format_table([r.as_row() for r in records],
-                           title=f"run registry ({registry.path})"))
+        title = f"run registry ({registry.path})"
+        if args.offset:
+            title += f" — runs {args.offset + 1}..{args.offset + len(records)}"
+        print(format_table([r.as_row() for r in records], title=title))
         return 0
 
     if args.runs_command == "show":
@@ -552,6 +557,93 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"{failures} invariant check(s) FAILED")
         return 1
     print("all invariants held")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import sensitivity_sweep
+    from repro.batch.sweep import BatchSweepSpec, batch_sweep, verify_sample
+
+    if not args.batch:
+        # Classic scalar path: one-at-a-time around the calibrated point.
+        outcomes = sensitivity_sweep(jobs=args.jobs)
+        rows = [
+            {
+                "label": o.label,
+                "T1_h": o.baseline_h,
+                "Tnorm_part_h": o.partitioned_norm_h,
+                "Tnorm_rot_h": o.rotating_norm_h,
+                "Rnorm_part": o.partitioning_rnorm,
+                "Rnorm_rot": o.rotation_rnorm,
+                "ordering": "ok" if o.ordering_holds else "VIOLATED",
+            }
+            for o in outcomes
+        ]
+        print(format_table(rows, float_fmt=".3f",
+                           title="sensitivity sweep (scalar, one-at-a-time)"))
+        if args.export:
+            print(f"\nwrote {write_rows(rows, args.export)}")
+        return 0
+
+    spec = BatchSweepSpec(grid=args.grid, rel_span=args.span, mode=args.mode)
+    cache: t.Any = None
+    if not args.no_cache:
+        from repro.exec import ResultCache
+
+        cache = ResultCache()
+    result = batch_sweep(
+        spec, jobs=args.jobs, cache=cache, chunk_size=args.chunk
+    )
+    stats = result.stats
+    summary = result.summary()
+    print(f"batched sweep: {stats.configs} configs ({stats.cells} cells) "
+          f"in {stats.wall_s:.2f} s — {stats.configs_per_sec:,.0f} configs/s")
+    print(f"  chunks {stats.chunks} (executed {stats.executed}, "
+          f"cache hits {stats.cache_hits}), epochs {stats.epochs}, "
+          f"root solves {stats.root_solves}")
+    print(f"  ordering holds for {summary['ordering_holds']}/{stats.configs} "
+          f"configs; Rnorm(partition) in "
+          f"[{summary['partitioning_rnorm_min']:.3f}, "
+          f"{summary['partitioning_rnorm_max']:.3f}], Rnorm(rotation) in "
+          f"[{summary['rotation_rnorm_min']:.3f}, "
+          f"{summary['rotation_rnorm_max']:.3f}]")
+    if len(result.outcomes) <= 32:
+        rows = [
+            {
+                "label": o.label,
+                "T1_h": o.baseline_h,
+                "Tnorm_part_h": o.partitioned_norm_h,
+                "Tnorm_rot_h": o.rotating_norm_h,
+                "Rnorm_rot": o.rotation_rnorm,
+            }
+            for o in result.outcomes
+        ]
+        print()
+        print(format_table(rows, float_fmt=".3f", title="outcomes"))
+    if args.export:
+        rows = [
+            {
+                "label": o.label,
+                "T1_h": o.baseline_h,
+                "Tnorm_part_h": o.partitioned_norm_h,
+                "Tnorm_rot_h": o.rotating_norm_h,
+                "Rnorm_part": o.partitioning_rnorm,
+                "Rnorm_rot": o.rotation_rnorm,
+                "frames": sum(result.cycles[i]),
+            }
+            for i, o in enumerate(result.outcomes)
+        ]
+        print(f"\nwrote {write_rows(rows, args.export)}")
+    if args.verify:
+        report = verify_sample(result, sample=args.verify)
+        status = "ok" if report.ok else "MISMATCH"
+        print(f"\nverify: {report.checked} config(s) re-run on the scalar "
+              f"path — frames identical: {report.frames_identical}, max "
+              f"lifetime rel err: {report.max_rel_err:.3g} [{status}]")
+        if not report.ok:
+            for line in report.mismatches:
+                print(f"  {line}")
+            return 1
     return 0
 
 
@@ -786,6 +878,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="only runs of one experiment label")
     pr_list.add_argument("--limit", type=int, default=20, metavar="N",
                          help="show at most N runs (default 20)")
+    pr_list.add_argument("--offset", type=int, default=0, metavar="K",
+                         help="skip the K most recent runs first "
+                              "(page through with --limit)")
     pr_show = runs_sub.add_parser("show", help="one run in full")
     pr_show.add_argument("run_id", metavar="RUN",
                          help="run id (any unambiguous prefix)")
@@ -829,6 +924,39 @@ def build_parser() -> argparse.ArgumentParser:
     add_mode(p_check)
     add_registry(p_check)
     p_check.set_defaults(func=_cmd_check)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parameter-sensitivity sweeps (--batch: vectorized cohorts)",
+    )
+    p_sweep.add_argument("--batch", action="store_true",
+                         help="advance all configs at once through the "
+                              "structure-of-arrays cohort stepper "
+                              "(bit-identical to the scalar path)")
+    p_sweep.add_argument("--grid", type=int, default=3, metavar="N",
+                         help="points per axis for --batch (default 3; "
+                              "grid mode evaluates N^4 configs)")
+    p_sweep.add_argument("--span", type=float, default=0.10, metavar="REL",
+                         help="relative half-width of each axis "
+                              "(default 0.10 = +/-10%%)")
+    p_sweep.add_argument("--mode", choices=["grid", "one_at_a_time"],
+                         default="grid",
+                         help="--batch sweep shape (default grid)")
+    p_sweep.add_argument("--verify", type=int, default=0, metavar="K",
+                         help="re-run K sampled configs on the scalar path "
+                              "and assert frame-count identity (exit 1 on "
+                              "mismatch)")
+    p_sweep.add_argument("--chunk", type=int, default=2048, metavar="N",
+                         help="configs per cohort chunk / cache entry "
+                              "(default 2048)")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan cohort chunks over N worker processes "
+                              "(bit-identical to serial; default 1)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="recompute instead of reading .repro-cache")
+    p_sweep.add_argument("--export", metavar="PATH",
+                         help="write per-config rows to a .csv or .json file")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_opt = sub.add_parser(
         "optimize", help="rank every configuration in the design space"

@@ -31,6 +31,7 @@ stored point and assert it is stationary.
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as t
 
 import numpy as np
@@ -38,7 +39,7 @@ from scipy.optimize import least_squares
 
 from repro.apps.atr.profile import PAPER_PROFILE, TaskProfile
 from repro.errors import CalibrationError
-from repro.hw.battery.kibam import KiBaM, KiBaMParameters
+from repro.hw.battery.kibam import KiBaM, KiBaMParameters, lifetime_seconds
 from repro.hw.dvs import SA1100_TABLE, DVSTable
 from repro.hw.link import PAPER_LINK_TIMING, TransactionTiming
 from repro.hw.power import CurrentCurve, PowerMode, PowerModel
@@ -144,7 +145,9 @@ def predicted_lifetime_hours(
     safety margin allows; the final approach to death walks segment by
     segment and solves the last partial segment exactly. Compared to
     the pure per-segment walk this is ~100-1000x faster over a
-    paper-scale discharge, with ~1e-12 relative state error.
+    paper-scale discharge, with ~1e-12 relative state error. The loop
+    itself lives in :func:`repro.hw.battery.kibam.lifetime_seconds`,
+    shared with the vectorized cohort stepper in :mod:`repro.batch`.
     """
     cell = KiBaM(battery_params)
     currents = [
@@ -155,34 +158,13 @@ def predicted_lifetime_hours(
         (current, seg.duration_s)
         for seg, current in zip(anchor.segments, currents)
     ]
-    cycle_s = sum(seg.duration_s for seg in anchor.segments)
-    drain_mas = sum(current * seg.duration_s for seg, current in zip(anchor.segments, currents))
-    t = 0.0
-    limit = max_hours * SECONDS_PER_HOUR
-    while t < limit:
-        if drain_mas > 0.0 and cycle_s > 0.0:
-            # The available well drains no faster than one cycle's total
-            # charge per cycle, so this many whole cycles provably end
-            # with the cell still alive (see KiBaM.advance_cycles).
-            safe = int(cell.available_mas / drain_mas) - 2
-            remaining = int((limit - t) / cycle_s) + 1
-            jump = min(safe, remaining)
-            if jump > 0:
-                cell.advance_cycles(cycle, jump)
-                t += jump * cycle_s
-                continue
-        for seg, current in zip(anchor.segments, currents):
-            # Cheap-bound fast path; exact root solve only near death.
-            if cell.time_to_death_lower_bound(current) <= seg.duration_s:
-                ttd = cell.time_to_death(current)
-                if ttd <= seg.duration_s:
-                    return (t + ttd) / SECONDS_PER_HOUR
-            cell.draw(current, seg.duration_s)
-            t += seg.duration_s
-    raise CalibrationError(
-        f"anchor {anchor.label}: no death within {max_hours} h "
-        "(current too low for this parameterization)"
-    )
+    death_s, _ = lifetime_seconds(cell, cycle, max_hours * SECONDS_PER_HOUR)
+    if not math.isfinite(death_s):
+        raise CalibrationError(
+            f"anchor {anchor.label}: no death within {max_hours} h "
+            "(current too low for this parameterization)"
+        )
+    return death_s / SECONDS_PER_HOUR
 
 
 @dataclasses.dataclass(frozen=True)

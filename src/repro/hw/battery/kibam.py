@@ -41,7 +41,7 @@ from repro.errors import BatteryError
 from repro.hw.battery.base import Battery
 from repro.units import SECONDS_PER_HOUR, mah_to_mas
 
-__all__ = ["KiBaMParameters", "KiBaM", "PAPER_BATTERY"]
+__all__ = ["KiBaMParameters", "KiBaM", "PAPER_BATTERY", "lifetime_seconds"]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -399,6 +399,74 @@ class KiBaM(Battery):
             f"<KiBaM y1={self._y1 / SECONDS_PER_HOUR:.1f} mAh "
             f"y2={self._y2 / SECONDS_PER_HOUR:.1f} mAh>"
         )
+
+
+def lifetime_seconds(
+    cell: KiBaM,
+    cycle: t.Sequence[tuple[float, float]],
+    limit_s: float,
+    t_s: float = 0.0,
+) -> tuple[float, int]:
+    """Walk a repeating ``(current_ma, dt_s)`` duty cycle to death.
+
+    This is the scalar reference loop every lifetime predictor shares:
+    whole duty cycles are fast-forwarded with the exact affine cycle
+    map (:meth:`KiBaM.advance_cycles`, O(log n) per jump) while the
+    safety margin allows; the final approach to death walks segment by
+    segment and solves the last partial segment exactly.
+    :func:`repro.core.calibration.predicted_lifetime_hours` delegates
+    here, and the vectorized cohort stepper in :mod:`repro.batch`
+    replays exactly this jump/walk sequence per config — which is what
+    makes scalar and batched sweeps bit-identical.
+
+    Parameters
+    ----------
+    cell:
+        The (possibly mid-life) cell to discharge; mutated in place.
+    cycle:
+        Piecewise-constant segments, repeated until death.
+    limit_s:
+        Absolute time horizon; the walk gives up once ``t`` reaches it.
+    t_s:
+        Time already elapsed (the horizon is absolute, not relative).
+
+    Returns
+    -------
+    ``(death_s, completed_cycles)`` — the absolute death time in
+    seconds (``math.inf`` when the cell is still alive at ``limit_s``)
+    and the number of *whole* cycles completed before death. The cycle
+    count is the batch layer's frame-count identity oracle.
+    """
+    cycle = [(current, dt) for current, dt in cycle]
+    cycle_s = sum(dt for _, dt in cycle)
+    if not cycle or cycle_s <= 0.0:
+        raise BatteryError("duty cycle needs a positive total duration")
+    drain_mas = sum(current * dt for current, dt in cycle)
+    t = t_s
+    cycles = 0
+    while t < limit_s:
+        if drain_mas > 0.0 and cycle_s > 0.0:
+            # The available well drains no faster than one cycle's total
+            # charge per cycle, so this many whole cycles provably end
+            # with the cell still alive (see KiBaM.advance_cycles).
+            safe = int(cell.available_mas / drain_mas) - 2
+            remaining = int((limit_s - t) / cycle_s) + 1
+            jump = min(safe, remaining)
+            if jump > 0:
+                cell.advance_cycles(cycle, jump)
+                t += jump * cycle_s
+                cycles += jump
+                continue
+        for current, dt_s in cycle:
+            # Cheap-bound fast path; exact root solve only near death.
+            if cell.time_to_death_lower_bound(current) <= dt_s:
+                ttd = cell.time_to_death(current)
+                if ttd <= dt_s:
+                    return t + ttd, cycles
+            cell.draw(current, dt_s)
+            t += dt_s
+        cycles += 1
+    return math.inf, cycles
 
 
 def PAPER_BATTERY() -> KiBaM:

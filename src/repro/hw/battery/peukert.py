@@ -59,6 +59,13 @@ class PeukertBattery(Battery):
                 raise BatteryError("Peukert battery over-drawn; truncate at time_to_death()")
             self._remaining_effective_mas = 0.0
 
+    def preview(self, current_ma: float, dt_s: float) -> float:
+        """Remaining effective charge after a constant-current step,
+        without mutating the cell (no death clamp — may go negative)."""
+        if current_ma < 0 or dt_s < 0:
+            raise BatteryError("preview needs non-negative current and duration")
+        return self._remaining_effective_mas - self.effective_rate(current_ma) * dt_s
+
     def time_to_death(self, current_ma: float) -> float:
         if current_ma < 0:
             raise BatteryError(f"negative current {current_ma} mA")

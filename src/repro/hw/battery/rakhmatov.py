@@ -98,6 +98,13 @@ class RakhmatovBattery(Battery):
         s_next = self._s_mas * decay + current_ma * (1.0 - decay) / self._rates
         return self._a_mas + current_ma * dt_s + 2.0 * float(s_next.sum())
 
+    def preview(self, current_ma: float, dt_s: float) -> float:
+        """Apparent charge sigma after a constant-current step, without
+        mutating the cell."""
+        if current_ma < 0 or dt_s < 0:
+            raise BatteryError("preview needs non-negative current and duration")
+        return self._sigma_after(current_ma, dt_s)
+
     def _advance(self, current_ma: float, dt_s: float) -> None:
         decay = np.exp(-self._rates * dt_s)
         self._s_mas = (

@@ -183,7 +183,7 @@ class FrameDeadlineMonitor(InvariantMonitor):
     """
 
     name = "frame-deadline"
-    kinds = ("frame.result", "ff.epoch")
+    kinds = ("frame.result", "ff.epoch", "batch.epoch")
 
     def __init__(
         self,
@@ -197,11 +197,12 @@ class FrameDeadlineMonitor(InvariantMonitor):
         self.frames = 0
 
     def _observe(self, event: TelemetryEvent) -> None:
-        if event.kind == "ff.epoch":
+        if event.kind in ("ff.epoch", "batch.epoch"):
             # Fast-forwarded frames are analytic copies of a steady-state
             # period whose frames were simulated exactly — and already
             # individually checked here as frame.result events — so the
-            # epoch only contributes to the coverage count.
+            # epoch only contributes to the coverage count. Batched
+            # cohort epochs coalesce whole duty cycles the same way.
             self.frames += int(event.data.get("frames", 0))
             return
         self.frames += 1
@@ -267,10 +268,13 @@ class LinkBusyFractionMonitor(InvariantMonitor):
     ``ff.epoch`` records whose ``link_busy_s`` is keyed by the same
     sender names ``link.xfer`` uses, so both sources accumulate into
     one per-sender total and the busy fraction stays well-defined.
+    Batched cohort runs emit the same shape as ``batch.epoch``
+    (analytic sweeps involve no link at all, so their ``link_busy_s``
+    is empty and only the coverage span widens).
     """
 
     name = "link-busy-fraction"
-    kinds = ("link.xfer", "ff.epoch")
+    kinds = ("link.xfer", "ff.epoch", "batch.epoch")
 
     def __init__(self, max_fraction: float = 0.98, warmup_s: float = 10.0):
         super().__init__()
@@ -282,7 +286,7 @@ class LinkBusyFractionMonitor(InvariantMonitor):
         self._last_event: dict[str, TelemetryEvent] = {}
 
     def _observe(self, event: TelemetryEvent) -> None:
-        if event.kind == "ff.epoch":
+        if event.kind in ("ff.epoch", "batch.epoch"):
             for actor, busy in event.data.get("link_busy_s", {}).items():
                 self._busy_s[actor] = self._busy_s.get(actor, 0.0) + busy
                 self._last_event[actor] = event

@@ -300,12 +300,16 @@ class RunRegistry:
         label: str | None = None,
         limit: int | None = None,
         fingerprint: str | None = None,
+        offset: int = 0,
     ) -> list[RunRecord]:
         """Registered runs, most recent first.
 
         ``label`` and ``fingerprint`` filter to one experiment and/or
         one exact configuration (fingerprints distinguish e.g. full
         from quarter-capacity batteries of the same label).
+        ``limit``/``offset`` paginate the filtered, newest-first list
+        (sqlite requires a LIMIT for OFFSET, so a bare offset is
+        applied against an unbounded limit).
         """
         query = f"SELECT {self._COLUMNS} FROM runs"
         clauses: list[str] = []
@@ -319,9 +323,14 @@ class RunRegistry:
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY seq DESC"
-        if limit is not None:
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        if limit is not None or offset:
             query += " LIMIT ?"
-            params.append(limit)
+            params.append(-1 if limit is None else limit)
+        if offset:
+            query += " OFFSET ?"
+            params.append(offset)
         if not self.path.exists():
             return []
         with self._connect() as conn:

@@ -1,0 +1,159 @@
+"""Vector chemistry kernels vs the scalar battery models (the oracle).
+
+These property tests pin the exactness contract documented in
+``repro.batch.chemistries``: linear and Rakhmatov kernels are
+bit-identical to the scalar models; the Peukert kernel is bit-identical
+on its default (``exact=True``) path and within
+:data:`PEUKERT_VECTOR_RTOL` on the fully-vectorized path.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.batch.chemistries import (
+    PEUKERT_VECTOR_RTOL,
+    linear_step,
+    peukert_rates,
+    peukert_step,
+    rakhmatov_decay_rates,
+    rakhmatov_step,
+)
+from repro.errors import BatteryError
+from repro.hw.battery import LinearBattery, PeukertBattery
+from repro.hw.battery.rakhmatov import RakhmatovBattery
+
+currents = st.lists(st.floats(0.0, 500.0), min_size=1, max_size=16)
+durations = st.lists(st.floats(0.0, 3600.0), min_size=1, max_size=16)
+
+
+def paired(draw_currents, draw_durations):
+    n = min(len(draw_currents), len(draw_durations))
+    return draw_currents[:n], draw_durations[:n]
+
+
+class TestLinear:
+    @given(cur=currents, dur=durations, capacity=st.floats(10.0, 5000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_bit_identical_to_scalar_preview(self, cur, dur, capacity):
+        cur, dur = paired(cur, dur)
+        cells = [LinearBattery(capacity) for _ in cur]
+        remaining = np.array([c.remaining_mas for c in cells])
+        stepped = linear_step(remaining, np.array(cur), np.array(dur))
+        for i, cell in enumerate(cells):
+            assert stepped[i] == cell.preview(cur[i], dur[i])
+
+    def test_sequential_steps_track_draw(self):
+        cell = LinearBattery(100.0)
+        remaining = np.array([cell.remaining_mas])
+        for current, dt in ((50.0, 10.0), (120.0, 5.0), (0.0, 100.0)):
+            remaining = linear_step(remaining, np.array([current]), np.array([dt]))
+            cell.draw(current, dt)
+            assert remaining[0] == cell.remaining_mas
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(BatteryError):
+            linear_step(np.zeros(1), np.array([-1.0]), np.ones(1))
+
+
+class TestPeukert:
+    @given(
+        cur=currents,
+        reference=st.floats(10.0, 200.0),
+        exponent=st.floats(1.0, 1.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exact_rates_bit_identical(self, cur, reference, exponent):
+        battery = PeukertBattery(100.0, reference_ma=reference, exponent=exponent)
+        rates = peukert_rates(np.array(cur), reference, exponent, exact=True)
+        for i, current in enumerate(cur):
+            assert rates[i] == battery.effective_rate(current)
+
+    @given(
+        cur=currents,
+        reference=st.floats(10.0, 200.0),
+        exponent=st.floats(1.0, 1.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_rates_within_documented_noise(self, cur, reference, exponent):
+        """numpy's pow differs from Python's by ULPs, never more."""
+        battery = PeukertBattery(100.0, reference_ma=reference, exponent=exponent)
+        rates = peukert_rates(np.array(cur), reference, exponent, exact=False)
+        for i, current in enumerate(cur):
+            want = battery.effective_rate(current)
+            if want == 0.0:
+                assert rates[i] == 0.0
+            else:
+                assert abs(rates[i] - want) / want <= PEUKERT_VECTOR_RTOL
+
+    @given(cur=currents, dur=durations)
+    @settings(max_examples=50, deadline=None)
+    def test_step_bit_identical_to_scalar_preview(self, cur, dur):
+        cur, dur = paired(cur, dur)
+        cells = [PeukertBattery(100.0) for _ in cur]
+        remaining = np.array([c._remaining_effective_mas for c in cells])
+        stepped = peukert_step(
+            remaining, np.array(cur), np.array(dur),
+            reference_ma=60.0, exponent=1.2,
+        )
+        for i, cell in enumerate(cells):
+            assert stepped[i] == cell.preview(cur[i], dur[i])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(BatteryError):
+            peukert_rates(np.ones(1), reference_ma=0.0, exponent=1.2)
+        with pytest.raises(BatteryError):
+            peukert_rates(np.ones(1), reference_ma=60.0, exponent=0.9)
+
+
+class TestRakhmatov:
+    @given(
+        cur=currents,
+        dur=st.lists(st.floats(0.001, 3600.0), min_size=1, max_size=16),
+        beta=st.floats(0.01, 0.1),
+        n_terms=st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bit_identical_to_scalar_advance(self, cur, dur, beta, n_terms):
+        cur, dur = paired(cur, dur)
+        cells = [
+            RakhmatovBattery(500.0, beta_per_sqrt_s=beta, n_terms=n_terms)
+            for _ in cur
+        ]
+        rates = rakhmatov_decay_rates(beta, n_terms)
+        assert (rates == cells[0]._rates).all()
+        s = np.zeros((len(cur), n_terms))
+        a = np.zeros(len(cur))
+        s, a, sigma = rakhmatov_step(
+            s, a, np.array(cur), np.array(dur), rates
+        )
+        for i, cell in enumerate(cells):
+            assert sigma[i] == cell.preview(cur[i], dur[i])
+            if cell.time_to_death(cur[i]) <= dur[i]:
+                continue  # draw() rightly refuses a lethal segment
+            cell.draw(cur[i], dur[i])
+            assert (s[i] == cell._s_mas).all()
+            assert a[i] == cell._a_mas
+            assert sigma[i] == cell.apparent_charge_mas
+
+    def test_recovery_at_rest_matches_scalar(self):
+        """Harmonics decay identically through the vector kernel."""
+        cell = RakhmatovBattery(500.0)
+        cell.draw(200.0, 600.0)
+        s = cell._s_mas[None, :].copy()
+        a = np.array([cell._a_mas])
+        rates = rakhmatov_decay_rates(cell.beta, cell.n_terms)
+        s, a, sigma = rakhmatov_step(
+            s, a, np.array([0.0]), np.array([300.0]), rates
+        )
+        cell.draw(0.0, 300.0)
+        assert (s[0] == cell._s_mas).all()
+        assert sigma[0] == cell.apparent_charge_mas
+
+    def test_rejects_bad_shapes(self):
+        rates = rakhmatov_decay_rates(0.03, 4)
+        with pytest.raises(BatteryError):
+            rakhmatov_step(
+                np.zeros(4), np.zeros(1), np.ones(1), np.ones(1), rates
+            )

@@ -119,6 +119,21 @@ class TestRunRegistry:
         assert registry.latest("2A", fingerprint=record.fingerprint) == record
         assert registry.latest("2A", fingerprint="something-else") is None
 
+    def test_list_runs_paginates(self, tmp_path):
+        registry = RunRegistry(tmp_path / "runs.sqlite")
+        for label in _LABELS:
+            run = run_experiment(PAPER_EXPERIMENTS[label], **_KW)
+            registry.record(_record(run, label))
+        everything = registry.list_runs()
+        assert [r.label for r in everything] == list(reversed(_LABELS))
+        assert registry.list_runs(limit=2) == everything[:2]
+        assert registry.list_runs(limit=2, offset=1) == everything[1:3]
+        # A bare offset pages without a limit; past-the-end is empty.
+        assert registry.list_runs(offset=2) == everything[2:]
+        assert registry.list_runs(offset=10) == []
+        with pytest.raises(ConfigurationError, match="offset"):
+            registry.list_runs(offset=-1)
+
     def test_reset_empties_the_registry(self, tmp_path, run_2a):
         registry = RunRegistry(tmp_path / "runs.sqlite")
         registry.record(_record(run_2a))

@@ -230,6 +230,25 @@ class TestRuns:
         assert " 2A " in out
         assert " 2 \n" not in out
 
+    def test_list_paginates_with_limit_and_offset(self, db, capsys):
+        assert main(["runs", "--db", db, "list", "--limit", "1"]) == 0
+        first_page = capsys.readouterr().out
+        assert main(["runs", "--db", db, "list", "--limit", "1",
+                     "--offset", "1"]) == 0
+        second_page = capsys.readouterr().out
+        assert "runs 2..2" in second_page
+        # Two seeded runs: each page shows exactly one, and they differ.
+        first_ids = [ln.split()[0] for ln in first_page.splitlines()
+                     if "|" in ln and "run_id" not in ln]
+        second_ids = [ln.split()[0] for ln in second_page.splitlines()
+                      if "|" in ln and "run_id" not in ln]
+        assert len(first_ids) == 1 and len(second_ids) == 1
+        assert first_ids != second_ids
+
+    def test_list_offset_past_end_is_empty(self, db, capsys):
+        assert main(["runs", "--db", db, "list", "--offset", "99"]) == 0
+        assert "no registered runs" in capsys.readouterr().out
+
     def test_list_empty_registry(self, tmp_path, capsys):
         db = str(tmp_path / "empty.sqlite")
         assert main(["runs", "--db", db, "list"]) == 0
@@ -334,6 +353,52 @@ class TestCheck:
         out = capsys.readouterr().out
         assert "REGRESSION" in out
         assert "against the baseline" in out
+
+
+class TestSweep:
+    """`repro sweep`: scalar one-at-a-time and batched cohort paths."""
+
+    def test_scalar_sweep_prints_table(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity sweep (scalar, one-at-a-time)" in out
+        assert "nominal" in out
+        assert "VIOLATED" not in out
+
+    def test_batch_sweep_with_verify(self, capsys):
+        code = main(["sweep", "--batch", "--grid", "2", "--verify", "4",
+                     "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "16 configs" in out
+        assert "ordering holds for 16/16" in out
+        assert "frames identical: True" in out
+        assert "[ok]" in out
+
+    def test_batch_sweep_export(self, tmp_path, capsys):
+        target = tmp_path / "sweep.csv"
+        code = main(["sweep", "--batch", "--grid", "2", "--no-cache",
+                     "--export", str(target)])
+        assert code == 0
+        text = target.read_text()
+        assert "Rnorm_rot" in text
+        assert len(text.splitlines()) == 17  # header + 16 configs
+
+    def test_batch_one_at_a_time_mode(self, capsys):
+        code = main(["sweep", "--batch", "--mode", "one_at_a_time",
+                     "--no-cache"])
+        assert code == 0
+        assert "nominal" in capsys.readouterr().out
+
+    def test_paper_check_still_passes_after_batch_sweep(self, tmp_path, capsys):
+        """Fast runs and batched sweeps coexist: the folded monitors
+        still verify the Fig. 10 ordering."""
+        assert main(["sweep", "--batch", "--grid", "2", "--no-cache"]) == 0
+        capsys.readouterr()
+        db = str(tmp_path / "runs.sqlite")
+        assert main(["check", "--paper", "--fast", "--no-cache",
+                     "--db", db]) == 0
+        assert "Fig. 10 ordering verified" in capsys.readouterr().out
 
 
 class TestCalibrate:

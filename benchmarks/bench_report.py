@@ -3,7 +3,9 @@
 Measures the hot paths that dominate paper-suite wall-clock — kernel
 event dispatch, KiBaM stepping, link transactions, ATR recognition —
 plus telemetry overheads (raw event-emit throughput, null-sink and
-full-instrumentation cost on a short run) and the end-to-end
+full-instrumentation cost on a short run), the batched cohort sweep
+with a jobs-1/2/4 scaling column, the successive-halving design-space
+exploration (configs/sec and per-rung prune rates), and the end-to-end
 eight-experiment suite in three variants — serial exact, fast-forward
 (``mode="fast"``, with frame/lifetime parity columns against serial),
 and 4-worker parallel — and writes the numbers to
@@ -160,13 +162,24 @@ def bench_atr_correlate(frames: int = 20) -> dict:
 
 def bench_batch_sweep(grid: int = 10) -> dict:
     """The tentpole number: a grid**4-config sensitivity sweep through
-    the structure-of-arrays cohort stepper, single core, no cache."""
+    the structure-of-arrays cohort stepper — single core, no cache,
+    plus a multi-core scaling column (same sweep at jobs 1/2/4)."""
     from repro.batch.sweep import BatchSweepSpec, batch_sweep, verify_sample
 
     spec = BatchSweepSpec(grid=grid, rel_span=0.10)
     result = batch_sweep(spec, jobs=1, cache=None)
     stats = result.stats
     report = verify_sample(result, sample=8)
+    scaling = {}
+    for jobs in (1, 2, 4):
+        r = batch_sweep(spec, jobs=jobs, cache=None)
+        scaling[f"jobs_{jobs}"] = {
+            "wall_s": round(r.stats.wall_s, 2),
+            "configs_per_sec": round(r.stats.configs_per_sec, 1),
+        }
+    base = scaling["jobs_1"]["wall_s"]
+    for row in scaling.values():
+        row["speedup"] = round(base / row["wall_s"], 2) if row["wall_s"] else 0.0
     return {
         "configs": stats.configs,
         "cells": stats.cells,
@@ -174,10 +187,50 @@ def bench_batch_sweep(grid: int = 10) -> dict:
         "configs_per_sec": round(stats.configs_per_sec, 1),
         "epochs": stats.epochs,
         "root_solves": stats.root_solves,
+        "jobs_scaling": scaling,
         "scalar_spot_check": {
             "checked": report.checked,
             "frames_identical": report.frames_identical,
             "max_lifetime_rel_err": report.max_rel_err,
+        },
+    }
+
+
+def bench_explore(quick: bool = False) -> dict:
+    """The successive-halving ladder: design-space size resolved to an
+    exact-confirmed Pareto frontier, single core, no cache — with the
+    per-rung prune rates that make the wall-clock possible."""
+    from repro.explore import default_space, explore
+
+    if quick:
+        space = default_space(
+            bandwidth_points=2, capacity_points=3, io_points=3
+        )
+        keep = (64, 6, 2)
+    else:
+        space = default_space()
+        keep = (512, 16, 6)
+    t0 = time.perf_counter()
+    result = explore(space, keep=keep)
+    wall = time.perf_counter() - t0
+    return {
+        "configs": result.n_configs,
+        "keep": list(keep),
+        "wall_s": round(wall, 2),
+        "configs_per_sec": round(result.n_configs / wall, 1),
+        "pruned_before_sim_pct": round(
+            result.pruned_before_sim_fraction * 100, 3
+        ),
+        "frontier_size": len(result.frontier),
+        "rungs": {
+            r.name: {
+                "entered": r.entered,
+                "promoted": r.promoted,
+                "disqualified": r.disqualified,
+                "prune_pct": round(r.prune_fraction * 100, 2),
+                "wall_s": round(r.wall_s, 2),
+            }
+            for r in result.rungs
         },
     }
 
@@ -291,6 +344,7 @@ def _carry_history(output: Path) -> list[dict]:
         "atr_correlate",
         "obs",
         "batch_sweep",
+        "explore",
     ):
         if key in old:
             condensed[key] = {
@@ -332,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         "atr_correlate": bench_atr_correlate(),
         "obs": bench_obs(),
         "batch_sweep": bench_batch_sweep(grid=4 if args.quick else 10),
+        "explore": bench_explore(quick=args.quick),
     }
     if not args.quick:
         serial = bench_suite()

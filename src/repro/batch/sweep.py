@@ -66,6 +66,7 @@ __all__ = [
     "BatchSweepResult",
     "VerifyReport",
     "scenario_segments",
+    "evaluate_cycles_batch",
     "evaluate_tasks_batch",
     "evaluate_points_batch",
     "task_reference_scalar",
@@ -276,6 +277,36 @@ class BatchScenarioResult:
     cycles: tuple[tuple[int, int, int, int], ...]
     epochs: int
     root_solves: int
+
+
+def evaluate_cycles_batch(
+    cells: t.Sequence[tuple[KiBaMParameters, tuple[tuple[float, float], ...]]],
+    max_hours: float = 400.0,
+    obs: t.Any = None,
+) -> tuple[tuple[float, ...], tuple[int, ...], int, int]:
+    """Advance arbitrary ``(battery, cycle)`` cells through one cohort.
+
+    The rung-sized entry point the explore scheduler uses: unlike
+    :func:`evaluate_tasks_batch` it imposes no four-cell scenario shape
+    — callers pack whatever ragged cell list a promotion cohort needs —
+    and a cell outliving ``max_hours`` reports ``inf`` instead of
+    raising, because "no death within the horizon" is a verdict for the
+    scheduler, not an error.
+
+    Returns ``(death_s, cycles, epochs, root_solves)`` with ``death_s``
+    and ``cycles`` aligned to ``cells``; each death is bit-identical to
+    the scalar :func:`~repro.hw.battery.kibam.lifetime_seconds` walk.
+    """
+    if not cells:
+        return ((), (), 0, 0)
+    cohort = KiBaMCohort([CohortCell(params, cycle) for params, cycle in cells])
+    result = CohortStepper(cohort, max_hours * SECONDS_PER_HOUR, obs=obs).run()
+    return (
+        tuple(float(d) for d in result.death_s),
+        tuple(int(c) for c in result.cycles),
+        result.epochs,
+        result.root_solves,
+    )
 
 
 def evaluate_tasks_batch(

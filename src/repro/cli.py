@@ -7,12 +7,15 @@ Exposes the reproduction as a set of subcommands::
     python -m repro figures fig8       # regenerate a paper figure
     python -m repro partition          # partitioning analysis (Fig. 8)
     python -m repro optimize           # rank the whole design space
+    python -m repro explore            # 100k-config halving -> frontier
     python -m repro sweep --batch --grid 10   # 10k-config batched sweep
     python -m repro trace 2 --frames 6 # timing diagram (Figs. 2/3/9)
     python -m repro trace 2 --export chrome -o out.json  # Perfetto trace
     python -m repro metrics 1A 2A      # telemetry metrics per experiment
     python -m repro runs list          # the persistent run registry
     python -m repro runs diff A B      # per-metric deltas between runs
+    python -m repro runs gc --keep-last 100   # trim the registry
+    python -m repro cache info         # result-cache size per salt
     python -m repro check 2B           # invariant monitors over a run
     python -m repro check --paper      # assert the Fig. 10 ordering
     python -m repro report -o out.md   # everything into one document
@@ -358,6 +361,135 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.explore import default_space, explore
+
+    space = default_space(
+        bandwidth_points=args.bandwidth_points,
+        capacity_points=args.capacity_points,
+        io_points=args.io_points,
+        chemistries=tuple(args.chemistries),
+        deadlines=tuple(args.deadlines),
+    )
+    cache: t.Any = None
+    if not args.no_cache:
+        from repro.exec import ResultCache
+
+        cache = ResultCache()
+    registry = None if args.no_registry else _registry(args)
+    n = space.size() if args.limit is None else min(space.size(), args.limit)
+    print(f"exploring {n:,} of {space.size():,} configs "
+          f"(keep {args.keep[0]}/{args.keep[1]}/{args.keep[2]}, "
+          f"jobs {args.jobs})")
+
+    def progress(report: t.Any) -> None:
+        print(f"  rung {report.name:<8} {report.entered:>7,} in "
+              f"-> {report.promoted:>5,} promoted "
+              f"({report.disqualified:,} disqualified, "
+              f"{report.executed:,} executed, "
+              f"{report.cache_hits:,} cached) "
+              f"[{report.wall_s:.2f} s]")
+
+    started = time.perf_counter()
+    result = explore(
+        space,
+        keep=tuple(args.keep),
+        jobs=args.jobs,
+        cache=cache,
+        registry=registry,
+        chunk_size=args.chunk,
+        limit=args.limit,
+        progress=progress,
+    )
+    wall = time.perf_counter() - started
+    if result.disqualified:
+        print()
+        print(format_table(
+            [{"constraint": k, "configs": v}
+             for k, v in sorted(result.disqualified.items())],
+            title="disqualified by constraint",
+        ))
+    print()
+    if result.frontier:
+        rows = [
+            {
+                "config": m.config.describe(),
+                "T_h": m.lifetime_hours,
+                "Tnorm_h": m.tnorm_hours,
+                "frames": m.frames,
+                "misses": m.deadline_misses,
+                "run": m.run_id[:12],
+            }
+            for m in result.frontier
+        ]
+        print(format_table(rows, float_fmt=".3f",
+                           title=f"Pareto frontier ({len(rows)} point(s), "
+                                 "exact-confirmed)"))
+    else:
+        print("empty frontier: every config was disqualified")
+    print(f"\n{result.n_configs:,} configs in {wall:.2f} s "
+          f"({result.configs_per_sec:,.0f} configs/s); "
+          f"{result.pruned_before_sim_fraction:.2%} pruned before any "
+          "full simulation")
+    if args.export:
+        payload = result.frontier_payload()
+        with open(args.export, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {args.export}")
+    return 0 if result.frontier else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exec import ResultCache
+
+    cache = ResultCache(args.root)
+    if args.cache_command == "info":
+        info = cache.info()
+        print(f"cache    {info['root']}")
+        print(f"salt     {info['current_salt']}")
+        print(f"entries  {info['entries']:,} ({info['bytes'] / 1e6:.2f} MB)")
+        if info["stale_entries"]:
+            print(f"stale    {info['stale_entries']:,} "
+                  "(written under another salt; prune with --stale)")
+        if info["salts"]:
+            print()
+            rows = [
+                {
+                    "salt": salt,
+                    "entries": bucket["entries"],
+                    "MB": bucket["bytes"] / 1e6,
+                    "status": "current" if salt == cache.salt else "stale",
+                }
+                for salt, bucket in info["salts"].items()
+            ]
+            print(format_table(rows, float_fmt=".2f", title="per-salt"))
+        return 0
+
+    if args.cache_command == "prune":
+        if args.all:
+            removed = cache.clear()
+        elif (args.max_age_days is None and args.max_bytes is None
+              and not args.stale):
+            print("nothing to do: pass --max-age-days, --max-bytes, "
+                  "--stale, or --all", file=sys.stderr)
+            return 2
+        else:
+            removed = cache.prune(
+                max_age_days=args.max_age_days,
+                max_bytes=args.max_bytes,
+                stale_only=args.stale,
+            )
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+        return 0
+
+    print(f"unknown cache subcommand {args.cache_command!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     from repro.obs.store import diff_records
 
@@ -424,6 +556,15 @@ def _cmd_runs(args: argparse.Namespace) -> int:
             print(f"\n{regressions} metric(s) moved more than "
                   f"{args.threshold:g}%")
             return 1
+        return 0
+
+    if args.runs_command == "gc":
+        removed = registry.gc(
+            keep_last=args.keep_last,
+            older_than_days=args.older_than_days,
+            label=args.label,
+        )
+        print(f"removed {removed} row(s) from {registry.path}")
         return 0
 
     if args.runs_command == "reset":
@@ -895,6 +1036,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 0: report only, never fail)")
     pr_diff.add_argument("--all", action="store_true",
                          help="include metrics with zero delta")
+    pr_gc = runs_sub.add_parser(
+        "gc", help="trim old rows from the registry"
+    )
+    pr_gc.add_argument("--keep-last", type=int, metavar="N",
+                       help="keep only the N most recent runs (per label "
+                            "with --label, globally otherwise)")
+    pr_gc.add_argument("--older-than-days", type=float, metavar="D",
+                       help="remove rows recorded more than D days ago "
+                            "(rows from before age tracking count as old)")
+    pr_gc.add_argument("--label", metavar="LABEL",
+                       help="restrict gc to one experiment label")
     runs_sub.add_parser("reset", help="delete every registered run")
     p_runs.set_defaults(func=_cmd_runs)
 
@@ -957,6 +1109,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--export", metavar="PATH",
                          help="write per-config rows to a .csv or .json file")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="multi-fidelity design-space exploration (successive "
+             "halving to a Pareto frontier)",
+    )
+    p_explore.add_argument("--bandwidth-points", type=int, default=10,
+                           metavar="N",
+                           help="log-spaced link bandwidths, 40-160 kbps "
+                                "(default 10)")
+    p_explore.add_argument("--capacity-points", type=int, default=12,
+                           metavar="N",
+                           help="battery capacities, quarter to full scale "
+                                "(default 12)")
+    p_explore.add_argument("--io-points", type=int, default=12, metavar="N",
+                           help="I/O activity levels, 0.05-0.60 "
+                                "(default 12)")
+    p_explore.add_argument("--chemistries", nargs="+", default=["kibam"],
+                           choices=["kibam", "linear", "peukert"],
+                           metavar="CHEM",
+                           help="battery models to cross in "
+                                "(default: kibam only)")
+    p_explore.add_argument("--deadlines", nargs="+", type=float,
+                           default=[2.3], metavar="D",
+                           help="frame deadlines in seconds (default 2.3; "
+                                "several values surface the "
+                                "throughput/lifetime tradeoff)")
+    p_explore.add_argument("--keep", nargs=3, type=int, default=[512, 16, 6],
+                           metavar=("K0", "K1", "K2"),
+                           help="promotion budgets after the predict, "
+                                "cohort, and fast rungs "
+                                "(default 512 16 6)")
+    p_explore.add_argument("--limit", type=int, default=None, metavar="N",
+                           help="deterministically subsample the space to "
+                                "at most N configs")
+    p_explore.add_argument("--chunk", type=int, default=256, metavar="N",
+                           help="configs per cohort chunk / cache entry "
+                                "(default 256)")
+    p_explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="fan rung work over N worker processes "
+                                "(bit-identical to serial; default 1)")
+    p_explore.add_argument("--no-cache", action="store_true",
+                           help="recompute instead of reading .repro-cache")
+    p_explore.add_argument("--no-registry", action="store_true",
+                           help="do not record runs or rung snapshots")
+    p_explore.add_argument("--export", metavar="PATH",
+                           help="write the frontier (canonical JSON) "
+                                "to PATH")
+    add_registry(p_explore)
+    p_explore.set_defaults(func=_cmd_explore)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or prune the result cache"
+    )
+    p_cache.add_argument("--root", default=".repro-cache", metavar="PATH",
+                         help="cache directory (default .repro-cache)")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("info", help="entry counts and sizes per salt")
+    pc_prune = cache_sub.add_parser("prune", help="evict cache entries")
+    pc_prune.add_argument("--max-age-days", type=float, metavar="D",
+                          help="remove entries older than D days")
+    pc_prune.add_argument("--max-bytes", type=int, metavar="N",
+                          help="evict oldest-first until the cache fits "
+                               "in N bytes")
+    pc_prune.add_argument("--stale", action="store_true",
+                          help="remove entries written under a different "
+                               "code version / salt (they can never hit)")
+    pc_prune.add_argument("--all", action="store_true",
+                          help="remove every entry")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_opt = sub.add_parser(
         "optimize", help="rank every configuration in the design space"

@@ -37,9 +37,16 @@ from repro.hw.link import PAPER_LINK_TIMING, TransactionTiming
 from repro.hw.power import PAPER_POWER_MODEL, PowerModel
 from repro.pipeline.engine import RoleConfig
 from repro.pipeline.schedule import plan_node
-from repro.pipeline.tasks import enumerate_partitions
+from repro.pipeline.tasks import Partition, enumerate_partitions
 
-__all__ = ["Candidate", "predict_rotation_lifetime_hours", "optimize_configuration"]
+__all__ = [
+    "Candidate",
+    "predict_rotation_lifetime_hours",
+    "optimize_configuration",
+    "resolve_roles",
+    "duty_cycle_currents",
+    "mean_current_ma",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -98,6 +105,64 @@ def predict_rotation_lifetime_hours(
         segments.extend(role_duty_cycle(role, timing, deadline_s))
     anchor = Anchor("rotation", tuple(segments), 0.0)
     return predicted_lifetime_hours(anchor, battery, power_model, table)
+
+
+def resolve_roles(
+    profile: TaskProfile,
+    cuts: t.Sequence[int],
+    policy: DVSPolicy,
+    timing: TransactionTiming = PAPER_LINK_TIMING,
+    deadline_s: float = 2.3,
+    table: DVSTable = SA1100_TABLE,
+) -> tuple[RoleConfig, ...]:
+    """Partition ``profile`` at ``cuts`` and pick operating points.
+
+    The structural half of a configuration — everything a duty cycle
+    needs except the power model — resolved in one step so prescreen
+    rungs can share it across configs that differ only in battery or
+    ``io_activity``.
+
+    Raises
+    ------
+    ConfigurationError
+        For invalid cuts.
+    InfeasiblePartitionError
+        When some stage cannot meet the deadline at any level.
+    """
+    partition = Partition(profile, tuple(cuts))
+    plans = [
+        plan_node(a, timing, deadline_s, table) for a in partition.assignments
+    ]
+    return tuple(policy.role_configs(plans, table))
+
+
+def duty_cycle_currents(
+    segments: t.Sequence,
+    power_model: PowerModel = PAPER_POWER_MODEL,
+    table: DVSTable = SA1100_TABLE,
+) -> tuple[tuple[float, float], ...]:
+    """A duty cycle as ``(current_mA, duration_s)`` steps.
+
+    Resolves each :class:`~repro.core.calibration.DutySegment` through
+    the power model — the same expression the batch sweep's cycle
+    builder evaluates, so analytic prescreens, cohort cells, and the
+    scalar predictor all draw identical currents.
+    """
+    return tuple(
+        (
+            power_model.current_ma(seg.mode, table.level_at(seg.level_mhz)),
+            seg.duration_s,
+        )
+        for seg in segments
+    )
+
+
+def mean_current_ma(cycle: t.Sequence[tuple[float, float]]) -> float:
+    """Duration-weighted average current of a ``(mA, s)`` cycle."""
+    total = sum(dt for _, dt in cycle)
+    if total <= 0:
+        raise ConfigurationError("cycle needs a positive total duration")
+    return sum(i * dt for i, dt in cycle) / total
 
 
 def _policy_for(dvs_during_io: bool, single_stage: bool) -> DVSPolicy:

@@ -170,6 +170,11 @@ class ResultCache:
                 pass
             return None
         self.hits += 1
+        if isinstance(payload, dict) and payload.get("__repro_cache__") == 1:
+            return payload.get("payload")
+        # Entries written before the salt envelope existed store the
+        # bare payload; they still decode (the salt already gated the
+        # key), they just count as "(unversioned)" in info().
         return payload
 
     def put(self, key: str, payload: t.Any) -> None:
@@ -177,13 +182,18 @@ class ResultCache:
 
         The write is atomic (temp file + rename), so a killed process
         can truncate at most its own temp file, never a live entry.
+        Payloads are wrapped in a small envelope carrying the writing
+        salt — the salt is already part of the key, so this changes no
+        lookup, but it lets :meth:`info`/:meth:`prune` attribute and
+        evict entries stranded by a salt bump.
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        envelope = {"__repro_cache__": 1, "salt": self.salt, "payload": payload}
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
+                json.dump(envelope, fh, separators=(",", ":"))
             os.replace(tmp, path)
         except OSError:
             # A read-only or full disk degrades to "no cache", silently.
@@ -191,6 +201,95 @@ class ResultCache:
                 tmp.unlink()
             except OSError:
                 pass
+
+    # -- lifecycle -------------------------------------------------------
+    def _entries(self) -> list[tuple[pathlib.Path, int, float, str]]:
+        """(path, bytes, mtime, salt) per entry; unreadable ones skipped."""
+        out: list[tuple[pathlib.Path, int, float, str]] = []
+        if not self.root.exists():
+            return out
+        for path in sorted(self.root.rglob("*.json")):
+            try:
+                stat = path.stat()
+                with open(path, "r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError, UnicodeDecodeError):
+                continue
+            salt = "(unversioned)"
+            if isinstance(payload, dict) and payload.get("__repro_cache__") == 1:
+                salt = str(payload.get("salt", "(unversioned)"))
+            out.append((path, stat.st_size, stat.st_mtime, salt))
+        return out
+
+    def info(self) -> dict[str, t.Any]:
+        """Entry counts and sizes, overall and per writing salt.
+
+        Entries whose salt differs from this cache's current salt can
+        never hit again (the salt is key material) — they are the
+        stranded mass ``prune(stale_only=True)`` reclaims.
+        """
+        entries = self._entries()
+        by_salt: dict[str, dict[str, int]] = {}
+        for _, size, _, salt in entries:
+            bucket = by_salt.setdefault(salt, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        stale = sum(
+            bucket["entries"]
+            for salt, bucket in by_salt.items()
+            if salt != self.salt
+        )
+        return {
+            "root": str(self.root),
+            "current_salt": self.salt,
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _, _ in entries),
+            "stale_entries": stale,
+            "salts": {salt: by_salt[salt] for salt in sorted(by_salt)},
+        }
+
+    def prune(
+        self,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+        stale_only: bool = False,
+    ) -> int:
+        """Evict entries; returns the number of files removed.
+
+        ``stale_only`` removes entries written under a different salt
+        (unversioned ones included). ``max_age_days`` removes entries
+        older than the cutoff (by mtime). ``max_bytes`` then evicts
+        oldest-first until the remainder fits. Criteria compose; with
+        none given this is a no-op.
+        """
+        import time
+
+        entries = self._entries()
+        doomed: set[pathlib.Path] = set()
+        if stale_only:
+            doomed.update(p for p, _, _, salt in entries if salt != self.salt)
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            doomed.update(p for p, _, mtime, _ in entries if mtime < cutoff)
+        if max_bytes is not None:
+            survivors = [e for e in entries if e[0] not in doomed]
+            total = sum(size for _, size, _, _ in survivors)
+            # Oldest first; path as tie-break keeps eviction deterministic.
+            for path, size, _, _ in sorted(
+                survivors, key=lambda e: (e[2], str(e[0]))
+            ):
+                if total <= max_bytes:
+                    break
+                doomed.add(path)
+                total -= size
+        removed = 0
+        for path in doomed:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+        return removed
 
     def clear(self) -> int:
         """Remove every entry; returns the number of files removed."""

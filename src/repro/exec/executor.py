@@ -41,6 +41,13 @@ class SweepStats:
     jobs: int = 1
     wall_s: float = 0.0
 
+    def add(self, other: "SweepStats") -> None:
+        """Fold another call's counts into this one (jobs untouched)."""
+        self.total += other.total
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.wall_s += other.wall_s
+
 
 class SweepExecutor:
     """Maps a function over items, in parallel, through a cache.
@@ -79,6 +86,10 @@ class SweepExecutor:
         self.cache = cache
         self.obs = obs
         self.stats = SweepStats()
+        #: Accumulated over every :meth:`map` call on this executor —
+        #: multi-rung drivers (the explore scheduler) reuse one executor
+        #: across rungs and report whole-session totals from here.
+        self.lifetime = SweepStats(jobs=self.jobs)
 
     def map(
         self,
@@ -186,6 +197,7 @@ class SweepExecutor:
             jobs=self.jobs,
             wall_s=time.perf_counter() - started,
         )
+        self.lifetime.add(self.stats)
         if self.obs is not None:
             m = self.obs.metrics
             m.counter("sweep.items").inc(n)

@@ -1,0 +1,815 @@
+"""Successive halving over a four-rung fidelity ladder.
+
+The whole design space enters rung 0 and almost nothing leaves rung 3:
+
+=====  ==========  =====================================  ============
+rung   name        evaluator                              cost/config
+=====  ==========  =====================================  ============
+0      predict     closed-form average-current prescreen  ~ microseconds
+1      cohort      exact battery walk (KiBaM cohort or    ~ milliseconds
+                   closed-form bucket for the ablation
+                   chemistries)
+2      fast        full simulation, ``mode="fast"``       ~ 0.1 s
+3      exact       full simulation, ``mode="exact"``      ~ seconds
+=====  ==========  =====================================  ============
+
+After each rung, candidates are ranked by normalized lifetime (T/N,
+the paper's efficiency metric at that rung's fidelity) and only the
+top ``keep[rung]`` promote — so with the default budgets well over 99%
+of a 100k-config space never reaches a simulation, yet every frontier
+member is confirmed in exact mode.
+
+Constraints ride the ladder too: each rung applies the cheapest check
+that can already disqualify a config (static schedule feasibility and
+link budget at rung 0, death-within-horizon at rung 1, the full
+:func:`repro.obs.checks.paper_monitors` replay at rungs 2/3), all
+speaking the same :class:`~repro.obs.checks.Verdict` vocabulary.
+
+Determinism contract
+--------------------
+The exported frontier is byte-identical across serial, ``--jobs N``,
+and cache-replayed executions because every ingredient is: enumeration
+order and indices are fixed by the space; promotion sorts on
+``(-score, index)``; workers return JSON-round-trippable payloads the
+parent folds in input order; and no wall-clock or scheduling value
+enters scores, verdicts, records, or the export payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing as t
+
+from repro.apps.atr.profile import PAPER_PROFILE, TaskProfile
+from repro.core.optimizer import duty_cycle_currents, resolve_roles
+from repro.core.prediction import role_duty_cycle
+from repro.errors import (
+    ConfigurationError,
+    InfeasiblePartitionError,
+    ScheduleError,
+)
+from repro.exec import SweepExecutor
+from repro.exec.cache import ResultCache, stable_key
+from repro.explore.pareto import OBJECTIVES, pareto_indices
+from repro.explore.space import (
+    ExploreConfig,
+    PEUKERT_EXPONENT,
+    PEUKERT_REFERENCE_MA,
+    SpaceSpec,
+)
+from repro.hw.power import PowerMode
+from repro.obs.checks import (
+    Verdict,
+    paper_monitors,
+    replay,
+    static_link_budget_verdict,
+    static_verdict,
+)
+from repro.units import SECONDS_PER_HOUR, mah_to_mas
+
+__all__ = [
+    "RUNGS",
+    "RungReport",
+    "FrontierMember",
+    "ExploreResult",
+    "explore",
+]
+
+#: Rung names, cheapest first.
+RUNGS = ("predict", "cohort", "fast", "exact")
+
+
+@dataclasses.dataclass
+class RungReport:
+    """Accounting for one rung of the ladder.
+
+    ``entered``/``evaluated``/``disqualified``/``promoted`` are
+    deterministic content (they enter registry records and the export);
+    ``wall_s``/``executed``/``cache_hits`` describe *this* execution and
+    stay out of anything compared across modes.
+    """
+
+    name: str
+    entered: int = 0
+    evaluated: int = 0
+    disqualified: int = 0
+    promoted: int = 0
+    wall_s: float = 0.0
+    executed: int = 0
+    cache_hits: int = 0
+
+    def content(self) -> dict[str, t.Any]:
+        """The deterministic subset (registry / export form)."""
+        return {
+            "name": self.name,
+            "entered": self.entered,
+            "evaluated": self.evaluated,
+            "disqualified": self.disqualified,
+            "promoted": self.promoted,
+        }
+
+    @property
+    def prune_fraction(self) -> float:
+        """Share of entrants that did not promote past this rung."""
+        if self.entered == 0:
+            return 0.0
+        return 1.0 - self.promoted / self.entered
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierMember:
+    """One exact-confirmed survivor with its objective values."""
+
+    config: ExploreConfig
+    lifetime_hours: float
+    frames: int
+    deadline_misses: int
+    run_id: str
+
+    @property
+    def tnorm_hours(self) -> float:
+        """Normalized lifetime T/N, the paper's efficiency metric."""
+        return self.lifetime_hours / self.config.n_stages
+
+    def as_dict(self) -> dict[str, t.Any]:
+        """JSON-stable form for exports and registry records."""
+        return {
+            "label": self.config.label,
+            "config": {
+                "index": self.config.index,
+                "policy": self.config.policy,
+                "cut": list(self.config.cut),
+                "rotation_period": self.config.rotation_period,
+                "bandwidth_bps": self.config.bandwidth_bps,
+                "chemistry": self.config.chemistry,
+                "capacity_mah": self.config.capacity_mah,
+                "io_activity": self.config.io_activity,
+                "deadline_s": self.config.deadline_s,
+            },
+            "lifetime_hours": self.lifetime_hours,
+            "tnorm_hours": self.tnorm_hours,
+            "frames": self.frames,
+            "deadline_misses": self.deadline_misses,
+            "run_id": self.run_id,
+        }
+
+
+@dataclasses.dataclass
+class ExploreResult:
+    """Everything one exploration produced."""
+
+    space: SpaceSpec
+    keep: tuple[int, int, int]
+    fingerprint: str
+    n_configs: int
+    rungs: list[RungReport]
+    frontier: tuple[FrontierMember, ...]
+    survivors: tuple[FrontierMember, ...]
+    disqualified: dict[str, int]
+    wall_s: float
+
+    @property
+    def configs_per_sec(self) -> float:
+        """Whole-session throughput over the full population."""
+        return self.n_configs / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def pruned_before_sim_fraction(self) -> float:
+        """Share of configs that never reached a full simulation."""
+        if self.n_configs == 0:
+            return 0.0
+        sim_entered = next(
+            (r.entered for r in self.rungs if r.name == "fast"), 0
+        )
+        return 1.0 - sim_entered / self.n_configs
+
+    def frontier_payload(self) -> dict[str, t.Any]:
+        """The deterministic export: byte-identical across modes."""
+        return {
+            "space": {"size": self.n_configs, "fingerprint": self.fingerprint},
+            "keep": list(self.keep),
+            "objectives": [[name, sense] for name, sense in OBJECTIVES],
+            "rungs": [r.content() for r in self.rungs],
+            "disqualified": dict(sorted(self.disqualified.items())),
+            "frontier": [m.as_dict() for m in self.frontier],
+        }
+
+
+@dataclasses.dataclass
+class _Candidate:
+    """Mutable per-config state threaded through the rungs."""
+
+    config: ExploreConfig
+    score: float = 0.0  # normalized lifetime (hours) at the last rung
+    lifetime_hours: float = 0.0
+    frames: int = 0
+    deadline_misses: int = 0
+    run_id: str = ""
+
+
+# ---------------------------------------------------------------------------
+# rung 0: analytic prescreen
+# ---------------------------------------------------------------------------
+
+def _peukert_rate(current_ma: float) -> float:
+    """Effective Peukert drain rate (must mirror PeukertBattery)."""
+    if current_ma == 0.0:
+        return 0.0
+    return current_ma * (current_ma / PEUKERT_REFERENCE_MA) ** (
+        PEUKERT_EXPONENT - 1.0
+    )
+
+
+def _config_structure(
+    config: ExploreConfig, profile: TaskProfile
+) -> tuple[tuple, ...]:
+    """Per-role duty cycles (DutySegments) for one config's structure.
+
+    Raises the scheduling errors of its parts; callers translate those
+    into disqualification verdicts.
+    """
+    roles = resolve_roles(
+        profile,
+        config.cut,
+        config.policy_object(),
+        config.timing(),
+        config.deadline_s,
+    )
+    return tuple(
+        role_duty_cycle(role, config.timing(), config.deadline_s)
+        for role in roles
+    )
+
+
+def _prescreen(
+    space: SpaceSpec,
+    configs: t.Sequence[ExploreConfig],
+    report: RungReport,
+    disqualified: dict[str, int],
+) -> list[_Candidate]:
+    """Rung 0: score every config analytically; drop infeasible ones.
+
+    Structure (roles and segment durations) depends only on (policy,
+    cut, bandwidth, deadline); currents additionally on io_activity —
+    so a 100k-config space collapses to a few hundred structure
+    resolutions and a few thousand current evaluations, with each
+    config just an O(1) capacity/chemistry lookup on top.
+    """
+    # structure key -> ("ok", cycles, comm_s) | ("fail", Verdict)
+    structures: dict[tuple, tuple] = {}
+    # (structure key, io_activity) -> (k_norot_plain, k_rot_plain,
+    #                                  k_norot_peukert, k_rot_peukert)
+    drains: dict[tuple, tuple[float, float, float, float]] = {}
+    out: list[_Candidate] = []
+    for config in configs:
+        if config.rotation_period is not None and config.n_stages < 2:
+            verdict = static_verdict(
+                "rotation-feasibility", False,
+                "rotation needs a pipeline of at least two nodes",
+            )
+            disqualified[verdict.monitor] = (
+                disqualified.get(verdict.monitor, 0) + 1
+            )
+            report.disqualified += 1
+            continue
+        skey = (config.policy, config.cut, config.bandwidth_bps, config.deadline_s)
+        entry = structures.get(skey)
+        if entry is None:
+            try:
+                cycles = _config_structure(config, space.profile)
+            except (InfeasiblePartitionError, ScheduleError, ConfigurationError) as exc:
+                entry = (
+                    "fail",
+                    static_verdict("schedule-feasibility", False, str(exc)),
+                )
+            else:
+                comm_s = max(
+                    sum(
+                        seg.duration_s
+                        for seg in cycle
+                        if seg.mode is PowerMode.COMMUNICATION
+                    )
+                    for cycle in cycles
+                )
+                link = static_link_budget_verdict(comm_s, config.deadline_s)
+                entry = ("fail", link) if not link.ok else ("ok", cycles, comm_s)
+            structures[skey] = entry
+        if entry[0] == "fail":
+            verdict: Verdict = entry[1]
+            disqualified[verdict.monitor] = (
+                disqualified.get(verdict.monitor, 0) + 1
+            )
+            report.disqualified += 1
+            continue
+        cycles = entry[1]
+        dkey = (skey, config.io_activity)
+        factors = drains.get(dkey)
+        if factors is None:
+            power = config.power_model()
+            current_cycles = [
+                duty_cycle_currents(cycle, power) for cycle in cycles
+            ]
+            plain = [sum(i * dt for i, dt in c) for c in current_cycles]
+            peuk = [
+                sum(_peukert_rate(i) * dt for i, dt in c)
+                for c in current_cycles
+            ]
+            n = len(cycles)
+            d = config.deadline_s
+            factors = (
+                d / (max(plain) * n),  # no rotation: critical stage decides
+                d / sum(plain),  # rotation: every node sees the concat cycle
+                d / (max(peuk) * n),
+                d / sum(peuk),
+            )
+            drains[dkey] = factors
+        rotating = config.rotation_period is not None
+        if config.chemistry == "peukert":
+            k = factors[3] if rotating else factors[2]
+        else:
+            # KiBaM delivers less than rated capacity at high rates, but
+            # the plain average-current bound preserves ranking — which
+            # is all a prescreen needs.
+            k = factors[1] if rotating else factors[0]
+        out.append(
+            _Candidate(config=config, score=config.capacity_mah * k)
+        )
+    report.evaluated = len(configs)
+    report.executed = len(configs)
+    return out
+
+
+def _promote(
+    candidates: list[_Candidate], keep: int, report: RungReport
+) -> list[_Candidate]:
+    """Top ``keep`` by score, stratified across deadline values.
+
+    The halving score is scalar (normalized lifetime), but the frame
+    deadline moves *both* frontier objectives at once — shorter
+    deadlines deliver more frames on less lifetime. Ranking the whole
+    population on lifetime alone would promote only the longest
+    deadline and erase that tradeoff before any simulation sees it, so
+    promotion round-robins over per-deadline strata, each sorted by
+    ``(-score, index)``. With a single deadline value this degenerates
+    to plain top-k. Enumeration index breaks ties, keeping promotion
+    independent of arrival order.
+    """
+    strata: dict[float, list[_Candidate]] = {}
+    for cand in candidates:
+        strata.setdefault(cand.config.deadline_s, []).append(cand)
+    for group in strata.values():
+        group.sort(key=lambda c: (-c.score, c.config.index))
+    promoted: list[_Candidate] = []
+    rank = 0
+    while len(promoted) < keep:
+        advanced = False
+        for deadline in sorted(strata):
+            group = strata[deadline]
+            if rank < len(group) and len(promoted) < keep:
+                promoted.append(group[rank])
+                advanced = True
+        if not advanced:
+            break
+        rank += 1
+    # Rung order stays globally score-sorted regardless of strata.
+    promoted.sort(key=lambda c: (-c.score, c.config.index))
+    report.promoted = len(promoted)
+    return promoted
+
+
+# ---------------------------------------------------------------------------
+# rung 1: cohort / closed-form battery walk
+# ---------------------------------------------------------------------------
+
+def _bucket_walk(
+    capacity_mas: float,
+    cycle: tuple[tuple[float, float], ...],
+    rate_fn: t.Callable[[float], float],
+    limit_s: float,
+) -> tuple[float | None, int]:
+    """Death time of a recovery-free charge bucket repeating ``cycle``.
+
+    Closed form over whole cycles plus a segment walk through the last
+    partial one — the linear/Peukert twin of the KiBaM cohort's exact
+    stepping. Returns ``(death_s or None past the horizon, full cycles)``.
+    """
+    drain = sum(rate_fn(i) * dt for i, dt in cycle)
+    cycle_s = sum(dt for _, dt in cycle)
+    if drain <= 0.0:
+        return None, 0
+    full = int(capacity_mas // drain)
+    t_now = full * cycle_s
+    if t_now > limit_s:
+        return None, full
+    remaining = capacity_mas - full * drain
+    for current, dt in cycle:
+        rate = rate_fn(current)
+        if rate * dt >= remaining:
+            if rate <= 0.0:  # pragma: no cover - zero-rate can't drain
+                break
+            death = t_now + remaining / rate
+            return (death, full) if death <= limit_s else (None, full)
+        remaining -= rate * dt
+        t_now += dt
+    # Float slop: the remainder drained exactly at a cycle boundary.
+    return (t_now, full + 1) if t_now <= limit_s else (None, full)
+
+
+def _cohort_job(item: tuple) -> dict[str, t.Any]:
+    """Worker entry point: rung-1 metrics for one chunk of configs.
+
+    Returns per-config ``lifetime_s`` (None = alive past the horizon)
+    and delivered ``frames``, plus cohort accounting. KiBaM configs
+    batch through one structure-of-arrays cohort; the ablation
+    chemistries take their closed-form walk.
+    """
+    from repro.batch.sweep import evaluate_cycles_batch
+
+    configs, max_hours, profile = item
+    profile = profile if profile is not None else PAPER_PROFILE
+    limit_s = max_hours * SECONDS_PER_HOUR
+    lifetimes: list[float | None] = [None] * len(configs)
+    frames: list[int] = [0] * len(configs)
+    struct_memo: dict[tuple, tuple] = {}
+    kibam_cells: list[tuple] = []  # (params, cycle)
+    kibam_groups: list[tuple[int, int, int, bool]] = []  # (cfg, start, n, rot)
+    for pos, config in enumerate(configs):
+        skey = (config.policy, config.cut, config.bandwidth_bps, config.deadline_s)
+        cycles = struct_memo.get(skey)
+        if cycles is None:
+            cycles = _config_structure(config, profile)
+            struct_memo[skey] = cycles
+        power = config.power_model()
+        current_cycles = [duty_cycle_currents(c, power) for c in cycles]
+        rotating = config.rotation_period is not None
+        if rotating:
+            concat: list[tuple[float, float]] = []
+            for c in current_cycles:
+                concat.extend(c)
+            current_cycles = [tuple(concat)]
+        if config.chemistry == "kibam":
+            params = config.battery_parameters()
+            kibam_groups.append(
+                (pos, len(kibam_cells), len(current_cycles), rotating)
+            )
+            kibam_cells.extend((params, cycle) for cycle in current_cycles)
+        else:
+            rate = _peukert_rate if config.chemistry == "peukert" else (
+                lambda i: i
+            )
+            capacity_mas = mah_to_mas(config.capacity_mah)
+            deaths = []
+            counts = []
+            for cycle in current_cycles:
+                death, count = _bucket_walk(capacity_mas, cycle, rate, limit_s)
+                deaths.append(death)
+                counts.append(count)
+            _fold_cell_metrics(
+                pos, deaths, counts, rotating, config.n_stages,
+                lifetimes, frames,
+            )
+    epochs = 0
+    root_solves = 0
+    if kibam_cells:
+        death_s, counts, epochs, root_solves = evaluate_cycles_batch(
+            kibam_cells, max_hours=max_hours
+        )
+        for pos, start, n, rotating in kibam_groups:
+            deaths = [
+                None if death_s[start + j] == float("inf") else death_s[start + j]
+                for j in range(n)
+            ]
+            _fold_cell_metrics(
+                pos, deaths, list(counts[start : start + n]), rotating,
+                configs[pos].n_stages, lifetimes, frames,
+            )
+    return {
+        "lifetime_s": lifetimes,
+        "frames": frames,
+        "epochs": epochs,
+        "root_solves": root_solves,
+    }
+
+
+def _fold_cell_metrics(
+    pos: int,
+    deaths: list[float | None],
+    counts: list[int],
+    rotating: bool,
+    n_stages: int,
+    lifetimes: list[float | None],
+    frames: list[int],
+) -> None:
+    """Per-config lifetime/frames from its cells' deaths and cycles."""
+    if rotating:
+        # One concatenated cycle per node; every node dies together.
+        # Each completed concat cycle delivers n_stages frames.
+        lifetimes[pos] = deaths[0]
+        frames[pos] = counts[0] * n_stages
+    else:
+        if any(d is None for d in deaths):
+            # Some stage outlives the horizon; the system's first death
+            # is not established, so the config can't be ranked exactly.
+            lifetimes[pos] = None
+            frames[pos] = 0
+            return
+        critical = min(range(len(deaths)), key=lambda j: (deaths[j], j))
+        lifetimes[pos] = deaths[critical]
+        frames[pos] = counts[critical]
+
+
+def _cohort_rung(
+    survivors: list[_Candidate],
+    space: SpaceSpec,
+    executor: SweepExecutor,
+    cache: ResultCache | None,
+    chunk_size: int,
+    report: RungReport,
+    disqualified: dict[str, int],
+) -> list[_Candidate]:
+    """Rung 1: exact battery walks, chunked through the executor."""
+    items = [
+        (
+            tuple(c.config for c in survivors[i : i + chunk_size]),
+            space.max_hours,
+            space.profile,
+        )
+        for i in range(0, len(survivors), chunk_size)
+    ]
+    keys = None
+    if cache is not None:
+        keys = [cache.key_for("explore_cohort", "v1", item) for item in items]
+    payloads = executor.map(
+        _cohort_job,
+        items,
+        keys=keys,
+        encode=lambda payload: payload,
+        decode=lambda item, payload: payload,
+    )
+    report.executed = executor.stats.executed
+    report.cache_hits = executor.stats.cache_hits
+    out: list[_Candidate] = []
+    pos = 0
+    for payload in payloads:
+        for lifetime_s, n_frames in zip(payload["lifetime_s"], payload["frames"]):
+            cand = survivors[pos]
+            pos += 1
+            if lifetime_s is None:
+                verdict = static_verdict(
+                    "death-within-horizon", False,
+                    f"no battery death within {space.max_hours:g} h",
+                )
+                disqualified[verdict.monitor] = (
+                    disqualified.get(verdict.monitor, 0) + 1
+                )
+                report.disqualified += 1
+                continue
+            cand.lifetime_hours = lifetime_s / SECONDS_PER_HOUR
+            cand.frames = int(n_frames)
+            cand.score = cand.lifetime_hours / cand.config.n_stages
+            out.append(cand)
+    report.evaluated = pos
+    return out
+
+
+# ---------------------------------------------------------------------------
+# rungs 2/3: full simulation
+# ---------------------------------------------------------------------------
+
+def _sim_kwargs(config: ExploreConfig) -> dict[str, t.Any]:
+    """run_experiment kwargs for one config (shared by fast/exact)."""
+    return dict(
+        battery_factory=config.battery_factory(),
+        power_model=config.power_model(),
+        timing=config.timing(),
+        telemetry=True,
+        monitor_interval_s=60.0,
+        seed=0,
+    )
+
+
+def _sim_job(item: tuple):
+    """Worker entry point: one full simulation (picklable)."""
+    from repro.core.experiments import run_experiment
+
+    config, mode, profile = item
+    profile = profile if profile is not None else PAPER_PROFILE
+    return run_experiment(
+        config.experiment_spec(profile), mode=mode, **_sim_kwargs(config)
+    )
+
+
+def _sim_rung(
+    name: str,
+    mode: str,
+    survivors: list[_Candidate],
+    space: SpaceSpec,
+    executor: SweepExecutor,
+    cache: ResultCache | None,
+    registry: t.Any,
+    report: RungReport,
+    disqualified: dict[str, int],
+) -> list[_Candidate]:
+    """Rungs 2/3: simulate every survivor, replay the paper monitors."""
+    from repro.core.experiments import (
+        _run_from_payload,
+        _run_payload,
+        experiment_fingerprint,
+    )
+    from repro.obs.store import build_run_record, git_revision
+
+    items = [(c.config, mode, space.profile) for c in survivors]
+    keys = None
+    if cache is not None:
+        keys = [cache.key_for("explore_sim", "v1", item) for item in items]
+    runs = executor.map(
+        _sim_job,
+        items,
+        keys=keys,
+        encode=_run_payload,
+        decode=lambda item, payload: _run_from_payload(
+            item[0].experiment_spec(
+                item[2] if item[2] is not None else PAPER_PROFILE
+            ),
+            payload,
+        ),
+    )
+    report.executed = executor.stats.executed
+    report.cache_hits = executor.stats.cache_hits
+    report.evaluated = len(survivors)
+    git_sha = git_revision() if registry is not None else None
+    out: list[_Candidate] = []
+    for cand, run in zip(survivors, runs):
+        spec = cand.config.experiment_spec(space.profile)
+        kwargs = dict(_sim_kwargs(cand.config), mode=mode)
+        record = build_run_record(
+            run, experiment_fingerprint(spec, kwargs), git_sha=git_sha
+        )
+        if registry is not None:
+            registry.record(record)
+        assert run.obs is not None
+        verdicts = replay(run.obs.events, paper_monitors(spec))
+        failed = [v for v in verdicts if not v.ok]
+        if failed:
+            for verdict in failed:
+                disqualified[verdict.monitor] = (
+                    disqualified.get(verdict.monitor, 0) + 1
+                )
+            report.disqualified += 1
+            continue
+        cand.lifetime_hours = run.t_hours
+        cand.frames = run.frames
+        cand.deadline_misses = (
+            run.pipeline.late_results if run.pipeline is not None else 0
+        )
+        cand.score = run.t_hours / spec.n_nodes
+        cand.run_id = record.run_id
+        out.append(cand)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the scheduler
+# ---------------------------------------------------------------------------
+
+def explore(
+    space: SpaceSpec,
+    keep: tuple[int, int, int] = (512, 16, 6),
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    registry: t.Any = None,
+    chunk_size: int = 256,
+    limit: int | None = None,
+    progress: t.Callable[[RungReport], None] | None = None,
+) -> ExploreResult:
+    """Resolve a design space to its Pareto frontier.
+
+    Parameters
+    ----------
+    space:
+        What to search.
+    keep:
+        Promotion budgets after rungs 0, 1, and 2 (rung 3 confirms
+        whatever survives rung 2's constraints).
+    jobs, cache:
+        Fan rung work over processes / short-circuit repeated rungs;
+        results are bit-identical either way.
+    registry:
+        Optional :class:`~repro.obs.store.RunRegistry`: every simulated
+        survivor registers as a run record, and each completed rung
+        appends an explore-session snapshot.
+    chunk_size:
+        Configs per rung-1 cohort chunk (one cache entry each).
+    limit:
+        Deterministically subsample the space to at most this many
+        configs before rung 0.
+    progress:
+        Called with each rung's :class:`RungReport` as it completes.
+    """
+    if len(keep) != 3 or any(k < 1 for k in keep):
+        raise ConfigurationError(
+            f"keep must be three positive budgets, got {keep!r}"
+        )
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    started = time.perf_counter()
+    configs = space.configs(limit=limit)
+    fingerprint = stable_key("explore", space, tuple(keep), limit)
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    disqualified: dict[str, int] = {}
+    rungs: list[RungReport] = []
+
+    def finish_rung(report: RungReport, t0: float) -> None:
+        report.wall_s = time.perf_counter() - t0
+        rungs.append(report)
+        if registry is not None:
+            from repro.obs.store import build_explore_record, git_revision
+
+            registry.record_explore(
+                build_explore_record(
+                    fingerprint,
+                    len(configs),
+                    report.name,
+                    [r.content() for r in rungs],
+                    git_sha=git_revision(),
+                )
+            )
+        if progress is not None:
+            progress(report)
+
+    # rung 0: analytic prescreen
+    t0 = time.perf_counter()
+    report = RungReport("predict", entered=len(configs))
+    candidates = _prescreen(space, configs, report, disqualified)
+    candidates = _promote(candidates, keep[0], report)
+    finish_rung(report, t0)
+
+    # rung 1: cohort battery walk
+    t0 = time.perf_counter()
+    report = RungReport("cohort", entered=len(candidates))
+    candidates = _cohort_rung(
+        candidates, space, executor, cache, chunk_size, report, disqualified
+    )
+    candidates = _promote(candidates, keep[1], report)
+    finish_rung(report, t0)
+
+    # rung 2: fast full simulation
+    t0 = time.perf_counter()
+    report = RungReport("fast", entered=len(candidates))
+    candidates = _sim_rung(
+        "fast", "fast", candidates, space, executor, cache, registry,
+        report, disqualified,
+    )
+    candidates = _promote(candidates, keep[2], report)
+    finish_rung(report, t0)
+
+    # rung 3: exact confirmation
+    t0 = time.perf_counter()
+    report = RungReport("exact", entered=len(candidates))
+    candidates = _sim_rung(
+        "exact", "exact", candidates, space, executor, cache, registry,
+        report, disqualified,
+    )
+    report.promoted = len(candidates)
+    finish_rung(report, t0)
+
+    survivors = tuple(
+        FrontierMember(
+            config=c.config,
+            lifetime_hours=c.lifetime_hours,
+            frames=c.frames,
+            deadline_misses=c.deadline_misses,
+            run_id=c.run_id,
+        )
+        for c in candidates
+    )
+    points = [
+        (m.lifetime_hours, m.frames, m.deadline_misses) for m in survivors
+    ]
+    frontier = tuple(survivors[i] for i in pareto_indices(points))
+    result = ExploreResult(
+        space=space,
+        keep=tuple(keep),
+        fingerprint=fingerprint,
+        n_configs=len(configs),
+        rungs=rungs,
+        frontier=frontier,
+        survivors=survivors,
+        disqualified=disqualified,
+        wall_s=time.perf_counter() - started,
+    )
+    if registry is not None:
+        from repro.obs.store import build_explore_record, git_revision
+
+        registry.record_explore(
+            build_explore_record(
+                fingerprint,
+                len(configs),
+                "frontier",
+                [r.content() for r in rungs],
+                [m.as_dict() for m in frontier],
+                git_sha=git_revision(),
+            )
+        )
+    return result

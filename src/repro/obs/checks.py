@@ -45,6 +45,8 @@ __all__ = [
     "RotationBalanceMonitor",
     "RecoveryLatencyMonitor",
     "replay",
+    "static_verdict",
+    "static_link_budget_verdict",
     "paper_monitors",
     "PAPER_ORDERING",
     "check_paper_ordering",
@@ -438,6 +440,39 @@ def replay(
         for monitor in monitors:
             monitor.observe(event)
     return [monitor.verdict() for monitor in monitors]
+
+
+def static_verdict(monitor: str, ok: bool, detail: str) -> Verdict:
+    """A verdict decided analytically, without an event stream.
+
+    The explore scheduler's cheap rungs (analytic prescreen, cohort
+    pass) have no telemetry events to replay, but their constraint
+    outcomes should speak the same :class:`Verdict` language the
+    streaming monitors do — one vocabulary for "why was this config
+    disqualified" across the whole fidelity ladder.
+    """
+    return Verdict(monitor=monitor, ok=ok, detail=detail)
+
+
+def static_link_budget_verdict(
+    busy_s: float, deadline_s: float, max_fraction: float = 0.98
+) -> Verdict:
+    """Closed-form counterpart of :class:`LinkBusyFractionMonitor`.
+
+    In steady state each stage repeats its transfers once per frame
+    period, so the worst per-sender busy fraction is just (transfer
+    seconds per frame) / deadline. Uses the streaming monitor's name
+    and default bound, so a config the prescreen disqualifies here is
+    the same config the full simulation's monitor would have flagged.
+    """
+    fraction = busy_s / deadline_s if deadline_s > 0 else float("inf")
+    ok = fraction <= max_fraction
+    detail = (
+        f"static busy fraction {fraction:.3f} "
+        + ("<=" if ok else ">")
+        + f" {max_fraction:.3f}"
+    )
+    return Verdict(monitor="link-busy-fraction", ok=ok, detail=detail)
 
 
 def paper_monitors(spec: "ExperimentSpec") -> list[InvariantMonitor]:

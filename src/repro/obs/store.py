@@ -34,6 +34,7 @@ import os
 import pathlib
 import sqlite3
 import subprocess
+import time
 import typing as t
 
 import repro
@@ -45,8 +46,10 @@ if t.TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "DEFAULT_DB",
     "RunRecord",
+    "ExploreRecord",
     "RunRegistry",
     "build_run_record",
+    "build_explore_record",
     "diff_records",
     "git_revision",
 ]
@@ -55,6 +58,10 @@ __all__ = [
 #: environment variable, which the CLI honours).
 DEFAULT_DB = ".repro-runs.sqlite"
 
+# ``created_at`` is housekeeping only — it powers ``runs gc
+# --older-than`` and never enters record content, digests, or
+# determinism dumps (wall clocks must not leak into anything compared
+# across execution modes).
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
     run_id       TEXT PRIMARY KEY,
@@ -66,7 +73,23 @@ CREATE TABLE IF NOT EXISTS runs (
     event_digest TEXT,
     summary      TEXT NOT NULL,
     metrics      TEXT NOT NULL,
-    seq          INTEGER NOT NULL
+    seq          INTEGER NOT NULL,
+    created_at   REAL
+)
+"""
+
+_EXPLORE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS explore_sessions (
+    session_id  TEXT PRIMARY KEY,
+    fingerprint TEXT NOT NULL,
+    version     TEXT NOT NULL,
+    git_sha     TEXT,
+    n_configs   INTEGER NOT NULL,
+    rung        TEXT NOT NULL,
+    rungs       TEXT NOT NULL,
+    frontier    TEXT NOT NULL,
+    seq         INTEGER NOT NULL,
+    created_at  REAL
 )
 """
 
@@ -214,6 +237,73 @@ def build_run_record(
     )
 
 
+@dataclasses.dataclass(frozen=True)
+class ExploreRecord:
+    """One explore-session snapshot (a rung boundary or the final frontier).
+
+    The halving scheduler streams its progress by registering one of
+    these after every completed rung; ``rung`` names the latest rung and
+    ``rungs``/``frontier`` carry the cumulative deterministic state.
+    ``session_id`` is a content digest, so replaying the same
+    exploration (serial, parallel, or from cache) deduplicates instead
+    of appending.
+    """
+
+    session_id: str
+    fingerprint: str
+    version: str
+    git_sha: str | None
+    n_configs: int
+    rung: str
+    rungs: list[dict[str, t.Any]]
+    frontier: list[dict[str, t.Any]]
+
+    def as_row(self) -> dict[str, t.Any]:
+        """Flat list-view row for the CLI."""
+        return {
+            "session_id": self.session_id[:12],
+            "configs": self.n_configs,
+            "rung": self.rung,
+            "rungs": len(self.rungs),
+            "frontier": len(self.frontier),
+        }
+
+
+def build_explore_record(
+    fingerprint: str,
+    n_configs: int,
+    rung: str,
+    rungs: t.Sequence[dict[str, t.Any]],
+    frontier: t.Sequence[dict[str, t.Any]] = (),
+    version: str | None = None,
+    git_sha: str | None = None,
+) -> ExploreRecord:
+    """Derive the registry record for one explore-session snapshot.
+
+    Like :func:`build_run_record`, every identity-bearing field is
+    content — the session id digests the configuration fingerprint plus
+    the deterministic rung/frontier state, never wall clocks — so all
+    execution modes produce byte-identical records.
+    """
+    rungs = [dict(r) for r in rungs]
+    frontier = [dict(f) for f in frontier]
+    session_id = hashlib.sha256(
+        _canonical_json([fingerprint, n_configs, rung, rungs, frontier]).encode(
+            "utf-8"
+        )
+    ).hexdigest()
+    return ExploreRecord(
+        session_id=session_id,
+        fingerprint=fingerprint,
+        version=version if version is not None else repro.__version__,
+        git_sha=git_sha,
+        n_configs=n_configs,
+        rung=rung,
+        rungs=rungs,
+        frontier=frontier,
+    )
+
+
 class RunRegistry:
     """SQLite-backed store of :class:`RunRecord` rows.
 
@@ -231,6 +321,12 @@ class RunRegistry:
     def _connect(self) -> sqlite3.Connection:
         conn = sqlite3.connect(self.path)
         conn.execute(_SCHEMA)
+        conn.execute(_EXPLORE_SCHEMA)
+        # Databases created before the created_at column existed gain it
+        # in place; content columns are untouched, so old ids stay valid.
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(runs)")}
+        if "created_at" not in columns:
+            conn.execute("ALTER TABLE runs ADD COLUMN created_at REAL")
         return conn
 
     # -- writes ----------------------------------------------------------
@@ -242,8 +338,8 @@ class RunRegistry:
             cur = conn.execute(
                 "INSERT OR IGNORE INTO runs "
                 "(run_id, label, fingerprint, version, git_sha, n_events, "
-                " event_digest, summary, metrics, seq) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " event_digest, summary, metrics, seq, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     record.run_id,
                     record.label,
@@ -255,6 +351,34 @@ class RunRegistry:
                     _canonical_json(record.summary),
                     _canonical_json(record.metrics),
                     next_seq,
+                    time.time(),
+                ),
+            )
+            return cur.rowcount == 1
+
+    def record_explore(self, record: ExploreRecord) -> bool:
+        """Persist one explore snapshot; True if newly inserted."""
+        with self._connect() as conn:
+            cur = conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) + 1 FROM explore_sessions"
+            )
+            next_seq = cur.fetchone()[0]
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO explore_sessions "
+                "(session_id, fingerprint, version, git_sha, n_configs, "
+                " rung, rungs, frontier, seq, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.session_id,
+                    record.fingerprint,
+                    record.version,
+                    record.git_sha,
+                    record.n_configs,
+                    record.rung,
+                    _canonical_json(record.rungs),
+                    _canonical_json(record.frontier),
+                    next_seq,
+                    time.time(),
                 ),
             )
             return cur.rowcount == 1
@@ -270,8 +394,77 @@ class RunRegistry:
         if not self.path.exists():
             return 0
         with self._connect() as conn:
-            cur = conn.execute("DELETE FROM runs")
-            return cur.rowcount
+            removed = conn.execute("DELETE FROM runs").rowcount
+            conn.execute("DELETE FROM explore_sessions")
+            return removed
+
+    def gc(
+        self,
+        keep_last: int | None = None,
+        older_than_days: float | None = None,
+        label: str | None = None,
+    ) -> int:
+        """Trim the registry; returns the number of rows removed.
+
+        ``keep_last`` keeps only the N most recent runs (per the
+        insertion sequence; scoped to one label when ``label`` is
+        given) and the N most recent explore sessions. ``older_than_days``
+        removes rows whose ``created_at`` is older than the cutoff —
+        rows from databases that predate the timestamp column have no
+        ``created_at`` and are treated as arbitrarily old. The two
+        criteria compose (a row is removed if either applies).
+        """
+        if keep_last is None and older_than_days is None:
+            raise ConfigurationError(
+                "gc needs keep_last and/or older_than_days"
+            )
+        if keep_last is not None and keep_last < 0:
+            raise ConfigurationError(f"keep_last must be >= 0, got {keep_last}")
+        if older_than_days is not None and older_than_days < 0:
+            raise ConfigurationError(
+                f"older_than_days must be >= 0, got {older_than_days}"
+            )
+        if not self.path.exists():
+            return 0
+        removed = 0
+        with self._connect() as conn:
+            if keep_last is not None:
+                if label is not None:
+                    removed += conn.execute(
+                        "DELETE FROM runs WHERE label = ? AND seq NOT IN "
+                        "(SELECT seq FROM runs WHERE label = ? "
+                        "ORDER BY seq DESC LIMIT ?)",
+                        (label, label, keep_last),
+                    ).rowcount
+                else:
+                    removed += conn.execute(
+                        "DELETE FROM runs WHERE seq NOT IN "
+                        "(SELECT seq FROM runs ORDER BY seq DESC LIMIT ?)",
+                        (keep_last,),
+                    ).rowcount
+                    removed += conn.execute(
+                        "DELETE FROM explore_sessions WHERE seq NOT IN "
+                        "(SELECT seq FROM explore_sessions "
+                        "ORDER BY seq DESC LIMIT ?)",
+                        (keep_last,),
+                    ).rowcount
+            if older_than_days is not None:
+                cutoff = time.time() - older_than_days * 86400.0
+                clause = "created_at IS NULL OR created_at < ?"
+                if label is not None:
+                    removed += conn.execute(
+                        f"DELETE FROM runs WHERE label = ? AND ({clause})",
+                        (label, cutoff),
+                    ).rowcount
+                else:
+                    removed += conn.execute(
+                        f"DELETE FROM runs WHERE {clause}", (cutoff,)
+                    ).rowcount
+                    removed += conn.execute(
+                        f"DELETE FROM explore_sessions WHERE {clause}",
+                        (cutoff,),
+                    ).rowcount
+        return removed
 
     # -- reads -----------------------------------------------------------
     @staticmethod
@@ -377,17 +570,62 @@ class RunRegistry:
         with self._connect() as conn:
             return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
 
+    def list_explore_sessions(self, limit: int | None = None) -> list[ExploreRecord]:
+        """Registered explore snapshots, most recent first."""
+        if not self.path.exists():
+            return []
+        query = (
+            "SELECT session_id, fingerprint, version, git_sha, n_configs, "
+            "rung, rungs, frontier FROM explore_sessions ORDER BY seq DESC"
+        )
+        params: list[t.Any] = []
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        with self._connect() as conn:
+            return [
+                ExploreRecord(
+                    session_id=row[0],
+                    fingerprint=row[1],
+                    version=row[2],
+                    git_sha=row[3],
+                    n_configs=row[4],
+                    rung=row[5],
+                    rungs=json.loads(row[6]),
+                    frontier=json.loads(row[7]),
+                )
+                for row in conn.execute(query, params)
+            ]
+
     def dump_rows(self) -> list[tuple]:
-        """Every row, fully materialized, in insertion order.
+        """Every content column of every row, in insertion order.
 
         The registry's determinism tests compare these dumps across
         execution modes; any wall-clock or scheduling leak into the
-        stored content would show up here.
+        stored content would show up here. ``created_at`` is excluded
+        by construction — it is housekeeping for ``gc``, not content.
         """
         if not self.path.exists():
             return []
         with self._connect() as conn:
-            return list(conn.execute("SELECT * FROM runs ORDER BY seq"))
+            return list(
+                conn.execute(
+                    f"SELECT {self._COLUMNS}, seq FROM runs ORDER BY seq"
+                )
+            )
+
+    def dump_explore_rows(self) -> list[tuple]:
+        """Explore-session content columns, in insertion order."""
+        if not self.path.exists():
+            return []
+        with self._connect() as conn:
+            return list(
+                conn.execute(
+                    "SELECT session_id, fingerprint, version, git_sha, "
+                    "n_configs, rung, rungs, frontier, seq "
+                    "FROM explore_sessions ORDER BY seq"
+                )
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RunRegistry {self.path} n={len(self)}>"

@@ -1,0 +1,89 @@
+"""Pareto extraction: domination semantics and edge cases."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore import OBJECTIVES, dominates, pareto_indices
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((2.0, 2.0, 0.0), (1.0, 1.0, 0.0), ("max",) * 3)
+
+    def test_better_on_one_equal_elsewhere(self):
+        assert dominates((2.0, 1.0), (1.0, 1.0), ("max", "max"))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0), ("max", "max"))
+        assert not dominates((1.0, 1.0), (1.0, 1.0), ("min", "min"))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((2.0, 1.0), (1.0, 2.0), ("max", "max"))
+        assert not dominates((1.0, 2.0), (2.0, 1.0), ("max", "max"))
+
+    def test_min_sense_flips(self):
+        assert dominates((1.0,), (2.0,), ("min",))
+        assert not dominates((2.0,), (1.0,), ("min",))
+
+    def test_default_senses_are_the_objectives(self):
+        # (lifetime max, frames max, misses min)
+        assert dominates((10.0, 100, 0), (9.0, 100, 0))
+        assert dominates((10.0, 100, 0), (10.0, 100, 3))
+        assert not dominates((10.0, 100, 3), (10.0, 100, 0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominates((1.0,), (1.0, 2.0), ("max", "max"))
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominates((1.0,), (2.0,), ("sideways",))
+
+
+class TestParetoIndices:
+    def test_empty(self):
+        assert pareto_indices([]) == []
+
+    def test_single_point(self):
+        assert pareto_indices([(1.0, 2, 0)]) == [0]
+
+    def test_dominated_point_removed(self):
+        points = [(10.0, 100, 0), (5.0, 50, 0)]
+        assert pareto_indices(points) == [0]
+
+    def test_tradeoff_keeps_both(self):
+        points = [(10.0, 50, 0), (5.0, 100, 0)]
+        assert pareto_indices(points) == [0, 1]
+
+    def test_duplicate_points_all_kept(self):
+        points = [(10.0, 100, 0), (10.0, 100, 0), (10.0, 100, 0)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_tie_on_one_objective(self):
+        # Same lifetime; frames decide. The loser ties on axis 0 only.
+        points = [(10.0, 100, 0), (10.0, 90, 0)]
+        assert pareto_indices(points) == [0]
+
+    def test_tie_on_one_objective_with_tradeoff(self):
+        # Ties on lifetime, each wins one of the other axes: both stay.
+        points = [(10.0, 100, 5), (10.0, 90, 0)]
+        assert pareto_indices(points) == [0, 1]
+
+    def test_misses_minimized(self):
+        points = [(10.0, 100, 4), (10.0, 100, 0)]
+        assert pareto_indices(points) == [1]
+
+    def test_input_order_preserved(self):
+        points = [(5.0, 100, 0), (10.0, 50, 0), (7.0, 70, 0)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+    def test_all_dominated_by_last(self):
+        points = [(1.0, 1, 9), (2.0, 2, 5), (3.0, 3, 0)]
+        assert pareto_indices(points) == [2]
+
+    def test_custom_senses(self):
+        points = [(1.0, 1.0), (2.0, 2.0)]
+        assert pareto_indices(points, senses=("min", "min")) == [0]
+
+    def test_objectives_shape(self):
+        assert [s for _, s in OBJECTIVES] == ["max", "max", "min"]

@@ -407,3 +407,83 @@ class TestCalibrate:
         out = capsys.readouterr().out
         assert "fitted parameters" in out
         assert "worst |error|" in out
+
+
+class TestExplore:
+    def test_small_space_resolves_to_frontier(self, tmp_path, capsys):
+        export = tmp_path / "frontier.json"
+        code = main([
+            "explore", "--bandwidth-points", "2", "--capacity-points", "1",
+            "--io-points", "2", "--keep", "8", "2", "1",
+            "--no-cache", "--db", str(tmp_path / "runs.sqlite"),
+            "--export", str(export),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rung predict" in out
+        assert "rung exact" in out
+        assert "Pareto frontier" in out
+        assert "pruned before any" in out
+        import json
+
+        payload = json.loads(export.read_text())
+        assert payload["frontier"]
+        assert [r["name"] for r in payload["rungs"]] == [
+            "predict", "cohort", "fast", "exact",
+        ]
+        assert "wall_s" not in export.read_text()
+
+    def test_all_infeasible_space_exits_nonzero(self, tmp_path, capsys):
+        code = main([
+            "explore", "--bandwidth-points", "1", "--capacity-points", "1",
+            "--io-points", "1", "--deadlines", "0.2", "--keep", "4", "2", "1",
+            "--no-cache", "--no-registry",
+        ])
+        assert code == 1
+        assert "empty frontier" in capsys.readouterr().out
+
+
+class TestCache:
+    def test_info_empty(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main(["cache", "--root", root, "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries  0" in out
+
+    def test_info_and_prune_cycle(self, tmp_path, capsys):
+        from repro.exec import ResultCache
+
+        root = str(tmp_path / "cache")
+        ResultCache(root, salt="old-salt").put("ab" * 32, {"v": 1})
+        ResultCache(root).put("cd" * 32, {"v": 2})
+        assert main(["cache", "--root", root, "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries  2" in out
+        assert "stale" in out
+        assert main(["cache", "--root", root, "prune", "--stale"]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+        assert main(["cache", "--root", root, "prune", "--all"]) == 0
+        assert "removed 1 entry" in capsys.readouterr().out
+
+    def test_prune_without_criteria_errors(self, tmp_path, capsys):
+        assert main(["cache", "--root", str(tmp_path), "prune"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+
+class TestRunsGc:
+    def test_keep_last(self, tmp_path, capsys):
+        from repro.obs import RunRegistry
+        from tests.obs.test_store_gc import fake_record
+
+        db = str(tmp_path / "runs.sqlite")
+        registry = RunRegistry(db)
+        for i in range(5):
+            registry.record(fake_record(i))
+        assert main(["runs", "--db", db, "gc", "--keep-last", "2"]) == 0
+        assert "removed 3 row(s)" in capsys.readouterr().out
+        assert len(registry.list_runs()) == 2
+
+    def test_gc_without_criteria_is_clean_error(self, tmp_path, capsys):
+        db = str(tmp_path / "runs.sqlite")
+        assert main(["runs", "--db", db, "gc"]) == 1
+        assert "gc needs" in capsys.readouterr().err

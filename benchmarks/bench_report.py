@@ -272,6 +272,52 @@ def bench_obs(frames: int = 40, emits: int = 200_000) -> dict:
     }
 
 
+def bench_energy_ledger(adds: int = 200_000, frames: int = 30) -> dict:
+    """Attribution ledger: add throughput, trace build, report render."""
+    from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+    from repro.obs.causal import build_frame_trace
+    from repro.obs.energy import EnergyLedger, verify_conservation
+    from repro.obs.report import build_html_report
+
+    nodes = ("node1", "node2")
+    modes = ("computation", "communication", "idle")
+    buckets = ("fft", "ifft", "link", "idle")
+
+    def add_loop():
+        led = EnergyLedger()
+        for i in range(adds):
+            led.add(
+                nodes[i % 2], modes[i % 3], buckets[i % 4], 60.93, 0.01
+            )
+        return led
+
+    add_secs, led = best_of(add_loop)
+
+    spec = PAPER_EXPERIMENTS["2"]
+    run_secs, run = best_of(
+        lambda: run_experiment(spec, max_frames=frames, telemetry=True)
+    )
+    checks = verify_conservation(run.obs.energy, run.pipeline.delivered_mah)
+
+    trace_secs, _ = best_of(
+        lambda: [
+            build_frame_trace(run.obs.events, i) for i in range(frames)
+        ]
+    )
+    report_secs, page = best_of(lambda: build_html_report({"2": run}))
+
+    return {
+        "ledger_adds_per_s": round(adds / add_secs),
+        "ledger_buckets": len(run.obs.energy),
+        "conservation_ok": all(c.ok for c in checks),
+        "max_conservation_rel_err": max(c.rel_error for c in checks),
+        "frame_traces_per_s": round(frames / trace_secs),
+        "report_render_s": round(report_secs, 4),
+        "report_bytes": len(page),
+        "instrumented_run_s": round(run_secs, 4),
+    }
+
+
 def bench_suite(mode: str = "exact", jobs: int = 1) -> dict:
     t0 = time.perf_counter()
     runs = run_paper_suite(mode=mode, jobs=jobs)
@@ -343,6 +389,7 @@ def _carry_history(output: Path) -> list[dict]:
         "atr_labeling",
         "atr_correlate",
         "obs",
+        "energy_ledger",
         "batch_sweep",
         "explore",
     ):
@@ -385,6 +432,7 @@ def main(argv: list[str] | None = None) -> int:
         "atr_labeling": bench_atr_labeling(),
         "atr_correlate": bench_atr_correlate(),
         "obs": bench_obs(),
+        "energy_ledger": bench_energy_ledger(),
         "batch_sweep": bench_batch_sweep(grid=4 if args.quick else 10),
         "explore": bench_explore(quick=args.quick),
     }

@@ -294,6 +294,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             events=run.obs.events,
             spans=run.obs.spans,
             metrics=run.obs.metrics,
+            energy=run.obs.energy,
         )
     else:  # csv — explicit columns so a zero-segment run still gets a header
         path = write_rows(
@@ -304,6 +305,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     n_events = len(run.obs.events.records)
     print(f"wrote {path} ({len(trace.all_segments())} segments, "
           f"{n_events} events)")
+    if run.obs.events.dropped:
+        print(f"warning: event log truncated — {run.obs.events.dropped} "
+              "events dropped past the storage cap (raise max_events "
+              "or bound --frames)", file=sys.stderr)
     return 0
 
 
@@ -333,6 +338,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         assert obs is not None
         rows = [{"label": label, **row} for row in obs.metrics.as_rows()]
         print(format_table(rows, title=f"experiment {label} metrics"))
+        if obs.events.dropped:
+            print(f"(event log truncated: {obs.events.dropped} events "
+                  "dropped past the storage cap — event-derived numbers "
+                  "below the cap are complete, counts are not)")
         print()
     if len(labels) > 1:
         # Merge the per-run registries in label order: counter and
@@ -583,16 +592,40 @@ def _print_verdicts(verdicts: t.Sequence[t.Any], title: str) -> int:
         if v.violating_event is not None:
             e = v.violating_event
             where = f"{e.kind}@{e.ts:.1f}s"
+        if v.ok:
+            verdict = "ok"
+        elif getattr(v, "inconclusive", False):
+            verdict = "inconclusive"
+        else:
+            verdict = "FAIL"
         rows.append(
             {
                 "check": v.monitor,
-                "verdict": "ok" if v.ok else "FAIL",
+                "verdict": verdict,
                 "detail": v.detail,
                 "evidence": where,
             }
         )
     print(format_table(rows, title=title))
     return sum(1 for v in verdicts if not v.ok)
+
+
+def _explain_deadline_misses(run: t.Any, limit: int = 3) -> None:
+    """Print critical-path postmortems for a run's late frames."""
+    from repro.obs.causal import build_frame_trace, late_frame_ids, render_frame_tree
+
+    late = late_frame_ids(run.obs.events)
+    if not late:
+        return
+    shown = late[:limit]
+    print(f"late frames: {len(late)} "
+          f"(showing {len(shown)}: {', '.join(map(str, shown))})")
+    for frame_id in shown:
+        try:
+            print(render_frame_tree(build_frame_trace(run.obs.events, frame_id)))
+        except ReproError as exc:
+            print(f"frame {frame_id}: {exc}")
+        print()
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -693,6 +726,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
         failures += _print_verdicts(
             verdicts, f"experiment {label} invariants"
         )
+        if any(
+            v.monitor == "frame-deadline" and not v.ok and not v.inconclusive
+            for v in verdicts
+        ):
+            # Every deadline miss gets a machine-derived explanation:
+            # the frame's critical path, category by category.
+            _explain_deadline_misses(run)
         print()
     if failures:
         print(f"{failures} invariant check(s) FAILED")
@@ -830,16 +870,139 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.report import write_report
     from repro.core.experiments import run_paper_suite
 
     factory = _battery_factory(args.fast)
+    labels = args.labels or None
+    if str(args.output).endswith((".html", ".htm")):
+        from repro.obs.report import write_html_report
+
+        runs = run_paper_suite(
+            labels,
+            battery_factory=factory,
+            telemetry=True,
+            monitor_interval_s=300.0,
+            **_sweep_kwargs(args),
+        )
+        path = write_html_report(args.output, runs)
+        print(f"wrote {path} (self-contained HTML, {len(runs)} experiments)")
+        return 0
+    if labels:
+        print("experiment labels are only honored for .html reports",
+              file=sys.stderr)
+        return 2
+    from repro.analysis.report import write_report
+
     runs = run_paper_suite(
         battery_factory=factory, monitor_interval_s=300.0
     )
     path = write_report(args.output, runs=runs, battery_factory=factory)
     print(f"wrote {path}")
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.experiments import run_experiment
+    from repro.obs import causal
+    from repro.obs import export as obs_export
+    from repro.obs.energy import verify_conservation
+
+    label = args.label
+    if label not in PAPER_EXPERIMENTS:
+        print(f"unknown experiment {label!r}", file=sys.stderr)
+        print(f"available: {', '.join(PAPER_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    spec = PAPER_EXPERIMENTS[label]
+
+    if args.explain_command == "frame":
+        if not spec.io_enabled:
+            print(f"experiment {label} has no pipeline (no frames to trace)",
+                  file=sys.stderr)
+            return 2
+        # Bound the run just past the requested frame so the exact
+        # event stream stays small; coalesced frames are untraceable.
+        frames = args.frames or max(args.frame_id + 2, 8)
+        run = run_experiment(
+            spec,
+            battery_factory=_battery_factory(args.fast),
+            telemetry=True,
+            max_frames=frames,
+            mode="exact",
+        )
+        assert run.obs is not None
+        trace = causal.build_frame_trace(run.obs.events, args.frame_id)
+        if args.json:
+            print(json.dumps(trace.as_dict(), sort_keys=True, indent=2))
+        else:
+            print(causal.render_frame_tree(trace))
+        if args.flamegraph:
+            traces = [
+                causal.build_frame_trace(run.obs.events, frame_id)
+                for frame_id in causal.frame_ids(run.obs.events)
+            ]
+            path = obs_export.write_collapsed_stacks(
+                args.flamegraph, causal.collapsed_stacks(traces)
+            )
+            print(f"wrote {path} ({len(traces)} frame stacks, "
+                  "flamegraph.pl/speedscope collapsed format)")
+        return 0
+
+    if args.explain_command == "energy":
+        run = run_experiment(
+            spec,
+            battery_factory=_battery_factory(args.fast),
+            telemetry=True,
+            monitor_interval_s=300.0,
+            mode=_mode(args),
+        )
+        assert run.obs is not None
+        ledger = run.obs.energy
+        rows = [
+            row for row in obs_export.ledger_to_rows(ledger)
+            if args.node is None or row["node"] == args.node
+        ]
+        if not rows:
+            where = f" for node {args.node!r}" if args.node else ""
+            print(f"no attributed energy{where}", file=sys.stderr)
+            return 1
+        print(format_table(
+            rows, float_fmt=".4f",
+            title=f"experiment {label} energy attribution",
+        ))
+        delivered = (
+            run.pipeline.delivered_mah if run.pipeline is not None else {}
+        )
+        if delivered:
+            checks = verify_conservation(ledger, delivered)
+            print()
+            print(format_table(
+                [
+                    {
+                        "node": c.node,
+                        "ledger_mAh": c.ledger_mah,
+                        "delivered_mAh": c.delivered_mah,
+                        "rel_error": f"{c.rel_error:.2e}",
+                        "conserved": "ok" if c.ok else "FAIL",
+                    }
+                    for c in checks
+                    if args.node is None or c.node == args.node
+                ],
+                float_fmt=".6f",
+                title="conservation (ledger vs battery delivered)",
+            ))
+            if any(not c.ok for c in checks):
+                return 1
+        if args.export:
+            path = write_rows(rows, args.export,
+                              columns=obs_export.LEDGER_COLUMNS)
+            print(f"\nwrote {path}")
+        return 0
+
+    print(f"unknown explain subcommand {args.explain_command!r}",
+          file=sys.stderr)
+    return 2
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -1194,12 +1357,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_report = sub.add_parser(
-        "report", help="write the full reproduction report (markdown)"
+        "report",
+        help="write the full reproduction report (markdown, or "
+             "self-contained HTML with -o report.html)",
     )
-    p_report.add_argument("-o", "--output", default="reproduction_report.md")
+    p_report.add_argument("labels", nargs="*", metavar="LABEL",
+                          help="experiments to include (default: full "
+                               "suite; .html reports only)")
+    p_report.add_argument("-o", "--output", default="reproduction_report.md",
+                          help="output path; a .html suffix renders the "
+                               "single-file HTML report with inline SVG "
+                               "charts (default reproduction_report.md)")
     p_report.add_argument("--fast", action="store_true",
                           help="quarter-capacity batteries (quick demo)")
+    p_report.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="fan experiments over N worker processes "
+                               "(.html reports only; bit-identical)")
+    p_report.add_argument("--no-cache", action="store_true",
+                          help="recompute instead of reading .repro-cache")
+    p_report.add_argument("--no-registry", action="store_true",
+                          help="do not record runs in the run registry")
+    add_registry(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="causal explanations: a frame's critical path, or a run's "
+             "energy attribution",
+    )
+    explain_sub = p_explain.add_subparsers(dest="explain_command",
+                                           required=True)
+    pe_frame = explain_sub.add_parser(
+        "frame", help="reconstruct one frame's span tree and critical path"
+    )
+    pe_frame.add_argument("frame_id", type=int, metavar="ID",
+                          help="frame id to explain")
+    pe_frame.add_argument("--label", default="2", metavar="LABEL",
+                          help="experiment to run (default 2)")
+    pe_frame.add_argument("--frames", type=int, default=None, metavar="N",
+                          help="simulate N frames (default: just past ID)")
+    pe_frame.add_argument("--fast", action="store_true",
+                          help="quarter-capacity batteries (quick demo)")
+    pe_frame.add_argument("--json", action="store_true",
+                          help="machine-readable explanation instead of "
+                               "the ASCII tree")
+    pe_frame.add_argument("--flamegraph", metavar="PATH",
+                          help="also write every traceable frame's "
+                               "critical path as collapsed stacks")
+    pe_frame.set_defaults(func=_cmd_explain)
+    pe_energy = explain_sub.add_parser(
+        "energy", help="per-(node, mode, block) energy attribution ledger"
+    )
+    pe_energy.add_argument("--label", default="2", metavar="LABEL",
+                           help="experiment to run (default 2)")
+    pe_energy.add_argument("--node", metavar="NAME",
+                           help="restrict to one node")
+    pe_energy.add_argument("--fast", action="store_true",
+                           help="quarter-capacity batteries (quick demo)")
+    pe_energy.add_argument("--export", metavar="PATH",
+                           help="write ledger rows to a .csv or .json file")
+    add_mode(pe_energy)
+    pe_energy.set_defaults(func=_cmd_explain)
 
     p_prof = sub.add_parser(
         "profile",

@@ -283,6 +283,12 @@ def _fast_forward_no_io(
     sim.warp(span)
     node.warp(span)
     node.frames_processed += n
+    if node._ledger is not None:
+        # The skipped cycles are pure computation segments; attribute
+        # them with the same products advance_cycles integrated.
+        node._ledger.add_charge(
+            node.name, "computation", "proc", current * scaled * n, scaled * n
+        )
     if log:
         log.emit(
             "ff.epoch",
@@ -314,7 +320,16 @@ def _run_no_io(
     log = obs.events if obs is not None and obs.events else None
     sim = Simulator(obs=log)
     battery = battery_factory()
-    node = ItsyNode(sim, "node1", battery, power_model, table, trace=trace, obs=log)
+    node = ItsyNode(
+        sim,
+        "node1",
+        battery,
+        power_model,
+        table,
+        trace=trace,
+        obs=log,
+        ledger=obs.energy if log is not None else None,
+    )
     level = table.level_at(spec.no_io_level_mhz)
     proc_s = spec.profile.total_seconds_at_max
 
@@ -334,6 +349,8 @@ def _run_no_io(
         m.counter("kernel.events").inc(sim.events_processed)
         m.gauge("sim.end_time_s").set(sim.now)
         m.gauge("node.delivered_mah.node1").set(battery.delivered_mah)
+        if log is not None:
+            log.seal(sim.now)
         if obs.events:
             for kind, n in obs.events.counts_by_kind().items():
                 m.counter(f"events.{kind}").inc(n)

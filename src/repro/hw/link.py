@@ -316,11 +316,31 @@ class SerialLink:
             self.transfer_count[direction] += 1
             self.bytes_moved[direction] += send.payload_bytes
             if self.obs is not None:
-                self.obs.emit(
-                    "link.xfer",
-                    self.sim.now,
-                    direction,
-                    to=self.b if direction == self.a else self.a,
-                    bytes=send.payload_bytes,
-                    duration_s=duration,
-                )
+                # Frame correlation: data payloads are Frame objects
+                # (``id``), recovery acknowledgments carry ``frame_id``;
+                # anything else (opaque test payloads) stays untagged.
+                message = send.message
+                frame_id = getattr(message, "id", None)
+                if frame_id is None:
+                    frame_id = getattr(message, "frame_id", None)
+                if frame_id is None:
+                    self.obs.emit(
+                        "link.xfer",
+                        self.sim.now,
+                        direction,
+                        to=self.b if direction == self.a else self.a,
+                        bytes=send.payload_bytes,
+                        duration_s=duration,
+                        startup_s=self.timing.startup_s,
+                    )
+                else:
+                    self.obs.emit(
+                        "link.xfer",
+                        self.sim.now,
+                        direction,
+                        to=self.b if direction == self.a else self.a,
+                        bytes=send.payload_bytes,
+                        duration_s=duration,
+                        startup_s=self.timing.startup_s,
+                        frame=frame_id,
+                    )

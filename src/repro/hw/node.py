@@ -71,6 +71,10 @@ class ItsyNode:
         Optional telemetry event bus; the node publishes ``dvs.switch``
         (level changes), ``link.stall`` (blocked rendezvous) and
         ``battery.dead`` records.
+    ledger:
+        Optional :class:`~repro.obs.energy.EnergyLedger`; every closed
+        battery segment is attributed to a ``(node, mode, bucket)``
+        triple (block name / ``"link"`` / ``"idle"``).
     """
 
     def __init__(
@@ -83,6 +87,7 @@ class ItsyNode:
         trace: TraceRecorder | None = None,
         monitor: BatteryMonitor | None = None,
         obs: t.Any = None,
+        ledger: t.Any = None,
     ):
         self.sim = sim
         self.name = name
@@ -95,6 +100,9 @@ class ItsyNode:
         # ``if self.obs is not None:`` in the hottest loops of the simulation, and a
         # None test is free where a disabled EventLog's __bool__ is not.
         self.obs = obs if obs else None
+        #: Optional energy-attribution ledger (repro.obs.energy); None
+        #: keeps the per-segment cost at one C-level test.
+        self._ledger = ledger
 
         self.mode = PowerMode.IDLE
         self.level: FrequencyLevel = dvs_table.min
@@ -129,10 +137,11 @@ class ItsyNode:
         self.io_stalls = 0
         #: Fast-forward instrumentation: when a list is installed here
         #: (see :mod:`repro.sim.fastforward`), every closed segment
-        #: appends ``(current_ma, dt_s, mode)`` so the steady-state
-        #: detector can compare whole duty-cycle windows. None (the
-        #: default) costs one C-level test per segment.
-        self._draw_log: list[tuple[float, float, str]] | None = None
+        #: appends ``(current_ma, dt_s, mode, bucket)`` so the
+        #: steady-state detector can compare whole duty-cycle windows
+        #: and a jump can advance the energy ledger analytically. None
+        #: (the default) costs one C-level test per segment.
+        self._draw_log: list[tuple[float, float, str, str]] | None = None
 
         self._schedule_death_timer()
 
@@ -200,14 +209,44 @@ class ItsyNode:
         self._current_ma = current
         self._schedule_death_timer()
 
+    def _segment_bucket(self) -> str:
+        """Attribution bucket of the *current* (closing) segment.
+
+        Computation segments carry the ATR block name (the ``"proc"``
+        detail is ``"<block> f<frame>"``; the frame suffix is stripped
+        so buckets repeat identically across periods — a requirement of
+        fast-forward window matching); other computation activities
+        (``"reconfig"``, ``"wake"``) keep their activity name.
+        Communication is ``"link"``, everything else ``"idle"``.
+        """
+        mode = self.mode
+        if mode is PowerMode.COMPUTATION:
+            activity = self.activity
+            if activity == "proc":
+                block = self._detail.rpartition(" f")[0]
+                return block if block else "proc"
+            return activity
+        if mode is PowerMode.COMMUNICATION:
+            return "link"
+        return "idle"
+
     def _close_segment(self) -> None:
         """Integrate battery/trace over [segment_start, now]."""
         now = self.sim.now
         dt = now - self._segment_start
         if dt > 0:
             self.battery.draw(self._current_ma, dt)
-            if self._draw_log is not None:
-                self._draw_log.append((self._current_ma, dt, _MODE_STR[self.mode]))
+            ledger = self._ledger
+            if self._draw_log is not None or ledger is not None:
+                bucket = self._segment_bucket()
+                if self._draw_log is not None:
+                    self._draw_log.append(
+                        (self._current_ma, dt, _MODE_STR[self.mode], bucket)
+                    )
+                if ledger is not None:
+                    ledger.add(
+                        self.name, _MODE_STR[self.mode], bucket, self._current_ma, dt
+                    )
             if self.monitor is not None:
                 self.monitor.observe(now, self._current_ma, dt, _MODE_STR[self.mode])
             if self.trace is not None:
@@ -358,21 +397,34 @@ class ItsyNode:
         io_level: FrequencyLevel,
         activity: str,
         detail: str = "",
+        frame: int | None = None,
     ) -> t.Generator:
         """Complete one link transaction, managing power modes.
 
         The node idles (at its current level) while waiting for the
         rendezvous, switches to COMMUNICATION at ``io_level`` for the
         transaction itself, then returns to IDLE. Returns the
-        :class:`~repro.hw.link.Transfer`.
+        :class:`~repro.hw.link.Transfer`. ``frame`` tags the resulting
+        ``link.stall`` event when the caller knows which frame the
+        rendezvous serves (send sides do; receive sides are waiting for
+        a frame they have not seen yet).
         """
         self._open_offers.append((link, grant))
         if not grant.triggered:
             self.io_stalls += 1
             if self.obs is not None:
-                self.obs.emit(
-                    "link.stall", self.sim.now, self.name, activity=activity
-                )
+                if frame is None:
+                    self.obs.emit(
+                        "link.stall", self.sim.now, self.name, activity=activity
+                    )
+                else:
+                    self.obs.emit(
+                        "link.stall",
+                        self.sim.now,
+                        self.name,
+                        activity=activity,
+                        frame=frame,
+                    )
         self.set_state(PowerMode.IDLE, self.level, "wait", detail)
         try:
             transfer: Transfer = yield grant
@@ -394,6 +446,7 @@ class ItsyNode:
         activity: str,
         timeout_s: float,
         detail: str = "",
+        frame: int | None = None,
     ) -> t.Generator:
         """Like :meth:`transfer`, but give up after ``timeout_s`` waiting.
 
@@ -406,9 +459,18 @@ class ItsyNode:
         if not grant.triggered:
             self.io_stalls += 1
             if self.obs is not None:
-                self.obs.emit(
-                    "link.stall", self.sim.now, self.name, activity=activity
-                )
+                if frame is None:
+                    self.obs.emit(
+                        "link.stall", self.sim.now, self.name, activity=activity
+                    )
+                else:
+                    self.obs.emit(
+                        "link.stall",
+                        self.sim.now,
+                        self.name,
+                        activity=activity,
+                        frame=frame,
+                    )
         self.set_state(PowerMode.IDLE, self.level, "wait", detail)
         timer = self.sim.timeout(timeout_s)
         try:

@@ -40,17 +40,35 @@ from repro.obs.checks import (
     paper_monitors,
     replay,
 )
+from repro.obs.causal import (
+    FrameTrace,
+    FrameSpan,
+    build_frame_trace,
+    collapsed_stacks,
+    explain_frame,
+    frame_ids,
+    late_frame_ids,
+)
+from repro.obs.energy import (
+    ConservationCheck,
+    EnergyLedger,
+    LedgerRow,
+    verify_conservation,
+)
 from repro.obs.events import NULL_LOG, EventLog, TelemetryEvent
 from repro.obs.export import (
     TelemetryBundle,
     chrome_trace,
+    ledger_to_rows,
     metrics_to_rows,
     read_jsonl,
     segments_to_rows,
     write_chrome_trace,
+    write_collapsed_stacks,
     write_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import build_html_report, write_html_report
 from repro.obs.spans import Span, SpanRecord
 from repro.obs.store import RunRecord, RunRegistry, build_run_record, diff_records
 
@@ -73,6 +91,19 @@ __all__ = [
     "EventLog",
     "TelemetryEvent",
     "NULL_LOG",
+    "EnergyLedger",
+    "LedgerRow",
+    "ConservationCheck",
+    "verify_conservation",
+    "FrameTrace",
+    "FrameSpan",
+    "build_frame_trace",
+    "collapsed_stacks",
+    "explain_frame",
+    "frame_ids",
+    "late_frame_ids",
+    "build_html_report",
+    "write_html_report",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -86,6 +117,8 @@ __all__ = [
     "read_jsonl",
     "segments_to_rows",
     "metrics_to_rows",
+    "ledger_to_rows",
+    "write_collapsed_stacks",
 ]
 
 
@@ -115,6 +148,12 @@ class Telemetry:
         self.events = EventLog(enabled=events, max_events=max_events)
         self.metrics = MetricsRegistry()
         self.spans: list[SpanRecord] = []
+        #: Energy-attribution ledger (see :mod:`repro.obs.energy`);
+        #: filled by the pipeline engine when the event bus is live.
+        #: The ``events=False`` null sink skips attribution too — per-
+        #: segment bucket work would break the near-free contract the
+        #: tier-1 overhead test enforces.
+        self.energy = EnergyLedger()
 
     def emit(self, kind: str, ts: float, actor: str = "", **data: t.Any) -> None:
         """Publish one event to the bus (no-op when events are off)."""
@@ -131,6 +170,7 @@ class Telemetry:
             "events": self.events.as_dict(),
             "metrics": self.metrics.as_dict(),
             "spans": [span.as_dict() for span in self.spans],
+            "energy": self.energy.as_dict(),
         }
 
     @classmethod
@@ -139,6 +179,7 @@ class Telemetry:
         obs.events = EventLog.from_dict(payload.get("events", {}))
         obs.metrics = MetricsRegistry.from_dict(payload.get("metrics", {}))
         obs.spans = [SpanRecord.from_dict(s) for s in payload.get("spans", [])]
+        obs.energy = EnergyLedger.from_dict(payload.get("energy", {}))
         return obs
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

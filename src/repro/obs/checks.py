@@ -80,6 +80,11 @@ class Verdict:
     violations:
         Total violation count (the verdict keeps only the first event,
         but counts all of them).
+    inconclusive:
+        True when the monitor saw a ``log.truncated`` terminal record
+        and found no violation: the stored stream is incomplete, so
+        "no violation observed" cannot be promoted to "invariant held".
+        An inconclusive verdict is never ``ok``.
     """
 
     monitor: str
@@ -88,6 +93,7 @@ class Verdict:
     violating_event: TelemetryEvent | None = None
     events_seen: int = 0
     violations: int = 0
+    inconclusive: bool = False
 
     def as_dict(self) -> dict[str, t.Any]:
         """JSON-stable form for CLI output and tests."""
@@ -100,6 +106,7 @@ class Verdict:
             ),
             "events_seen": self.events_seen,
             "violations": self.violations,
+            "inconclusive": self.inconclusive,
         }
 
 
@@ -127,10 +134,19 @@ class InvariantMonitor:
         self.violations = 0
         self.first_violation: TelemetryEvent | None = None
         self._first_detail: str | None = None
+        #: Events dropped by the log's storage cap, from the terminal
+        #: ``log.truncated`` record (see :meth:`EventLog.seal`).
+        self.truncated_dropped = 0
 
     # -- streaming interface --------------------------------------------
     def observe(self, event: TelemetryEvent) -> None:
         """Inspect one event (the EventLog tap entry point)."""
+        if event.kind == "log.truncated":
+            # The stream is incomplete past the storage cap — every
+            # monitor notes this regardless of its kinds filter, since
+            # *its* events may be among the dropped ones.
+            self.truncated_dropped = int(event.data.get("dropped", 0))
+            return
         if self.kinds and event.kind not in self.kinds:
             return
         self.events_seen += 1
@@ -155,19 +171,37 @@ class InvariantMonitor:
         """Hook for end-of-stream checks (e.g. aggregate bounds)."""
 
     def verdict(self) -> Verdict:
-        """Evaluate the invariant over everything observed so far."""
+        """Evaluate the invariant over everything observed so far.
+
+        A monitor that observed a ``log.truncated`` record without
+        finding a violation returns an *inconclusive* (not-ok) verdict:
+        absence of evidence over a truncated stream proves nothing. A
+        found violation stays conclusive — it happened in the events
+        that *were* kept.
+        """
         self._finalize()
-        ok = self.violations == 0
-        detail = self._final_detail() if ok else (self._first_detail or "violated")
-        if not ok and self.violations > 1:
-            detail += f" (+{self.violations - 1} more)"
+        violated = self.violations > 0
+        inconclusive = self.truncated_dropped > 0 and not violated
+        if violated:
+            detail = self._first_detail or "violated"
+            if self.violations > 1:
+                detail += f" (+{self.violations - 1} more)"
+        elif inconclusive:
+            detail = (
+                f"inconclusive: event log truncated "
+                f"({self.truncated_dropped} events dropped); "
+                f"over the kept events: {self._final_detail()}"
+            )
+        else:
+            detail = self._final_detail()
         return Verdict(
             monitor=self.name,
-            ok=ok,
+            ok=not violated and not inconclusive,
             detail=detail,
             violating_event=self.first_violation,
             events_seen=self.events_seen,
             violations=self.violations,
+            inconclusive=inconclusive,
         )
 
 

@@ -28,9 +28,11 @@ kind                   emitted by
 ``battery.dead``       :class:`repro.hw.node.ItsyNode`
 ``frame.emit``         :class:`repro.pipeline.engine.PipelineEngine`
 ``frame.result``       :class:`repro.pipeline.engine.PipelineEngine`
+``proc.block``         :class:`repro.pipeline.engine.PipelineEngine`
 ``recovery.migrate``   :class:`repro.pipeline.engine.PipelineEngine`
 ``rotation.reconfig``  :class:`repro.pipeline.engine.PipelineEngine`
 ``ff.epoch``           :class:`repro.sim.fastforward.FastForwardController`
+``log.truncated``      :class:`EventLog` (terminal marker, see :meth:`~EventLog.seal`)
 =====================  ====================================================
 
 ``ff.epoch`` is the coalesced record of one fast-forward jump
@@ -200,6 +202,34 @@ class EventLog:
         if self._taps:
             for tap in self._taps:
                 tap.observe(event)
+
+    def seal(self, ts: float) -> None:
+        """Make a hit storage cap visible as a terminal record.
+
+        A full log silently counts further emissions in :attr:`dropped`;
+        consumers reading only the stored records would mistake the
+        truncated stream for a complete one. Sealing appends one
+        ``log.truncated`` event carrying the drop count (bypassing the
+        cap — one record of overhead), so replayed monitors can return
+        *inconclusive* verdicts and summaries can flag the gap.
+
+        No-op when nothing was dropped; re-sealing refreshes the
+        terminal record in place instead of appending another. Attached
+        taps are *not* notified: a live tap observed every published
+        event (including the dropped ones), so its view is complete —
+        the terminal record exists for readers of the stored log, whose
+        view is not.
+        """
+        if not self.enabled or not self.dropped:
+            return
+        data = {"dropped": self.dropped}
+        if self._pending and self._pending[-1][0] == "log.truncated":
+            self._pending[-1] = ("log.truncated", ts, "", data)
+            return
+        if not self._pending and self._records and self._records[-1].kind == "log.truncated":
+            self._records[-1] = TelemetryEvent("log.truncated", ts, "", data)
+            return
+        self._pending.append(("log.truncated", ts, "", data))
 
     # -- streaming subscribers -------------------------------------------
     def attach(self, tap: t.Any) -> t.Any:

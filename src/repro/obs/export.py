@@ -24,6 +24,7 @@ import pathlib
 import typing as t
 
 from repro.hw.battery.monitor import BatteryMonitor, BatterySample
+from repro.obs.energy import EnergyLedger
 from repro.obs.events import EventLog, TelemetryEvent
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecord
@@ -36,9 +37,12 @@ __all__ = [
     "segments_to_rows",
     "events_to_rows",
     "metrics_to_rows",
+    "ledger_to_rows",
+    "write_collapsed_stacks",
     "SEGMENT_COLUMNS",
     "EVENT_COLUMNS",
     "METRIC_COLUMNS",
+    "LEDGER_COLUMNS",
     "chrome_trace",
     "write_chrome_trace",
 ]
@@ -62,6 +66,8 @@ class TelemetryBundle:
         Profiling spans, in file order.
     metrics:
         The metrics registry, if one was written.
+    energy:
+        The energy-attribution ledger, if one was written.
     """
 
     segments: list[Segment] = dataclasses.field(default_factory=list)
@@ -69,6 +75,7 @@ class TelemetryBundle:
     events: list[TelemetryEvent] = dataclasses.field(default_factory=list)
     spans: list[SpanRecord] = dataclasses.field(default_factory=list)
     metrics: MetricsRegistry | None = None
+    energy: EnergyLedger | None = None
 
 
 def _jsonl_records(
@@ -77,6 +84,7 @@ def _jsonl_records(
     events: EventLog | None,
     spans: t.Sequence[SpanRecord] | None,
     metrics: MetricsRegistry | None,
+    energy: EnergyLedger | None = None,
 ) -> t.Iterator[dict[str, t.Any]]:
     if trace is not None:
         for segment in trace.all_segments():
@@ -93,6 +101,8 @@ def _jsonl_records(
             yield {"type": "span", **span.as_dict()}
     if metrics is not None:
         yield {"type": "metrics", **metrics.as_dict()}
+    if energy is not None and energy:
+        yield {"type": "energy_ledger", **energy.as_dict()}
 
 
 def write_jsonl(
@@ -103,11 +113,12 @@ def write_jsonl(
     events: EventLog | None = None,
     spans: t.Sequence[SpanRecord] | None = None,
     metrics: MetricsRegistry | None = None,
+    energy: EnergyLedger | None = None,
 ) -> pathlib.Path:
     """Write any subset of a run's telemetry as tagged JSONL lines."""
     path = pathlib.Path(path)
     with open(path, "w", encoding="utf-8") as fh:
-        for record in _jsonl_records(trace, monitors, events, spans, metrics):
+        for record in _jsonl_records(trace, monitors, events, spans, metrics, energy):
             fh.write(json.dumps(record, separators=(",", ":")))
             fh.write("\n")
     return path
@@ -142,6 +153,8 @@ def read_jsonl(path: str | pathlib.Path) -> TelemetryBundle:
                 bundle.spans.append(SpanRecord.from_dict(record))
             elif kind == "metrics":
                 bundle.metrics = MetricsRegistry.from_dict(record)
+            elif kind == "energy_ledger":
+                bundle.energy = EnergyLedger.from_dict(record)
             else:
                 raise ValueError(f"unknown telemetry record type: {kind!r}")
     return bundle
@@ -159,6 +172,7 @@ SEGMENT_COLUMNS = (
 )
 EVENT_COLUMNS = ("kind", "ts", "actor", "data")
 METRIC_COLUMNS = ("metric", "kind", "value")
+LEDGER_COLUMNS = ("node", "mode", "bucket", "charge_mas", "charge_mah", "time_s")
 
 
 def segments_to_rows(trace: TraceRecorder) -> list[dict[str, t.Any]]:
@@ -186,6 +200,42 @@ def events_to_rows(events: EventLog) -> list[dict[str, t.Any]]:
 def metrics_to_rows(metrics: MetricsRegistry) -> list[dict[str, t.Any]]:
     """Registry contents as flat table rows (:data:`METRIC_COLUMNS`)."""
     return metrics.as_rows()
+
+
+def ledger_to_rows(energy: EnergyLedger) -> list[dict[str, t.Any]]:
+    """Energy-attribution buckets as flat rows (:data:`LEDGER_COLUMNS`).
+
+    One row per ``(node, mode, bucket)`` triple, sorted — the CSV twin
+    of the ledger's JSONL record, with the mAh conversion precomputed
+    so spreadsheets line up against the paper's battery units directly.
+    """
+    return [
+        {
+            "node": row.node,
+            "mode": row.mode,
+            "bucket": row.bucket,
+            "charge_mas": row.charge_mas,
+            "charge_mah": row.charge_mah,
+            "time_s": row.time_s,
+        }
+        for row in energy.rows()
+    ]
+
+
+def write_collapsed_stacks(
+    path: str | pathlib.Path, lines: t.Iterable[str]
+) -> pathlib.Path:
+    """Write collapsed-stack (flamegraph) lines, one per stack.
+
+    Takes the output of :func:`repro.obs.causal.collapsed_stacks`; the
+    resulting file loads directly in ``flamegraph.pl`` or speedscope.
+    """
+    path = pathlib.Path(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return path
 
 
 # ---------------------------------------------------------------------------

@@ -363,6 +363,12 @@ class PipelineEngine:
         # Python-level __bool__ call per guard).
         log = config.obs.events if config.obs is not None else None
         self._log = log if log else None
+        # Energy-attribution ledger: every node segment lands in the
+        # telemetry bundle's ledger so Fig. 6/7-style breakdowns come
+        # from the run itself. None when the run is untraced or the
+        # event bus is a null sink — attribution does per-segment dict
+        # work, which the events=False cheap mode must not pay.
+        self._ledger = config.obs.energy if self._log is not None else None
         # Per-result latency histogram, resolved once: the registry
         # lookup is a dict get, but on the per-frame hot path even that
         # is measurable telemetry overhead.
@@ -406,6 +412,7 @@ class PipelineEngine:
                 trace=config.trace,
                 monitor=monitor,
                 obs=self._log,
+                ledger=self._ledger,
             )
 
         self.done: Event = self.sim.event()
@@ -533,6 +540,11 @@ class PipelineEngine:
                 link_transactions[key] = link.transfer_count[sender]
                 link_bytes[key] = link.bytes_moved[sender]
         if cfg.obs is not None:
+            if self._log is not None:
+                # A filled log silently stopped storing; make the
+                # truncation visible as a terminal record so replayed
+                # monitors and summaries know the stream is incomplete.
+                self._log.seal(self.sim.now)
             self._fill_metrics(cfg, link_transactions, link_bytes)
         return PipelineResult(
             frames_completed=self.results_count,
@@ -785,14 +797,28 @@ class PipelineEngine:
                 else self.config.dvs_table.ceil(required)
             )
         profile = self.config.partition.profile
+        log = self._log
         for bi in range(assignment.block_start, assignment.block_stop):
             block = profile.blocks[bi]
+            t0 = self.sim.now
             yield from node.compute(
                 block.seconds_at_max * frame.scale,
                 level,
                 "proc",
                 detail=f"{block.name} f{frame.id}",
             )
+            if log is not None:
+                # Per-block compute record: the causal tracer rebuilds
+                # Fig. 6's per-block breakdown from these.
+                log.emit(
+                    "proc.block",
+                    self.sim.now,
+                    node.name,
+                    frame=frame.id,
+                    block=block.name,
+                    duration_s=self.sim.now - t0,
+                    mhz=level.mhz,
+                )
         frame.stages_done += 1
 
     def _node_loop(self, node: ItsyNode, node_index: int) -> t.Generator:
@@ -878,7 +904,7 @@ class PipelineEngine:
             if cfg.recovery is not None and down_peer != HOST_NAME:
                 transfer = yield from node.transfer_or_timeout(
                     down_link, grant, rolecfg.io_level, "send",
-                    cfg.recovery.detect_timeout_s, detail,
+                    cfg.recovery.detect_timeout_s, detail, frame=frame.id,
                 )
                 if transfer is None:
                     migrated = yield from self._migrate(node)
@@ -889,7 +915,8 @@ class PipelineEngine:
                     continue
             else:
                 yield from node.transfer(
-                    down_link, grant, rolecfg.io_level, "send", detail
+                    down_link, grant, rolecfg.io_level, "send", detail,
+                    frame=frame.id,
                 )
                 if (
                     cfg.recovery is not None
@@ -941,7 +968,8 @@ class PipelineEngine:
         assert rec is not None
         grant = link.offer_send(_Ack(frame.id), rec.ack_payload_bytes, frm=node.name)
         transfer = yield from node.transfer_or_timeout(
-            link, grant, io_level, "ack", rec.detect_timeout_s, f"ack f{frame.id}"
+            link, grant, io_level, "ack", rec.detect_timeout_s, f"ack f{frame.id}",
+            frame=frame.id,
         )
         return transfer
 

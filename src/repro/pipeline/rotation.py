@@ -75,8 +75,15 @@ class RotationController:
         return (frame_id + role + 1) % self.period == 0
 
     def epoch_of_frame(self, frame_id: int) -> int:
-        """How many rotations have happened when frame ``frame_id`` enters."""
-        return (frame_id + 1 - 1) // self.period if self.period else 0
+        """How many rotations have happened when frame ``frame_id`` enters.
+
+        Frames 0..period-1 are epoch 0, period..2*period-1 are epoch 1,
+        and so on: the boundary frame ``k*period`` is the *first* frame
+        of epoch k (role 0's transition is anchored on the preceding
+        frame ``k*period - 1``). ``__post_init__`` guarantees
+        ``period >= n_stages >= 2``, so plain floor division is safe.
+        """
+        return frame_id // self.period
 
     def role0_holder_index(self, frame_id: int) -> int:
         """Index into the node list of the role-0 holder for ``frame_id``.

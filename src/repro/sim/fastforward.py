@@ -11,9 +11,9 @@ detects that steady state and skips whole epochs of it analytically:
    §5.5 rotation, whose *system* state only recurs once every node has
    held every role) the controller snapshots every counter and the
    per-node battery-draw logs. Two consecutive windows that match —
-   identical ``(current, dt, mode)`` draw sequences per node, identical
-   counter deltas, equal anchor spacing — mean the system state is
-   periodic: the next period will replay the last one exactly.
+   identical ``(current, dt, mode, bucket)`` draw sequences per node,
+   identical counter deltas, equal anchor spacing — mean the system
+   state is periodic: the next period will replay the last one exactly.
 2. **The jump.** ``n`` periods are advanced at once: each battery
    through :meth:`KiBaM.advance_cycles
    <repro.hw.battery.kibam.KiBaM.advance_cycles>` (an O(log n) affine
@@ -211,18 +211,24 @@ class FastForwardController:
         # (a migration means the schedule is still reshaping).
         if d1 != d2 or d2[2] != 0:
             return
-        cycles: dict[str, list[tuple[float, float, str]]] = {}
+        cycles: dict[str, list[tuple[float, float, str, str]]] = {}
         for name, log in self._logs.items():
             base = self._base[name]
             a, b, c = i0[name] - base, i1[name] - base, i2[name] - base
             if b - a != c - b:
                 return
             w1, w2 = log[a:b], log[b:c]
-            for (cur1, dt1, m1), (cur2, dt2, m2) in zip(w1, w2):
-                # Currents and modes must repeat exactly; durations get
-                # a relative tolerance because the emission grid is a
-                # float accumulation (last-ulp wobble is expected).
-                if cur1 != cur2 or m1 != m2 or abs(dt1 - dt2) > 1e-9 * (dt1 + 1.0):
+            for (cur1, dt1, m1, b1), (cur2, dt2, m2, b2) in zip(w1, w2):
+                # Currents, modes and attribution buckets must repeat
+                # exactly; durations get a relative tolerance because
+                # the emission grid is a float accumulation (last-ulp
+                # wobble is expected).
+                if (
+                    cur1 != cur2
+                    or m1 != m2
+                    or b1 != b2
+                    or abs(dt1 - dt2) > 1e-9 * (dt1 + 1.0)
+                ):
                     return
             cycles[name] = w2
         self._jump(period, c2 - c1, d2, cycles)
@@ -232,7 +238,7 @@ class FastForwardController:
         self,
         period_s: float,
         frames_per_period: int,
-        cycles: dict[str, list[tuple[float, float, str]]],
+        cycles: dict[str, list[tuple[float, float, str, str]]],
     ) -> int:
         """Largest number of periods the jump may safely skip."""
         eng = self.engine
@@ -241,7 +247,7 @@ class FastForwardController:
         for name, node in self._node_list:
             if node.is_dead:
                 continue
-            drain = sum(cur * dt for cur, dt, _ in cycles[name])
+            drain = sum(cur * dt for cur, dt, *_ in cycles[name])
             if drain <= 0.0:
                 continue
             k = int(node.battery.available_mas / drain) - self.DEATH_MARGIN_CYCLES
@@ -261,7 +267,7 @@ class FastForwardController:
         period_s: float,
         frames_per_period: int,
         delta: tuple,
-        cycles: dict[str, list[tuple[float, float, str]]],
+        cycles: dict[str, list[tuple[float, float, str, str]]],
     ) -> None:
         n = self._epoch_budget(period_s, frames_per_period, cycles)
         if n < self.MIN_EPOCHS:
@@ -278,7 +284,7 @@ class FastForwardController:
             if node.is_dead or not cycles[name]:
                 continue
             node.battery.advance_cycles(
-                [(cur, dt) for cur, dt, _ in cycles[name]], n
+                [(cur, dt) for cur, dt, *_ in cycles[name]], n
             )
         sim.warp(span)
         for name, node in self._node_list:
@@ -293,9 +299,16 @@ class FastForwardController:
                 monitor._last_sample_time += span
                 charge = monitor.charge_by_mode_mas
                 time_by = monitor.time_by_mode_s
-                for cur, dt, mode in cycles[name]:
+                for cur, dt, mode, _bucket in cycles[name]:
                     charge[mode] = charge.get(mode, 0.0) + cur * dt * n
                     time_by[mode] = time_by.get(mode, 0.0) + dt * n
+            ledger = node._ledger
+            if ledger is not None:
+                # Advance the energy ledger with the same per-segment
+                # products advance_cycles integrated, keeping the
+                # conservation invariant within float tolerance.
+                for cur, dt, mode, bucket in cycles[name]:
+                    ledger.add_charge(name, mode, bucket, cur * dt * n, dt * n)
 
         eng.results_count += n * frames_per_period
         eng._frame_seq += n * delta[0]
@@ -333,7 +346,7 @@ class FastForwardController:
                 t1=sim.now,
                 late=n * delta[1],
                 drained_mah={
-                    name: sum(cur * dt for cur, dt, _ in cycles[name]) * n / 3600.0
+                    name: sum(cur * dt for cur, dt, *_ in cycles[name]) * n / 3600.0
                     for name, _ in self._node_list
                 },
                 link_busy_s=self._link_busy(delta, n),

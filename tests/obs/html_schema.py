@@ -1,0 +1,84 @@
+"""Self-containment validator for ``repro report`` HTML output.
+
+Run as a script (CI does) or import :func:`validate_html`. The checks
+are deliberately textual — the contract is *zero external assets*, so
+the validator hunts for anything that would make a browser issue a
+network request: ``<script>``/``<link>`` tags, ``src=``/``href=``
+attributes pointing at URLs, CSS ``@import``/``url(...)``. The SVG
+namespace declaration (``xmlns="http://www.w3.org/2000/svg"``) is an
+identifier, not a fetch, and is allowed.
+
+Usage::
+
+    python tests/obs/html_schema.py report.html
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+#: Patterns whose presence means the document is NOT self-contained.
+_FORBIDDEN = (
+    ("script tag", re.compile(r"<script\b", re.IGNORECASE)),
+    ("stylesheet link", re.compile(r"<link\b", re.IGNORECASE)),
+    ("iframe", re.compile(r"<iframe\b", re.IGNORECASE)),
+    ("src attribute", re.compile(r"\bsrc\s*=", re.IGNORECASE)),
+    ("href URL", re.compile(r"\bhref\s*=\s*[\"']?https?:", re.IGNORECASE)),
+    ("css import", re.compile(r"@import\b", re.IGNORECASE)),
+    ("css url()", re.compile(r"\burl\s*\(", re.IGNORECASE)),
+)
+
+#: URL-shaped strings that are identifiers rather than fetch targets.
+_ALLOWED_URLS = frozenset({"http://www.w3.org/2000/svg"})
+
+_URL = re.compile(r"https?://[^\s\"'<>)]+")
+
+#: Structural requirements of a report document.
+_REQUIRED = (
+    ("doctype", re.compile(r"\A<!DOCTYPE html>", re.IGNORECASE)),
+    ("utf-8 charset", re.compile(r"<meta charset=\"utf-8\"", re.IGNORECASE)),
+    ("inline svg", re.compile(r"<svg\b", re.IGNORECASE)),
+    ("closing html tag", re.compile(r"</html>\s*\Z")),
+)
+
+
+def validate_html(text: str) -> list[str]:
+    """Return a list of problems; empty means the document passes."""
+    problems = []
+    for name, pattern in _REQUIRED:
+        if not pattern.search(text):
+            problems.append(f"missing {name}")
+    for name, pattern in _FORBIDDEN:
+        match = pattern.search(text)
+        if match:
+            start = max(0, match.start() - 30)
+            context = text[start:match.end() + 50].replace("\n", " ")
+            problems.append(f"forbidden {name}: ...{context}...")
+    for url in set(_URL.findall(text)):
+        if url not in _ALLOWED_URLS:
+            problems.append(f"external URL: {url}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print("usage: html_schema.py REPORT.html", file=sys.stderr)
+        return 2
+    with open(argv[0], encoding="utf-8") as fh:
+        text = fh.read()
+    problems = validate_html(text)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    svg_count = len(re.findall(r"<svg\b", text))
+    print(
+        f"ok: {argv[0]} is self-contained "
+        f"({len(text)} bytes, {svg_count} inline SVG charts)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,152 @@
+"""Causal frame tracing: span trees, critical paths, Fig. 6 agreement."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.errors import ReproError
+from repro.obs.causal import (
+    CATEGORIES,
+    build_frame_trace,
+    collapsed_stacks,
+    explain_frame,
+    frame_ids,
+    late_frame_ids,
+    render_frame_tree,
+)
+
+from tests.conftest import tiny_battery_factory
+
+#: Fig. 6 comparisons share the figure benchmark's absolute tolerance.
+FIG6_ABS_TOL = 0.02
+
+
+@pytest.fixture(scope="module")
+def exp2_run():
+    """Eight exactly-simulated frames of the two-node pipeline."""
+    return run_experiment(
+        PAPER_EXPERIMENTS["2"],
+        battery_factory=tiny_battery_factory,
+        telemetry=True,
+        max_frames=8,
+    )
+
+
+class TestFrameTrace:
+    def test_frame_ids_cover_the_bounded_run(self, exp2_run):
+        ids = frame_ids(exp2_run.obs.events)
+        assert ids[0] == 0 and set(range(8)) <= set(ids)
+        assert late_frame_ids(exp2_run.obs.events) == []
+
+    def test_critical_path_is_contiguous_and_sums_to_latency(self, exp2_run):
+        trace = build_frame_trace(exp2_run.obs.events, 3)
+        path = trace.critical_path
+        assert path[0].t0 == pytest.approx(trace.emitted_s, abs=1e-9)
+        assert path[-1].t1 == pytest.approx(trace.completed_s, abs=1e-9)
+        for prev, cur in zip(path, path[1:]):
+            assert cur.t0 == pytest.approx(prev.t1, abs=1e-9)
+        assert all(s.category in CATEGORIES for s in path)
+        total = sum(s.duration_s for s in path)
+        assert total == pytest.approx(trace.latency_s, abs=1e-9)
+        assert sum(trace.breakdown().values()) == pytest.approx(
+            trace.latency_s, abs=1e-9
+        )
+
+    def test_spans_name_blocks_and_hops(self, exp2_run):
+        trace = build_frame_trace(exp2_run.obs.events, 3)
+        blocks = trace.compute_blocks()
+        # Experiment 2 cuts after target_detection: node1 runs detection,
+        # node2 the rest.
+        assert set(blocks) == {
+            "target_detection", "fft", "ifft", "compute_distance",
+        }
+        hops = trace.transfers()
+        assert set(hops) == {"host->node1", "node1->node2", "node2->host"}
+        # Each hop carries the 90 ms PPP startup in its total.
+        assert all(v >= 0.09 for v in hops.values())
+
+    def test_explain_frame_is_json_stable(self, exp2_run):
+        explanation = explain_frame(exp2_run.obs.events, 2)
+        clone = json.loads(json.dumps(explanation))
+        assert clone["frame"] == 2
+        assert set(clone["breakdown_s"]) == set(CATEGORIES)
+        assert clone["critical_path"]
+
+    def test_collapsed_stacks_format(self, exp2_run):
+        traces = [
+            build_frame_trace(exp2_run.obs.events, i) for i in range(3)
+        ]
+        lines = collapsed_stacks(traces)
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert stack.startswith("frame")
+            assert stack.count(";") == 3  # frame;actor;category;name
+
+    def test_render_tree_mentions_frame_and_breakdown(self, exp2_run):
+        text = render_frame_tree(build_frame_trace(exp2_run.obs.events, 3))
+        assert "frame 3" in text
+        assert "breakdown:" in text
+        assert "compute" in text
+
+    def test_unknown_frame_raises_with_hint(self, exp2_run):
+        with pytest.raises(ReproError, match="traceable ids"):
+            build_frame_trace(exp2_run.obs.events, 10_000)
+
+
+class TestFig6Breakdown:
+    """``repro explain frame`` reproduces Fig. 6's 1A breakdown."""
+
+    @pytest.fixture(scope="class")
+    def trace_1a(self):
+        run = run_experiment(
+            PAPER_EXPERIMENTS["1A"],
+            battery_factory=tiny_battery_factory,
+            telemetry=True,
+            max_frames=6,
+        )
+        # A steady-state frame (not the pipeline-fill first frame).
+        return build_frame_trace(run.obs.events, 3)
+
+    def test_per_block_compute_matches_profile(self, trace_1a):
+        profile = PAPER_EXPERIMENTS["1A"].profile
+        blocks = trace_1a.compute_blocks()
+        for block in profile.blocks:
+            # 1A runs PROC at full speed (DVS only during I/O), so each
+            # block's traced duration is its Fig. 6 time at 206.4 MHz.
+            assert blocks[block.name] == pytest.approx(
+                block.seconds_at_max, abs=FIG6_ABS_TOL
+            ), block.name
+
+    def test_input_transfer_matches_fig6(self, trace_1a):
+        hops = trace_1a.transfers()
+        # Fig. 6: the 10.1 KB input frame takes ~1.1 s host -> node.
+        assert hops["host->node1"] == pytest.approx(1.1, abs=FIG6_ABS_TOL)
+
+    def test_total_proc_matches_fig6(self, trace_1a):
+        profile = PAPER_EXPERIMENTS["1A"].profile
+        assert sum(trace_1a.compute_blocks().values()) == pytest.approx(
+            profile.total_seconds_at_max, abs=FIG6_ABS_TOL
+        )
+
+
+def test_fast_forwarded_frames_are_not_traceable():
+    """Coalesced frames raise with an actionable message."""
+    run = run_experiment(
+        PAPER_EXPERIMENTS["1"],
+        battery_factory=tiny_battery_factory,
+        telemetry=True,
+        mode="fast",
+    )
+    ids = frame_ids(run.obs.events)
+    missing = next(
+        (i for i in range(run.frames) if i not in set(ids)), None
+    )
+    if missing is None:
+        pytest.skip("run too short for fast-forward to coalesce any epoch")
+    with pytest.raises(ReproError, match="fast-forward"):
+        build_frame_trace(run.obs.events, missing)

@@ -10,15 +10,19 @@ import pytest
 from repro.hw.battery import KiBaM
 from repro.hw.battery.monitor import BatteryMonitor, BatterySample
 from repro.obs import EventLog, MetricsRegistry, SpanRecord
+from repro.obs.energy import EnergyLedger
 from repro.obs.export import (
     EVENT_COLUMNS,
+    LEDGER_COLUMNS,
     SEGMENT_COLUMNS,
     chrome_trace,
     events_to_rows,
+    ledger_to_rows,
     metrics_to_rows,
     read_jsonl,
     segments_to_rows,
     write_chrome_trace,
+    write_collapsed_stacks,
     write_jsonl,
 )
 from repro.sim.trace import Segment, TraceRecorder
@@ -105,6 +109,20 @@ class TestJsonlRoundTrip:
                          monitors={"node1": mon2})
         assert p1.read_bytes() == p2.read_bytes()
 
+    def test_energy_ledger_round_trips(self, tmp_path):
+        led = EnergyLedger()
+        led.add("node1", "computation", "fft", 60.93, 0.6)
+        led.add("node1", "communication", "link", 32.7185, 1.1)
+        path = write_jsonl(tmp_path / "e.jsonl", energy=led)
+        bundle = read_jsonl(path)
+        assert bundle.energy is not None
+        assert bundle.energy.as_dict() == led.as_dict()
+
+    def test_empty_ledger_is_omitted(self, tmp_path):
+        path = write_jsonl(tmp_path / "none.jsonl", energy=EnergyLedger())
+        assert "energy_ledger" not in path.read_text()
+        assert read_jsonl(path).energy is None
+
     def test_unknown_record_type_raises(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"type": "mystery", "x": 1}\n')
@@ -144,6 +162,29 @@ class TestRows:
 
     def test_column_constants_match_row_shapes(self):
         assert tuple(segments_to_rows(_make_trace())[0].keys()) == SEGMENT_COLUMNS
+
+    def test_ledger_to_rows(self):
+        led = EnergyLedger()
+        led.add("node2", "idle", "idle", 1.0, 2.0)
+        led.add("node1", "computation", "fft", 3600.0, 1.0)
+        rows = ledger_to_rows(led)
+        assert [r["node"] for r in rows] == ["node1", "node2"]  # sorted
+        assert tuple(rows[0].keys()) == LEDGER_COLUMNS
+        assert rows[0]["charge_mah"] == 1.0
+
+
+class TestCollapsedStacks:
+    def test_write_one_line_per_stack(self, tmp_path):
+        lines = [
+            "frame0;host;comm-startup;host->node1 90000",
+            "frame0;node1;compute;fft 600000",
+        ]
+        path = write_collapsed_stacks(tmp_path / "f.folded", lines)
+        assert path.read_text().splitlines() == lines
+
+    def test_empty_input_writes_empty_file(self, tmp_path):
+        path = write_collapsed_stacks(tmp_path / "empty.folded", [])
+        assert path.read_text() == ""
 
 
 class TestChromeTrace:

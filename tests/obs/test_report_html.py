@@ -1,0 +1,96 @@
+"""HTML report: self-containment, determinism, and chart coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.obs import Telemetry
+from repro.obs.report import build_html_report, write_html_report
+
+from tests.conftest import tiny_battery_factory
+from tests.obs.html_schema import validate_html
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Two contrasting experiments with full telemetry."""
+    return {
+        label: run_experiment(
+            PAPER_EXPERIMENTS[label],
+            battery_factory=tiny_battery_factory,
+            telemetry=True,
+            monitor_interval_s=60.0,
+            mode="fast",
+        )
+        for label in ("1", "2")
+    }
+
+
+@pytest.fixture(scope="module")
+def html(runs):
+    return build_html_report(runs, title="test report")
+
+
+class TestSelfContainment:
+    def test_validator_passes(self, html):
+        assert validate_html(html) == []
+
+    def test_validator_rejects_external_refs(self):
+        page = "<!DOCTYPE html>\n<html><body></body></html>"
+        assert any("missing" in p for p in validate_html(page))
+        bad = page.replace(
+            "<body>", '<body><script src="https://cdn.example/x.js">'
+        )
+        assert any("script" in p for p in validate_html(bad))
+
+    def test_single_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<html") == 1
+        assert html.rstrip().endswith("</html>")
+
+
+class TestContent:
+    def test_every_run_gets_charts(self, html, runs):
+        # Per run: discharge + energy bars + latency histogram; plus the
+        # suite-level Fig. 10 ordering chart.
+        assert html.count("<svg") >= 3 * len(runs) + 1
+        for label in runs:
+            assert f'id="run-{label}"' in html
+
+    def test_conservation_table_present(self, html):
+        assert "Energy conservation" in html
+        assert "rel error" in html
+        assert "FAIL" not in html  # all checks pass on these runs
+
+    def test_ordering_section_present(self, html):
+        assert "Fig. 10" in html
+
+    def test_title_is_escaped(self, runs):
+        page = build_html_report(runs, title="a <b> & 'c'")
+        assert "a &lt;b&gt; &amp;" in page
+        assert "<b> &" not in page
+
+
+class TestDeterminism:
+    def test_same_runs_same_bytes(self, runs):
+        assert build_html_report(runs) == build_html_report(runs)
+
+    def test_write_round_trip(self, runs, tmp_path):
+        path = tmp_path / "report.html"
+        write_html_report(path, runs, title="rt")
+        text = path.read_text(encoding="utf-8")
+        assert validate_html(text) == []
+        assert text == build_html_report(runs, title="rt")
+
+
+def test_truncated_run_is_flagged():
+    run = run_experiment(
+        PAPER_EXPERIMENTS["2"],
+        battery_factory=tiny_battery_factory,
+        telemetry=Telemetry(max_events=200),
+        max_frames=40,
+    )
+    page = build_html_report({"2": run})
+    assert validate_html(page) == []
+    assert "truncated" in page

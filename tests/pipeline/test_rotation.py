@@ -76,3 +76,47 @@ class TestHolderArithmetic:
         assert ctl.epoch_of_frame(0) == 0
         assert ctl.epoch_of_frame(99) == 0
         assert ctl.epoch_of_frame(100) == 1
+
+
+class TestEpochBoundaries:
+    """Boundary frames around k*period after the floor-division cleanup."""
+
+    def test_boundary_frame_starts_the_new_epoch(self):
+        ctl = RotationController(period=10, n_stages=3)
+        for k in range(1, 6):
+            assert ctl.epoch_of_frame(k * 10 - 1) == k - 1
+            assert ctl.epoch_of_frame(k * 10) == k
+            assert ctl.epoch_of_frame(k * 10 + 1) == k
+
+    def test_holder_changes_exactly_at_the_boundary(self):
+        ctl = RotationController(period=10, n_stages=3)
+        for k in range(1, 6):
+            before = ctl.role0_holder_index(k * 10 - 1)
+            after = ctl.role0_holder_index(k * 10)
+            assert after == (before - 1) % 3
+            assert ctl.role0_holder_index(k * 10 + 1) == after
+
+    def test_rotation_frames_anchor_one_before_the_boundary(self):
+        """Role 0 transitions on k*period - 1, role r sits r frames earlier."""
+        ctl = RotationController(period=10, n_stages=3)
+        for k in range(1, 4):
+            boundary = k * 10
+            for role in range(3):
+                assert ctl.is_rotation_frame(boundary - 1 - role, role)
+                assert not ctl.is_rotation_frame(boundary, role)
+
+    def test_minimum_period_equals_depth(self):
+        # The tightest legal schedule: every role transitions every epoch.
+        ctl = RotationController(period=3, n_stages=3)
+        assert ctl.epoch_of_frame(2) == 0
+        assert ctl.epoch_of_frame(3) == 1
+        assert ctl.is_rotation_frame(2, 0)
+        assert ctl.is_rotation_frame(1, 1)
+        assert ctl.is_rotation_frame(0, 2)
+        assert ctl.role0_holder_index(3) == 2
+
+    def test_frame_zero_is_epoch_zero_for_any_period(self):
+        for period in (2, 3, 7, 100):
+            ctl = RotationController(period=period, n_stages=2)
+            assert ctl.epoch_of_frame(0) == 0
+            assert ctl.role0_holder_index(0) == 0

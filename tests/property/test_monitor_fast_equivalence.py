@@ -1,0 +1,51 @@
+"""Monitors must judge coalesced fast-mode streams like exact streams.
+
+Fast mode replaces steady-state windows with ``ff.epoch``/``batch.epoch``
+records; :mod:`repro.obs.checks` folds them back into monitor counts.
+The contract worth a property test: for *any* (battery size, deadline,
+experiment) the paper monitors replayed over the fast event log reach
+the same ``(monitor, ok, inconclusive)`` verdicts as over the exact
+event-by-event log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.experiments import PAPER_EXPERIMENTS, run_experiment
+from repro.hw.battery import KiBaM
+from repro.obs.checks import paper_monitors, replay
+
+from tests.conftest import TINY_KIBAM
+
+
+def _verdict_shape(run, spec):
+    verdicts = replay(run.obs.events, paper_monitors(spec))
+    return [(v.monitor, v.ok, v.inconclusive) for v in verdicts]
+
+
+@given(
+    label=st.sampled_from(["1", "2", "2C"]),
+    capacity_mah=st.floats(8.0, 20.0),
+    deadline_s=st.floats(2.3, 3.5),
+)
+@settings(max_examples=5, deadline=None)
+def test_fast_and_exact_replays_agree(label, capacity_mah, deadline_s):
+    spec = dataclasses.replace(
+        PAPER_EXPERIMENTS[label], deadline_s=deadline_s
+    )
+    params = dataclasses.replace(TINY_KIBAM, capacity_mah=capacity_mah)
+    shapes = {}
+    for mode in ("exact", "fast"):
+        run = run_experiment(
+            spec,
+            battery_factory=lambda: KiBaM(params),
+            telemetry=True,
+            monitor_interval_s=120.0,
+            mode=mode,
+        )
+        shapes[mode] = _verdict_shape(run, spec)
+    assert shapes["fast"] == shapes["exact"]

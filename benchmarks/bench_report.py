@@ -3,7 +3,9 @@
 Measures the hot paths that dominate paper-suite wall-clock — kernel
 event dispatch, KiBaM stepping, link transactions, ATR recognition —
 plus telemetry overheads (raw event-emit throughput, null-sink and
-full-instrumentation cost on a short run), the batched cohort sweep
+full-instrumentation cost on a short run), the flight recorder
+(recorder-off executor overhead against its budget, journaling
+throughput when on), the batched cohort sweep
 with a jobs-1/2/4 scaling column, the successive-halving design-space
 exploration (configs/sec and per-rung prune rates), and the end-to-end
 eight-experiment suite in three variants — serial exact, fast-forward
@@ -318,6 +320,48 @@ def bench_energy_ledger(adds: int = 200_000, frames: int = 30) -> dict:
     }
 
 
+def bench_flight(n: int = 400, repeats: int = 5) -> dict:
+    """Flight-recorder cost: recorder-off executor overhead (must stay
+    inside the telemetry budget) and instrumented journaling throughput."""
+    from repro.exec.executor import SweepExecutor
+    from repro.obs.flight import FlightRecorder
+
+    items = list(range(n))
+
+    def raw():
+        return [_flight_probe(x) for x in items]
+
+    def plain():
+        return SweepExecutor(jobs=1).map(_flight_probe, items)
+
+    def recorded():
+        flight = FlightRecorder(label="bench")
+        out = SweepExecutor(jobs=1, flight=flight).map(_flight_probe, items)
+        flight.finish()
+        return out, flight
+
+    base, _ = best_of(raw, repeats)
+    off, _ = best_of(plain, repeats)
+    on, (_, flight) = best_of(recorded, repeats)
+    rows = [r.as_dict() for r in flight.records]
+    return {
+        "items": n,
+        "recorder_off_overhead_pct": round((off / base - 1.0) * 100, 2),
+        "recorder_on_overhead_pct": round((on / base - 1.0) * 100, 2),
+        "journaled_items_per_s": round(n / on) if on else 0,
+        "journal_rows": len(rows),
+    }
+
+
+def _flight_probe(x: int) -> int:
+    # Heavy enough (~100us) that per-item work dominates dispatch, as
+    # it does for real sweep items (milliseconds to seconds each).
+    acc = 0
+    for i in range(5_000):
+        acc += (x + i) * i
+    return acc
+
+
 def bench_suite(mode: str = "exact", jobs: int = 1) -> dict:
     t0 = time.perf_counter()
     runs = run_paper_suite(mode=mode, jobs=jobs)
@@ -379,31 +423,20 @@ def _carry_history(output: Path) -> list[dict]:
         old = json.loads(output.read_text(encoding="utf-8"))
     except (OSError, ValueError):
         return []
-    condensed = {"version": old.get("version")}
-    for key in (
-        "kernel_event_dispatch",
-        "kibam_fused_draw",
-        "link_transactions",
-        "atr_recognition",
-        "atr_recognition_batch",
-        "atr_labeling",
-        "atr_correlate",
-        "obs",
-        "energy_ledger",
-        "batch_sweep",
-        "explore",
-    ):
-        if key in old:
-            condensed[key] = {
-                k: v for k, v in old[key].items() if not isinstance(v, dict)
-            }
-    for key in (
-        "paper_suite_serial",
-        "paper_suite_fastforward",
-        "paper_suite_parallel",
-    ):
-        if key in old:
-            condensed[key] = {"wall_s": old[key].get("wall_s")}
+    # Condense every top-level section uniformly (scalar leaves only) —
+    # a hardcoded key list here silently dropped newly added sections
+    # from the trajectory, which is exactly what a perf gate can't have.
+    condensed: dict = {"version": old.get("version")}
+    for key, payload in old.items():
+        if key in ("version", "python", "machine", "history"):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        scalars = {
+            k: v for k, v in payload.items() if not isinstance(v, dict)
+        }
+        if scalars:
+            condensed[key] = scalars
     return (list(old.get("history", [])) + [condensed])[-_HISTORY_MAX:]
 
 
@@ -433,6 +466,7 @@ def main(argv: list[str] | None = None) -> int:
         "atr_correlate": bench_atr_correlate(),
         "obs": bench_obs(),
         "energy_ledger": bench_energy_ledger(),
+        "flight": bench_flight(),
         "batch_sweep": bench_batch_sweep(grid=4 if args.quick else 10),
         "explore": bench_explore(quick=args.quick),
     }

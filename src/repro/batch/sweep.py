@@ -526,6 +526,7 @@ def batch_sweep(
     events: bool = False,
     profile: TaskProfile | None = None,
     timing: TransactionTiming | None = None,
+    flight: t.Any = None,
 ) -> BatchSweepResult:
     """Run a whole sweep spec through chunked cohorts.
 
@@ -535,7 +536,9 @@ def batch_sweep(
     bit-identical across serial, parallel, and cache-replayed runs.
     Telemetry (``batch.epoch`` events when ``events=True``, ``batch.*``
     counters always) rides home inside each chunk payload and is folded
-    into ``obs`` in input order.
+    into ``obs`` in input order. An optional
+    :class:`~repro.obs.flight.FlightRecorder` (``flight=``) journals
+    each chunk and streams live progress.
     """
     if chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -555,7 +558,9 @@ def batch_sweep(
     keys = None
     if cache is not None:
         keys = [cache.key_for("batch_sweep", "v1", item) for item in items]
-    executor = SweepExecutor(jobs=jobs, cache=cache, obs=obs)
+    if flight is not None:
+        flight.phase("batch", total=len(items))
+    executor = SweepExecutor(jobs=jobs, cache=cache, obs=obs, flight=flight)
     payloads = executor.map(
         _chunk_job,
         items,

@@ -18,6 +18,9 @@ Exposes the reproduction as a set of subcommands::
     python -m repro cache info         # result-cache size per salt
     python -m repro check 2B           # invariant monitors over a run
     python -m repro check --paper      # assert the Fig. 10 ordering
+    python -m repro check --fleet      # fleet health from the exec journal
+    python -m repro top                # attach to a running sweep (live)
+    python -m repro bench diff         # perf gate over BENCH_substrate.json
     python -m repro report -o out.md   # everything into one document
     python -m repro calibrate          # re-run the model calibration
     python -m repro profile --frames 8 # time the real ATR blocks (Fig. 6)
@@ -37,6 +40,12 @@ registry (``.repro-runs.sqlite``; override with ``--db`` or the
 ``REPRO_RUNS_DB`` environment variable, disable with
 ``--no-registry``); ``repro runs`` queries it and ``repro runs reset``
 clears it.
+
+``run``, ``suite``, ``sweep --batch`` and ``explore`` take
+``--progress`` (live in-place fleet dashboard) and ``--journal PATH``
+(canonical item-level execution journal, byte-identical across serial,
+``--jobs N`` and cache replay); ``repro top`` attaches to the progress
+plane of a sweep started elsewhere.
 """
 
 from __future__ import annotations
@@ -109,6 +118,44 @@ def _sweep_kwargs(args: argparse.Namespace) -> dict[str, t.Any]:
     }
 
 
+def _flight(args: argparse.Namespace, label: str) -> tuple[t.Any, t.Any]:
+    """Build the flight recorder + live renderer requested by CLI flags.
+
+    Returns ``(None, None)`` unless ``--progress`` or ``--journal`` was
+    given, keeping the default execution path recorder-free (and inside
+    the null-sink overhead budget). The recorder persists its journal
+    and progress snapshots into the run registry (unless
+    ``--no-registry``), which is the plane ``repro top`` attaches to.
+    """
+    if not getattr(args, "progress", False) and not getattr(args, "journal", None):
+        return None, None
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.progress import ProgressRenderer
+
+    renderer = ProgressRenderer() if getattr(args, "progress", False) else None
+    flight = FlightRecorder(
+        label=label, registry=_registry(args), progress=renderer
+    )
+    return flight, renderer
+
+
+def _finish_flight(
+    flight: t.Any, renderer: t.Any, args: argparse.Namespace
+) -> None:
+    """Flush the recorder, close the live view, export the journal."""
+    if flight is None:
+        return
+    flight.finish()
+    if renderer is not None:
+        renderer.close()
+    journal_path = getattr(args, "journal", None)
+    if journal_path:
+        path = flight.export_journal(journal_path)
+        print(f"wrote journal {path} ({len(flight.records)} record(s), "
+              "canonical content rows)")
+    flight.close()
+
+
 def _print_pipeline_diagnostics(runs: dict[str, t.Any]) -> None:
     """Substrate counters for the pipeline runs (suite output)."""
     rows = []
@@ -143,12 +190,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"available: {', '.join(PAPER_EXPERIMENTS)}", file=sys.stderr)
         return 2
     sweep = _sweep_kwargs(args)
+    flight, renderer = _flight(args, "suite")
     runs = run_paper_suite(
         labels,
         battery_factory=_battery_factory(args.fast),
         mode=_mode(args),
+        flight=flight,
         **sweep,
     )
+    _finish_flight(flight, renderer, args)
     rows = []
     for m in summarize_runs(runs):
         paper = runs[m.label].spec.paper
@@ -402,6 +452,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
               f"{report.cache_hits:,} cached) "
               f"[{report.wall_s:.2f} s]")
 
+    flight, renderer = _flight(args, "explore")
     started = time.perf_counter()
     result = explore(
         space,
@@ -412,8 +463,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         chunk_size=args.chunk,
         limit=args.limit,
         progress=progress,
+        flight=flight,
     )
     wall = time.perf_counter() - started
+    _finish_flight(flight, renderer, args)
     if result.disqualified:
         print()
         print(format_table(
@@ -508,16 +561,38 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         return 2
 
     if args.runs_command == "list":
+        import datetime as dt
+        import json
+
         records = registry.list_runs(
             label=args.label, limit=args.limit, offset=args.offset
         )
+
+        def _created(record: t.Any) -> str:
+            if record.created_at is None:
+                return "--"
+            stamp = dt.datetime.fromtimestamp(
+                record.created_at, tz=dt.timezone.utc
+            )
+            return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+        if getattr(args, "json", False):
+            rows = [
+                {**r.as_row(), "run_id": r.run_id, "created": _created(r)}
+                for r in records
+            ]
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
         if not records:
             print(f"no registered runs in {registry.path}")
             return 0
         title = f"run registry ({registry.path})"
         if args.offset:
             title += f" — runs {args.offset + 1}..{args.offset + len(records)}"
-        print(format_table([r.as_row() for r in records], title=title))
+        print(format_table(
+            [{**r.as_row(), "created": _created(r)} for r in records],
+            title=title,
+        ))
         return 0
 
     if args.runs_command == "show":
@@ -639,6 +714,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.obs.store import diff_records
 
     registry = _registry(args)
+
+    if getattr(args, "fleet", False):
+        # Fleet health from the persisted execution journal: failures,
+        # retry pressure, and straggler spread become check verdicts.
+        from repro.obs.flight import journal_verdicts
+
+        if registry is None:
+            print("--fleet needs the registry (drop --no-registry)",
+                  file=sys.stderr)
+            return 2
+        rows = registry.list_journal()
+        if not rows:
+            print(f"no execution journal in {registry.path} "
+                  "(run a sweep with --progress or --journal first)")
+            return 2
+        verdicts = journal_verdicts(rows)
+        failures = _print_verdicts(verdicts, "fleet health (exec journal)")
+        if failures:
+            print(f"\n{failures} fleet check(s) FAILED")
+            return 1
+        print(f"\nfleet healthy over {len(rows)} journaled item(s)")
+        return 0
+
     factory = _battery_factory(args.fast)
     run_kwargs: dict[str, t.Any] = dict(
         battery_factory=factory,
@@ -772,9 +870,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.exec import ResultCache
 
         cache = ResultCache()
+    flight, renderer = _flight(args, "sweep")
     result = batch_sweep(
-        spec, jobs=args.jobs, cache=cache, chunk_size=args.chunk
+        spec, jobs=args.jobs, cache=cache, chunk_size=args.chunk,
+        flight=flight,
     )
+    _finish_flight(flight, renderer, args)
     stats = result.stats
     summary = result.summary()
     print(f"batched sweep: {stats.configs} configs ({stats.cells} cells) "
@@ -877,6 +978,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if str(args.output).endswith((".html", ".htm")):
         from repro.obs.report import write_html_report
 
+        journal = None
+        if getattr(args, "fleet", False):
+            registry = _registry(args)
+            if registry is None:
+                print("--fleet needs the registry (drop --no-registry)",
+                      file=sys.stderr)
+                return 2
+            journal = registry.list_journal()
         runs = run_paper_suite(
             labels,
             battery_factory=factory,
@@ -884,8 +993,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
             monitor_interval_s=300.0,
             **_sweep_kwargs(args),
         )
-        path = write_html_report(args.output, runs)
-        print(f"wrote {path} (self-contained HTML, {len(runs)} experiments)")
+        path = write_html_report(args.output, runs, journal=journal)
+        extra = (f", fleet timeline over {len(journal)} item(s)"
+                 if journal else "")
+        print(f"wrote {path} (self-contained HTML, {len(runs)} "
+              f"experiments{extra})")
         return 0
     if labels:
         print("experiment labels are only honored for .html reports",
@@ -1070,6 +1182,104 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Attach to a running (or finished) sweep's progress plane."""
+    import time
+
+    from repro.obs.progress import render_snapshot
+
+    registry = _registry(args)
+    if registry is None:
+        print("repro top needs the registry (drop --no-registry)",
+              file=sys.stderr)
+        return 2
+
+    def fetch() -> tuple[dict[str, t.Any], float] | None:
+        return registry.latest_progress(getattr(args, "label", None))
+
+    def render(snapshot: dict[str, t.Any], updated_at: float) -> str:
+        age = max(0.0, time.time() - updated_at)
+        return (render_snapshot(snapshot)
+                + f"\n(updated {age:.1f}s ago; plane {registry.path})")
+
+    found = fetch()
+    if found is None:
+        target = (f"label {args.label!r}" if getattr(args, "label", None)
+                  else "any sweep")
+        print(f"no progress snapshots for {target} in {registry.path} "
+              "(start a sweep with --progress or --journal)")
+        return 1
+    if args.once:
+        print(render(*found))
+        return 0
+
+    # Follow mode: redraw in place while the sweep is live. A static
+    # plain-text fallback keeps piped output readable.
+    tty = sys.stdout.isatty()
+    last_lines = 0
+    try:
+        while True:
+            found = fetch() or found
+            block = render(*found)
+            if tty:
+                if last_lines:
+                    sys.stdout.write(f"\x1b[{last_lines}A")
+                lines = block.split("\n")
+                for line in lines:
+                    sys.stdout.write(f"\x1b[2K{line}\n")
+                last_lines = len(lines)
+                sys.stdout.flush()
+            else:
+                print(block)
+            if found[0].get("finished"):
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Perf-regression gate over the benchmark document."""
+    import json
+
+    from repro.obs.benchdiff import (
+        baseline_from_history,
+        bench_diff,
+        load_bench,
+        render_diff,
+    )
+
+    if args.bench_command != "diff":
+        print(f"unknown bench subcommand {args.bench_command!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        current = load_bench(args.bench)
+        baseline = load_bench(args.baseline) if args.baseline else None
+    except OSError as exc:
+        print(f"cannot read bench document: {exc}", file=sys.stderr)
+        return 2
+    if args.baseline:
+        origin = args.baseline
+    else:
+        baseline = baseline_from_history(current)
+        origin = "embedded history[-1]"
+        if baseline is None:
+            print(f"{args.bench} has no embedded history to diff against "
+                  "(pass --baseline)", file=sys.stderr)
+            return 2
+    rows = bench_diff(current, baseline, threshold_pct=args.threshold)
+    regressions = sum(1 for r in rows if r["regression"])
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(f"bench diff: {args.bench} vs {origin} "
+              f"(threshold {args.threshold:g}%)")
+        print(render_diff(rows, only_directional=not args.all))
+    return 1 if regressions else 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -1113,18 +1323,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not record runs in the run registry")
         add_registry(p)
 
+    def add_flight(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--progress", action="store_true",
+                       help="live in-place progress dashboard (per-rung "
+                            "bars, worker lanes, cache hits, ETA; plain "
+                            "lines when stderr is not a TTY)")
+        p.add_argument("--journal", metavar="PATH",
+                       help="export the item-level execution journal as "
+                            "canonical JSONL (byte-identical across "
+                            "serial / --jobs N / cache replay)")
+
     p_run = sub.add_parser("run", help="run paper experiments by label")
     p_run.add_argument("labels", nargs="*", metavar="LABEL",
                        help=f"any of: {', '.join(PAPER_EXPERIMENTS)}")
     add_common(p_run)
     add_sweep(p_run)
     add_mode(p_run)
+    add_flight(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_suite = sub.add_parser("suite", help="run all eight experiments")
     add_common(p_suite)
     add_sweep(p_suite)
     add_mode(p_suite)
+    add_flight(p_suite)
     p_suite.set_defaults(func=_cmd_suite)
 
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
@@ -1185,6 +1407,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr_list.add_argument("--offset", type=int, default=0, metavar="K",
                          help="skip the K most recent runs first "
                               "(page through with --limit)")
+    pr_list.add_argument("--json", action="store_true",
+                         help="emit rows as JSON (full run ids, ISO-8601 "
+                              "UTC created stamps)")
     pr_show = runs_sub.add_parser("show", help="one run in full")
     pr_show.add_argument("run_id", metavar="RUN",
                          help="run id (any unambiguous prefix)")
@@ -1226,6 +1451,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--baseline", metavar="RUN",
                          help="diff a fresh run against a registered "
                               "baseline; exits nonzero past --threshold")
+    p_check.add_argument("--fleet", action="store_true",
+                         help="assert fleet health over the persisted "
+                              "execution journal (failures, retries, "
+                              "stragglers); exits nonzero on failures")
     p_check.add_argument("--threshold", type=float, default=5.0,
                          metavar="PCT",
                          help="regression threshold for --baseline "
@@ -1271,6 +1500,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="recompute instead of reading .repro-cache")
     p_sweep.add_argument("--export", metavar="PATH",
                          help="write per-config rows to a .csv or .json file")
+    add_registry(p_sweep)
+    p_sweep.add_argument("--no-registry", action="store_true",
+                         help="do not persist journal/progress snapshots")
+    add_flight(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_explore = sub.add_parser(
@@ -1321,6 +1554,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the frontier (canonical JSON) "
                                 "to PATH")
     add_registry(p_explore)
+    add_flight(p_explore)
     p_explore.set_defaults(func=_cmd_explore)
 
     p_cache = sub.add_parser(
@@ -1377,6 +1611,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="recompute instead of reading .repro-cache")
     p_report.add_argument("--no-registry", action="store_true",
                           help="do not record runs in the run registry")
+    p_report.add_argument("--fleet", action="store_true",
+                          help="append the fleet timeline track (per-"
+                               "worker execution gantt from the persisted "
+                               "journal; .html reports only)")
     add_registry(p_report)
     p_report.set_defaults(func=_cmd_report)
 
@@ -1440,6 +1678,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="start far from the stored solution (slow)")
     p_cal.set_defaults(func=_cmd_calibrate)
 
+    p_top = sub.add_parser(
+        "top",
+        help="live fleet dashboard: attach to a running sweep's "
+             "progress plane",
+    )
+    p_top.add_argument("--label", metavar="LABEL",
+                       help="attach to one recorder label (suite, "
+                            "explore, sweep; default: most recent)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit (exit 1 when "
+                            "no snapshot exists)")
+    p_top.add_argument("--interval", type=float, default=0.5, metavar="S",
+                       help="refresh period in seconds (default 0.5)")
+    add_registry(p_top)
+    p_top.set_defaults(func=_cmd_top, no_registry=False)
+
+    p_bench = sub.add_parser(
+        "bench", help="perf-regression gates over BENCH_substrate.json"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    pb_diff = bench_sub.add_parser(
+        "diff",
+        help="diff the bench document against a baseline; exit nonzero "
+             "on any per-section regression past the threshold",
+    )
+    pb_diff.add_argument("--bench", default="BENCH_substrate.json",
+                         metavar="PATH",
+                         help="bench document (default BENCH_substrate.json)")
+    pb_diff.add_argument("--baseline", metavar="PATH",
+                         help="baseline bench JSON (default: the "
+                              "document's own most recent history entry)")
+    pb_diff.add_argument("--threshold", type=float, default=50.0,
+                         metavar="PCT",
+                         help="regression threshold in percent "
+                              "(default 50; bench numbers are noisy "
+                              "across machines)")
+    pb_diff.add_argument("--json", action="store_true",
+                         help="emit diff rows as JSON")
+    pb_diff.add_argument("--all", action="store_true",
+                         help="include directionless (info-only) metrics "
+                              "in the table")
+    p_bench.set_defaults(func=_cmd_bench)
+
     return parser
 
 
@@ -1452,6 +1733,12 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream closed early (``repro top --once | head``): the
+        # Unix convention is to die quietly, not with a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -692,6 +692,7 @@ def run_paper_suite(
     jobs: int = 1,
     cache: t.Any = None,
     registry: t.Any = None,
+    flight: t.Any = None,
     **kwargs: t.Any,
 ) -> dict[str, ExperimentRun]:
     """Run several paper experiments; kwargs pass through to run_experiment.
@@ -723,6 +724,11 @@ def run_paper_suite(
         process, from results that have round-tripped through the
         worker/cache payload — so serial, parallel, and cache-replayed
         suites deposit byte-identical registry contents.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`: each
+        experiment becomes one journaled executor item with live
+        progress (this routes even serial uncached suites through the
+        executor so the journal is complete).
     """
     labels = list(labels) if labels is not None else list(PAPER_EXPERIMENTS)
     unknown = [lb for lb in labels if lb not in PAPER_EXPERIMENTS]
@@ -745,7 +751,7 @@ def run_paper_suite(
         )
         jobs = 1
 
-    if jobs <= 1 and not cache:
+    if jobs <= 1 and not cache and flight is None:
         runs = {lb: run_experiment(PAPER_EXPERIMENTS[lb], **kwargs) for lb in labels}
         if registry is not None:
             for lb in labels:
@@ -771,7 +777,9 @@ def run_paper_suite(
         def on_result(task: tuple[str, dict], run: ExperimentRun) -> None:
             _register_run(registry, run, PAPER_EXPERIMENTS[task[0]], kwargs)
 
-    executor = SweepExecutor(jobs=jobs, cache=cache or None)
+    if flight is not None:
+        flight.phase("suite", total=len(labels))
+    executor = SweepExecutor(jobs=jobs, cache=cache or None, flight=flight)
     runs = executor.map(
         _suite_job,
         [(lb, kwargs) for lb in labels],

@@ -14,21 +14,54 @@ Two properties matter more than raw speed:
 - **Cache transparency** — a cached item decodes to exactly what the
   function would have returned. Items whose results cannot round-trip
   through JSON simply pass ``None`` keys and are always executed.
+
+A third, optional concern is *visibility*: attach a
+:class:`~repro.obs.flight.FlightRecorder` (``flight=``) and every work
+item additionally emits durable lifecycle records (queued → dispatched
+→ started → finished | failed | cache_hit) with wall/CPU/peak-RSS
+telemetry, workers publish heartbeats, and pool crashes become
+per-item retries instead of lost sweeps. With no recorder attached the
+original code path runs unchanged — one attribute check per ``map``
+call — preserving the <5% null-sink overhead budget.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 import typing as t
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.exec.cache import ResultCache
 
-__all__ = ["SweepStats", "SweepExecutor"]
+try:  # POSIX-only; measurements degrade to zero elsewhere
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None  # type: ignore[assignment]
+
+__all__ = ["SweepStats", "SweepExecutor", "SweepItemError"]
 
 T = t.TypeVar("T")
 R = t.TypeVar("R")
+
+
+class SweepItemError(RuntimeError):
+    """A work item failed in a worker process (raised in the parent).
+
+    Carries enough to locate the failure: the item index, the attempt
+    count, and the worker-side ``ExcType: message`` string. The serial
+    path re-raises the original exception instead (it still has it).
+    """
+
+    def __init__(self, index: int, attempts: int, error: str):
+        super().__init__(
+            f"sweep item {index} failed after {attempts} attempt(s): {error}"
+        )
+        self.index = index
+        self.attempts = attempts
+        self.error = error
 
 
 @dataclasses.dataclass
@@ -47,6 +80,113 @@ class SweepStats:
         self.executed += other.executed
         self.cache_hits += other.cache_hits
         self.wall_s += other.wall_s
+
+
+# ---------------------------------------------------------------------------
+# worker-side shims (module-level: must be picklable / importable by the
+# pool). These carry no repro.obs imports — the executor stays usable
+# without the observability layer, and the recorder is duck-typed.
+# ---------------------------------------------------------------------------
+
+#: Per-worker heartbeat state, set by the pool initializer. Lives in
+#: the *worker* process; the parent never touches it.
+_HB_STATE: dict[str, t.Any] = {"queue": None, "worker": None, "index": None}
+
+
+def _rusage() -> t.Any:
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return None
+    return _resource.getrusage(_resource.RUSAGE_SELF)
+
+
+def _measure_since(t0: float, r0: t.Any, worker: str) -> dict[str, t.Any]:
+    """Wall/CPU/peak-RSS deltas since (t0, r0), as a journal measure."""
+    out: dict[str, t.Any] = {
+        "wall_s": time.perf_counter() - t0,
+        "cpu_s": 0.0,
+        "peak_rss_kb": 0,
+        "worker": worker,
+    }
+    if r0 is not None:
+        r1 = _resource.getrusage(_resource.RUSAGE_SELF)
+        out["cpu_s"] = (r1.ru_utime + r1.ru_stime) - (r0.ru_utime + r0.ru_stime)
+        # ru_maxrss is a process-lifetime high-water mark (KiB on Linux)
+        out["peak_rss_kb"] = int(r1.ru_maxrss)
+    return out
+
+
+def _flight_worker_init(beats: t.Any, interval_s: float) -> None:
+    """Pool initializer: start this worker's heartbeat thread.
+
+    ``beats`` is a picklable Manager queue proxy. The daemon thread
+    publishes ``{worker, index, phase}`` every ``interval_s`` until the
+    process exits or the queue dies; a dead queue ends the thread
+    quietly (the parent has moved on).
+    """
+    import threading
+
+    _HB_STATE["queue"] = beats
+    _HB_STATE["worker"] = f"w{os.getpid()}"
+    _HB_STATE["index"] = None
+
+    def _loop() -> None:
+        while True:
+            time.sleep(interval_s)
+            q = _HB_STATE["queue"]
+            if q is None:  # pragma: no cover - shutdown race
+                return
+            try:
+                q.put_nowait(
+                    {
+                        "worker": _HB_STATE["worker"],
+                        "index": _HB_STATE["index"],
+                        "phase": "beat",
+                    }
+                )
+            except Exception:  # pragma: no cover - parent gone
+                return
+
+    threading.Thread(target=_loop, daemon=True).start()
+
+
+def _beat(phase: str, index: int | None) -> None:
+    q = _HB_STATE.get("queue")
+    if q is None:
+        return
+    try:
+        q.put_nowait(
+            {"worker": _HB_STATE.get("worker"), "index": index, "phase": phase}
+        )
+    except Exception:  # pragma: no cover - parent gone
+        pass
+
+
+def _flight_worker_run(
+    fn: t.Callable[[T], R], item: T, index: int
+) -> tuple[int, str, t.Any, dict[str, t.Any]]:
+    """Run one item in a worker, measured, exceptions captured.
+
+    Returns ``(index, "ok", result, measure)`` or ``(index, "err",
+    (exc_type_name, message), measure)`` — catching the exception
+    in-worker keeps one bad item from poisoning the whole pool; only a
+    hard process death (SIGKILL, OOM) breaks it.
+    """
+    worker = _HB_STATE.get("worker") or f"w{os.getpid()}"
+    _HB_STATE["worker"] = worker
+    _HB_STATE["index"] = index
+    _beat("start", index)
+    t0, r0 = time.perf_counter(), _rusage()
+    try:
+        result = fn(item)
+    except BaseException as exc:
+        measure = _measure_since(t0, r0, worker)
+        _HB_STATE["index"] = None
+        _beat("done", index)
+        return (index, "err", (type(exc).__name__, str(exc)), measure)
+    measure = _measure_since(t0, r0, worker)
+    _HB_STATE["index"] = None
+    _beat("done", index)
+    return (index, "ok", result, measure)
 
 
 class SweepExecutor:
@@ -68,6 +208,20 @@ class SweepExecutor:
         ``sweep.cache_hits`` counters, so sweeps aggregate per-run
         accounting deterministically across worker processes (the
         counters are derived from input order, never from scheduling).
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`. When
+        attached, ``map`` switches to the instrumented path: per-item
+        journal records, worker heartbeats, live progress, and
+        crash-resilient per-item scheduling. When ``None`` (default)
+        the original fast path runs unchanged.
+    retries:
+        Extra execution attempts per item after a worker process dies
+        mid-item (pool breakage). Only honoured on the instrumented
+        path; an attempt is charged only when the item actually began
+        running (its worker sent a start beat or its future resolved).
+        Items merely queued on a pool that broke are re-dispatched for
+        free, so collateral from another item's crash cannot exhaust
+        their retry budget (journal ``attempts`` reflects this).
 
     Examples
     --------
@@ -81,10 +235,14 @@ class SweepExecutor:
         jobs: int = 1,
         cache: ResultCache | None = None,
         obs: t.Any = None,
+        flight: t.Any = None,
+        retries: int = 0,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.obs = obs
+        self.flight = flight
+        self.retries = max(0, int(retries))
         self.stats = SweepStats()
         #: Accumulated over every :meth:`map` call on this executor —
         #: multi-rung drivers (the explore scheduler) reuse one executor
@@ -100,6 +258,7 @@ class SweepExecutor:
         encode: t.Callable[[R], t.Any] | None = None,
         decode: t.Callable[[T, t.Any], R] | None = None,
         on_result: t.Callable[[T, R], None] | None = None,
+        failures: str = "raise",
     ) -> list[R]:
         """``[fn(item) for item in items]``, parallel and cached.
 
@@ -126,7 +285,18 @@ class SweepExecutor:
             for cache hits and executed items alike, always in the
             parent process. Side effects (e.g. run-registry writes)
             therefore happen identically for serial, parallel, and
-            cache-replayed executions.
+            cache-replayed executions. :attr:`stats` is finalized
+            *before* the callbacks run, so an observer that raises
+            leaves the accounting consistent with the journal; on the
+            instrumented path the item is additionally journaled as
+            ``failed(stage="callback")`` before the exception
+            propagates.
+        failures:
+            ``"raise"`` (default) propagates the first item failure.
+            ``"keep"`` — instrumented path only — records failures in
+            the journal, leaves ``None`` at the failed index, skips
+            caching and ``on_result`` for those items, and returns the
+            survivors.
 
         Returns
         -------
@@ -134,14 +304,30 @@ class SweepExecutor:
         """
         if keys is not None and (encode is None or decode is None):
             raise ValueError("cache keys require encode and decode functions")
+        if failures not in ("raise", "keep"):
+            raise ValueError(f"failures must be 'raise' or 'keep', got {failures!r}")
+        if failures == "keep" and self.flight is None:
+            raise ValueError("failures='keep' requires a flight recorder")
         if self.obs is not None:
             with self.obs.span("sweep.map", items=len(items), jobs=self.jobs):
-                return self._map(
+                return self._dispatch(
                     fn, items, keys=keys, encode=encode, decode=decode,
-                    on_result=on_result,
+                    on_result=on_result, failures=failures,
                 )
-        return self._map(
-            fn, items, keys=keys, encode=encode, decode=decode, on_result=on_result
+        return self._dispatch(
+            fn, items, keys=keys, encode=encode, decode=decode,
+            on_result=on_result, failures=failures,
+        )
+
+    def _dispatch(self, fn, items, *, keys, encode, decode, on_result, failures):
+        if self.flight is None:
+            return self._map(
+                fn, items, keys=keys, encode=encode, decode=decode,
+                on_result=on_result,
+            )
+        return self._map_flight(
+            fn, items, keys=keys, encode=encode, decode=decode,
+            on_result=on_result, failures=failures,
         )
 
     def _map(
@@ -186,9 +372,74 @@ class SweepExecutor:
                     if key is not None:
                         cache.put(key, encode(results[i]))  # type: ignore[misc]
 
+        # Stats settle before observer callbacks so a raising observer
+        # cannot leave the accounting stale for work that did happen.
+        self.stats = SweepStats(
+            total=n,
+            executed=len(pending),
+            cache_hits=n - len(pending),
+            jobs=self.jobs,
+            wall_s=time.perf_counter() - started,
+        )
+        self.lifetime.add(self.stats)
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.counter("sweep.items").inc(n)
+            m.counter("sweep.executed").inc(len(pending))
+            m.counter("sweep.cache_hits").inc(n - len(pending))
+
         if on_result is not None:
             for i, item in enumerate(items):
                 on_result(item, results[i])
+        return results
+
+    # -- instrumented path ----------------------------------------------
+    def _map_flight(
+        self,
+        fn: t.Callable[[T], R],
+        items: t.Sequence[T],
+        *,
+        keys: t.Sequence[str | None] | None = None,
+        encode: t.Callable[[R], t.Any] | None = None,
+        decode: t.Callable[[T, t.Any], R] | None = None,
+        on_result: t.Callable[[T, R], None] | None = None,
+        failures: str = "raise",
+    ) -> list[R]:
+        flight = self.flight
+        started = time.perf_counter()
+        n = len(items)
+        results: list[t.Any] = [None] * n
+        settled: list[bool] = [False] * n  # terminal success (hit or executed)
+        ctx = flight.begin_map(fn, n, keys, jobs=self.jobs)
+
+        cache = self.cache
+        pending: list[int] = []
+        for i, item in enumerate(items):
+            flight.item_queued(ctx, i)
+            key = keys[i] if keys is not None and cache is not None else None
+            if key is not None:
+                payload = cache.get(key)
+                if payload is not None:
+                    results[i] = decode(item, payload)  # type: ignore[misc]
+                    settled[i] = True
+                    flight.item_cache_hit(ctx, i)
+                    continue
+            pending.append(i)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._flight_parallel(
+                    fn, items, pending, ctx, results, settled, failures
+                )
+            else:
+                self._flight_serial(
+                    fn, items, pending, ctx, results, settled, failures
+                )
+            if cache is not None and keys is not None:
+                for i in pending:
+                    key = keys[i]
+                    if key is not None and settled[i]:
+                        cache.put(key, encode(results[i]))  # type: ignore[misc]
 
         self.stats = SweepStats(
             total=n,
@@ -203,4 +454,143 @@ class SweepExecutor:
             m.counter("sweep.items").inc(n)
             m.counter("sweep.executed").inc(len(pending))
             m.counter("sweep.cache_hits").inc(n - len(pending))
+        flight.end_map(ctx)
+
+        if on_result is not None:
+            for i, item in enumerate(items):
+                if not settled[i]:
+                    continue
+                try:
+                    on_result(item, results[i])
+                except BaseException as exc:
+                    flight.item_failed(
+                        ctx, i, "callback", f"{type(exc).__name__}: {exc}"
+                    )
+                    flight.flush()
+                    raise
         return results
+
+    def _flight_serial(
+        self, fn, items, pending, ctx, results, settled, failures
+    ) -> None:
+        flight = self.flight
+        for i in pending:
+            flight.item_dispatched(ctx, i, 1)
+            flight.item_started(ctx, i, "serial", 1)
+            flight.self_beat("serial", i)
+            t0, r0 = time.perf_counter(), _rusage()
+            try:
+                result = fn(items[i])
+            except BaseException as exc:
+                flight.item_failed(
+                    ctx, i, "worker", f"{type(exc).__name__}: {exc}",
+                    _measure_since(t0, r0, "serial"),
+                )
+                if failures == "raise":
+                    flight.flush()
+                    raise
+                continue
+            results[i] = result
+            settled[i] = True
+            flight.item_finished(ctx, i, _measure_since(t0, r0, "serial"))
+        flight.self_beat("serial", None)
+
+    def _flight_parallel(
+        self, fn, items, pending, ctx, results, settled, failures
+    ) -> None:
+        flight = self.flight
+        beats = flight.heartbeat_queue()
+        interval = flight.heartbeat_interval_s
+        unresolved: set[int] = set(pending)
+        attempts: dict[int, int] = {i: 0 for i in pending}
+        max_attempts = 1 + self.retries
+
+        while unresolved:
+            workers = min(self.jobs, len(unresolved))
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_flight_worker_init,
+                initargs=(beats, interval),
+            )
+            broken = False
+            round_started: set[int] = set()
+            try:
+                futures: dict[t.Any, int] = {}
+                for i in sorted(unresolved):
+                    attempts[i] += 1
+                    flight.item_dispatched(ctx, i, attempts[i])
+                    futures[pool.submit(_flight_worker_run, fn, items[i], i)] = i
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(
+                        not_done, timeout=interval, return_when=FIRST_COMPLETED
+                    )
+                    round_started |= flight.drain_heartbeats(ctx, beats)
+                    for fut in done:
+                        i = futures[fut]
+                        exc = fut.exception()
+                        if isinstance(exc, BrokenProcessPool):
+                            # a worker died; every still-pending
+                            # future is poisoned — rebuild and retry
+                            broken = True
+                            continue
+                        round_started.add(i)  # a resolved future ran
+                        if exc is not None:
+                            err = f"{type(exc).__name__}: {exc}"
+                            flight.item_failed(
+                                ctx, i, "worker", err, {"worker": "pool"}
+                            )
+                            unresolved.discard(i)
+                            if failures == "raise":
+                                flight.flush()
+                                raise SweepItemError(i, attempts[i], err)
+                            continue
+                        index, status, payload, measure = fut.result()
+                        unresolved.discard(index)
+                        if status == "ok":
+                            results[index] = payload
+                            settled[index] = True
+                            flight.item_finished(ctx, index, measure)
+                        else:
+                            err = f"{payload[0]}: {payload[1]}"
+                            flight.item_failed(
+                                ctx, index, "worker", err, measure
+                            )
+                            if failures == "raise":
+                                flight.flush()
+                                raise SweepItemError(
+                                    index, attempts[index], err
+                                )
+                    if broken:
+                        break
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if not broken:
+                break
+            round_started |= flight.drain_heartbeats(ctx, beats)
+            # Items that only sat queued on the broken pool never ran:
+            # refund their dispatch so collateral from someone else's
+            # crash cannot exhaust their retry budget. The crashing
+            # item always sent its start beat (the Manager holds it
+            # even after the worker dies), so its attempts still rise
+            # every round and the loop terminates.
+            for i in sorted(unresolved):
+                if i not in round_started:
+                    attempts[i] -= 1
+            retryable: set[int] = set()
+            for i in sorted(unresolved):
+                if attempts[i] >= max_attempts:
+                    err = (
+                        "WorkerCrashed: worker process died mid-item "
+                        f"(attempt {attempts[i]}/{max_attempts})"
+                    )
+                    flight.item_failed(
+                        ctx, i, "worker", err,
+                        {"worker": "pool", "wall_s": 0.0},
+                    )
+                    if failures == "raise":
+                        flight.flush()
+                        raise SweepItemError(i, attempts[i], err)
+                else:
+                    retryable.add(i)
+            unresolved = retryable

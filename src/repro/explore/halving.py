@@ -682,6 +682,7 @@ def explore(
     chunk_size: int = 256,
     limit: int | None = None,
     progress: t.Callable[[RungReport], None] | None = None,
+    flight: t.Any = None,
 ) -> ExploreResult:
     """Resolve a design space to its Pareto frontier.
 
@@ -706,6 +707,11 @@ def explore(
         configs before rung 0.
     progress:
         Called with each rung's :class:`RungReport` as it completes.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`; attaches to
+        the rung executor (per-item journal, heartbeats) and opens one
+        recorder phase per rung so live progress shows the halving
+        ladder.
     """
     if len(keep) != 3 or any(k < 1 for k in keep):
         raise ConfigurationError(
@@ -716,13 +722,17 @@ def explore(
     started = time.perf_counter()
     configs = space.configs(limit=limit)
     fingerprint = stable_key("explore", space, tuple(keep), limit)
-    executor = SweepExecutor(jobs=jobs, cache=cache)
+    executor = SweepExecutor(jobs=jobs, cache=cache, flight=flight)
     disqualified: dict[str, int] = {}
     rungs: list[RungReport] = []
 
     def finish_rung(report: RungReport, t0: float) -> None:
         report.wall_s = time.perf_counter() - t0
         rungs.append(report)
+        if flight is not None:
+            flight.finish_phase(
+                note=f"promoted {report.promoted}/{report.entered}"
+            )
         if registry is not None:
             from repro.obs.store import build_explore_record, git_revision
 
@@ -740,13 +750,22 @@ def explore(
 
     # rung 0: analytic prescreen
     t0 = time.perf_counter()
+    predict_phase = None
+    if flight is not None:
+        predict_phase = flight.phase("predict", total=len(configs))
     report = RungReport("predict", entered=len(configs))
     candidates = _prescreen(space, configs, report, disqualified)
     candidates = _promote(candidates, keep[0], report)
+    if predict_phase is not None:
+        # The prescreen is vectorized-analytic (no executor items), so
+        # tick its bar wholesale when it completes.
+        predict_phase.done = predict_phase.total or 0
     finish_rung(report, t0)
 
     # rung 1: cohort battery walk
     t0 = time.perf_counter()
+    if flight is not None:
+        flight.phase("cohort")
     report = RungReport("cohort", entered=len(candidates))
     candidates = _cohort_rung(
         candidates, space, executor, cache, chunk_size, report, disqualified
@@ -756,6 +775,8 @@ def explore(
 
     # rung 2: fast full simulation
     t0 = time.perf_counter()
+    if flight is not None:
+        flight.phase("fast")
     report = RungReport("fast", entered=len(candidates))
     candidates = _sim_rung(
         "fast", "fast", candidates, space, executor, cache, registry,
@@ -766,6 +787,8 @@ def explore(
 
     # rung 3: exact confirmation
     t0 = time.perf_counter()
+    if flight is not None:
+        flight.phase("exact")
     report = RungReport("exact", entered=len(candidates))
     candidates = _sim_rung(
         "exact", "exact", candidates, space, executor, cache, registry,

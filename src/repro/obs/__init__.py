@@ -40,6 +40,12 @@ from repro.obs.checks import (
     paper_monitors,
     replay,
 )
+from repro.obs.benchdiff import (
+    baseline_from_history,
+    bench_diff,
+    metric_direction,
+    render_diff,
+)
 from repro.obs.causal import (
     FrameTrace,
     FrameSpan,
@@ -56,6 +62,15 @@ from repro.obs.energy import (
     verify_conservation,
 )
 from repro.obs.events import NULL_LOG, EventLog, TelemetryEvent
+from repro.obs.flight import (
+    FleetSnapshot,
+    FlightRecorder,
+    ItemRecord,
+    journal_to_rows,
+    journal_verdicts,
+    read_journal,
+    write_journal,
+)
 from repro.obs.export import (
     TelemetryBundle,
     chrome_trace,
@@ -68,6 +83,12 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import (
+    ProgressRenderer,
+    fleet_timeline_svg,
+    format_eta,
+    render_snapshot,
+)
 from repro.obs.report import build_html_report, write_html_report
 from repro.obs.spans import Span, SpanRecord
 from repro.obs.store import RunRecord, RunRegistry, build_run_record, diff_records
@@ -102,6 +123,21 @@ __all__ = [
     "explain_frame",
     "frame_ids",
     "late_frame_ids",
+    "FlightRecorder",
+    "FleetSnapshot",
+    "ItemRecord",
+    "journal_to_rows",
+    "journal_verdicts",
+    "read_journal",
+    "write_journal",
+    "bench_diff",
+    "baseline_from_history",
+    "metric_direction",
+    "render_diff",
+    "ProgressRenderer",
+    "render_snapshot",
+    "format_eta",
+    "fleet_timeline_svg",
     "build_html_report",
     "write_html_report",
     "MetricsRegistry",

@@ -1,0 +1,210 @@
+"""Perf-regression gates over ``BENCH_substrate.json``.
+
+``benchmarks/bench_report.py`` measures the substrate and appends each
+run to an embedded ``history`` list; until now that trajectory was an
+artifact, not a contract. This module turns it into an enforced gate:
+:func:`bench_diff` compares a bench document against a baseline (an
+explicit file, or the document's own most recent history entry),
+classifies every scalar by direction (throughput up = good, wall time
+down = good), and flags per-section regressions beyond a threshold.
+``repro bench diff`` renders the table and exits nonzero on any
+regression, which is what CI runs.
+
+Direction is inferred from metric naming conventions already used
+throughout the bench document; metrics with no recognisable direction
+(workload sizes, counts) are reported but never gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing as t
+
+__all__ = [
+    "metric_direction",
+    "metric_scale",
+    "scalar_sections",
+    "baseline_from_history",
+    "bench_diff",
+    "render_diff",
+]
+
+#: Top-level keys that are provenance, not benchmark sections.
+_META_KEYS = {"version", "python", "machine", "history"}
+
+# Naming conventions, checked in order: throughput-style suffixes win
+# over the generic ``_s`` (``events_per_s`` is higher-better even
+# though it ends in ``_s``).
+_HIGHER_SUFFIXES = ("_per_s", "_per_sec", "_per_second")
+_HIGHER_TOKENS = ("speedup",)
+_LOWER_SUFFIXES = ("_overhead_pct", "_bytes", "_s")
+_LOWER_TOKENS = ("rel_err", "wall_s")
+
+# Metrics that are themselves percentages or tiny ratios: comparing
+# them *relatively* is pathological near zero (an overhead moving
+# -0.7% -> 11.6% reads as +1784%), so they diff by absolute delta
+# instead — their tight absolute bounds live in the CI overhead gate.
+_ABSOLUTE_SUFFIXES = ("_overhead_pct",)
+_ABSOLUTE_TOKENS = ("rel_err",)
+
+#: Wall-clock metrics below this many seconds are reported but never
+#: gated: a 10ms micro-timing doubling is scheduler jitter, not a
+#: regression the relative threshold can meaningfully judge.
+_MIN_GATED_SECONDS = 0.1
+
+
+def _below_timing_floor(name: str, baseline: float | None) -> bool:
+    lowered = name.lower()
+    if not lowered.endswith("_s") or lowered.endswith(_HIGHER_SUFFIXES):
+        return False
+    return baseline is not None and abs(baseline) < _MIN_GATED_SECONDS
+
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"`` / ``"lower"`` = which way is better; None = no gate."""
+    lowered = name.lower()
+    if lowered.endswith(_HIGHER_SUFFIXES) or any(
+        tok in lowered for tok in _HIGHER_TOKENS
+    ):
+        return "higher"
+    if lowered.endswith(_LOWER_SUFFIXES) or any(
+        tok in lowered for tok in _LOWER_TOKENS
+    ):
+        return "lower"
+    return None
+
+
+def metric_scale(name: str) -> str:
+    """``"relative"`` (percent change gates) or ``"absolute"`` (delta
+    gates, for metrics that are already percentages/ratios)."""
+    lowered = name.lower()
+    if lowered.endswith(_ABSOLUTE_SUFFIXES) or any(
+        tok in lowered for tok in _ABSOLUTE_TOKENS
+    ):
+        return "absolute"
+    return "relative"
+
+
+def scalar_sections(bench: t.Mapping[str, t.Any]) -> dict[str, dict[str, float]]:
+    """``{section: {metric: value}}`` over top-level dict sections.
+
+    Only scalar (non-bool numeric) leaves count; nested dicts inside a
+    section (per-jobs scaling tables, per-experiment breakdowns) are
+    deliberately skipped — the gate compares headline numbers, not
+    every sub-table.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for section, payload in bench.items():
+        if section in _META_KEYS or not isinstance(payload, dict):
+            continue
+        scalars = {
+            name: float(value)
+            for name, value in payload.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if scalars:
+            out[section] = scalars
+    return out
+
+
+def baseline_from_history(bench: t.Mapping[str, t.Any]) -> dict[str, t.Any] | None:
+    """The most recent embedded history entry, or None if there is none."""
+    history = bench.get("history")
+    if isinstance(history, list) and history:
+        last = history[-1]
+        if isinstance(last, dict):
+            return last
+    return None
+
+
+def bench_diff(
+    current: t.Mapping[str, t.Any],
+    baseline: t.Mapping[str, t.Any],
+    threshold_pct: float = 50.0,
+) -> list[dict[str, t.Any]]:
+    """Per-metric comparison rows, name-sorted, regressions flagged.
+
+    A row regresses when its metric has a known direction and moved the
+    *bad* way by more than ``threshold_pct`` — percent of the baseline
+    for relative-scale metrics, absolute delta for metrics that are
+    already percentages/ratios (see :func:`metric_scale`).
+    Improvements and directionless metrics never regress; metrics
+    present on only one side are reported with ``None`` on the other
+    and never regress (section churn is not a perf failure).
+    """
+    if threshold_pct <= 0:
+        raise ValueError(f"threshold_pct must be > 0, got {threshold_pct}")
+    cur, base = scalar_sections(current), scalar_sections(baseline)
+    rows: list[dict[str, t.Any]] = []
+    for section in sorted(set(cur) | set(base)):
+        c_sec, b_sec = cur.get(section, {}), base.get(section, {})
+        for metric in sorted(set(c_sec) | set(b_sec)):
+            c, b = c_sec.get(metric), b_sec.get(metric)
+            direction = metric_direction(metric)
+            scale = metric_scale(metric)
+            rel = None
+            if c is not None and b is not None:
+                if scale == "absolute":
+                    rel = c - b
+                elif b != 0.0:
+                    rel = 100.0 * (c - b) / abs(b)
+            regression = False
+            if (rel is not None and direction is not None
+                    and not _below_timing_floor(metric, b)):
+                bad = -rel if direction == "higher" else rel
+                regression = bad > threshold_pct
+            rows.append(
+                {
+                    "section": section,
+                    "metric": metric,
+                    "baseline": b,
+                    "current": c,
+                    "rel_pct": None if rel is None else round(rel, 2),
+                    "direction": direction,
+                    "scale": scale,
+                    "regression": regression,
+                }
+            )
+    return rows
+
+
+def render_diff(rows: t.Sequence[t.Mapping[str, t.Any]],
+                only_directional: bool = True) -> str:
+    """A fixed-width text table of diff rows (regressions marked)."""
+    shown = [
+        r for r in rows if not only_directional or r["direction"] is not None
+    ]
+    if not shown:
+        return "no comparable metrics"
+    lines = [
+        f"{'section':<24} {'metric':<28} {'baseline':>12} "
+        f"{'current':>12} {'delta':>10}  verdict"
+    ]
+    for r in shown:
+        b = "--" if r["baseline"] is None else f"{r['baseline']:g}"
+        c = "--" if r["current"] is None else f"{r['current']:g}"
+        unit = "pt" if r.get("scale") == "absolute" else "%"
+        rel = ("--" if r["rel_pct"] is None
+               else f"{r['rel_pct']:+.1f}{unit}")
+        if r["regression"]:
+            verdict = "REGRESSION"
+        elif r["direction"] is None:
+            verdict = "info"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{r['section']:<24} {r['metric']:<28} {b:>12} {c:>12} "
+            f"{rel:>10}  {verdict}"
+        )
+    n_reg = sum(1 for r in rows if r["regression"])
+    lines.append(
+        f"-- {len(shown)} metric(s) compared, {n_reg} regression(s)"
+    )
+    return "\n".join(lines)
+
+
+def load_bench(path: str | pathlib.Path) -> dict[str, t.Any]:
+    """Read a bench JSON document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -68,6 +68,9 @@ class TelemetryBundle:
         The metrics registry, if one was written.
     energy:
         The energy-attribution ledger, if one was written.
+    journal:
+        Flight-recorder execution-journal rows (plain dicts), if any
+        were written.
     """
 
     segments: list[Segment] = dataclasses.field(default_factory=list)
@@ -76,6 +79,7 @@ class TelemetryBundle:
     spans: list[SpanRecord] = dataclasses.field(default_factory=list)
     metrics: MetricsRegistry | None = None
     energy: EnergyLedger | None = None
+    journal: list[dict[str, t.Any]] = dataclasses.field(default_factory=list)
 
 
 def _jsonl_records(
@@ -85,6 +89,7 @@ def _jsonl_records(
     spans: t.Sequence[SpanRecord] | None,
     metrics: MetricsRegistry | None,
     energy: EnergyLedger | None = None,
+    journal: t.Sequence[t.Mapping[str, t.Any]] | None = None,
 ) -> t.Iterator[dict[str, t.Any]]:
     if trace is not None:
         for segment in trace.all_segments():
@@ -103,6 +108,9 @@ def _jsonl_records(
         yield {"type": "metrics", **metrics.as_dict()}
     if energy is not None and energy:
         yield {"type": "energy_ledger", **energy.as_dict()}
+    if journal:
+        for row in journal:
+            yield {"type": "exec_item", **dict(row)}
 
 
 def write_jsonl(
@@ -114,11 +122,22 @@ def write_jsonl(
     spans: t.Sequence[SpanRecord] | None = None,
     metrics: MetricsRegistry | None = None,
     energy: EnergyLedger | None = None,
+    journal: t.Sequence[t.Mapping[str, t.Any]] | None = None,
 ) -> pathlib.Path:
-    """Write any subset of a run's telemetry as tagged JSONL lines."""
+    """Write any subset of a run's telemetry as tagged JSONL lines.
+
+    ``journal`` rows (flight-recorder execution journal — dicts from
+    :meth:`~repro.obs.store.RunRegistry.list_journal` or
+    :func:`~repro.obs.flight.journal_to_rows`) are tagged
+    ``exec_item``. Note that canonical cross-mode journal exports go
+    through :func:`repro.obs.flight.write_journal` instead, which
+    strips telemetry fields; this exporter keeps whatever it is given.
+    """
     path = pathlib.Path(path)
     with open(path, "w", encoding="utf-8") as fh:
-        for record in _jsonl_records(trace, monitors, events, spans, metrics, energy):
+        for record in _jsonl_records(
+            trace, monitors, events, spans, metrics, energy, journal
+        ):
             fh.write(json.dumps(record, separators=(",", ":")))
             fh.write("\n")
     return path
@@ -155,6 +174,8 @@ def read_jsonl(path: str | pathlib.Path) -> TelemetryBundle:
                 bundle.metrics = MetricsRegistry.from_dict(record)
             elif kind == "energy_ledger":
                 bundle.energy = EnergyLedger.from_dict(record)
+            elif kind == "exec_item":
+                bundle.journal.append(record)
             else:
                 raise ValueError(f"unknown telemetry record type: {kind!r}")
     return bundle

@@ -1,0 +1,282 @@
+"""Zero-dependency live progress plane for the flight recorder.
+
+Renders :class:`~repro.obs.flight.FleetSnapshot` data three ways:
+
+- :func:`render_snapshot` — a plain-text dashboard block (per-phase
+  bars, per-worker lanes, cache-hit rate, ETA) used by both the live
+  view and ``repro top``.
+- :class:`ProgressRenderer` — the ``progress=`` callback for a
+  :class:`~repro.obs.flight.FlightRecorder`. On a TTY it redraws the
+  dashboard in place (ANSI cursor movement only — no curses, no
+  third-party bars); on a pipe it degrades to occasional plain lines,
+  so ``repro explore --progress 2> log`` stays readable.
+- :func:`fleet_timeline_svg` — the journal's full (telemetry) rows as
+  an inline-SVG gantt of per-worker item spans for the HTML report's
+  fleet timeline track.
+
+Everything here is presentation over data the recorder already
+maintains; nothing feeds back into execution or into any determinism
+surface.
+"""
+
+from __future__ import annotations
+
+import html
+import sys
+import time
+import typing as t
+
+from repro.obs.flight import FleetSnapshot
+
+__all__ = [
+    "format_eta",
+    "render_bar",
+    "render_snapshot",
+    "ProgressRenderer",
+    "fleet_timeline_svg",
+]
+
+
+def format_eta(seconds: float | None) -> str:
+    """``1h02m``/``3m20s``/``12s`` rendering of a seconds estimate."""
+    if seconds is None:
+        return "--"
+    seconds = max(0.0, seconds)
+    if seconds >= 3600:
+        return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
+    if seconds >= 60:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{seconds:.0f}s"
+
+
+def render_bar(done: int, total: int | None, width: int = 28) -> str:
+    """``[#######....] 12/40`` — a fixed-width unicode-free bar."""
+    if not total:
+        return f"[{'?' * width}] {done}/?"
+    frac = min(1.0, done / total)
+    filled = int(round(frac * width))
+    return f"[{'#' * filled}{'.' * (width - filled)}] {done}/{total}"
+
+
+def _snap(snapshot: "FleetSnapshot | t.Mapping[str, t.Any]") -> FleetSnapshot:
+    if isinstance(snapshot, FleetSnapshot):
+        return snapshot
+    return FleetSnapshot.from_dict(snapshot)
+
+
+def render_snapshot(
+    snapshot: "FleetSnapshot | t.Mapping[str, t.Any]",
+    width: int = 78,
+    max_workers: int = 12,
+) -> str:
+    """The dashboard block: header, phase bars, worker lanes, alerts."""
+    s = _snap(snapshot)
+    lines: list[str] = []
+    state = "done" if s.finished else "running"
+    rate = f"{s.rate_per_s:.1f}/s" if s.rate_per_s else "--"
+    lines.append(
+        f"fleet {s.label}  [{state}]  jobs={s.jobs}  "
+        f"elapsed={format_eta(s.elapsed_s)}  eta={format_eta(s.eta_s)}  "
+        f"rate={rate}"
+    )
+    hit_pct = 100.0 * s.cache_hit_rate
+    lines.append(
+        f"items {s.done}/{s.total}  executed={s.executed}  "
+        f"cache-hits={s.cache_hits} ({hit_pct:.0f}%)  failed={s.failed}"
+    )
+    for phase in s.phases:
+        mark = "x" if phase.get("finished") else ">"
+        bar = render_bar(phase.get("done", 0), phase.get("total"))
+        extra = ""
+        if phase.get("failed"):
+            extra = f"  !{phase['failed']} failed"
+        note = phase.get("note")
+        if note:
+            extra += f"  ({note})"
+        lines.append(f" {mark} {phase.get('name', '?'):<10} {bar}{extra}")
+    workers = [w for w in s.workers if w.get("name") != "cache"]
+    for w in workers[:max_workers]:
+        name = w.get("name", "?")
+        cur = w.get("current_index")
+        busy = w.get("busy_s") or 0.0
+        doing = f"item {cur}" if cur is not None else "idle"
+        # A finished fleet has no stalls — idle-after-finish is normal
+        # (and older persisted snapshots may have baked the flag in).
+        stalled = (" [STALLED]"
+                   if name in s.stalled_workers and not s.finished else "")
+        lines.append(
+            f"   {name:<8} {w.get('items_done', 0):>5} done  "
+            f"{busy:>7.1f}s busy  {doing}{stalled}"
+        )
+    if len(workers) > max_workers:
+        lines.append(f"   ... and {len(workers) - max_workers} more worker(s)")
+    if s.stragglers and not s.finished:
+        lines.append(
+            f" ! stragglers (past p95 bound): items "
+            + ", ".join(str(i) for i in s.stragglers)
+        )
+    return "\n".join(line[:width] for line in lines)
+
+
+class ProgressRenderer:
+    """A ``progress=`` callback that draws the live dashboard.
+
+    Parameters
+    ----------
+    stream:
+        Output stream (default stderr, keeping stdout machine-clean).
+    mode:
+        ``"auto"`` picks TTY in-place redraw when the stream is a
+        terminal, plain throttled lines otherwise; ``"tty"``/``"plain"``
+        force either.
+    plain_interval_s:
+        Minimum spacing between plain-mode lines.
+    """
+
+    def __init__(
+        self,
+        stream: t.TextIO | None = None,
+        mode: str = "auto",
+        plain_interval_s: float = 2.0,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        if mode == "auto":
+            mode = "tty" if getattr(self.stream, "isatty", lambda: False)() else "plain"
+        if mode not in ("tty", "plain"):
+            raise ValueError(f"mode must be auto/tty/plain, got {mode!r}")
+        self.mode = mode
+        self.plain_interval_s = plain_interval_s
+        self._drawn_lines = 0
+        self._last_plain = -1e9
+        self._last_done = -1
+        self._done_printed = False
+
+    def __call__(self, snapshot: "FleetSnapshot | t.Mapping[str, t.Any]") -> None:
+        s = _snap(snapshot)
+        if self.mode == "tty":
+            self._draw_tty(s)
+        else:
+            self._draw_plain(s)
+
+    def _draw_tty(self, s: FleetSnapshot) -> None:
+        block = render_snapshot(s)
+        if self._drawn_lines:
+            # move up and clear the previous block, then redraw
+            self.stream.write(f"\x1b[{self._drawn_lines}A")
+        out = []
+        for line in block.split("\n"):
+            out.append("\x1b[2K" + line)
+        self.stream.write("\n".join(out) + "\n")
+        self._drawn_lines = block.count("\n") + 1
+        self.stream.flush()
+
+    def _draw_plain(self, s: FleetSnapshot) -> None:
+        now = time.monotonic()
+        changed = s.done != self._last_done
+        due = now - self._last_plain >= self.plain_interval_s
+        if s.finished:
+            if self._done_printed:
+                return
+            self._done_printed = True
+        elif not (changed and due):
+            return
+        self._last_plain = now
+        self._last_done = s.done
+        phase = s.phases[-1] if s.phases else {}
+        self.stream.write(
+            f"progress {s.label}: {s.done}/{s.total} "
+            f"({phase.get('name', '?')} {phase.get('done', 0)}/"
+            f"{phase.get('total') or '?'}) eta={format_eta(s.eta_s)} "
+            f"hits={s.cache_hits} failed={s.failed}"
+            + (" [done]" if s.finished else "")
+            + "\n"
+        )
+        self.stream.flush()
+
+    def close(self) -> None:
+        """End the in-place block so subsequent output starts clean."""
+        if self.mode == "tty" and self._drawn_lines:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._drawn_lines = 0
+
+
+# ---------------------------------------------------------------------------
+# HTML report integration: the fleet timeline track
+# ---------------------------------------------------------------------------
+
+_LANE_H = 18
+_LANE_GAP = 4
+_SVG_W = 900
+_LABEL_W = 90
+
+
+def fleet_timeline_svg(
+    journal_rows: t.Sequence[t.Mapping[str, t.Any]],
+    max_items: int = 2000,
+) -> str:
+    """Inline-SVG gantt of executed item spans, one lane per worker.
+
+    Takes *full* journal rows (with the telemetry half — ``worker``,
+    ``t_started``, ``t_finished``); content-only rows carry no timing
+    and render as an empty note. Cache hits are zero-width and drawn as
+    ticks. Rows beyond ``max_items`` (ordered as given) are dropped
+    with a note — the report is a document, not a database.
+    """
+    timed = [
+        r for r in journal_rows
+        if r.get("t_finished") is not None and r.get("worker") is not None
+    ]
+    if not timed:
+        return "<p>journal rows carry no telemetry (content-only export).</p>"
+    dropped = max(0, len(timed) - max_items)
+    timed = timed[:max_items]
+    t_end = max(float(r["t_finished"]) for r in timed) or 1.0
+    workers = sorted({str(r["worker"]) for r in timed})
+    lane_of = {w: k for k, w in enumerate(workers)}
+    height = len(workers) * (_LANE_H + _LANE_GAP) + 24
+    scale = (_SVG_W - _LABEL_W - 10) / t_end
+    parts = [
+        f'<svg viewBox="0 0 {_SVG_W} {height}" '
+        f'style="width:100%;max-width:{_SVG_W}px;font:10px monospace">'
+    ]
+    for w in workers:
+        y = lane_of[w] * (_LANE_H + _LANE_GAP)
+        parts.append(
+            f'<text x="0" y="{y + 13}" fill="#555">{html.escape(w)}</text>'
+        )
+        parts.append(
+            f'<rect x="{_LABEL_W}" y="{y}" width="{_SVG_W - _LABEL_W - 10}" '
+            f'height="{_LANE_H}" fill="#f4f4f4"/>'
+        )
+    for r in timed:
+        y = lane_of[str(r["worker"])] * (_LANE_H + _LANE_GAP)
+        x0 = _LABEL_W + float(r.get("t_started") or 0.0) * scale
+        x1 = _LABEL_W + float(r["t_finished"]) * scale
+        wpx = max(1.0, x1 - x0)
+        if r.get("outcome") == "failed":
+            color = "#c0392b"
+        elif r.get("status") == "cache_hit":
+            color = "#8e44ad"
+        else:
+            color = "#2980b9"
+        title = (
+            f"item {r.get('index')} [{r.get('status')}] "
+            f"wall={float(r.get('wall_s') or 0.0):.3f}s "
+            f"cpu={float(r.get('cpu_s') or 0.0):.3f}s "
+            f"rss={r.get('peak_rss_kb')}kb attempts={r.get('attempts')}"
+        )
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y + 2}" width="{wpx:.1f}" '
+            f'height="{_LANE_H - 4}" fill="{color}" fill-opacity="0.8">'
+            f"<title>{html.escape(title)}</title></rect>"
+        )
+    axis_y = len(workers) * (_LANE_H + _LANE_GAP) + 12
+    parts.append(
+        f'<text x="{_LABEL_W}" y="{axis_y}" fill="#555">0s</text>'
+        f'<text x="{_SVG_W - 60}" y="{axis_y}" fill="#555">{t_end:.2f}s</text>'
+    )
+    parts.append("</svg>")
+    if dropped:
+        parts.append(f"<p>(+{dropped} item(s) beyond the {max_items} drawn)</p>")
+    return "".join(parts)

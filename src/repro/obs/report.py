@@ -392,12 +392,19 @@ def build_html_report(
     runs: t.Mapping[str, "ExperimentRun"] | t.Sequence["ExperimentRun"],
     *,
     title: str = "Low-power distributed ATR — reproduction report",
+    journal: t.Sequence[t.Mapping[str, t.Any]] | None = None,
 ) -> str:
     """Render an experiment suite as one self-contained HTML document.
 
     ``runs`` is the :func:`~repro.core.experiments.run_paper_suite`
     mapping (or any sequence of runs). The output embeds every chart as
     inline SVG and references no external resources.
+
+    ``journal`` optionally adds a fleet timeline track from flight-
+    recorder journal rows (full/telemetry form). It is opt-in because
+    the timeline draws wall-clock measurement, while the default report
+    is pure content and byte-identical across execution modes (CI
+    compares replayed reports with ``cmp``).
     """
     ordered = list(runs.values()) if isinstance(runs, t.Mapping) else list(runs)
     tnorms = {
@@ -418,6 +425,20 @@ def build_html_report(
         _conservation_table(ordered),
     ]
     sections.extend(_run_section(run) for run in ordered)
+    if journal is not None:
+        from repro.obs.progress import fleet_timeline_svg
+
+        executed = [r for r in journal if r.get("status") == "executed"]
+        hits = [r for r in journal if r.get("status") == "cache_hit"]
+        failed = [r for r in journal if r.get("outcome") == "failed"]
+        sections.append("<h2>Fleet timeline</h2>")
+        sections.append(
+            f"<p>{len(journal)} journaled item(s): {len(executed)} executed, "
+            f"{len(hits)} cache hit(s), {len(failed)} failed. Spans are "
+            "wall-clock offsets from the sweep start, one lane per "
+            "worker; hover an item for wall/CPU/RSS detail.</p>"
+        )
+        sections.append(fleet_timeline_svg(list(journal)))
     body = "\n".join(sections)
     return (
         "<!DOCTYPE html>\n"
@@ -433,8 +454,11 @@ def write_html_report(
     runs: t.Mapping[str, "ExperimentRun"] | t.Sequence["ExperimentRun"],
     *,
     title: str = "Low-power distributed ATR — reproduction report",
+    journal: t.Sequence[t.Mapping[str, t.Any]] | None = None,
 ) -> pathlib.Path:
     """Write :func:`build_html_report` output to ``path``."""
     path = pathlib.Path(path)
-    path.write_text(build_html_report(runs, title=title), encoding="utf-8")
+    path.write_text(
+        build_html_report(runs, title=title, journal=journal), encoding="utf-8"
+    )
     return path

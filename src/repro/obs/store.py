@@ -93,6 +93,43 @@ CREATE TABLE IF NOT EXISTS explore_sessions (
 )
 """
 
+# The flight recorder's execution journal (see :mod:`repro.obs.flight`).
+# The first eight columns are record *content* — deterministic across
+# serial/parallel/cache-replay executions and the only columns the
+# determinism dumps compare; the rest are honest telemetry (wall
+# clocks, worker ids, RSS) that naturally differ per execution.
+_JOURNAL_SCHEMA = """
+CREATE TABLE IF NOT EXISTS exec_journal (
+    journal_id   TEXT PRIMARY KEY,
+    map_id       TEXT NOT NULL,
+    map_ordinal  INTEGER NOT NULL,
+    idx          INTEGER NOT NULL,
+    key          TEXT,
+    outcome      TEXT NOT NULL,
+    stage        TEXT,
+    error        TEXT,
+    status       TEXT NOT NULL,
+    worker       TEXT,
+    attempts     INTEGER NOT NULL,
+    wall_s       REAL NOT NULL,
+    cpu_s        REAL NOT NULL,
+    peak_rss_kb  INTEGER NOT NULL,
+    seq          INTEGER NOT NULL,
+    created_at   REAL
+)
+"""
+
+# Live fleet progress: one REPLACE'd row per fleet label holding the
+# latest FleetSnapshot JSON — the plane ``repro top`` attaches to.
+# Pure telemetry (never compared across modes).
+_PROGRESS_SCHEMA = """
+CREATE TABLE IF NOT EXISTS exec_progress (
+    label       TEXT PRIMARY KEY,
+    snapshot    TEXT NOT NULL,
+    updated_at  REAL NOT NULL
+)
+"""
+
 
 def _canonical_json(payload: t.Any) -> str:
     """Key-sorted, separator-stable JSON; the hashed/stored form."""
@@ -143,6 +180,11 @@ class RunRecord:
     metrics:
         The run's :class:`~repro.obs.metrics.MetricsRegistry` snapshot
         (``as_dict`` form).
+    created_at:
+        Registration wall-clock (epoch seconds), populated on records
+        read back from a registry. Housekeeping/display only — it never
+        enters ``run_id``, determinism dumps, or record equality (a
+        reloaded record compares equal to the one that was stored).
     """
 
     run_id: str
@@ -154,6 +196,7 @@ class RunRecord:
     event_digest: str | None
     summary: dict[str, t.Any]
     metrics: dict[str, t.Any]
+    created_at: float | None = dataclasses.field(default=None, compare=False)
 
     def as_row(self) -> dict[str, t.Any]:
         """Flat list-view row (id prefix, label, headline scalars)."""
@@ -322,6 +365,8 @@ class RunRegistry:
         conn = sqlite3.connect(self.path)
         conn.execute(_SCHEMA)
         conn.execute(_EXPLORE_SCHEMA)
+        conn.execute(_JOURNAL_SCHEMA)
+        conn.execute(_PROGRESS_SCHEMA)
         # Databases created before the created_at column existed gain it
         # in place; content columns are untouched, so old ids stay valid.
         columns = {row[1] for row in conn.execute("PRAGMA table_info(runs)")}
@@ -396,6 +441,8 @@ class RunRegistry:
         with self._connect() as conn:
             removed = conn.execute("DELETE FROM runs").rowcount
             conn.execute("DELETE FROM explore_sessions")
+            conn.execute("DELETE FROM exec_journal")
+            conn.execute("DELETE FROM exec_progress")
             return removed
 
     def gc(
@@ -470,7 +517,7 @@ class RunRegistry:
     @staticmethod
     def _from_row(row: tuple) -> RunRecord:
         (run_id, label, fingerprint, version, git_sha,
-         n_events, event_digest, summary, metrics) = row
+         n_events, event_digest, summary, metrics) = row[:9]
         return RunRecord(
             run_id=run_id,
             label=label,
@@ -481,12 +528,17 @@ class RunRegistry:
             event_digest=event_digest,
             summary=json.loads(summary),
             metrics=json.loads(metrics),
+            created_at=row[9] if len(row) > 9 else None,
         )
 
     _COLUMNS = (
         "run_id, label, fingerprint, version, git_sha, "
         "n_events, event_digest, summary, metrics"
     )
+
+    # Read queries additionally surface created_at for display (e.g.
+    # ``repro runs list``); content dumps never include it.
+    _READ_COLUMNS = _COLUMNS + ", created_at"
 
     def list_runs(
         self,
@@ -504,7 +556,7 @@ class RunRegistry:
         (sqlite requires a LIMIT for OFFSET, so a bare offset is
         applied against an unbounded limit).
         """
-        query = f"SELECT {self._COLUMNS} FROM runs"
+        query = f"SELECT {self._READ_COLUMNS} FROM runs"
         clauses: list[str] = []
         params: list[t.Any] = []
         if label is not None:
@@ -543,7 +595,7 @@ class RunRegistry:
         if self.path.exists():
             with self._connect() as conn:
                 rows = conn.execute(
-                    f"SELECT {self._COLUMNS} FROM runs "
+                    f"SELECT {self._READ_COLUMNS} FROM runs "
                     "WHERE run_id LIKE ? ORDER BY seq",
                     (run_id_prefix.replace("%", "") + "%",),
                 )
@@ -626,6 +678,142 @@ class RunRegistry:
                     "FROM explore_sessions ORDER BY seq"
                 )
             )
+
+    # -- flight-recorder journal / progress ------------------------------
+    def record_journal(self, records: t.Sequence[t.Any]) -> int:
+        """Persist flight-recorder item records; returns rows inserted.
+
+        ``records`` are :class:`~repro.obs.flight.ItemRecord` objects
+        (anything with ``.journal_id`` and ``.as_dict()`` works).
+        Insertion is keyed by the content-derived ``journal_id``, so
+        replaying the same sweep — serial, parallel, or from cache —
+        deduplicates instead of appending, exactly like run records.
+        """
+        if not records:
+            return 0
+        inserted = 0
+        now = time.time()
+        with self._connect() as conn:
+            cur = conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) + 1 FROM exec_journal"
+            )
+            next_seq = cur.fetchone()[0]
+            for record in records:
+                row = record.as_dict()
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO exec_journal "
+                    "(journal_id, map_id, map_ordinal, idx, key, outcome, "
+                    " stage, error, status, worker, attempts, wall_s, "
+                    " cpu_s, peak_rss_kb, seq, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        row["journal_id"],
+                        row["map_id"],
+                        row["map_ordinal"],
+                        row["index"],
+                        row["key"],
+                        row["outcome"],
+                        row["stage"],
+                        row["error"],
+                        row["status"],
+                        row["worker"],
+                        row["attempts"],
+                        row["wall_s"],
+                        row["cpu_s"],
+                        row["peak_rss_kb"],
+                        next_seq,
+                        now,
+                    ),
+                )
+                if cur.rowcount == 1:
+                    inserted += 1
+                    next_seq += 1
+        return inserted
+
+    def list_journal(
+        self,
+        map_id: str | None = None,
+        outcome: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, t.Any]]:
+        """Journal rows as dicts, ordered by (map_ordinal, idx)."""
+        if not self.path.exists():
+            return []
+        query = (
+            "SELECT journal_id, map_id, map_ordinal, idx, key, outcome, "
+            "stage, error, status, worker, attempts, wall_s, cpu_s, "
+            "peak_rss_kb FROM exec_journal"
+        )
+        clauses: list[str] = []
+        params: list[t.Any] = []
+        if map_id is not None:
+            clauses.append("map_id = ?")
+            params.append(map_id)
+        if outcome is not None:
+            clauses.append("outcome = ?")
+            params.append(outcome)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY map_ordinal, idx"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        names = (
+            "journal_id", "map_id", "map_ordinal", "index", "key",
+            "outcome", "stage", "error", "status", "worker", "attempts",
+            "wall_s", "cpu_s", "peak_rss_kb",
+        )
+        with self._connect() as conn:
+            return [
+                dict(zip(names, row)) for row in conn.execute(query, params)
+            ]
+
+    def dump_journal_rows(self) -> list[tuple]:
+        """Journal *content* columns in deterministic (ordinal, idx)
+        order — the across-modes comparison surface; telemetry columns
+        (status/worker/timings) are honest per-execution measurements
+        and are excluded, like ``created_at`` on runs."""
+        if not self.path.exists():
+            return []
+        with self._connect() as conn:
+            return list(
+                conn.execute(
+                    "SELECT journal_id, map_id, map_ordinal, idx, key, "
+                    "outcome, stage, error FROM exec_journal "
+                    "ORDER BY map_ordinal, idx"
+                )
+            )
+
+    def record_progress(self, label: str, snapshot: t.Mapping[str, t.Any]) -> None:
+        """Upsert the live fleet snapshot for one fleet label."""
+        with self._connect() as conn:
+            conn.execute(
+                "REPLACE INTO exec_progress (label, snapshot, updated_at) "
+                "VALUES (?, ?, ?)",
+                (label, _canonical_json(dict(snapshot)), time.time()),
+            )
+
+    def latest_progress(
+        self, label: str | None = None
+    ) -> tuple[dict[str, t.Any], float] | None:
+        """The most recent fleet snapshot (payload, updated_at epoch).
+
+        With no ``label``, the most recently updated fleet wins — the
+        common ``repro top`` case of one sweep running at a time.
+        """
+        if not self.path.exists():
+            return None
+        query = "SELECT snapshot, updated_at FROM exec_progress"
+        params: list[t.Any] = []
+        if label is not None:
+            query += " WHERE label = ?"
+            params.append(label)
+        query += " ORDER BY updated_at DESC LIMIT 1"
+        with self._connect() as conn:
+            row = conn.execute(query, params).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0]), row[1]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<RunRegistry {self.path} n={len(self)}>"

@@ -1,0 +1,179 @@
+"""Executor failure semantics under the flight recorder.
+
+Covers the three ways a sweep item dies — the work function raising in
+a worker, the worker process being killed mid-item, and an observer
+callback raising after results settled — and asserts the journal tells
+the truth about each (outcome, stage, attempt counts) while the
+surviving results stay deterministic.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.exec import ResultCache, SweepExecutor
+from repro.exec.executor import SweepItemError
+from repro.obs.flight import FlightRecorder, journal_verdicts
+
+
+def fragile(x: int) -> int:
+    """Module-level worker fn: raises on one poison item."""
+    if x == 3:
+        raise ValueError(f"poison item {x}")
+    return x * 10
+
+
+def lethal(x: int) -> int:
+    """Module-level worker fn: SIGKILLs its own process on the poison
+    item — the pool breaks, everything else must still complete."""
+    if x == 3:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+def _failed(flight):
+    return [r for r in flight.records if r.outcome == "failed"]
+
+
+# -- work function raises ---------------------------------------------------
+
+def test_worker_raise_serial_reraises_original():
+    flight = FlightRecorder(label="t")
+    ex = SweepExecutor(jobs=1, flight=flight)
+    with pytest.raises(ValueError, match="poison item 3"):
+        ex.map(fragile, list(range(6)))
+    failed = _failed(flight)
+    assert len(failed) == 1
+    assert failed[0].index == 3
+    assert failed[0].stage == "worker"
+    assert "poison item 3" in failed[0].error
+
+
+def test_worker_raise_parallel_wraps_in_sweep_item_error():
+    flight = FlightRecorder(label="t")
+    ex = SweepExecutor(jobs=2, flight=flight)
+    with pytest.raises(SweepItemError) as excinfo:
+        ex.map(fragile, list(range(6)))
+    assert excinfo.value.index == 3
+    assert "poison item 3" in excinfo.value.error
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_keep_mode_returns_survivors(jobs):
+    flight = FlightRecorder(label="t")
+    ex = SweepExecutor(jobs=jobs, flight=flight)
+    out = ex.map(fragile, list(range(6)), failures="keep")
+    assert out == [0, 10, 20, None, 40, 50]
+    # ``executed`` counts items that ran — the poison item did run (and
+    # failed); only its result is withheld.
+    assert ex.stats.executed == 6
+    failed = _failed(flight)
+    assert [r.index for r in failed] == [3]
+    verdicts = journal_verdicts([r.as_dict() for r in flight.records])
+    fleet = {v.monitor: v for v in verdicts}
+    assert not fleet["fleet-failures"].ok
+
+
+def test_keep_mode_skips_caching_and_callbacks_for_failures(tmp_path):
+    cache = ResultCache(root=tmp_path, salt="s")
+    seen: list[int] = []
+
+    def run():
+        flight = FlightRecorder(label="t")
+        ex = SweepExecutor(jobs=1, cache=cache, flight=flight)
+        items = list(range(6))
+        out = ex.map(
+            fragile, items,
+            keys=[cache.key_for(i) for i in items],
+            encode=lambda r: r,
+            decode=lambda item, payload: payload,
+            on_result=lambda item, result: seen.append(item),
+            failures="keep",
+        )
+        return out, ex.stats, flight
+
+    out1, stats1, _ = run()
+    assert out1 == [0, 10, 20, None, 40, 50]
+    assert seen == [0, 1, 2, 4, 5]  # no callback for the failed item
+    # Round 2: survivors replay from cache, the poison item re-executes
+    # (its failure was never cached) and fails identically.
+    seen.clear()
+    out2, stats2, flight2 = run()
+    assert out2 == out1
+    assert stats2.cache_hits == 5
+    assert stats2.executed == 1
+    failed = _failed(flight2)
+    assert [r.index for r in failed] == [3]
+    assert failed[0].status == "executed"
+
+
+# -- worker killed mid-item -------------------------------------------------
+
+def test_sigkill_mid_item_fails_only_poison_with_retries():
+    flight = FlightRecorder(label="t")
+    ex = SweepExecutor(jobs=2, flight=flight, retries=2)
+    out = ex.map(lethal, list(range(8)), failures="keep")
+    assert out[3] is None
+    assert [out[i] for i in range(8) if i != 3] == [
+        i * 10 for i in range(8) if i != 3
+    ]
+    failed = _failed(flight)
+    assert [r.index for r in failed] == [3]
+    assert "WorkerCrashed" in failed[0].error
+    assert failed[0].attempts == 3  # 1 + retries
+    # Survivors completed despite pool rebuilds.
+    ok = [r for r in flight.records if r.outcome == "ok"]
+    assert sorted(r.index for r in ok) == [i for i in range(8) if i != 3]
+
+
+def test_sigkill_raise_mode_raises_sweep_item_error():
+    flight = FlightRecorder(label="t")
+    ex = SweepExecutor(jobs=2, flight=flight)
+    with pytest.raises(SweepItemError) as excinfo:
+        ex.map(lethal, list(range(6)))
+    assert excinfo.value.index == 3
+    assert "WorkerCrashed" in str(excinfo.value)
+
+
+# -- observer callback raises ----------------------------------------------
+
+@pytest.mark.parametrize("flight_on", [False, True])
+def test_callback_raise_leaves_stats_settled(flight_on):
+    """Satellite fix: a raising ``on_result`` must not leave stale
+    accounting — stats settle before observer callbacks run, on both
+    the instrumented and the recorder-off path."""
+    flight = FlightRecorder(label="t") if flight_on else None
+    ex = SweepExecutor(jobs=1, flight=flight)
+
+    def boom(item, result):
+        if item == 1:
+            raise RuntimeError("observer exploded")
+
+    with pytest.raises(RuntimeError, match="observer exploded"):
+        ex.map(lambda x: x + 1, [0, 1, 2], on_result=boom)
+    assert ex.stats.executed == 3
+    assert ex.stats.total == 3
+    if flight_on:
+        failed = _failed(flight)
+        assert len(failed) == 1
+        assert failed[0].index == 1
+        assert failed[0].stage == "callback"
+        assert "observer exploded" in failed[0].error
+
+
+def test_callback_failure_counts_once_in_phases():
+    flight = FlightRecorder(label="t")
+    ex = SweepExecutor(jobs=1, flight=flight)
+    with pytest.raises(RuntimeError):
+        ex.map(
+            lambda x: x, [0, 1],
+            on_result=lambda item, result: (_ for _ in ()).throw(
+                RuntimeError("nope")
+            ),
+        )
+    snap = flight.snapshot()
+    # The item settled at execution time; the callback failure adds a
+    # failed mark without double-counting done.
+    assert snap.done == 2
+    assert snap.failed == 1

@@ -1,0 +1,175 @@
+"""Flight recorder: journal determinism, persistence, progress plane.
+
+The contract under test is the content/telemetry split: journal
+*content* (ids, outcomes, stages) is byte-identical across serial,
+parallel, and cache-replayed executions of the same map, while
+*telemetry* (wall/cpu/rss, worker, attempts) is honest per-execution
+measurement excluded from every determinism surface.
+"""
+
+import pytest
+
+from repro.exec import ResultCache, SweepExecutor
+from repro.obs.flight import (
+    FlightRecorder,
+    journal_to_rows,
+    journal_verdicts,
+    read_journal,
+    write_journal,
+)
+from repro.obs.store import RunRegistry
+
+
+def cube(x: int) -> int:
+    """Module-level so worker processes can unpickle it."""
+    return x * x * x
+
+
+def _run(tmp_path, jobs: int, cache=None, label: str = "t") -> FlightRecorder:
+    flight = FlightRecorder(label=label)
+    ex = SweepExecutor(jobs=jobs, cache=cache, flight=flight)
+    keys = None
+    codecs: dict = {}
+    if cache is not None:
+        keys = [cache.key_for(i) for i in range(8)]
+        codecs = dict(encode=lambda r: r, decode=lambda item, payload: payload)
+    out = ex.map(cube, list(range(8)), keys=keys, **codecs)
+    assert out == [i**3 for i in range(8)]
+    flight.finish()
+    return flight
+
+
+def test_journal_bytes_identical_serial_vs_parallel(tmp_path):
+    serial = _run(tmp_path, jobs=1)
+    parallel = _run(tmp_path, jobs=2)
+    a = write_journal(tmp_path / "serial.jsonl", serial.records)
+    b = write_journal(tmp_path / "parallel.jsonl", parallel.records)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_journal_bytes_identical_across_cache_replay(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache", salt="s")
+    live = _run(tmp_path, jobs=1, cache=cache)
+    replay = _run(tmp_path, jobs=1, cache=cache)
+    # The replay served everything from cache...
+    assert all(r.status == "cache_hit" for r in replay.records)
+    assert all(r.status == "executed" for r in live.records)
+    # ...yet the canonical journal is byte-identical.
+    a = write_journal(tmp_path / "live.jsonl", live.records)
+    b = write_journal(tmp_path / "replay.jsonl", replay.records)
+    assert a.read_bytes() == b.read_bytes()
+    # Full rows (telemetry included) do differ — by design.
+    full_a = journal_to_rows(live.records, full=True)
+    full_b = journal_to_rows(replay.records, full=True)
+    assert full_a != full_b
+
+
+def test_journal_roundtrip_and_ordering(tmp_path):
+    flight = _run(tmp_path, jobs=2)
+    path = write_journal(tmp_path / "j.jsonl", flight.records)
+    rows = read_journal(path)
+    assert [r["index"] for r in rows] == list(range(8))
+    assert all(r["outcome"] == "ok" for r in rows)
+    assert len({r["journal_id"] for r in rows}) == 8
+
+
+def test_registry_persistence_and_dedup(tmp_path):
+    registry = RunRegistry(tmp_path / "runs.sqlite")
+    flight = FlightRecorder(label="t", registry=registry)
+    ex = SweepExecutor(jobs=1, flight=flight)
+    ex.map(cube, list(range(5)))
+    flight.finish()
+    rows = registry.list_journal()
+    assert len(rows) == 5
+    # Re-recording the same records is a no-op (content-keyed).
+    assert registry.record_journal(flight.records) == 0
+    assert len(registry.list_journal()) == 5
+    # dump_journal_rows carries content columns only.
+    dump = registry.dump_journal_rows()
+    assert len(dump) == 5
+    assert "wall_s" not in dump[0] and "worker" not in dump[0]
+
+
+def test_progress_plane_snapshot(tmp_path):
+    registry = RunRegistry(tmp_path / "runs.sqlite")
+    flight = FlightRecorder(label="mysweep", registry=registry)
+    ex = SweepExecutor(jobs=1, flight=flight)
+    ex.map(cube, list(range(4)))
+    flight.finish()
+    found = registry.latest_progress("mysweep")
+    assert found is not None
+    snap, updated_at = found
+    assert snap["label"] == "mysweep"
+    assert snap["done"] == 4
+    assert snap["finished"] is True
+    assert updated_at > 0
+    # Label-less lookup attaches to the most recent plane.
+    assert registry.latest_progress()[0]["label"] == "mysweep"
+
+
+def test_phases_group_work(tmp_path):
+    flight = FlightRecorder(label="t")
+    ex = SweepExecutor(jobs=1, flight=flight)
+    flight.phase("first", total=3)
+    ex.map(cube, [1, 2, 3])
+    flight.finish_phase(note="done early")
+    flight.phase("second")
+    ex.map(cube, [4, 5])
+    flight.finish()
+    snap = flight.snapshot()
+    names = [p["name"] for p in snap.phases]
+    assert names == ["first", "second"]
+    assert [p["done"] for p in snap.phases] == [3, 2]
+    assert snap.phases[0]["note"] == "done early"
+    assert all(p["finished"] for p in snap.phases)
+    assert snap.total == 5 and snap.done == 5
+
+
+def test_fleet_verdicts_healthy(tmp_path):
+    flight = _run(tmp_path, jobs=1)
+    rows = [r.as_dict() for r in flight.records]
+    verdicts = journal_verdicts(rows)
+    assert {v.monitor for v in verdicts} == {
+        "fleet-failures", "fleet-retries", "fleet-stragglers"
+    }
+    assert all(v.ok for v in verdicts)
+
+
+def test_worker_lanes_and_heartbeats(tmp_path):
+    flight = _run(tmp_path, jobs=2)
+    lanes = [w for w in flight.workers.values() if w.name != "cache"]
+    assert lanes, "parallel map should populate worker lanes"
+    assert sum(w.items_done for w in lanes) == 8
+    assert all(w.last_beat is not None for w in lanes)
+
+
+def test_telemetry_fields_populated(tmp_path):
+    flight = _run(tmp_path, jobs=1)
+    rec = flight.records[0]
+    assert rec.status == "executed"
+    assert rec.attempts == 1
+    assert rec.wall_s is not None and rec.wall_s >= 0.0
+    assert rec.worker == "serial"
+    # Content digest is stable against telemetry.
+    import dataclasses
+
+    twin = dataclasses.replace(rec, wall_s=99.0, worker="elsewhere")
+    assert twin.journal_id == rec.journal_id
+
+
+def test_export_journal_via_recorder(tmp_path):
+    flight = _run(tmp_path, jobs=1)
+    path = flight.export_journal(tmp_path / "out.jsonl")
+    assert path.exists()
+    assert len(read_journal(path)) == 8
+
+
+def test_recorder_off_path_untouched():
+    ex = SweepExecutor(jobs=1)
+    assert ex.flight is None
+    assert ex.map(cube, [2]) == [8]
+
+
+def test_keep_mode_requires_flight():
+    with pytest.raises(ValueError):
+        SweepExecutor(jobs=1).map(cube, [1], failures="keep")

@@ -1,0 +1,103 @@
+"""Progress plane rendering: dashboard text, plain stream, SVG track."""
+
+import io
+
+from repro.exec import SweepExecutor
+from repro.obs.flight import FlightRecorder, journal_to_rows
+from repro.obs.progress import (
+    ProgressRenderer,
+    fleet_timeline_svg,
+    format_eta,
+    render_bar,
+    render_snapshot,
+)
+
+
+def double(x: int) -> int:
+    return 2 * x
+
+
+def _snapshot():
+    flight = FlightRecorder(label="demo")
+    flight.phase("work", total=4)
+    SweepExecutor(jobs=1, flight=flight).map(double, [1, 2, 3, 4])
+    flight.finish()
+    return flight
+
+
+def test_format_eta():
+    assert format_eta(None) == "--"
+    assert format_eta(12.4) == "12s"
+    assert format_eta(200) == "3m20s"
+    assert format_eta(3720) == "1h02m"
+
+
+def test_render_bar():
+    assert render_bar(2, 4, width=8) == "[####....] 2/4"
+    assert render_bar(0, None, width=4) == "[????] 0/?"
+    assert render_bar(9, 4, width=4).startswith("[####]")
+
+
+def test_render_snapshot_dashboard():
+    flight = _snapshot()
+    text = render_snapshot(flight.snapshot())
+    assert "fleet demo" in text
+    assert "[done]" in text
+    assert "work" in text
+    assert "4/4" in text
+    assert "serial" in text  # the one worker lane
+
+
+def test_render_snapshot_accepts_plain_dict():
+    flight = _snapshot()
+    text = render_snapshot(flight.snapshot().as_dict())
+    assert "fleet demo" in text
+
+
+def test_plain_renderer_writes_single_done_line():
+    stream = io.StringIO()
+    renderer = ProgressRenderer(stream=stream, mode="plain")
+    flight = FlightRecorder(label="demo", progress=renderer)
+    SweepExecutor(jobs=1, flight=flight).map(double, [1, 2, 3])
+    flight.finish()
+    flight.finish()  # double-finish must not duplicate the [done] line
+    renderer.close()
+    out = stream.getvalue()
+    assert out.count("[done]") == 1
+    assert "progress demo" in out
+
+
+def test_tty_renderer_redraws_in_place():
+    stream = io.StringIO()
+    renderer = ProgressRenderer(stream=stream, mode="tty")
+    flight = FlightRecorder(label="demo", progress=renderer)
+    SweepExecutor(jobs=1, flight=flight).map(double, [1, 2, 3])
+    flight.finish()
+    renderer.close()
+    out = stream.getvalue()
+    assert "\x1b[2K" in out  # line-clear escape = in-place redraw
+    assert "fleet demo" in out
+
+
+def test_fleet_timeline_svg():
+    flight = _snapshot()
+    rows = journal_to_rows(flight.records, full=True)
+    svg = fleet_timeline_svg(rows)
+    assert svg.startswith("<svg")
+    assert "serial" in svg
+    assert svg.count("<rect") >= len(rows)
+
+
+def test_fleet_timeline_svg_handles_content_only_rows():
+    flight = _snapshot()
+    rows = journal_to_rows(flight.records, full=False)
+    # Content-only exports carry no timings — the track degrades to an
+    # explanatory note instead of a bogus gantt.
+    assert "content-only" in fleet_timeline_svg(rows)
+
+
+def test_fleet_timeline_svg_caps_items():
+    flight = _snapshot()
+    rows = journal_to_rows(flight.records, full=True)
+    svg = fleet_timeline_svg(rows, max_items=2)
+    assert "beyond the 2 drawn" in svg

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -52,6 +53,30 @@ def best_of(fn, repeats: int = 3) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - t0)
     return best, result
+
+
+#: Overhead ratios are only trustworthy when the base measurement is
+#: comfortably above scheduler jitter — same 100ms discipline
+#: ``repro.obs.benchdiff`` applies before gating wall-clock metrics
+#: (its ``_MIN_GATED_SECONDS``), with headroom.
+_MIN_RATIO_SECONDS = 0.25
+
+
+def median_of(fn, repeats: int = 5) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (median wall seconds, last result).
+
+    Ratios of two timings want the median, not the best: best-of pairs
+    two lucky outliers and routinely reports negative overhead for
+    workloads that plainly do more work.
+    """
+    samples = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2], result
 
 
 def bench_kernel(n: int = 100_000) -> dict:
@@ -155,11 +180,21 @@ def bench_atr_correlate(frames: int = 20) -> dict:
     scenes = [generate_scene(SceneSpec(size=64), rng) for _ in range(frames)]
     rois = [roi for s in scenes for roi in detect_targets(s.image, max_regions=1)]
 
-    def run():
-        return ifft_peaks(fft_correlate(rois))
+    def run(reps):
+        peaks = None
+        for _ in range(reps):
+            peaks = ifft_peaks(fft_correlate(rois))
+        return peaks
 
-    secs, peaks = best_of(run)
-    return {"rois": len(rois), "rois_per_s": round(len(peaks) / secs, 1)}
+    # One pass is ~5 ms — noise, not a measurement. Double the inner
+    # repetitions until the timed region clears the ratio floor, then
+    # take the median so one scheduler hiccup can't halve the number.
+    reps = 1
+    secs, peaks = median_of(lambda: run(reps), repeats=3)
+    while secs < _MIN_RATIO_SECONDS and reps < 4096:
+        reps *= 2
+        secs, peaks = median_of(lambda: run(reps), repeats=3)
+    return {"rois": len(rois), "rois_per_s": round(reps * len(peaks) / secs, 1)}
 
 
 def bench_batch_sweep(grid: int = 10) -> dict:
@@ -173,8 +208,12 @@ def bench_batch_sweep(grid: int = 10) -> dict:
     stats = result.stats
     report = verify_sample(result, sample=8)
     scaling = {}
+    # Two chunks per worker at jobs=4, whatever the grid — the default
+    # chunk size packs small sweeps into one chunk, which measures pool
+    # overhead instead of scaling.
+    chunk = max(32, -(-stats.configs // 8))
     for jobs in (1, 2, 4):
-        r = batch_sweep(spec, jobs=jobs, cache=None)
+        r = batch_sweep(spec, jobs=jobs, cache=None, chunk_size=chunk)
         scaling[f"jobs_{jobs}"] = {
             "wall_s": round(r.stats.wall_s, 2),
             "configs_per_sec": round(r.stats.configs_per_sec, 1),
@@ -183,6 +222,10 @@ def bench_batch_sweep(grid: int = 10) -> dict:
     for row in scaling.values():
         row["speedup"] = round(base / row["wall_s"], 2) if row["wall_s"] else 0.0
     return {
+        # Scaling numbers are meaningless without knowing how many cores
+        # the host actually had — CI gates condition on this.
+        "cpus": os.cpu_count() or 1,
+        "scaling_chunk_size": chunk,
         "configs": stats.configs,
         "cells": stats.cells,
         "wall_s": round(stats.wall_s, 2),
@@ -234,6 +277,39 @@ def bench_explore(quick: bool = False) -> dict:
             }
             for r in result.rungs
         },
+    }
+
+
+def bench_explore_guided(quick: bool = False) -> dict:
+    """The model-guided sampler on the same space: how much of the
+    universe the surrogate actually had to look at to land the same
+    frontier the exhaustive driver confirms."""
+    from repro.explore import default_space, explore
+
+    if quick:
+        space = default_space(
+            bandwidth_points=2, capacity_points=3, io_points=3
+        )
+        keep = (64, 6, 2)
+    else:
+        space = default_space()
+        keep = (512, 16, 6)
+    t0 = time.perf_counter()
+    result = explore(space, keep=keep, guided=True)
+    wall = time.perf_counter() - t0
+    sampler = result.sampler or {}
+    return {
+        "configs": result.n_configs,
+        "keep": list(keep),
+        "wall_s": round(wall, 2),
+        "configs_considered": sampler.get("probed", 0),
+        "sampler_proposals": sampler.get("proposals", 0),
+        "sampler_rounds": sampler.get("rounds", 0),
+        "stop_reason": sampler.get("stop_reason", ""),
+        "probed_pct": round(
+            100.0 * sampler.get("probed", 0) / max(1, result.n_configs), 2
+        ),
+        "frontier_size": len(result.frontier),
     }
 
 
@@ -320,16 +396,34 @@ def bench_energy_ledger(adds: int = 200_000, frames: int = 30) -> dict:
     }
 
 
-def bench_flight(n: int = 400, repeats: int = 5) -> dict:
+def bench_flight(n: int = 400, rounds: int = 15) -> dict:
     """Flight-recorder cost: recorder-off executor overhead (must stay
-    inside the telemetry budget) and instrumented journaling throughput."""
+    inside the telemetry budget) and instrumented journaling throughput.
+
+    Overheads are ratios of two timings of near-identical work, so the
+    discipline here is stricter than the generic timing floor. The
+    probe count auto-scales until one uninstrumented pass clears the
+    floor; then each round times base, recorder-off, and recorder-on
+    back to back and contributes one *paired* ratio per variant —
+    pairing cancels machine drift slower than a round, which sequential
+    per-variant blocks turn into phantom (even negative) overheads.
+    The reported overhead is the median of the paired ratios, and the
+    spread of those ratios ships alongside it: a reading inside
+    ``overhead_noise_pct`` of zero means "below this host's noise
+    floor", not a real speedup or slowdown.
+    """
     from repro.exec.executor import SweepExecutor
     from repro.obs.flight import FlightRecorder
 
-    items = list(range(n))
-
-    def raw():
+    def raw(items):
         return [_flight_probe(x) for x in items]
+
+    items = list(range(n))
+    base, _ = median_of(lambda: raw(items), repeats=3)
+    while base < _MIN_RATIO_SECONDS and len(items) < 1_000_000:
+        items = list(range(len(items) * 2))
+        base, _ = median_of(lambda: raw(items), repeats=3)
+    n = len(items)
 
     def plain():
         return SweepExecutor(jobs=1).map(_flight_probe, items)
@@ -340,15 +434,38 @@ def bench_flight(n: int = 400, repeats: int = 5) -> dict:
         flight.finish()
         return out, flight
 
-    base, _ = best_of(raw, repeats)
-    off, _ = best_of(plain, repeats)
-    on, (_, flight) = best_of(recorded, repeats)
+    bases, offs, ons = [], [], []
+    flight = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        raw(items)
+        b = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        plain()
+        off = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _, flight = recorded()
+        on = time.perf_counter() - t0
+        bases.append(b)
+        offs.append(off / b - 1.0)
+        ons.append(on / b - 1.0)
+
+    def med(xs: list[float]) -> float:
+        return sorted(xs)[len(xs) // 2]
+
+    def spread(xs: list[float]) -> float:
+        ordered = sorted(xs)
+        return ordered[(3 * len(ordered)) // 4] - ordered[len(ordered) // 4]
+
+    base = med(bases)
     rows = [r.as_dict() for r in flight.records]
     return {
         "items": n,
-        "recorder_off_overhead_pct": round((off / base - 1.0) * 100, 2),
-        "recorder_on_overhead_pct": round((on / base - 1.0) * 100, 2),
-        "journaled_items_per_s": round(n / on) if on else 0,
+        "base_wall_s": round(base, 4),
+        "recorder_off_overhead_pct": round(med(offs) * 100, 2),
+        "recorder_on_overhead_pct": round(med(ons) * 100, 2),
+        "overhead_noise_pct": round(max(spread(offs), spread(ons)) * 100, 2),
+        "journaled_items_per_s": round(n / (base * (1.0 + med(ons)))),
         "journal_rows": len(rows),
     }
 
@@ -469,6 +586,7 @@ def main(argv: list[str] | None = None) -> int:
         "flight": bench_flight(),
         "batch_sweep": bench_batch_sweep(grid=4 if args.quick else 10),
         "explore": bench_explore(quick=args.quick),
+        "explore_guided": bench_explore_guided(quick=args.quick),
     }
     if not args.quick:
         serial = bench_suite()

@@ -505,9 +505,12 @@ def _chunk_job(item: tuple) -> dict[str, t.Any]:
         max_hours=max_hours,
         obs=obs,
     )
+    # Labels are reconstructed by the parent from its own point list
+    # (chunk outcomes are in point order), so shipping them back would
+    # only fatten every pickle and cache entry.
     return {
         "outcomes": [
-            [o.label, o.baseline_h, o.partitioned_norm_h, o.rotating_norm_h]
+            [o.baseline_h, o.partitioned_norm_h, o.rotating_norm_h]
             for o in result.outcomes
         ],
         "cycles": [list(c) for c in result.cycles],
@@ -557,7 +560,7 @@ def batch_sweep(
     ]
     keys = None
     if cache is not None:
-        keys = [cache.key_for("batch_sweep", "v1", item) for item in items]
+        keys = [cache.key_for("batch_sweep", "v2", item) for item in items]
     if flight is not None:
         flight.phase("batch", total=len(items))
     executor = SweepExecutor(jobs=jobs, cache=cache, obs=obs, flight=flight)
@@ -573,8 +576,10 @@ def batch_sweep(
     epochs = 0
     root_solves = 0
     for payload in payloads:
-        for label, base, part, rot in payload["outcomes"]:
-            outcomes.append(ScenarioOutcome(label, base, part, rot))
+        for base, part, rot in payload["outcomes"]:
+            outcomes.append(
+                ScenarioOutcome(points[len(outcomes)].label, base, part, rot)
+            )
         cycles.extend(tuple(int(c) for c in row) for row in payload["cycles"])
         epochs += int(payload["epochs"])
         root_solves += int(payload["root_solves"])

@@ -425,6 +425,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     import time
 
     from repro.explore import default_space, explore
+    from repro.explore.halving import explore_fingerprint
 
     space = default_space(
         bandwidth_points=args.bandwidth_points,
@@ -439,8 +440,30 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
         cache = ResultCache()
     registry = None if args.no_registry else _registry(args)
+    resume_cursor = None
+    if args.resume is not None:
+        if registry is None:
+            print("--resume needs the registry (drop --no-registry)")
+            return 2
+        if args.resume == "latest":
+            record = registry.latest_explore_cursor(
+                fingerprint=explore_fingerprint(
+                    space, tuple(args.keep), args.limit, guided=args.guided
+                )
+            )
+        else:
+            record = registry.latest_explore_cursor(
+                session_id_prefix=args.resume
+            )
+        if record is None or record.cursor is None:
+            print(f"no resumable explore session matches {args.resume!r}")
+            return 2
+        resume_cursor = record.cursor
+        print(f"resuming {record.session_id[:12]} "
+              f"(snapshot after rung {record.rung!r})")
     n = space.size() if args.limit is None else min(space.size(), args.limit)
-    print(f"exploring {n:,} of {space.size():,} configs "
+    mode = "guided" if args.guided else "exhaustive"
+    print(f"exploring {n:,} of {space.size():,} configs, {mode} "
           f"(keep {args.keep[0]}/{args.keep[1]}/{args.keep[2]}, "
           f"jobs {args.jobs})")
 
@@ -464,6 +487,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         limit=args.limit,
         progress=progress,
         flight=flight,
+        guided=args.guided,
+        probe=args.probe,
+        resume=resume_cursor,
     )
     wall = time.perf_counter() - started
     _finish_flight(flight, renderer, args)
@@ -496,6 +522,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
           f"({result.configs_per_sec:,.0f} configs/s); "
           f"{result.pruned_before_sim_fraction:.2%} pruned before any "
           "full simulation")
+    if result.sampler is not None:
+        s = result.sampler
+        print(f"guided sampler: probed {s['probed']:,} of "
+              f"{s['universe']:,} configs in {s['rounds']} round(s), "
+              f"{s['proposals']:,} proposals, stopped: {s['stop_reason']}")
     if args.export:
         payload = result.frontier_payload()
         with open(args.export, "w", encoding="utf-8") as fh:
@@ -1546,6 +1577,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--jobs", type=int, default=1, metavar="N",
                            help="fan rung work over N worker processes "
                                 "(bit-identical to serial; default 1)")
+    p_explore.add_argument("--guided", action="store_true",
+                           help="model-guided rung-0 sampling instead of "
+                                "exhaustive enumeration (deterministic; "
+                                "reaches the same frontier on spaces the "
+                                "sampler can exhaust)")
+    p_explore.add_argument("--probe", type=int, default=2048, metavar="N",
+                           help="initial stratified probe batch for "
+                                "--guided (default 2048)")
+    p_explore.add_argument("--resume", metavar="RUN", default=None,
+                           help="resume a killed exploration from its "
+                                "latest registry cursor: a session-id "
+                                "prefix, or 'latest' to match the current "
+                                "arguments")
     p_explore.add_argument("--no-cache", action="store_true",
                            help="recompute instead of reading .repro-cache")
     p_explore.add_argument("--no-registry", action="store_true",

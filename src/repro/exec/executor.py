@@ -355,6 +355,16 @@ class SweepExecutor:
                     continue
             pending.append(i)
 
+        # Cache writes land per item as each result settles — not in a
+        # batch after the whole map — so a process killed mid-sweep has
+        # already persisted every finished item and a resumed run
+        # re-executes at most the in-flight ones.
+        def store(i: int) -> None:
+            if cache is not None and keys is not None:
+                key = keys[i]
+                if key is not None:
+                    cache.put(key, encode(results[i]))  # type: ignore[misc]
+
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
@@ -363,14 +373,11 @@ class SweepExecutor:
                         pending, pool.map(fn, [items[i] for i in pending])
                     ):
                         results[i] = result
+                        store(i)
             else:
                 for i in pending:
                     results[i] = fn(items[i])
-            if cache is not None and keys is not None:
-                for i in pending:
-                    key = keys[i]
-                    if key is not None:
-                        cache.put(key, encode(results[i]))  # type: ignore[misc]
+                    store(i)
 
         # Stats settle before observer callbacks so a raising observer
         # cannot leave the accounting stale for work that did happen.
@@ -426,20 +433,23 @@ class SweepExecutor:
                     continue
             pending.append(i)
 
+        # Incremental per-item cache writes, as on the fast path: a
+        # killed sweep keeps everything that settled before the kill.
+        def store(i: int) -> None:
+            if cache is not None and keys is not None:
+                key = keys[i]
+                if key is not None and settled[i]:
+                    cache.put(key, encode(results[i]))  # type: ignore[misc]
+
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 self._flight_parallel(
-                    fn, items, pending, ctx, results, settled, failures
+                    fn, items, pending, ctx, results, settled, failures, store
                 )
             else:
                 self._flight_serial(
-                    fn, items, pending, ctx, results, settled, failures
+                    fn, items, pending, ctx, results, settled, failures, store
                 )
-            if cache is not None and keys is not None:
-                for i in pending:
-                    key = keys[i]
-                    if key is not None and settled[i]:
-                        cache.put(key, encode(results[i]))  # type: ignore[misc]
 
         self.stats = SweepStats(
             total=n,
@@ -471,7 +481,7 @@ class SweepExecutor:
         return results
 
     def _flight_serial(
-        self, fn, items, pending, ctx, results, settled, failures
+        self, fn, items, pending, ctx, results, settled, failures, store
     ) -> None:
         flight = self.flight
         for i in pending:
@@ -492,11 +502,12 @@ class SweepExecutor:
                 continue
             results[i] = result
             settled[i] = True
+            store(i)
             flight.item_finished(ctx, i, _measure_since(t0, r0, "serial"))
         flight.self_beat("serial", None)
 
     def _flight_parallel(
-        self, fn, items, pending, ctx, results, settled, failures
+        self, fn, items, pending, ctx, results, settled, failures, store
     ) -> None:
         flight = self.flight
         beats = flight.heartbeat_queue()
@@ -550,6 +561,7 @@ class SweepExecutor:
                         if status == "ok":
                             results[index] = payload
                             settled[index] = True
+                            store(index)
                             flight.item_finished(ctx, index, measure)
                         else:
                             err = f"{payload[0]}: {payload[1]}"

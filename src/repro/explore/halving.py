@@ -25,6 +25,23 @@ link budget at rung 0, death-within-horizon at rung 1, the full
 :func:`repro.obs.checks.paper_monitors` replay at rungs 2/3), all
 speaking the same :class:`~repro.obs.checks.Verdict` vocabulary.
 
+Two promotion refinements ride on the ladder. Promotion into rung 3 is
+*adaptive* — the exact-simulation budget apportions across deadline
+strata by how much rung 1 and rung 2 disagreed about each stratum's
+ranking (:mod:`repro.explore.budget`) — and *frontier-aware*: within a
+stratum, candidates promote by Pareto layer over (lifetime, frames,
+deadline misses) before scalar score, so a config that trades lifetime
+for throughput is confirmed in exact mode instead of being buried by a
+scalar sort (:func:`repro.explore.pareto.pareto_layers`).
+
+Rung 0 has two drivers. The exhaustive driver enumerates and scores the
+whole space — right up to ~10^5 configs. Past that, ``guided=True``
+switches to the model-guided sampler (:mod:`repro.explore.surrogate`),
+which keeps the space implicit and proposes batches from a quantized
+effect surrogate until the stratified top set is stable and closed
+under single-axis moves; every score still comes from the same
+analytic prescreen, so both drivers feed identical numbers forward.
+
 Determinism contract
 --------------------
 The exported frontier is byte-identical across serial, ``--jobs N``,
@@ -32,7 +49,13 @@ and cache-replayed executions because every ingredient is: enumeration
 order and indices are fixed by the space; promotion sorts on
 ``(-score, index)``; workers return JSON-round-trippable payloads the
 parent folds in input order; and no wall-clock or scheduling value
-enters scores, verdicts, records, or the export payload.
+enters scores, verdicts, records, or the export payload. The guided
+sampler and the budget controller keep the contract — no RNG, ties on
+enumeration index — and ``resume=`` extends it across process deaths:
+each completed rung persists a cursor (promoted set, scores, verdicts)
+through the registry's explore-session snapshots, and a resumed run
+replays that cursor into exactly the state an uninterrupted run would
+hold, so the resumed frontier is byte-identical too.
 """
 
 from __future__ import annotations
@@ -51,13 +74,15 @@ from repro.errors import (
 )
 from repro.exec import SweepExecutor
 from repro.exec.cache import ResultCache, stable_key
-from repro.explore.pareto import OBJECTIVES, pareto_indices
+from repro.explore.budget import allocate_budgets, rank_disagreement
+from repro.explore.pareto import OBJECTIVES, pareto_indices, pareto_layers
 from repro.explore.space import (
     ExploreConfig,
     PEUKERT_EXPONENT,
     PEUKERT_REFERENCE_MA,
     SpaceSpec,
 )
+from repro.explore.surrogate import guided_sample
 from repro.hw.power import PowerMode
 from repro.obs.checks import (
     Verdict,
@@ -74,6 +99,7 @@ __all__ = [
     "FrontierMember",
     "ExploreResult",
     "explore",
+    "explore_fingerprint",
 ]
 
 #: Rung names, cheapest first.
@@ -168,6 +194,11 @@ class ExploreResult:
     survivors: tuple[FrontierMember, ...]
     disqualified: dict[str, int]
     wall_s: float
+    #: Guided-sampler accounting (:meth:`GuidedReport.content` form), or
+    #: None for the exhaustive rung-0 driver.
+    sampler: dict[str, t.Any] | None = None
+    #: How many rungs were replayed from a resume cursor (telemetry).
+    resumed_rungs: int = 0
 
     @property
     def configs_per_sec(self) -> float:
@@ -185,11 +216,17 @@ class ExploreResult:
         return 1.0 - sim_entered / self.n_configs
 
     def frontier_payload(self) -> dict[str, t.Any]:
-        """The deterministic export: byte-identical across modes."""
+        """The deterministic export: byte-identical across modes.
+
+        ``sampler`` is deterministic guided-mode accounting (None for
+        the exhaustive driver); the ``frontier`` array is the portion
+        the two drivers are expected to agree on byte-for-byte.
+        """
         return {
             "space": {"size": self.n_configs, "fingerprint": self.fingerprint},
             "keep": list(self.keep),
             "objectives": [[name, sense] for name, sense in OBJECTIVES],
+            "sampler": self.sampler,
             "rungs": [r.content() for r in self.rungs],
             "disqualified": dict(sorted(self.disqualified.items())),
             "frontier": [m.as_dict() for m in self.frontier],
@@ -202,6 +239,7 @@ class _Candidate:
 
     config: ExploreConfig
     score: float = 0.0  # normalized lifetime (hours) at the last rung
+    prev_score: float = 0.0  # score at the rung before (fidelity check)
     lifetime_hours: float = 0.0
     frames: int = 0
     deadline_misses: int = 0
@@ -247,6 +285,8 @@ def _prescreen(
     configs: t.Sequence[ExploreConfig],
     report: RungReport,
     disqualified: dict[str, int],
+    structures: dict[tuple, tuple] | None = None,
+    drains: dict[tuple, tuple[float, float, float, float]] | None = None,
 ) -> list[_Candidate]:
     """Rung 0: score every config analytically; drop infeasible ones.
 
@@ -255,12 +295,18 @@ def _prescreen(
     so a 100k-config space collapses to a few hundred structure
     resolutions and a few thousand current evaluations, with each
     config just an O(1) capacity/chemistry lookup on top.
+
+    Report counts accumulate, and the memo dicts can be supplied by the
+    caller — the guided sampler scores the space in many small batches
+    and must not redo structure resolutions (or double-count) per batch.
     """
     # structure key -> ("ok", cycles, comm_s) | ("fail", Verdict)
-    structures: dict[tuple, tuple] = {}
+    if structures is None:
+        structures = {}
     # (structure key, io_activity) -> (k_norot_plain, k_rot_plain,
     #                                  k_norot_peukert, k_rot_peukert)
-    drains: dict[tuple, tuple[float, float, float, float]] = {}
+    if drains is None:
+        drains = {}
     out: list[_Candidate] = []
     for config in configs:
         if config.rotation_period is not None and config.n_stages < 2:
@@ -335,8 +381,8 @@ def _prescreen(
         out.append(
             _Candidate(config=config, score=config.capacity_mah * k)
         )
-    report.evaluated = len(configs)
-    report.executed = len(configs)
+    report.evaluated += len(configs)
+    report.executed += len(configs)
     return out
 
 
@@ -373,6 +419,66 @@ def _promote(
             break
         rank += 1
     # Rung order stays globally score-sorted regardless of strata.
+    promoted.sort(key=lambda c: (-c.score, c.config.index))
+    report.promoted = len(promoted)
+    return promoted
+
+
+def _promote_exact(
+    candidates: list[_Candidate], keep: int, report: RungReport
+) -> list[_Candidate]:
+    """Promotion into the exact rung: adaptive budgets, frontier-aware.
+
+    Two changes over the scalar :func:`_promote`, both only meaningful
+    after rung 2 (the first rung that measures all three objectives and
+    the first with two fidelities behind it):
+
+    - the per-stratum share of ``keep`` comes from
+      :func:`~repro.explore.budget.allocate_budgets` weighted by each
+      stratum's rung-1-vs-rung-2 :func:`rank_disagreement` — strata
+      whose cheap fidelity mis-ranked survivors get more exact
+      confirmations;
+    - within a stratum, candidates promote by Pareto layer over
+      (lifetime, frames, deadline misses) before scalar score, so a
+      config sitting on the running frontier promotes ahead of a
+      dominated config with a fatter scalar score.
+
+    With one stratum and mutually non-dominated survivors this is plain
+    top-``keep`` by ``(-score, index)`` — the legacy behavior.
+    """
+    strata: dict[float, list[_Candidate]] = {}
+    for cand in candidates:
+        strata.setdefault(cand.config.deadline_s, []).append(cand)
+    order = sorted(strata)
+    budgets = allocate_budgets(
+        keep,
+        [len(strata[d]) for d in order],
+        [
+            rank_disagreement(
+                [
+                    (c.prev_score, c.score, c.config.index)
+                    for c in strata[d]
+                ]
+            )
+            for d in order
+        ],
+    )
+    promoted: list[_Candidate] = []
+    for deadline, budget in zip(order, budgets):
+        group = strata[deadline]
+        points = [
+            (c.lifetime_hours, c.frames, c.deadline_misses) for c in group
+        ]
+        for layer in pareto_layers(points):
+            if budget <= 0:
+                break
+            ranked = sorted(
+                (group[i] for i in layer),
+                key=lambda c: (-c.score, c.config.index),
+            )
+            take = ranked[:budget]
+            promoted.extend(take)
+            budget -= len(take)
     promoted.sort(key=lambda c: (-c.score, c.config.index))
     report.promoted = len(promoted)
     return promoted
@@ -670,8 +776,153 @@ def _sim_rung(
 
 
 # ---------------------------------------------------------------------------
+# resume cursors
+# ---------------------------------------------------------------------------
+
+def _cursor_payload(
+    mode: str,
+    keep: tuple[int, int, int],
+    limit: int | None,
+    n_configs: int,
+    rungs: list[RungReport],
+    disqualified: dict[str, int],
+    sampler: dict[str, t.Any] | None,
+    candidates: list[_Candidate],
+) -> dict[str, t.Any]:
+    """The resumable state after one completed rung — pure content.
+
+    Everything needed to re-enter the ladder exactly where it stopped:
+    the promoted survivor set (as enumeration indices plus the scores
+    and metrics later rungs read), the cumulative rung reports and
+    verdict tallies, and the identity fields a resume must match. No
+    wall clock enters; JSON floats round-trip exactly, so a cursor
+    written, stored, and restored reproduces bit-identical state.
+    """
+    return {
+        "version": 1,
+        "mode": mode,
+        "keep": list(keep),
+        "limit": limit,
+        "n_configs": n_configs,
+        "rung": rungs[-1].name,
+        "rungs": [r.content() for r in rungs],
+        "disqualified": dict(sorted(disqualified.items())),
+        "sampler": sampler,
+        "candidates": [
+            [
+                c.config.index,
+                c.score,
+                c.prev_score,
+                c.lifetime_hours,
+                c.frames,
+                c.deadline_misses,
+                c.run_id,
+            ]
+            for c in candidates
+        ],
+    }
+
+
+def _restore_cursor(
+    space: SpaceSpec,
+    keep: tuple[int, int, int],
+    limit: int | None,
+    mode: str,
+    n_configs: int,
+    resume: dict[str, t.Any],
+) -> tuple[
+    list[RungReport],
+    dict[str, int],
+    list[_Candidate],
+    dict[str, t.Any] | None,
+    int,
+]:
+    """Validate and decode a resume cursor against this invocation.
+
+    The cursor must describe the same exploration — same driver mode,
+    budgets, limit, and universe size (the space itself is pinned by
+    the caller matching fingerprints) — or resuming would silently mix
+    two different ladders. Returns ``(rungs, disqualified, candidates,
+    sampler, completed_rungs)``.
+    """
+    if not isinstance(resume, dict) or "rung" not in resume:
+        raise ConfigurationError(
+            "resume cursor must be a dict with rung state (got "
+            f"{type(resume).__name__})"
+        )
+    for field, want in (
+        ("mode", mode),
+        ("keep", list(keep)),
+        ("limit", limit),
+        ("n_configs", n_configs),
+    ):
+        got = resume.get(field)
+        if got != want:
+            raise ConfigurationError(
+                f"resume cursor disagrees on {field}: cursor has {got!r}, "
+                f"this invocation has {want!r}"
+            )
+    rung = resume["rung"]
+    if rung not in RUNGS:
+        raise ConfigurationError(f"resume cursor names unknown rung {rung!r}")
+    completed = RUNGS.index(rung) + 1
+    contents = resume.get("rungs", [])
+    if len(contents) != completed or [r["name"] for r in contents] != list(
+        RUNGS[:completed]
+    ):
+        raise ConfigurationError(
+            f"resume cursor rung reports inconsistent with rung {rung!r}"
+        )
+    rungs = [
+        RungReport(
+            name=r["name"],
+            entered=int(r["entered"]),
+            evaluated=int(r["evaluated"]),
+            disqualified=int(r["disqualified"]),
+            promoted=int(r["promoted"]),
+        )
+        for r in contents
+    ]
+    disqualified = {
+        str(k): int(v) for k, v in resume.get("disqualified", {}).items()
+    }
+    candidates = [
+        _Candidate(
+            config=space.config_at(int(row[0])),
+            score=float(row[1]),
+            prev_score=float(row[2]),
+            lifetime_hours=float(row[3]),
+            frames=int(row[4]),
+            deadline_misses=int(row[5]),
+            run_id=str(row[6]),
+        )
+        for row in resume.get("candidates", [])
+    ]
+    return rungs, disqualified, candidates, resume.get("sampler"), completed
+
+
+# ---------------------------------------------------------------------------
 # the scheduler
 # ---------------------------------------------------------------------------
+
+def explore_fingerprint(
+    space: SpaceSpec,
+    keep: tuple[int, int, int],
+    limit: int | None,
+    *,
+    guided: bool = False,
+) -> str:
+    """The session fingerprint :func:`explore` files registry rows under.
+
+    Exposed so callers (the CLI's ``--resume latest``) can locate a
+    prior session's cursor without re-running anything. Guided and
+    exhaustive sessions fingerprint differently on purpose: their rung-0
+    telemetry differs even though their frontiers agree.
+    """
+    if guided:
+        return stable_key("explore", space, tuple(keep), limit, "guided")
+    return stable_key("explore", space, tuple(keep), limit)
+
 
 def explore(
     space: SpaceSpec,
@@ -683,6 +934,9 @@ def explore(
     limit: int | None = None,
     progress: t.Callable[[RungReport], None] | None = None,
     flight: t.Any = None,
+    guided: bool = False,
+    probe: int = 2048,
+    resume: dict[str, t.Any] | None = None,
 ) -> ExploreResult:
     """Resolve a design space to its Pareto frontier.
 
@@ -699,7 +953,7 @@ def explore(
     registry:
         Optional :class:`~repro.obs.store.RunRegistry`: every simulated
         survivor registers as a run record, and each completed rung
-        appends an explore-session snapshot.
+        appends an explore-session snapshot carrying a resume cursor.
     chunk_size:
         Configs per rung-1 cohort chunk (one cache entry each).
     limit:
@@ -712,6 +966,21 @@ def explore(
         the rung executor (per-item journal, heartbeats) and opens one
         recorder phase per rung so live progress shows the halving
         ladder.
+    guided:
+        Drive rung 0 with the model-guided sampler instead of
+        exhaustive enumeration — the space is never materialized, so
+        10^6+ spaces reach the ladder in bounded memory. Scores still
+        come from the same analytic prescreen.
+    probe:
+        Guided mode only: size of the initial stratified probe batch
+        (and of each subsequent proposal round).
+    resume:
+        A cursor from a previous session's explore snapshot (see
+        ``RunRegistry.latest_explore_cursor``). Completed rungs are
+        restored instead of re-executed; the rung that was in flight
+        when the session died re-runs against the result cache, so at
+        most the killed chunk repeats, and the final frontier is
+        byte-identical to an uninterrupted run.
     """
     if len(keep) != 3 or any(k < 1 for k in keep):
         raise ConfigurationError(
@@ -720,11 +989,26 @@ def explore(
     if chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
     started = time.perf_counter()
-    configs = space.configs(limit=limit)
-    fingerprint = stable_key("explore", space, tuple(keep), limit)
+    mode = "guided" if guided else "full"
+    fingerprint = explore_fingerprint(space, keep, limit, guided=guided)
+    if guided:
+        configs: list[ExploreConfig] | None = None
+        n_configs = (
+            len(space.indices(limit)) if limit is not None else space.size()
+        )
+    else:
+        configs = space.configs(limit=limit)
+        n_configs = len(configs)
     executor = SweepExecutor(jobs=jobs, cache=cache, flight=flight)
     disqualified: dict[str, int] = {}
     rungs: list[RungReport] = []
+    candidates: list[_Candidate] = []
+    sampler_content: dict[str, t.Any] | None = None
+    completed = 0
+    if resume is not None:
+        rungs, disqualified, candidates, sampler_content, completed = (
+            _restore_cursor(space, keep, limit, mode, n_configs, resume)
+        )
 
     def finish_rung(report: RungReport, t0: float) -> None:
         report.wall_s = time.perf_counter() - t0
@@ -739,63 +1023,99 @@ def explore(
             registry.record_explore(
                 build_explore_record(
                     fingerprint,
-                    len(configs),
+                    n_configs,
                     report.name,
                     [r.content() for r in rungs],
                     git_sha=git_revision(),
+                    cursor=_cursor_payload(
+                        mode, tuple(keep), limit, n_configs, rungs,
+                        disqualified, sampler_content, candidates,
+                    ),
                 )
             )
         if progress is not None:
             progress(report)
 
-    # rung 0: analytic prescreen
-    t0 = time.perf_counter()
-    predict_phase = None
-    if flight is not None:
-        predict_phase = flight.phase("predict", total=len(configs))
-    report = RungReport("predict", entered=len(configs))
-    candidates = _prescreen(space, configs, report, disqualified)
-    candidates = _promote(candidates, keep[0], report)
-    if predict_phase is not None:
-        # The prescreen is vectorized-analytic (no executor items), so
-        # tick its bar wholesale when it completes.
-        predict_phase.done = predict_phase.total or 0
-    finish_rung(report, t0)
+    # rung 0: analytic prescreen (exhaustive or model-guided)
+    if completed < 1:
+        t0 = time.perf_counter()
+        predict_phase = None
+        if flight is not None:
+            predict_phase = flight.phase(
+                "predict", total=None if guided else n_configs
+            )
+        report = RungReport("predict", entered=n_configs)
+        if guided:
+            structures: dict[tuple, tuple] = {}
+            drains: dict[tuple, tuple[float, float, float, float]] = {}
+            by_index: dict[int, _Candidate] = {}
+
+            def evaluate(indices: list[int]) -> list[float | None]:
+                batch = [space.config_at(i) for i in indices]
+                found = _prescreen(
+                    space, batch, report, disqualified, structures, drains
+                )
+                got = {c.config.index: c for c in found}
+                by_index.update(got)
+                return [
+                    got[i].score if i in got else None for i in indices
+                ]
+
+            scores, guided_report = guided_sample(
+                space, keep[0], evaluate, limit=limit, probe=probe,
+            )
+            sampler_content = guided_report.content()
+            candidates = [by_index[i] for i in sorted(scores)]
+        else:
+            candidates = _prescreen(space, configs, report, disqualified)
+        candidates = _promote(candidates, keep[0], report)
+        if predict_phase is not None:
+            # The prescreen is vectorized-analytic (no executor items),
+            # so tick its bar wholesale when it completes.
+            predict_phase.total = report.evaluated
+            predict_phase.done = report.evaluated
+        finish_rung(report, t0)
 
     # rung 1: cohort battery walk
-    t0 = time.perf_counter()
-    if flight is not None:
-        flight.phase("cohort")
-    report = RungReport("cohort", entered=len(candidates))
-    candidates = _cohort_rung(
-        candidates, space, executor, cache, chunk_size, report, disqualified
-    )
-    candidates = _promote(candidates, keep[1], report)
-    finish_rung(report, t0)
+    if completed < 2:
+        t0 = time.perf_counter()
+        if flight is not None:
+            flight.phase("cohort")
+        report = RungReport("cohort", entered=len(candidates))
+        candidates = _cohort_rung(
+            candidates, space, executor, cache, chunk_size, report,
+            disqualified,
+        )
+        candidates = _promote(candidates, keep[1], report)
+        finish_rung(report, t0)
 
     # rung 2: fast full simulation
-    t0 = time.perf_counter()
-    if flight is not None:
-        flight.phase("fast")
-    report = RungReport("fast", entered=len(candidates))
-    candidates = _sim_rung(
-        "fast", "fast", candidates, space, executor, cache, registry,
-        report, disqualified,
-    )
-    candidates = _promote(candidates, keep[2], report)
-    finish_rung(report, t0)
+    if completed < 3:
+        for cand in candidates:
+            cand.prev_score = cand.score
+        t0 = time.perf_counter()
+        if flight is not None:
+            flight.phase("fast")
+        report = RungReport("fast", entered=len(candidates))
+        candidates = _sim_rung(
+            "fast", "fast", candidates, space, executor, cache, registry,
+            report, disqualified,
+        )
+        candidates = _promote_exact(candidates, keep[2], report)
+        finish_rung(report, t0)
 
     # rung 3: exact confirmation
-    t0 = time.perf_counter()
-    if flight is not None:
-        flight.phase("exact")
-    report = RungReport("exact", entered=len(candidates))
-    candidates = _sim_rung(
-        "exact", "exact", candidates, space, executor, cache, registry,
-        report, disqualified,
-    )
-    report.promoted = len(candidates)
-    finish_rung(report, t0)
+    if completed < 4:
+        t0 = time.perf_counter()
+        if flight is not None:
+            flight.phase("exact")
+        report = RungReport("exact", entered=len(candidates))
+        candidates = _sim_rung(
+            "exact", "exact", candidates, space, executor, cache, registry,
+            report, disqualified,
+        )
+        report.promoted = len(candidates)
+        finish_rung(report, t0)
 
     survivors = tuple(
         FrontierMember(
@@ -815,12 +1135,14 @@ def explore(
         space=space,
         keep=tuple(keep),
         fingerprint=fingerprint,
-        n_configs=len(configs),
+        n_configs=n_configs,
         rungs=rungs,
         frontier=frontier,
         survivors=survivors,
         disqualified=disqualified,
         wall_s=time.perf_counter() - started,
+        sampler=sampler_content,
+        resumed_rungs=completed,
     )
     if registry is not None:
         from repro.obs.store import build_explore_record, git_revision
@@ -828,11 +1150,15 @@ def explore(
         registry.record_explore(
             build_explore_record(
                 fingerprint,
-                len(configs),
+                n_configs,
                 "frontier",
                 [r.content() for r in rungs],
                 [m.as_dict() for m in frontier],
                 git_sha=git_revision(),
+                cursor=_cursor_payload(
+                    mode, tuple(keep), limit, n_configs, rungs,
+                    disqualified, sampler_content, candidates,
+                ),
             )
         )
     return result

@@ -20,7 +20,7 @@ import typing as t
 
 from repro.errors import ConfigurationError
 
-__all__ = ["OBJECTIVES", "dominates", "pareto_indices"]
+__all__ = ["OBJECTIVES", "dominates", "pareto_indices", "pareto_layers"]
 
 #: The explore objectives, in point order: maximize lifetime, maximize
 #: delivered frames, minimize deadline misses.
@@ -87,3 +87,37 @@ def pareto_indices(
         ):
             out.append(i)
     return out
+
+
+def pareto_layers(
+    points: t.Sequence[t.Sequence[float]],
+    senses: t.Sequence[str] | None = None,
+) -> list[list[int]]:
+    """Non-dominated sorting: successive Pareto fronts of ``points``.
+
+    Layer 0 is :func:`pareto_indices`; layer ``k`` is the frontier of
+    what remains after peeling layers ``0..k-1``. Every index appears in
+    exactly one layer, in input order within its layer — which makes
+    the output a deterministic promotion order for frontier-aware
+    halving: walk layers outward, break ties inside a layer however the
+    caller likes. Strict domination is acyclic, so the peeling always
+    terminates with every point placed.
+    """
+    if senses is None:
+        senses = [sense for _, sense in OBJECTIVES]
+    remaining = list(range(len(points)))
+    layers: list[list[int]] = []
+    while remaining:
+        front = [
+            i
+            for i in remaining
+            if not any(
+                dominates(points[j], points[i], senses)
+                for j in remaining
+                if j != i
+            )
+        ]
+        layers.append(front)
+        peeled = set(front)
+        remaining = [i for i in remaining if i not in peeled]
+    return layers

@@ -345,6 +345,60 @@ class SpaceSpec:
             out *= len(self.axis_values(name))
         return out
 
+    def radices(self) -> tuple[int, ...]:
+        """Axis cardinalities in :data:`AXES` order (the mixed radix)."""
+        return tuple(len(self.axis_values(name)) for name in AXES)
+
+    def digits_at(self, index: int) -> tuple[int, ...]:
+        """Per-axis value indices for one enumeration index, O(1).
+
+        The enumeration is ``itertools.product`` over :data:`AXES`, i.e.
+        a mixed-radix number with the last axis as the least-significant
+        digit; decoding is plain ``divmod`` — no materialization.
+        """
+        n = self.size()
+        if not 0 <= index < n:
+            raise ConfigurationError(
+                f"config index {index} outside space of {n} configs"
+            )
+        digits = [0] * len(AXES)
+        rem = index
+        for pos in range(len(AXES) - 1, -1, -1):
+            rem, digits[pos] = divmod(rem, len(self.axis_values(AXES[pos])))
+        return tuple(digits)
+
+    def config_at(self, index: int) -> ExploreConfig:
+        """The config at one enumeration index, without enumerating.
+
+        ``space.config_at(i)`` equals ``space.configs()[i]`` for every
+        valid ``i`` (tests pin this) — it is how the guided sampler and
+        ``--resume`` touch 10^6+ spaces one config at a time.
+        """
+        digits = self.digits_at(index)
+        return ExploreConfig(
+            index,
+            *(
+                self.axis_values(name)[digit]
+                for name, digit in zip(AXES, digits)
+            ),
+        )
+
+    def indices(self, limit: int | None = None) -> list[int]:
+        """The enumeration indices :meth:`configs` would return.
+
+        With no ``limit`` this is the full range; with one, the same
+        evenly strided subsample — computed arithmetically, so callers
+        can reason about a capped huge space without building it.
+        """
+        n = self.size()
+        if limit is not None and 0 < limit < n:
+            return sorted(
+                {round(i * (n - 1) / (limit - 1)) for i in range(limit)}
+                if limit > 1
+                else {0}
+            )
+        return list(range(n))
+
     def configs(self, limit: int | None = None) -> list[ExploreConfig]:
         """Enumerate the space in deterministic cross-product order.
 
@@ -358,13 +412,7 @@ class SpaceSpec:
             for index, combo in enumerate(itertools.product(*values))
         ]
         if limit is not None and 0 < limit < len(configs):
-            n = len(configs)
-            stride_indices = sorted(
-                {round(i * (n - 1) / (limit - 1)) for i in range(limit)}
-                if limit > 1
-                else {0}
-            )
-            configs = [configs[i] for i in stride_indices]
+            configs = [configs[i] for i in self.indices(limit)]
         return configs
 
 

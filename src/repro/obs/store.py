@@ -88,6 +88,7 @@ CREATE TABLE IF NOT EXISTS explore_sessions (
     rung        TEXT NOT NULL,
     rungs       TEXT NOT NULL,
     frontier    TEXT NOT NULL,
+    cursor      TEXT,
     seq         INTEGER NOT NULL,
     created_at  REAL
 )
@@ -287,7 +288,9 @@ class ExploreRecord:
     The halving scheduler streams its progress by registering one of
     these after every completed rung; ``rung`` names the latest rung and
     ``rungs``/``frontier`` carry the cumulative deterministic state.
-    ``session_id`` is a content digest, so replaying the same
+    ``cursor`` is the scheduler's resume state (promoted set + scores)
+    as of this snapshot — pure content, what ``repro explore --resume``
+    replays. ``session_id`` is a content digest, so replaying the same
     exploration (serial, parallel, or from cache) deduplicates instead
     of appending.
     """
@@ -300,6 +303,7 @@ class ExploreRecord:
     rung: str
     rungs: list[dict[str, t.Any]]
     frontier: list[dict[str, t.Any]]
+    cursor: dict[str, t.Any] | None = None
 
     def as_row(self) -> dict[str, t.Any]:
         """Flat list-view row for the CLI."""
@@ -320,20 +324,25 @@ def build_explore_record(
     frontier: t.Sequence[dict[str, t.Any]] = (),
     version: str | None = None,
     git_sha: str | None = None,
+    cursor: dict[str, t.Any] | None = None,
 ) -> ExploreRecord:
     """Derive the registry record for one explore-session snapshot.
 
     Like :func:`build_run_record`, every identity-bearing field is
     content — the session id digests the configuration fingerprint plus
-    the deterministic rung/frontier state, never wall clocks — so all
-    execution modes produce byte-identical records.
+    the deterministic rung/frontier/cursor state, never wall clocks —
+    so all execution modes produce byte-identical records. A ``None``
+    cursor digests exactly as records did before cursors existed, so
+    pre-cursor session ids remain stable.
     """
     rungs = [dict(r) for r in rungs]
     frontier = [dict(f) for f in frontier]
+    identity: list[t.Any] = [fingerprint, n_configs, rung, rungs, frontier]
+    if cursor is not None:
+        cursor = dict(cursor)
+        identity.append(cursor)
     session_id = hashlib.sha256(
-        _canonical_json([fingerprint, n_configs, rung, rungs, frontier]).encode(
-            "utf-8"
-        )
+        _canonical_json(identity).encode("utf-8")
     ).hexdigest()
     return ExploreRecord(
         session_id=session_id,
@@ -344,6 +353,7 @@ def build_explore_record(
         rung=rung,
         rungs=rungs,
         frontier=frontier,
+        cursor=cursor,
     )
 
 
@@ -372,6 +382,15 @@ class RunRegistry:
         columns = {row[1] for row in conn.execute("PRAGMA table_info(runs)")}
         if "created_at" not in columns:
             conn.execute("ALTER TABLE runs ADD COLUMN created_at REAL")
+        # Likewise for the explore resume cursor: pre-cursor databases
+        # gain a NULL column; old session ids (digested without a
+        # cursor) stay valid because a None cursor stays out of digests.
+        explore_columns = {
+            row[1]
+            for row in conn.execute("PRAGMA table_info(explore_sessions)")
+        }
+        if "cursor" not in explore_columns:
+            conn.execute("ALTER TABLE explore_sessions ADD COLUMN cursor TEXT")
         return conn
 
     # -- writes ----------------------------------------------------------
@@ -411,8 +430,8 @@ class RunRegistry:
             cur = conn.execute(
                 "INSERT OR IGNORE INTO explore_sessions "
                 "(session_id, fingerprint, version, git_sha, n_configs, "
-                " rung, rungs, frontier, seq, created_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " rung, rungs, frontier, cursor, seq, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     record.session_id,
                     record.fingerprint,
@@ -422,6 +441,9 @@ class RunRegistry:
                     record.rung,
                     _canonical_json(record.rungs),
                     _canonical_json(record.frontier),
+                    None
+                    if record.cursor is None
+                    else _canonical_json(record.cursor),
                     next_seq,
                     time.time(),
                 ),
@@ -622,15 +644,23 @@ class RunRegistry:
         with self._connect() as conn:
             return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
 
-    def list_explore_sessions(self, limit: int | None = None) -> list[ExploreRecord]:
+    def list_explore_sessions(
+        self,
+        limit: int | None = None,
+        session_id_prefix: str | None = None,
+    ) -> list[ExploreRecord]:
         """Registered explore snapshots, most recent first."""
         if not self.path.exists():
             return []
         query = (
             "SELECT session_id, fingerprint, version, git_sha, n_configs, "
-            "rung, rungs, frontier FROM explore_sessions ORDER BY seq DESC"
+            "rung, rungs, frontier, cursor FROM explore_sessions"
         )
         params: list[t.Any] = []
+        if session_id_prefix is not None:
+            query += " WHERE session_id LIKE ?"
+            params.append(session_id_prefix.replace("%", "") + "%")
+        query += " ORDER BY seq DESC"
         if limit is not None:
             query += " LIMIT ?"
             params.append(limit)
@@ -645,9 +675,32 @@ class RunRegistry:
                     rung=row[5],
                     rungs=json.loads(row[6]),
                     frontier=json.loads(row[7]),
+                    cursor=None if row[8] is None else json.loads(row[8]),
                 )
                 for row in conn.execute(query, params)
             ]
+
+    def latest_explore_cursor(
+        self, fingerprint: str | None = None, session_id_prefix: str | None = None
+    ) -> ExploreRecord | None:
+        """The newest cursor-bearing snapshot to resume from.
+
+        Filter by exploration ``fingerprint`` (the usual ``--resume
+        latest`` path: same CLI arguments, newest cursor wins) or by a
+        ``session_id`` prefix (resume one specific snapshot). Snapshots
+        without cursors — pre-cursor databases — never match.
+        """
+        if not self.path.exists():
+            return None
+        for record in self.list_explore_sessions(
+            session_id_prefix=session_id_prefix
+        ):
+            if record.cursor is None:
+                continue
+            if fingerprint is not None and record.fingerprint != fingerprint:
+                continue
+            return record
+        return None
 
     def dump_rows(self) -> list[tuple]:
         """Every content column of every row, in insertion order.
@@ -667,14 +720,19 @@ class RunRegistry:
             )
 
     def dump_explore_rows(self) -> list[tuple]:
-        """Explore-session content columns, in insertion order."""
+        """Explore-session content columns, in insertion order.
+
+        The cursor is content (promoted indices and scores, no wall
+        clocks), so it belongs to the determinism comparison surface —
+        a resumed session must reproduce it byte-for-byte.
+        """
         if not self.path.exists():
             return []
         with self._connect() as conn:
             return list(
                 conn.execute(
                     "SELECT session_id, fingerprint, version, git_sha, "
-                    "n_configs, rung, rungs, frontier, seq "
+                    "n_configs, rung, rungs, frontier, cursor, seq "
                     "FROM explore_sessions ORDER BY seq"
                 )
             )

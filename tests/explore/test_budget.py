@@ -1,0 +1,68 @@
+"""Adaptive exact-rung budgets: disagreement measurement, apportionment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore.budget import allocate_budgets, rank_disagreement
+
+
+class TestRankDisagreement:
+    def test_identical_rankings(self):
+        pairs = [(3.0, 30.0, 0), (2.0, 20.0, 1), (1.0, 10.0, 2)]
+        assert rank_disagreement(pairs) == 0.0
+
+    def test_reversed_rankings(self):
+        pairs = [(3.0, 10.0, 0), (2.0, 20.0, 1), (1.0, 30.0, 2)]
+        assert rank_disagreement(pairs) == 1.0
+
+    def test_one_swap(self):
+        pairs = [(3.0, 30.0, 0), (2.0, 10.0, 1), (1.0, 20.0, 2)]
+        assert rank_disagreement(pairs) == pytest.approx(1 / 3)
+
+    def test_fewer_than_two_items(self):
+        assert rank_disagreement([]) == 0.0
+        assert rank_disagreement([(1.0, 2.0, 0)]) == 0.0
+
+    def test_ties_break_identically_in_both_orderings(self):
+        # Equal scores on both sides: the shared index tie-break keeps
+        # the orderings aligned, so ties are never counted as discord.
+        pairs = [(1.0, 1.0, 0), (1.0, 1.0, 1), (1.0, 1.0, 2)]
+        assert rank_disagreement(pairs) == 0.0
+
+
+class TestAllocateBudgets:
+    def test_equal_weights_reproduce_round_robin(self):
+        # The legacy fixed strategy: keep=6 over three equal strata.
+        assert allocate_budgets(6, [4, 4, 4], [0.0, 0.0, 0.0]) == [2, 2, 2]
+
+    def test_equal_weights_non_divisible(self):
+        # Remainder slots land on earlier strata, like the round-robin.
+        assert allocate_budgets(5, [4, 4, 4], [0.0, 0.0, 0.0]) == [2, 2, 1]
+
+    def test_disagreement_skews_allocation(self):
+        out = allocate_budgets(6, [6, 6], [0.0, 1.0])
+        assert sum(out) == 6
+        assert out[1] > out[0]
+
+    def test_caps_at_stratum_size(self):
+        assert allocate_budgets(10, [2, 2], [0.0, 0.0]) == [2, 2]
+
+    def test_floor_grants_each_nonempty_stratum_one(self):
+        out = allocate_budgets(3, [5, 5, 5], [1.0, 0.0, 0.0])
+        assert all(a >= 1 for a in out)
+        assert sum(out) == 3
+
+    def test_empty_strata_get_nothing(self):
+        assert allocate_budgets(4, [0, 4], [1.0, 0.0]) == [0, 4]
+
+    def test_zero_total(self):
+        assert allocate_budgets(0, [3, 3], [0.5, 0.5]) == [0, 0]
+
+    def test_single_stratum_gets_everything_it_can_hold(self):
+        assert allocate_budgets(6, [4], [0.7]) == [4]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="total"):
+            allocate_budgets(-1, [1], [0.0])
+        with pytest.raises(ConfigurationError, match="lengths"):
+            allocate_budgets(1, [1, 2], [0.0])

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.explore import OBJECTIVES, dominates, pareto_indices
+from repro.explore.pareto import pareto_layers
 
 
 class TestDominates:
@@ -87,3 +88,31 @@ class TestParetoIndices:
 
     def test_objectives_shape(self):
         assert [s for _, s in OBJECTIVES] == ["max", "max", "min"]
+
+
+class TestParetoLayers:
+    def test_empty(self):
+        assert pareto_layers([]) == []
+
+    def test_single_front(self):
+        points = [(5.0, 100, 0), (10.0, 50, 0)]
+        assert pareto_layers(points) == [[0, 1]]
+
+    def test_successive_fronts_peel(self):
+        points = [(3.0, 3, 0), (2.0, 2, 0), (1.0, 1, 0)]
+        assert pareto_layers(points) == [[0], [1], [2]]
+
+    def test_layers_partition_the_input(self):
+        points = [(3.0, 1, 0), (1.0, 3, 0), (2.0, 2, 1), (1.0, 1, 2)]
+        layers = pareto_layers(points)
+        flat = [i for layer in layers for i in layer]
+        assert sorted(flat) == list(range(len(points)))
+        assert layers[0] == pareto_indices(points)
+
+    def test_input_order_within_layer(self):
+        points = [(5.0, 100, 0), (10.0, 50, 0), (7.0, 70, 0)]
+        assert pareto_layers(points) == [[0, 1, 2]]
+
+    def test_custom_senses(self):
+        points = [(1.0, 1.0), (2.0, 2.0)]
+        assert pareto_layers(points, senses=("min", "min")) == [[0], [1]]

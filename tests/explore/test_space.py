@@ -149,6 +149,52 @@ class TestEnumeration:
         assert space.size() >= 100_000
 
 
+class TestIndexedAccess:
+    def test_config_at_equals_enumeration(self):
+        space = SpaceSpec(axes=(
+            Axis.choice("policy", "baseline", "dvs_io"),
+            Axis.choice("cut", (), (1,), (2,)),
+            Axis.grid("capacity_mah", 100.0, 400.0, 4),
+        ))
+        full = space.configs()
+        for i in range(space.size()):
+            assert space.config_at(i) == full[i]
+
+    def test_config_at_default_space_spot_checks(self):
+        # O(1) decode against the materialized 104k enumeration at a
+        # few spread-out positions (materializing once is the test).
+        space = default_space()
+        full = space.configs()
+        for i in (0, 1, 51_839, 103_679):
+            assert space.config_at(i) == full[i]
+
+    def test_digits_at_round_trips_through_radices(self):
+        space = default_space()
+        radices = space.radices()
+        for index in (0, 7, 103_679):
+            digits = space.digits_at(index)
+            assert len(digits) == len(radices)
+            back = 0
+            for digit, radix in zip(digits, radices):
+                assert 0 <= digit < radix
+                back = back * radix + digit
+            assert back == index
+
+    def test_digits_at_rejects_out_of_range(self):
+        space = SpaceSpec(axes=(Axis.choice("policy", "baseline"),))
+        with pytest.raises(ConfigurationError, match="outside"):
+            space.digits_at(1)
+        with pytest.raises(ConfigurationError, match="outside"):
+            space.digits_at(-1)
+
+    def test_indices_match_limited_enumeration(self):
+        space = SpaceSpec(axes=(Axis.grid("capacity_mah", 100.0, 1000.0, 10),))
+        for limit in (None, 1, 3, 4, 10, 100):
+            assert space.indices(limit) == [
+                c.index for c in space.configs(limit=limit)
+            ]
+
+
 class TestConfigResolution:
     def _one(self, **axes):
         space = SpaceSpec(axes=tuple(

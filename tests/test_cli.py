@@ -442,6 +442,56 @@ class TestExplore:
         assert code == 1
         assert "empty frontier" in capsys.readouterr().out
 
+    def test_guided_matches_exhaustive_export(self, tmp_path, capsys):
+        import json
+
+        args = [
+            "explore", "--bandwidth-points", "2", "--capacity-points", "1",
+            "--io-points", "2", "--keep", "8", "2", "1",
+            "--no-cache", "--no-registry",
+        ]
+        exhaustive = tmp_path / "exhaustive.json"
+        guided = tmp_path / "guided.json"
+        assert main(args + ["--export", str(exhaustive)]) == 0
+        assert main(args + ["--guided", "--export", str(guided)]) == 0
+        out = capsys.readouterr().out
+        assert "guided sampler: probed" in out
+        a = json.loads(exhaustive.read_text())
+        b = json.loads(guided.read_text())
+        assert json.dumps(a["frontier"], sort_keys=True) == json.dumps(
+            b["frontier"], sort_keys=True
+        )
+        assert b["sampler"]["probed"] >= 1
+        assert a["sampler"] is None
+
+    def test_resume_latest_round_trip(self, tmp_path, capsys):
+        import json
+
+        db = str(tmp_path / "runs.sqlite")
+        args = [
+            "explore", "--bandwidth-points", "2", "--capacity-points", "1",
+            "--io-points", "2", "--keep", "8", "2", "1", "--db", db,
+            "--no-cache",
+        ]
+        first = tmp_path / "first.json"
+        resumed = tmp_path / "resumed.json"
+        assert main(args + ["--export", str(first)]) == 0
+        assert main(
+            args + ["--resume", "latest", "--export", str(resumed)]
+        ) == 0
+        assert "resuming" in capsys.readouterr().out
+        assert first.read_bytes() == resumed.read_bytes()
+
+    def test_resume_without_match_exits_two(self, tmp_path, capsys):
+        code = main([
+            "explore", "--bandwidth-points", "1", "--capacity-points", "1",
+            "--io-points", "1", "--keep", "4", "2", "1",
+            "--db", str(tmp_path / "empty.sqlite"),
+            "--resume", "latest",
+        ])
+        assert code == 2
+        assert "no resumable explore session" in capsys.readouterr().out
+
 
 class TestCache:
     def test_info_empty(self, tmp_path, capsys):
